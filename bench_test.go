@@ -1,0 +1,220 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Sec. 5). Each BenchmarkTable*/BenchmarkFig* target produces the
+// corresponding series once per iteration; run a single full regeneration
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The reported series themselves are printed by cmd/experiments; here the
+// benchmarks measure the cost of regenerating them and keep every
+// experiment path exercised under -bench.
+package isomap_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"isomap"
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/sim"
+)
+
+// benchTable runs a figure generator once per iteration, failing the
+// benchmark on error.
+func benchTable(b *testing.B, fn func() (*sim.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable1Overhead(b *testing.B) { benchTable(b, sim.Table1Overhead) }
+
+func BenchmarkFig7GradientError(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig7GradientError(1) })
+}
+
+func BenchmarkFig9ReportDensity(b *testing.B) { benchTable(b, sim.Fig9ReportDensity) }
+
+func BenchmarkFig10Maps(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig10Maps(1) })
+}
+
+func BenchmarkFig11aAccuracyDensity(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig11aAccuracyDensity(1) })
+}
+
+func BenchmarkFig11bAccuracyFailures(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig11bAccuracyFailures(1) })
+}
+
+func BenchmarkFig12aHausdorffDensity(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig12aHausdorffDensity(1) })
+}
+
+func BenchmarkFig12bHausdorffFailures(b *testing.B) {
+	benchTable(b, func() (*sim.Table, error) { return sim.Fig12bHausdorffFailures(1) })
+}
+
+func BenchmarkFig13aFilterReports(b *testing.B)  { benchTable(b, sim.Fig13aFilterReports) }
+func BenchmarkFig13bFilterAccuracy(b *testing.B) { benchTable(b, sim.Fig13bFilterAccuracy) }
+func BenchmarkFig14aTrafficDiameter(b *testing.B) {
+	benchTable(b, sim.Fig14aTrafficDiameter)
+}
+func BenchmarkFig14bTrafficDensity(b *testing.B) { benchTable(b, sim.Fig14bTrafficDensity) }
+func BenchmarkFig15aComputeCompare(b *testing.B) { benchTable(b, sim.Fig15aCompute) }
+func BenchmarkFig15bComputeIsoMap(b *testing.B)  { benchTable(b, sim.Fig15bComputeIsoMap) }
+func BenchmarkFig16Energy(b *testing.B)          { benchTable(b, sim.Fig16Energy) }
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkProtocolRound measures one full Iso-Map round (sense, detect,
+// regress, filter, deliver) on the reference 2,500-node deployment.
+func BenchmarkProtocolRound(b *testing.B) {
+	env, err := sim.Build(sim.Scenario{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(env.Tree, env.Field, env.Query, core.DefaultFilterConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconstruction measures the sink-side map generation from a
+// fixed report set.
+func BenchmarkReconstruction(b *testing.B) {
+	env, err := sim.Build(sim.Scenario{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(env.Tree, env.Field, env.Query, core.DefaultFilterConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := field.BoundsRect(env.Field)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := contour.Reconstruct(res.Reports, env.Query.Levels, bounds, res.SinkValue, contour.DefaultOptions())
+		if m == nil {
+			b.Fatal("nil map")
+		}
+	}
+}
+
+// BenchmarkGradientRegression measures the per-isoline-node local model
+// fit at the paper's average degree (~7 neighbors).
+func BenchmarkGradientRegression(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]core.Sample, 8)
+	for i := range samples {
+		p := geom.Point{X: rng.Float64() * 3, Y: rng.Float64() * 3}
+		samples[i] = core.Sample{Pos: p, Value: 9 + 0.4*p.X - 0.2*p.Y}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GradientByRegression(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVoronoi measures the bounded Voronoi construction at the sink
+// for a typical per-level report count.
+func BenchmarkVoronoi(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	sites := make([]geom.Point, 100)
+	for i := range sites {
+		sites[i] = geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+	}
+	bounds := geom.Rect(0, 0, 50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := geom.Voronoi(sites, bounds)
+		if len(d.Cells) != len(sites) {
+			b.Fatal("bad diagram")
+		}
+	}
+}
+
+// BenchmarkQuickstartAPI measures the one-call public API end to end.
+func BenchmarkQuickstartAPI(b *testing.B) {
+	f := isomap.DefaultSeabed()
+	levels := isomap.Levels{Low: 6, High: 12, Step: 2}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := isomap.MapField(f, 2500, 1.5, 1, levels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationFilterOff quantifies the traffic cost of disabling
+// in-network filtering (Sec. 3.5's trade-off).
+func BenchmarkAblationFilterOff(b *testing.B) {
+	fc := core.FilterConfig{Enabled: false}
+	env, err := sim.Build(sim.Scenario{Seed: 1, Filter: &fc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var kb float64
+	for i := 0; i < b.N; i++ {
+		st, _, err := env.RunIsoMap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		kb = st.TrafficKB
+	}
+	b.ReportMetric(kb, "trafficKB")
+}
+
+// BenchmarkAblationRegulationOff quantifies the accuracy impact of
+// skipping regulation Rules 1-2 at the sink.
+func BenchmarkAblationRegulationOff(b *testing.B) {
+	env, err := sim.Build(sim.Scenario{Seed: 1, Regulate: false, RegulateSet: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		st, _, err := env.RunIsoMap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = st.Accuracy
+	}
+	b.ReportMetric(acc*100, "accuracy%")
+}
+
+// BenchmarkAblationWideEpsilon quantifies the wide border-region setting
+// (eps = 0.2T) the paper discusses for sparse deployments.
+func BenchmarkAblationWideEpsilon(b *testing.B) {
+	env, err := sim.Build(sim.Scenario{Seed: 1, Epsilon: 0.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var gen int64
+	for i := 0; i < b.N; i++ {
+		st, _, err := env.RunIsoMap()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen = st.Generated
+	}
+	b.ReportMetric(float64(gen), "reports")
+}

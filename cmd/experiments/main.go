@@ -1,0 +1,111 @@
+// Command experiments regenerates the tables and figures of the Iso-Map
+// paper's evaluation (Sec. 5) as text series.
+//
+// Usage:
+//
+//	experiments [-figure all] [-runs 3]
+//
+// Figures: table1, fig7, fig9, fig10, fig11a, fig11b, fig12a, fig12b,
+// fig13a, fig13b, fig14a, fig14b, fig15a, fig15b, fig16, all.
+// Extensions: ext-noise, ext-scope, ext-loss, ext-monitor, ext-latency,
+// ext-localize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"isomap/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure = flag.String("figure", "all", "which table/figure to regenerate")
+		runs   = flag.Int("runs", 3, "random-seed repetitions to average over")
+		format = flag.String("format", "text", "output format: text or csv")
+		outDir = flag.String("out", "", "also write each table to <out>/<id>.<ext>")
+	)
+	flag.Parse()
+	emit := func(tb *sim.Table) error {
+		var body, ext string
+		if *format == "csv" {
+			body, ext = tb.CSV(), "csv"
+			fmt.Print(body)
+		} else {
+			body, ext = tb.String()+"\n", "txt"
+			fmt.Print(body)
+		}
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, tb.ID+"."+ext)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		return nil
+	}
+
+	gens := map[string]func() (*sim.Table, error){
+		"table1": sim.Table1Overhead,
+		"fig7":   func() (*sim.Table, error) { return sim.Fig7GradientError(*runs) },
+		"fig9":   sim.Fig9ReportDensity,
+		"fig10":  func() (*sim.Table, error) { return sim.Fig10Maps(*runs) },
+		"fig11a": func() (*sim.Table, error) { return sim.Fig11aAccuracyDensity(*runs) },
+		"fig11b": func() (*sim.Table, error) { return sim.Fig11bAccuracyFailures(*runs) },
+		"fig12a": func() (*sim.Table, error) { return sim.Fig12aHausdorffDensity(*runs) },
+		"fig12b": func() (*sim.Table, error) { return sim.Fig12bHausdorffFailures(*runs) },
+		"fig13a": sim.Fig13aFilterReports,
+		"fig13b": sim.Fig13bFilterAccuracy,
+		"fig14a": sim.Fig14aTrafficDiameter,
+		"fig14b": sim.Fig14bTrafficDensity,
+		"fig15a": sim.Fig15aCompute,
+		"fig15b": sim.Fig15bComputeIsoMap,
+		"fig16":  sim.Fig16Energy,
+		// Extension experiments beyond the paper's figures.
+		"ext-noise":    func() (*sim.Table, error) { return sim.ExtNoiseSweep(*runs) },
+		"ext-scope":    func() (*sim.Table, error) { return sim.ExtScopeSweep(*runs) },
+		"ext-loss":     sim.ExtLossSweep,
+		"ext-monitor":  func() (*sim.Table, error) { return sim.ExtMonitorRounds(8) },
+		"ext-latency":  sim.ExtLatencySweep,
+		"ext-localize": func() (*sim.Table, error) { return sim.ExtLocalizeSweep(*runs) },
+		"ext-mac":      sim.ExtMACSweep,
+		"ext-lifetime": sim.ExtLifetimeSweep,
+		"ext-detect":   func() (*sim.Table, error) { return sim.ExtDetectPolicySweep(*runs) },
+		"ext-codec":    func() (*sim.Table, error) { return sim.ExtCodecSweep(*runs) },
+	}
+
+	if *figure == "all" {
+		tables, err := sim.AllFigures(*runs)
+		if err != nil {
+			return err
+		}
+		for _, tb := range tables {
+			if err := emit(tb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	gen, ok := gens[*figure]
+	if !ok {
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	tb, err := gen()
+	if err != nil {
+		return err
+	}
+	return emit(tb)
+}

@@ -1,0 +1,177 @@
+// Command isomapsim runs a single contour-mapping round over the
+// synthetic harbor seabed (or a trace loaded with -trace) and prints the
+// resulting statistics together with ASCII renderings of the true and
+// reconstructed contour maps.
+//
+// Usage:
+//
+//	isomapsim [-nodes 2500] [-side 50] [-seed 1] [-fail 0.0] [-grid]
+//	          [-sa 30] [-sd 4] [-eps 0.1] [-nofilter] [-res 60]
+//	          [-pgm out.pgm] [-trace depth.txt]
+//	          [-protocol isomap|tinydb|inlr|escan|suppress]
+//	          [-packet]
+//
+// With -packet the round additionally executes on the packet-level
+// CSMA/CA engine (query flood, neighborhood probes, filtered
+// convergecast), reporting real phase latencies and link-layer counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isomap/internal/baseline/tinydb"
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/desim"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/render"
+	"isomap/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "isomapsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nodes    = flag.Int("nodes", 2500, "number of sensor nodes")
+		side     = flag.Float64("side", 50, "field side length in normalized units")
+		seed     = flag.Int64("seed", 1, "deployment seed")
+		fail     = flag.Float64("fail", 0, "fraction of failed nodes")
+		grid     = flag.Bool("grid", false, "grid deployment instead of uniform random")
+		sa       = flag.Float64("sa", 30, "filter angular separation threshold (degrees)")
+		sd       = flag.Float64("sd", 4, "filter distance separation threshold (units)")
+		eps      = flag.Float64("eps", 0.1, "isoline border tolerance (value units)")
+		nofilter = flag.Bool("nofilter", false, "disable in-network filtering")
+		res      = flag.Int("res", 60, "ASCII render resolution (cells per side)")
+		pgmPath  = flag.String("pgm", "", "write the estimated map as a PGM image to this path")
+		trace    = flag.String("trace", "", "load the field from a depth-trace grid file (see cmd/tracegen)")
+		protocol = flag.String("protocol", "isomap", "protocol to run: isomap, tinydb, inlr, escan, suppress")
+		packet   = flag.Bool("packet", false, "also execute the round on the packet-level CSMA/CA engine")
+	)
+	flag.Parse()
+
+	var traceField field.Field
+	if *trace != "" {
+		tf, err := loadTrace(*trace, *side)
+		if err != nil {
+			return err
+		}
+		traceField = tf
+	}
+	fc := core.FilterConfig{Enabled: !*nofilter, MaxAngle: geom.Radians(*sa), MaxDist: *sd}
+	env, err := sim.Build(sim.Scenario{
+		Nodes:        *nodes,
+		FieldSide:    *side,
+		Grid:         *grid,
+		Seed:         *seed,
+		FailFraction: *fail,
+		Epsilon:      *eps,
+		Filter:       &fc,
+		Trace:        traceField,
+	})
+	if err != nil {
+		return err
+	}
+
+	var (
+		st       sim.Stats
+		m        *contour.Map
+		estimate *field.Raster
+	)
+	switch *protocol {
+	case "isomap":
+		st, m, err = env.RunIsoMap()
+		if err == nil {
+			estimate = m.Raster(*res, *res)
+		}
+	case "tinydb":
+		var tres *tinydb.Result
+		st, tres, err = env.RunTinyDB()
+		if err == nil {
+			estimate = tres.Raster(env.Scenario.Levels, *res, *res)
+		}
+	case "inlr":
+		st, err = env.RunINLR()
+	case "escan":
+		st, err = env.RunEScan()
+	case "suppress":
+		st, err = env.RunSuppress()
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol:         %s\n", st.Protocol)
+	fmt.Printf("nodes:            %d (avg degree %.1f, diameter %d hops)\n",
+		st.Nodes, st.AvgDegree, st.Diameter)
+	fmt.Printf("reports:          %d generated, %d received at sink\n", st.Generated, st.SinkReports)
+	fmt.Printf("traffic:          %.2f KB\n", st.TrafficKB)
+	fmt.Printf("compute:          %.1f ops/node\n", st.MeanOps)
+	fmt.Printf("energy:           %.3g J/node (Mica2 model)\n", st.MeanEnergyJ)
+	if st.Accuracy >= 0 {
+		fmt.Printf("mapping accuracy: %.1f%%\n", st.Accuracy*100)
+	}
+	if st.MeanHausdorff >= 0 {
+		fmt.Printf("isoline Hausdorff: %.2f units (mean over levels)\n", st.MeanHausdorff)
+	}
+	fmt.Println()
+
+	if estimate != nil {
+		truth := field.ClassifyRaster(env.Field, env.Scenario.Levels, *res, *res)
+		fmt.Println(render.SideBySide(truth, estimate, "ground truth", st.Protocol+" estimate"))
+	}
+
+	if *pgmPath != "" && m != nil {
+		if err := writePGM(*pgmPath, m, env.Scenario.Levels, *res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *pgmPath)
+	}
+
+	if *packet && *protocol == "isomap" {
+		pr, err := desim.RunFullRound(env.Tree, env.Field, env.Query, fc, desim.DefaultRadioConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println("packet-level round (CSMA/CA):")
+		fmt.Printf("  query flood:     reached %d nodes by t=%.3fs\n", pr.QueryReached, pr.QuerySeconds)
+		fmt.Printf("  measurement:     %d isoline nodes, %d reports by t=%.3fs\n",
+			pr.IsolineNodes, pr.Generated, pr.MeasureSeconds)
+		fmt.Printf("  collection:      %d reports at sink by t=%.3fs\n",
+			len(pr.Delivered), pr.CollectSeconds)
+		fmt.Printf("  round complete:  t=%.3fs (%d collisions, %d retries, %d drops)\n",
+			pr.TotalSeconds, pr.Radio.Collisions, pr.Radio.Retries, pr.Radio.Drops)
+	}
+	return nil
+}
+
+// loadTrace reads a depth-trace grid file over a side x side extent.
+func loadTrace(path string, side float64) (*field.GridField, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open trace: %w", err)
+	}
+	defer f.Close()
+	g, err := field.ParseGrid(f, 0, 0, side, side)
+	if err != nil {
+		return nil, fmt.Errorf("parse trace %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func writePGM(path string, m *contour.Map, levels field.Levels, res int) error {
+	img := render.PGM(m.Raster(res*4, res*4), levels.Count())
+	if err := os.WriteFile(path, []byte(img), 0o644); err != nil {
+		return fmt.Errorf("write pgm: %w", err)
+	}
+	return nil
+}

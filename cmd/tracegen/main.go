@@ -1,0 +1,89 @@
+// Command tracegen exports a depth trace — a plain-text grid of values —
+// from the synthetic seabed, in the format internal/field.ParseGrid (and
+// isomapsim's -trace flag) consume. It stands in for the sonar surveys
+// that produced the paper's Huanghua Harbor measurements: a trace written
+// by tracegen and mapped by isomapsim is a fully trace-driven run.
+//
+// Usage:
+//
+//	tracegen [-rows 201] [-cols 201] [-seed 2] [-side 50] [-out trace.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"isomap/internal/field"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		rows = flag.Int("rows", 201, "sample rows")
+		cols = flag.Int("cols", 201, "sample columns")
+		seed = flag.Int64("seed", 2, "surface seed")
+		side = flag.Float64("side", 50, "field side length (normalized units)")
+		out  = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := field.DefaultSeabedConfig()
+	scale := *side / cfg.Width
+	cfg.Width, cfg.Height = *side, *side
+	cfg.SigmaMin *= scale
+	cfg.SigmaMax *= scale
+	cfg.Seed = *seed
+	surface := field.NewSeabed(cfg)
+
+	grid, err := field.SampleField(surface, *rows, *cols)
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeTrace(w, grid, *side)
+}
+
+// writeTrace emits the grid with a header comment recording the extent.
+func writeTrace(w io.Writer, g *field.GridField, side float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# isomap depth trace: %dx%d samples over %gx%g units\n",
+		g.Rows(), g.Cols(), side, side)
+	x0, y0, x1, y1 := g.Bounds()
+	for r := 0; r < g.Rows(); r++ {
+		y := y0 + (y1-y0)*float64(r)/float64(g.Rows()-1)
+		for c := 0; c < g.Cols(); c++ {
+			x := x0 + (x1-x0)*float64(c)/float64(g.Cols()-1)
+			if c > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(g.Value(x, y), 'f', 4, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package isomap_test
+
+import (
+	"fmt"
+
+	"isomap"
+)
+
+// ExampleMapField maps the contours of the default synthetic seabed in a
+// single call and classifies one point of interest.
+func ExampleMapField() {
+	f := isomap.DefaultSeabed()
+	levels := isomap.Levels{Low: 6, High: 12, Step: 2}
+
+	m, res, err := isomap.MapField(f, 2500, 1.5, 1, levels)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_ = res
+	class := m.ClassifyPoint(isomap.Point{X: 25, Y: 25})
+	fmt.Printf("field center is in contour region %d of %d\n", class, levels.Count())
+	// Output: field center is in contour region 3 of 4
+}
+
+// ExampleNewQuery shows the query parameters of a contour request: the
+// data space, granularity and border tolerance.
+func ExampleNewQuery() {
+	q, err := isomap.NewQuery(isomap.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("isolevels: %v\n", q.Levels.Values())
+	fmt.Printf("border tolerance: %v\n", q.Epsilon)
+	// Output:
+	// isolevels: [6 8 10 12]
+	// border tolerance: 0.1
+}
+
+// ExampleRegionsBelow extracts alarm zones — the area shallower than the
+// lowest isolevel — from a reconstructed map.
+func ExampleRegionsBelow() {
+	f := isomap.DefaultSeabed()
+	levels := isomap.Levels{Low: 6, High: 12, Step: 2}
+	m, _, err := isomap.MapField(f, 2500, 1.5, 1, levels)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	alarms := isomap.RegionsBelow(m.Raster(96, 96), 1)
+	fmt.Printf("alarm zones: %d\n", len(alarms))
+	// Output: alarm zones: 1
+}

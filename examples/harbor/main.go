@@ -1,0 +1,135 @@
+// Harbor: the paper's motivating application (Sec. 2) — siltation
+// monitoring of the Huanghua Harbor sea route.
+//
+// An echolocation sensor network floats over the sea route and Iso-Map
+// builds an isobath contour map of the water depth. From the map the
+// harbor administration derives, without cruising survey boats:
+//
+//   - the navigable area for ships of each tonnage class (deeper drafts
+//     need deeper water), and
+//   - alarm zones where depth fell below the safety threshold.
+//
+// A simulated storm then deposits silt on part of the route (the depth
+// drops, as in the October 2003 event the paper recounts) and the map is
+// rebuilt, showing the shrinking navigable area.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"isomap"
+)
+
+// shipClass describes a tonnage class and the water depth its draft needs.
+type shipClass struct {
+	name     string
+	minDepth float64
+}
+
+var classes = []shipClass{
+	{"light coasters (<5k t)", 6},
+	{"bulk carriers (~20k t)", 8},
+	{"large bulk (~35k t)", 10},
+	{"capesize (>50k t)", 12},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "harbor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seabed := isomap.DefaultSeabed()
+	levels := isomap.Levels{Low: 6, High: 12, Step: 2}
+
+	fmt.Println("=== calm weather survey ===")
+	if err := survey(seabed, levels); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== after storm siltation (silt bank deposited mid-route) ===")
+	if err := survey(siltedField{base: seabed}, levels); err != nil {
+		return err
+	}
+	return nil
+}
+
+// survey runs one Iso-Map round and reports navigability per ship class.
+func survey(f isomap.Field, levels isomap.Levels) error {
+	m, res, err := isomap.MapField(f, 2500, 1.5, 7, levels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sensors reporting: %d isoline nodes, %d reports at sink, %.1f KB traffic\n",
+		res.IsolineNodes, len(res.Reports), res.Counters.TrafficKB())
+
+	// Integrate the reconstructed map: region index k means depth above
+	// the k-th isolevel, i.e. navigable for classes needing <= that depth.
+	const resolution = 96
+	ra := m.Raster(resolution, resolution)
+	counts := make([]int, levels.Count()+1)
+	for _, row := range ra.Cells {
+		for _, class := range row {
+			counts[class]++
+		}
+	}
+	total := float64(resolution * resolution)
+	// Cumulative area at least as deep as each class requires, plus the
+	// decisive question: does a continuous corridor of sufficient depth
+	// still cross the route?
+	values := levels.Values()
+	for _, sc := range classes {
+		idx := indexOfLevel(values, sc.minDepth)
+		if idx < 0 {
+			continue
+		}
+		area := 0
+		for k := idx + 1; k < len(counts); k++ {
+			area += counts[k]
+		}
+		passage := "PASSAGE OPEN"
+		if !isomap.CorridorAtLeast(ra, idx+1) {
+			passage = "NO THROUGH PASSAGE"
+		}
+		fmt.Printf("  %-26s navigable over %5.1f%% of the route area — %s\n",
+			sc.name+":", 100*float64(area)/total, passage)
+	}
+	// Alarm zones: anywhere shallower than the 6 m isobath.
+	fmt.Printf("  ALARM (depth < %g m):      %5.1f%% of the route area\n",
+		values[0], 100*float64(counts[0])/total)
+	return nil
+}
+
+func indexOfLevel(values []float64, level float64) int {
+	for i, v := range values {
+		if math.Abs(v-level) < 1e-9 {
+			return i
+		}
+	}
+	return -1
+}
+
+// siltedField overlays a storm-deposited silt bank on the base seabed: the
+// depth shallows by up to 4 m in a band across the route, mimicking the
+// 970,000 m^3 deposition event of Oct. 2003.
+type siltedField struct {
+	base isomap.Field
+}
+
+func (s siltedField) Value(x, y float64) float64 {
+	depth := s.base.Value(x, y)
+	// Gaussian silt bank centered on a diagonal band.
+	d := (x + y - 55) / 8
+	silt := 4 * math.Exp(-d*d)
+	depth -= silt
+	if depth < 0.5 {
+		depth = 0.5
+	}
+	return depth
+}
+
+func (s siltedField) Bounds() (x0, y0, x1, y1 float64) { return s.base.Bounds() }

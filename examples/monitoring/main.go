@@ -1,0 +1,95 @@
+// Monitoring: continuous siltation surveillance with temporal suppression.
+//
+// The harbor administration needs the isobath map continuously, not once:
+// silt accumulates slowly in calm weather and violently during storms
+// (Sec. 2 recounts a storm that cut the route depth from 9.5 m to 5.7 m).
+// This example runs a monitoring session over a silting seabed — one
+// Iso-Map round per time step — with cross-round temporal suppression:
+// isoline nodes whose situation has not changed stay silent, so the
+// steady-state traffic falls far below even a fresh Iso-Map round.
+//
+// Alarm zones (depth under the 6 m isobath) are extracted from each
+// round's map and tracked across rounds, flagging new and growing hazards
+// as the storm hits.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"isomap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "monitoring:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := isomap.DefaultSeabed()
+	route := isomap.DefaultSilting(base) // storm between t=4 and t=6
+
+	nw, err := isomap.DeployUniform(2500, base, 1.5, 7)
+	if err != nil {
+		return err
+	}
+	tree, err := isomap.NewTreeAtCenter(nw)
+	if err != nil {
+		return err
+	}
+	q, err := isomap.NewQuery(isomap.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		return err
+	}
+	mon, err := isomap.NewMonitor(tree, q, isomap.DefaultFilter())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(" t   new  suppr  retired  traffic(KB)  cum(KB)  alarm-area  events")
+	var prevAlarms []isomap.Region
+	for t := 0; t <= 8; t++ {
+		st, err := mon.Round(route.At(float64(t)))
+		if err != nil {
+			return err
+		}
+		ra := st.Map.Raster(96, 96)
+		alarms := isomap.RegionsBelow(ra, 1) // shallower than the 6 m isobath
+		changes := isomap.TrackRegions(prevAlarms, alarms)
+		summary := summarize(changes)
+		prevAlarms = alarms
+
+		alarmArea := 0.0
+		for _, a := range alarms {
+			alarmArea += a.AreaFraction
+		}
+		fmt.Printf("%2d   %3d  %5d  %7d  %11.1f  %7.1f  %9.1f%%  %s\n",
+			t, st.Delivered, st.Suppressed, st.Retired,
+			st.TrafficKB, st.CumulativeTrafficKB, alarmArea*100, summary)
+	}
+	fmt.Println("\n(the storm at t=4..6 triggers a burst of fresh reports and a")
+	fmt.Println(" growing alarm zone; calm rounds cost a fraction of the first)")
+	return nil
+}
+
+func summarize(changes []isomap.Change) string {
+	counts := map[string]int{}
+	for _, c := range changes {
+		counts[c.Kind.String()]++
+	}
+	if len(counts) == 0 {
+		return "-"
+	}
+	out := ""
+	for _, k := range []string{"appeared", "grew", "shrank", "disappeared", "stable"} {
+		if counts[k] > 0 {
+			if out != "" {
+				out += ", "
+			}
+			out += fmt.Sprintf("%d %s", counts[k], k)
+		}
+	}
+	return out
+}

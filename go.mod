@@ -1,0 +1,3 @@
+module isomap
+
+go 1.22

@@ -1,0 +1,106 @@
+package escan
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func setup(t *testing.T, n int) (*routing.Tree, field.Field) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	// Radio range scales inversely with the square root of density to keep
+	// the communication graph connected at every density.
+	radio := 1.5 * 50 / math.Sqrt(float64(n))
+	nw, err := network.DeployUniform(n, f, radio, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, f
+}
+
+func TestRunBasics(t *testing.T) {
+	tree, f := setup(t, 1000)
+	res, err := Run(tree, f, DefaultConfig(2, 50/math.Sqrt(float64(tree.Network().Len()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) == 0 {
+		t.Fatal("no tuples at sink")
+	}
+	if res.Counters.GeneratedReports != int64(tree.ReachableCount()) {
+		t.Errorf("GeneratedReports = %d, want %d", res.Counters.GeneratedReports, tree.ReachableCount())
+	}
+	total := 0
+	for _, tu := range res.Tuples {
+		total += tu.Nodes
+		if tu.MaxVal-tu.MinVal > 2+1e-9 {
+			t.Fatalf("tuple %+v exceeds value tolerance", tu)
+		}
+	}
+	if total != tree.ReachableCount() {
+		t.Errorf("tuple node total = %d, want %d", total, tree.ReachableCount())
+	}
+	// Aggregation compresses.
+	if len(res.Tuples) > tree.ReachableCount()/2 {
+		t.Errorf("tuples = %d of %d nodes — aggregation ineffective", len(res.Tuples), tree.ReachableCount())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil, DefaultConfig(2, 1)); err == nil {
+		t.Error("want error for nil tree")
+	}
+	tree, f := setup(t, 100)
+	if _, err := Run(tree, f, Config{ValueTolerance: -1}); err == nil {
+		t.Error("want error for bad tolerance")
+	}
+}
+
+func TestMergeAllFixpoint(t *testing.T) {
+	c := metrics.NewCounters(4)
+	cfg := Config{ValueTolerance: 1, AdjacencyDist: 1.5}
+	tuples := []Tuple{
+		{MinVal: 5, MaxVal: 5, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1, Nodes: 1},
+		{MinVal: 5.2, MaxVal: 5.2, MinX: 1.5, MinY: 0, MaxX: 2.5, MaxY: 1, Nodes: 1},
+		{MinVal: 5.4, MaxVal: 5.4, MinX: 3, MinY: 0, MaxX: 4, MaxY: 1, Nodes: 1},
+		{MinVal: 9, MaxVal: 9, MinX: 0, MinY: 5, MaxX: 1, MaxY: 6, Nodes: 1},
+	}
+	got := mergeAll(tuples, cfg, c, 0)
+	// First three chain-merge (transitively adjacent, within tolerance);
+	// the fourth stays separate.
+	if len(got) != 2 {
+		t.Fatalf("merged to %d tuples, want 2: %+v", len(got), got)
+	}
+	if got[0].Nodes != 3 || got[1].Nodes != 1 {
+		t.Errorf("node counts = %d, %d, want 3, 1", got[0].Nodes, got[1].Nodes)
+	}
+	if c.TotalOps() == 0 {
+		t.Error("mergeAll charged no ops")
+	}
+}
+
+func TestEscanComputationExceedsTinyDBFloor(t *testing.T) {
+	tree, f := setup(t, 1000)
+	res, err := Run(tree, f, DefaultConfig(2, 50/math.Sqrt(float64(tree.Network().Len()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merge sweeps are the dominant cost; far above a pure
+	// store-and-forward charge of ~2 ops per report-hop.
+	if res.Counters.MeanOpsPerNode() < 100 {
+		t.Errorf("mean ops per node = %v — merge cost missing", res.Counters.MeanOpsPerNode())
+	}
+}

@@ -1,0 +1,139 @@
+package inlr
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func setup(t *testing.T, n int) (*routing.Tree, field.Field) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	// Radio range scales inversely with the square root of density to keep
+	// the communication graph connected at every density, per the paper's
+	// connectivity requirement (average degree ~7).
+	radio := 1.5 * 50 / math.Sqrt(float64(n))
+	nw, err := network.DeployGrid(n, f, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, f
+}
+
+func TestRunBasics(t *testing.T) {
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f, DefaultConfig(2, 50/math.Sqrt(float64(tree.Network().Len()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions at sink")
+	}
+	if res.Counters.GeneratedReports != int64(tree.ReachableCount()) {
+		t.Errorf("GeneratedReports = %d, want %d (all nodes report)",
+			res.Counters.GeneratedReports, tree.ReachableCount())
+	}
+	// Aggregation compresses: far fewer regions than nodes.
+	if len(res.Regions) > tree.ReachableCount()/2 {
+		t.Errorf("regions = %d — aggregation ineffective", len(res.Regions))
+	}
+	// All nodes accounted for in the region models.
+	total := 0
+	for _, r := range res.Regions {
+		total += r.Count
+		if r.MaxVal < r.MinVal || r.MaxX < r.MinX || r.MaxY < r.MinY {
+			t.Fatalf("malformed region %+v", r)
+		}
+		if r.MaxVal-r.MinVal > 2+1e-9 {
+			t.Fatalf("region %+v exceeds value tolerance", r)
+		}
+	}
+	if total != tree.ReachableCount() {
+		t.Errorf("region node total = %d, want %d", total, tree.ReachableCount())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil, DefaultConfig(2, 1)); err == nil {
+		t.Error("want error for nil tree")
+	}
+	tree, f := setup(t, 100)
+	if _, err := Run(tree, f, Config{ValueTolerance: 0}); err == nil {
+		t.Error("want error for zero tolerance")
+	}
+}
+
+func TestComputationHeavierThanForwarding(t *testing.T) {
+	// INLR's defining property: per-node computation far above a
+	// store-and-forward protocol, and growing with network size
+	// (Fig. 15a).
+	tree400, f := setup(t, 400)
+	res400, err := Run(tree400, f, DefaultConfig(2, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2500, _ := setup(t, 2500)
+	res2500, err := Run(tree2500, f, DefaultConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean400 := res400.Counters.MeanOpsPerNode()
+	mean2500 := res2500.Counters.MeanOpsPerNode()
+	if mean2500 <= mean400 {
+		t.Errorf("per-node ops did not grow with n: %v -> %v", mean400, mean2500)
+	}
+	if mean2500 < 500 {
+		t.Errorf("per-node ops = %v — model-merge cost missing", mean2500)
+	}
+}
+
+func TestTrafficStillOrderN(t *testing.T) {
+	// Aggregation reduces bytes but the traffic scale remains O(n): far
+	// more than sqrt(n) reports' worth crosses the network.
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f, DefaultConfig(2, 50/math.Sqrt(float64(tree.Network().Len()))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TotalTxBytes() < int64(2500*RegionBytes/4) {
+		t.Errorf("traffic = %d bytes — implausibly low for O(n) reporting", res.Counters.TotalTxBytes())
+	}
+}
+
+func TestBoxGapAndCompatible(t *testing.T) {
+	a := Region{MinVal: 5, MaxVal: 5, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1, Count: 1}
+	b := Region{MinVal: 5.5, MaxVal: 5.5, MinX: 2, MinY: 0, MaxX: 3, MaxY: 1, Count: 1}
+	cfg := Config{ValueTolerance: 1, AdjacencyDist: 1.5}
+	if !compatible(a, b, cfg) {
+		t.Error("adjacent similar regions should be compatible")
+	}
+	far := Region{MinVal: 5, MaxVal: 5, MinX: 10, MinY: 10, MaxX: 11, MaxY: 11}
+	if compatible(a, far, cfg) {
+		t.Error("distant regions should not be compatible")
+	}
+	diff := Region{MinVal: 9, MaxVal: 9, MinX: 1.2, MinY: 0, MaxX: 2, MaxY: 1}
+	if compatible(a, diff, cfg) {
+		t.Error("dissimilar values should not be compatible")
+	}
+}
+
+func TestFuse(t *testing.T) {
+	a := Region{MinVal: 4, MaxVal: 5, MinX: 0, MinY: 0, MaxX: 1, MaxY: 1, Count: 2}
+	b := Region{MinVal: 4.5, MaxVal: 5.5, MinX: 0.5, MinY: -1, MaxX: 2, MaxY: 0.5, Count: 3}
+	got := fuse(a, b)
+	want := Region{MinVal: 4, MaxVal: 5.5, MinX: 0, MinY: -1, MaxX: 2, MaxY: 1, Count: 5}
+	if got != want {
+		t.Errorf("fuse = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package suppress
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func setup(t *testing.T, n int) (*routing.Tree, field.Field) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	// Radio range scales inversely with the square root of density to keep
+	// the communication graph connected at every density, per the paper's
+	// connectivity requirement (average degree ~7).
+	radio := 1.5 * 50 / math.Sqrt(float64(n))
+	nw, err := network.DeployGrid(n, f, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, f
+}
+
+func TestRunSuppressesButStaysOrderN(t *testing.T) {
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tree.ReachableCount()
+	got := len(res.Transmitters)
+	if got == 0 {
+		t.Fatal("no transmitters")
+	}
+	// Suppression reduces reporting...
+	if got >= n {
+		t.Errorf("transmitters = %d of %d — no suppression", got, n)
+	}
+	// ...but only by a degree-bounded factor: the scale stays a sizable
+	// fraction of n, far above the O(sqrt n) of Iso-Map (Sec. 6: bounded
+	// within the 2-hop neighborhood).
+	if got < n/200 {
+		t.Errorf("transmitters = %d of %d — suppression implausibly strong", got, n)
+	}
+	if res.Counters.SinkReports != int64(got) {
+		t.Errorf("SinkReports = %d, want %d", res.Counters.SinkReports, got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil, DefaultConfig(2)); err == nil {
+		t.Error("want error for nil tree")
+	}
+	tree, f := setup(t, 100)
+	if _, err := Run(tree, f, Config{}); err == nil {
+		t.Error("want error for zero tolerance")
+	}
+}
+
+func TestEveryNodePaysSimilarityChecks(t *testing.T) {
+	// Theta(n*d) computation: every reporting-capable node compares
+	// against its 2-hop neighborhood.
+	tree, f := setup(t, 400)
+	res, err := Run(tree, f, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := tree.Network()
+	charged := 0
+	for i := 0; i < nw.Len(); i++ {
+		if res.Counters.Ops(network.NodeID(i)) > 0 {
+			charged++
+		}
+	}
+	if charged < tree.ReachableCount()/2 {
+		t.Errorf("only %d of %d nodes charged for similarity checks", charged, tree.ReachableCount())
+	}
+}
+
+func TestSuppressedNodesHaveSimilarTransmitterNearby(t *testing.T) {
+	tree, f := setup(t, 400)
+	cfg := DefaultConfig(2)
+	res, err := Run(tree, f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := tree.Network()
+	isTx := make(map[network.NodeID]bool, len(res.Transmitters))
+	for _, id := range res.Transmitters {
+		isTx[id] = true
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !nw.Alive(id) || !tree.Reachable(id) || isTx[id] {
+			continue
+		}
+		v := nw.Node(id).Value
+		found := false
+		for _, nb := range nw.KHopNeighbors(id, 2) {
+			if isTx[nb] && similar(v, nw.Node(nb).Value, cfg.ValueTolerance) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("node %d suppressed without a similar 2-hop transmitter", id)
+		}
+	}
+}
+
+func TestTighterToleranceMoreTransmitters(t *testing.T) {
+	tree, f := setup(t, 400)
+	loose, err := Run(tree, f, Config{ValueTolerance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(tree, f, Config{ValueTolerance: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Transmitters) <= len(loose.Transmitters) {
+		t.Errorf("tight tolerance (%d tx) should exceed loose (%d tx)",
+			len(tight.Transmitters), len(loose.Transmitters))
+	}
+}

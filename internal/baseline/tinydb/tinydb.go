@@ -1,0 +1,207 @@
+// Package tinydb implements the TinyDB contour-mapping baseline
+// (Hellerstein et al., IPSN 2003) as characterized by the Iso-Map paper:
+// sensor nodes are deployed into grids, every node reports the
+// representative value of its local cell to the sink without aggregation,
+// and the sink constructs the contour map from the received per-cell
+// values, interpolating cells whose reports were lost (Secs. 4.3, 6).
+//
+// TinyDB generates n reports per round — the O(n) traffic floor the paper
+// contrasts with Iso-Map's O(sqrt n) — but, having no in-network
+// computation beyond store-and-forward, it sets the lower bound on
+// per-node computational intensity (Sec. 5.2) and the best achievable map
+// fidelity among prior protocols.
+package tinydb
+
+import (
+	"fmt"
+	"math"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// ReportBytes is a TinyDB report: value + position (x, y), three 2-byte
+// parameters.
+const ReportBytes = 6
+
+// OpsForwardPerReport is the store-and-forward bookkeeping charged per
+// report per hop.
+const OpsForwardPerReport = 2
+
+// Result is the sink's view after one TinyDB round.
+type Result struct {
+	// Side is the grid side length (nodes per row).
+	Side int
+	// values[r][c] is the received cell value; ok[r][c] marks cells whose
+	// report arrived.
+	values [][]float64
+	ok     [][]bool
+	// Bounds is the field rectangle.
+	Bounds geom.Polygon
+	// Received counts reports that reached the sink.
+	Received int
+	// Counters holds the per-node costs.
+	Counters *metrics.Counters
+}
+
+// Run executes one TinyDB round over a grid-deployed network: every alive,
+// sink-reachable node sends its <value, position> report hop-by-hop to the
+// sink. The network must come from network.DeployGrid so that node IDs map
+// to grid cells row-major.
+func Run(tree *routing.Tree, f field.Field) (*Result, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("tinydb: nil routing tree")
+	}
+	nw := tree.Network()
+	side := int(math.Sqrt(float64(nw.Len())))
+	if side*side != nw.Len() {
+		return nil, fmt.Errorf("tinydb: network size %d is not a square grid", nw.Len())
+	}
+	nw.Sense(f)
+
+	c := metrics.NewCounters(nw.Len())
+	res := &Result{
+		Side:     side,
+		Bounds:   nw.Bounds(),
+		Counters: c,
+	}
+	res.values = make([][]float64, side)
+	res.ok = make([][]bool, side)
+	for r := 0; r < side; r++ {
+		res.values[r] = make([]float64, side)
+		res.ok[r] = make([]bool, side)
+	}
+
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !nw.Alive(id) || !tree.Reachable(id) {
+			continue
+		}
+		path := tree.PathToSink(id)
+		c.SendToSink(path, ReportBytes)
+		c.GeneratedReports++
+		// Store-and-forward bookkeeping at every relay.
+		for _, hop := range path[1:] {
+			c.ChargeOps(hop, OpsForwardPerReport)
+		}
+		r, col := i/side, i%side
+		res.values[r][col] = nw.Node(id).Value
+		res.ok[r][col] = true
+		res.Received++
+	}
+	c.SinkReports = int64(res.Received)
+	res.interpolateMissing()
+	return res, nil
+}
+
+// interpolateMissing fills cells with lost reports from their nearest
+// reporting cells — the "sink interpolation" the paper attributes to
+// TinyDB under irregular deployment and node failures.
+func (res *Result) interpolateMissing() {
+	side := res.Side
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if res.ok[r][c] {
+				continue
+			}
+			if v, found := res.nearestKnown(r, c); found {
+				res.values[r][c] = v
+			}
+		}
+	}
+}
+
+// nearestKnown returns the average value of the nearest ring of reporting
+// cells around (r, c).
+func (res *Result) nearestKnown(r, c int) (float64, bool) {
+	side := res.Side
+	for radius := 1; radius < side; radius++ {
+		var sum float64
+		count := 0
+		for dr := -radius; dr <= radius; dr++ {
+			for dc := -radius; dc <= radius; dc++ {
+				if maxAbs(dr, dc) != radius {
+					continue
+				}
+				rr, cc := r+dr, c+dc
+				if rr < 0 || rr >= side || cc < 0 || cc >= side || !res.ok[rr][cc] {
+					continue
+				}
+				sum += res.values[rr][cc]
+				count++
+			}
+		}
+		if count > 0 {
+			return sum / float64(count), true
+		}
+	}
+	return 0, false
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ValueAt returns the sink's estimate of the attribute value at p: the
+// value of the grid cell containing p.
+func (res *Result) ValueAt(p geom.Point) float64 {
+	x0, y0, x1, y1 := res.Bounds.BoundingBox()
+	c := int((p.X - x0) / (x1 - x0) * float64(res.Side))
+	r := int((p.Y - y0) / (y1 - y0) * float64(res.Side))
+	c = clampInt(c, 0, res.Side-1)
+	r = clampInt(r, 0, res.Side-1)
+	return res.values[r][c]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Raster classifies the reconstructed map on a rows x cols grid under the
+// given isolevel scheme.
+func (res *Result) Raster(levels field.Levels, rows, cols int) *field.Raster {
+	x0, y0, x1, y1 := res.Bounds.BoundingBox()
+	ra := field.NewRaster(rows, cols)
+	for r := 0; r < rows; r++ {
+		y := y0 + (y1-y0)*(float64(r)+0.5)/float64(rows)
+		for c := 0; c < cols; c++ {
+			x := x0 + (x1-x0)*(float64(c)+0.5)/float64(cols)
+			ra.Cells[r][c] = levels.Classify(res.ValueAt(geom.Point{X: x, Y: y}))
+		}
+	}
+	return ra
+}
+
+// IsolinePoints extracts the estimated isoline of one level from the
+// sink-reconstructed value grid by marching squares, for the Hausdorff
+// comparison of Fig. 12.
+func (res *Result) IsolinePoints(level float64, step float64) []geom.Point {
+	gf, err := res.gridField()
+	if err != nil {
+		return nil
+	}
+	return field.IsolinePoints(gf, level, res.Side, res.Side, step)
+}
+
+func (res *Result) gridField() (*field.GridField, error) {
+	x0, y0, x1, y1 := res.Bounds.BoundingBox()
+	return field.NewGridField(res.values, x0, y0, x1, y1)
+}

@@ -1,0 +1,166 @@
+package tinydb
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func setup(t *testing.T, n int) (*routing.Tree, field.Field) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	// Radio range scales inversely with the square root of density to keep
+	// the communication graph connected at every density, per the paper's
+	// connectivity requirement (average degree ~7).
+	radio := 1.5 * 50 / math.Sqrt(float64(n))
+	nw, err := network.DeployGrid(n, f, radio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, f
+}
+
+func TestRunCollectsAllReports(t *testing.T) {
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received != tree.ReachableCount() {
+		t.Errorf("Received = %d, want %d (every reachable node reports)", res.Received, tree.ReachableCount())
+	}
+	if res.Counters.GeneratedReports != int64(res.Received) {
+		t.Errorf("GeneratedReports = %d, want %d", res.Counters.GeneratedReports, res.Received)
+	}
+	if res.Side != 50 {
+		t.Errorf("Side = %d, want 50", res.Side)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, nil); err == nil {
+		t.Error("want error for nil tree")
+	}
+	// Non-square network.
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(10, f, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(tree, f); err == nil {
+		t.Error("want error for non-square network")
+	}
+}
+
+func TestMapAccuracyHigh(t *testing.T) {
+	// TinyDB at density 1 achieves the best fidelity of the prior
+	// protocols: well above 80% (Fig. 11a).
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := field.Levels{Low: 6, High: 12, Step: 2}
+	truth := field.ClassifyRaster(f, levels, 128, 128)
+	est := res.Raster(levels, 128, 128)
+	if acc := field.Agreement(truth, est); acc < 0.85 {
+		t.Errorf("accuracy = %v, want > 0.85", acc)
+	}
+}
+
+func TestInterpolationUnderFailures(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployGrid(2500, f, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.FailFraction(0.2, 7)
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Received >= 2500 {
+		t.Fatalf("Received = %d despite failures", res.Received)
+	}
+	levels := field.Levels{Low: 6, High: 12, Step: 2}
+	truth := field.ClassifyRaster(f, levels, 64, 64)
+	est := res.Raster(levels, 64, 64)
+	if acc := field.Agreement(truth, est); acc < 0.7 {
+		t.Errorf("accuracy under 20%% failures = %v, want > 0.7 (interpolation)", acc)
+	}
+}
+
+func TestTrafficScalesWithN(t *testing.T) {
+	// O(n) reports and multi-hop forwarding: traffic grows superlinearly
+	// in n on a fixed field.
+	tree400, f := setup(t, 400)
+	res400, err := Run(tree400, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2500, _ := setup(t, 2500)
+	res2500, err := Run(tree2500, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res2500.Counters.TotalTxBytes()) / float64(res400.Counters.TotalTxBytes())
+	if ratio < 6 {
+		t.Errorf("traffic ratio = %v for 6.25x nodes, want superlinear growth", ratio)
+	}
+}
+
+func TestValueAtClamps(t *testing.T) {
+	tree, f := setup(t, 400)
+	res, err := Run(tree, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := res.ValueAt(geom.Point{X: 25, Y: 25})
+	if inside == 0 {
+		t.Error("ValueAt center returned zero on a nonzero field")
+	}
+	// Outside points clamp to border cells rather than panicking.
+	_ = res.ValueAt(geom.Point{X: -5, Y: 100})
+}
+
+func TestIsolinePoints(t *testing.T) {
+	tree, f := setup(t, 2500)
+	res, err := Run(tree, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.IsolinePoints(8, 0.5)
+	if len(pts) == 0 {
+		t.Fatal("no estimated isoline points at level 8")
+	}
+	// The estimated isoline must hug the true one at full density.
+	truthPts := field.IsolinePoints(f, 8, 150, 150, 0.5)
+	h := geom.HausdorffDistance(truthPts, pts)
+	if h < 0 || h > 5 {
+		t.Errorf("TinyDB isoline Hausdorff = %v, want small at density 1", h)
+	}
+}

@@ -1,0 +1,321 @@
+// Package contour implements the sink-side contour-map generation of
+// Iso-Map (Sec. 3.4): given the isoline reports <v, p, d> collected from
+// the network, it reconstructs the contour regions level by level.
+//
+// For each isolevel the sink:
+//
+//  1. builds a Voronoi diagram of the reported isopositions,
+//  2. draws in each cell the type-1 boundary — the chord through the
+//     isoposition perpendicular to its gradient direction — splitting the
+//     cell into an inner (up-gradient) and outer part,
+//  3. merges the inner parts and closes them with type-2 boundaries along
+//     the cell borders,
+//  4. regulates the approximation with the paper's Rules 1 and 2: where
+//     the chords of two adjacent cells meet their shared border at
+//     different points, the jog is replaced by prolonging both chords to
+//     their intersection, removing pinnacles and filling concavities, and
+//  5. nests levels recursively: a region of a higher isolevel is clipped
+//     to the region of every lower one.
+package contour
+
+import (
+	"math"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// Options configures the reconstruction.
+type Options struct {
+	// Regulate applies regulation Rules 1-2 (Sec. 3.4). The paper's
+	// algorithm always regulates; disabling is exposed for the ablation
+	// benchmark.
+	Regulate bool
+}
+
+// DefaultOptions returns the paper's configuration (regulation on).
+func DefaultOptions() Options { return Options{Regulate: true} }
+
+// patch is one regulation adjustment: membership flips for points inside
+// the triangle (the pinnacle removed by Rule 1 or the concavity filled by
+// Rule 2).
+type patch struct {
+	tri geom.Polygon
+}
+
+// levelRecon holds the reconstruction state of one isolevel.
+type levelRecon struct {
+	level float64
+	index int
+	// sites[i] / grads[i] come from the i-th report of this level.
+	sites []geom.Point
+	grads []geom.Vec
+	// chords[i] is the (possibly regulated) type-1 boundary in cell i;
+	// hasChord[i] marks cells where the chord degenerated.
+	chords   []geom.Segment
+	hasChord []bool
+	patches  []patch
+	// fallbackInner decides membership when the level received no reports
+	// at all: true means the whole field is above the level.
+	fallbackInner bool
+}
+
+// Map is a reconstructed contour map.
+type Map struct {
+	// Levels is the isolevel scheme of the query.
+	Levels field.Levels
+	// Bounds is the field rectangle.
+	Bounds geom.Polygon
+	levels []*levelRecon
+}
+
+// Reconstruct builds the contour map from the sink's received reports.
+// sinkValue — the attribute value sensed at the sink itself — settles the
+// levels for which no isoline node reported: such a level either covers the
+// whole field or none of it, and the sink's own reading discriminates.
+func Reconstruct(reports []core.Report, levels field.Levels, bounds geom.Polygon, sinkValue float64, opts Options) *Map {
+	bounds = bounds.EnsureCCW()
+	m := &Map{Levels: levels, Bounds: bounds}
+	values := levels.Values()
+	byLevel := make([][]core.Report, len(values))
+	for _, r := range reports {
+		if r.LevelIndex >= 0 && r.LevelIndex < len(values) {
+			byLevel[r.LevelIndex] = append(byLevel[r.LevelIndex], r)
+		}
+	}
+	for i, lv := range values {
+		lr := &levelRecon{level: lv, index: i, fallbackInner: sinkValue >= lv}
+		for _, r := range byLevel[i] {
+			lr.sites = append(lr.sites, r.Pos)
+			lr.grads = append(lr.grads, r.Grad)
+		}
+		lr.build(bounds, opts)
+		m.levels = append(m.levels, lr)
+	}
+	return m
+}
+
+// build computes the Voronoi diagram, chords and regulation patches.
+func (lr *levelRecon) build(bounds geom.Polygon, opts Options) {
+	if len(lr.sites) == 0 {
+		return
+	}
+	diagram := geom.Voronoi(lr.sites, bounds)
+	lr.chords = make([]geom.Segment, len(lr.sites))
+	lr.hasChord = make([]bool, len(lr.sites))
+	for i := range diagram.Cells {
+		cell := &diagram.Cells[i]
+		if cell.Region == nil {
+			continue
+		}
+		chord, ok := chordInCell(cell.Region, lr.sites[i], lr.grads[i])
+		lr.chords[i] = chord
+		lr.hasChord[i] = ok
+	}
+	if opts.Regulate {
+		lr.regulate(diagram)
+	}
+}
+
+// chordInCell clips the type-1 boundary line (through site, perpendicular
+// to grad) to the convex cell, returning the chord segment.
+func chordInCell(cell geom.Polygon, site geom.Point, grad geom.Vec) (geom.Segment, bool) {
+	line := geom.PerpendicularAt(site, grad)
+	var pts []geom.Point
+	for _, e := range cell.Edges() {
+		p, ok := geom.IntersectSegmentLine(e, line)
+		if !ok {
+			continue
+		}
+		dup := false
+		for _, q := range pts {
+			if q.NearlyEqual(p) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) < 2 {
+		return geom.Segment{}, false
+	}
+	// A convex cell yields exactly two crossing points; with numerical
+	// grazing at vertices keep the farthest pair.
+	best := geom.Segment{A: pts[0], B: pts[1]}
+	bestLen := best.Length()
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			s := geom.Segment{A: pts[i], B: pts[j]}
+			if l := s.Length(); l > bestLen {
+				best, bestLen = s, l
+			}
+		}
+	}
+	if bestLen <= geom.Eps {
+		return geom.Segment{}, false
+	}
+	return best, true
+}
+
+// regulate applies Rules 1-2 across every shared Voronoi edge: where the
+// chords of adjacent cells cross the shared border at distinct points a_i
+// and a_j, both chords are prolonged to their intersection q, provided q
+// falls inside the union of the two cells and the chords are not close to
+// perpendicular (the internal-angle window (90, 270) degrees of the two
+// rules). The skipped jog triangle (a_i, a_j, q) flips membership:
+// pinnacles (Rule 1) are cut, concavities (Rule 2) are filled.
+func (lr *levelRecon) regulate(diagram *geom.VoronoiDiagram) {
+	for i := range diagram.Cells {
+		ci := &diagram.Cells[i]
+		if ci.Region == nil || !lr.hasChord[i] {
+			continue
+		}
+		for k, j := range ci.Neighbors {
+			if j <= i || !lr.hasChord[j] {
+				continue
+			}
+			cj := &diagram.Cells[j]
+			if cj.Region == nil {
+				continue
+			}
+			shared := ci.SharedEdges[k]
+			ai, okI := geom.IntersectSegmentLine(shared, lineOf(lr.chords[i]))
+			aj, okJ := geom.IntersectSegmentLine(shared, lineOf(lr.chords[j]))
+			if !okI || !okJ || ai.NearlyEqual(aj) {
+				continue
+			}
+			// Internal-angle window: the rules apply between 90 and 270
+			// degrees, i.e. the chords deviate by less than 90 degrees.
+			if lr.chords[i].Dir().AngleBetween(lr.chords[j].Dir()) > math.Pi/2 {
+				continue
+			}
+			q, ok := geom.IntersectLines(lineOf(lr.chords[i]), lineOf(lr.chords[j]))
+			if !ok {
+				continue
+			}
+			if !ci.Region.Contains(q) && !cj.Region.Contains(q) {
+				continue
+			}
+			tri := geom.Polygon{ai, aj, q}
+			if tri.Area() <= geom.Eps {
+				continue
+			}
+			lr.patches = append(lr.patches, patch{tri: tri})
+			// Re-anchor the chord endpoints nearest the shared edge at q so
+			// the extracted boundary is continuous across the two cells.
+			lr.chords[i] = moveEndpointToward(lr.chords[i], ai, q)
+			lr.chords[j] = moveEndpointToward(lr.chords[j], aj, q)
+		}
+	}
+}
+
+func lineOf(s geom.Segment) geom.Line { return geom.LineThrough(s.A, s.B) }
+
+// moveEndpointToward replaces the endpoint of s closest to anchor with q.
+func moveEndpointToward(s geom.Segment, anchor, q geom.Point) geom.Segment {
+	if s.A.DistTo(anchor) <= s.B.DistTo(anchor) {
+		return geom.Segment{A: q, B: s.B}
+	}
+	return geom.Segment{A: s.A, B: q}
+}
+
+// levelInner reports whether p belongs to the contour region of this level
+// in isolation (before nesting).
+func (lr *levelRecon) levelInner(p geom.Point) bool {
+	if len(lr.sites) == 0 {
+		return lr.fallbackInner
+	}
+	// Nearest site = Voronoi membership.
+	best, bestDist := 0, p.Dist2To(lr.sites[0])
+	for i := 1; i < len(lr.sites); i++ {
+		if d := p.Dist2To(lr.sites[i]); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	inner := p.Sub(lr.sites[best]).Dot(lr.grads[best]) <= 0
+	for _, pa := range lr.patches {
+		if pa.tri.Contains(p) {
+			inner = !inner
+		}
+	}
+	return inner
+}
+
+// ClassifyPoint returns the contour-region index of p in the reconstructed
+// map: the number of consecutive isolevels (from the lowest) whose region
+// contains p. The consecutiveness enforces the paper's recursive nesting
+// rule.
+func (m *Map) ClassifyPoint(p geom.Point) int {
+	idx := 0
+	for _, lr := range m.levels {
+		if !lr.levelInner(p) {
+			break
+		}
+		idx++
+	}
+	return idx
+}
+
+// Raster classifies the cell centers of a rows x cols grid over the field
+// bounds, producing the estimated contour map raster compared against the
+// ground truth for the mapping-accuracy metric.
+func (m *Map) Raster(rows, cols int) *field.Raster {
+	x0, y0, x1, y1 := m.Bounds.BoundingBox()
+	ra := field.NewRaster(rows, cols)
+	for r := 0; r < rows; r++ {
+		y := y0 + (y1-y0)*(float64(r)+0.5)/float64(rows)
+		for c := 0; c < cols; c++ {
+			x := x0 + (x1-x0)*(float64(c)+0.5)/float64(cols)
+			ra.Cells[r][c] = m.ClassifyPoint(geom.Point{X: x, Y: y})
+		}
+	}
+	return ra
+}
+
+// BoundarySegments returns the estimated isoline of one isolevel: the
+// (regulated) type-1 chords across all Voronoi cells. It is the curve the
+// Hausdorff irregularity metric of Fig. 12 compares against the true
+// isoline.
+func (m *Map) BoundarySegments(levelIndex int) []geom.Segment {
+	if levelIndex < 0 || levelIndex >= len(m.levels) {
+		return nil
+	}
+	lr := m.levels[levelIndex]
+	var out []geom.Segment
+	for i, ok := range lr.hasChord {
+		if ok {
+			out = append(out, lr.chords[i])
+		}
+	}
+	return out
+}
+
+// BoundaryPoints samples the estimated isoline of one level with the given
+// spacing.
+func (m *Map) BoundaryPoints(levelIndex int, step float64) []geom.Point {
+	var pts []geom.Point
+	for _, s := range m.BoundarySegments(levelIndex) {
+		pts = append(pts, geom.Polyline{s.A, s.B}.Sample(step)...)
+	}
+	return pts
+}
+
+// ReportCount returns the number of reports used for one isolevel.
+func (m *Map) ReportCount(levelIndex int) int {
+	if levelIndex < 0 || levelIndex >= len(m.levels) {
+		return 0
+	}
+	return len(m.levels[levelIndex].sites)
+}
+
+// PatchCount returns the number of regulation adjustments applied at one
+// isolevel; exposed for the regulation ablation.
+func (m *Map) PatchCount(levelIndex int) int {
+	if levelIndex < 0 || levelIndex >= len(m.levels) {
+		return 0
+	}
+	return len(m.levels[levelIndex].patches)
+}

@@ -1,0 +1,112 @@
+package contour
+
+import (
+	"sort"
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// runIsoMap executes a full Iso-Map round on the default seabed and returns
+// the reconstructed map plus the ground-truth raster.
+func runIsoMap(t *testing.T, n int, seed int64, fc core.FilterConfig) (*Map, *field.Raster, *core.Result) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(n, f, 1.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(tree, f, q, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Reconstruct(res.Reports, q.Levels, field.BoundsRect(f), res.SinkValue, DefaultOptions())
+	truth := field.ClassifyRaster(f, q.Levels, 128, 128)
+	return m, truth, res
+}
+
+func TestEndToEndAccuracyAtDensity1(t *testing.T) {
+	// Fig. 11a: at normalized density 1 (2,500 nodes on the 50x50 field)
+	// Iso-Map's mapping accuracy is above 80%.
+	m, truth, res := runIsoMap(t, 2500, 1, core.DefaultFilterConfig())
+	est := m.Raster(128, 128)
+	acc := field.Agreement(truth, est)
+	t.Logf("accuracy = %.3f with %d sink reports (%d generated)", acc, len(res.Reports), res.Generated)
+	if acc < 0.8 {
+		t.Errorf("accuracy = %v, want > 0.8", acc)
+	}
+}
+
+func TestEndToEndAccuracyImprovesWithDensity(t *testing.T) {
+	accs := make(map[int]float64)
+	for _, n := range []int{400, 10000} {
+		m, truth, _ := runIsoMap(t, n, 3, core.DefaultFilterConfig())
+		est := m.Raster(128, 128)
+		accs[n] = field.Agreement(truth, est)
+	}
+	t.Logf("accuracy: %v", accs)
+	if accs[10000] < accs[400]-0.02 {
+		t.Errorf("accuracy did not improve with density: %v", accs)
+	}
+}
+
+func TestEndToEndBoundaryHausdorffReasonable(t *testing.T) {
+	// Fig. 12a: at density 1 the normalized Hausdorff distance between the
+	// estimated and true isolines is a few units on the 50x50 field.
+	m, _, _ := runIsoMap(t, 2500, 1, core.DefaultFilterConfig())
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	var hs []float64
+	for i, lv := range (field.Levels{Low: 6, High: 12, Step: 2}).Values() {
+		truthPts := field.IsolinePoints(f, lv, 200, 200, 0.5)
+		estPts := m.BoundaryPoints(i, 0.5)
+		if len(truthPts) == 0 || len(estPts) == 0 {
+			continue
+		}
+		h := geom.HausdorffDistance(truthPts, estPts)
+		t.Logf("level %v: Hausdorff %.2f (%d reports)", lv, h, m.ReportCount(i))
+		hs = append(hs, h)
+	}
+	if len(hs) == 0 {
+		t.Fatal("no level produced a comparable boundary")
+	}
+	// Hausdorff is a max metric: a single sparse border cell (whose
+	// full-cell type-1 chord is faithful to the paper's algorithm) or one
+	// missed steep-gradient branch dominates it. Require the typical level
+	// to be tight and every level to stay bounded.
+	sort.Float64s(hs)
+	if best := hs[0]; best > 8 {
+		t.Errorf("best-level Hausdorff = %v units — even the densest isoline is distorted", best)
+	}
+	if worst := hs[len(hs)-1]; worst > 30 {
+		t.Errorf("worst Hausdorff = %v units on a 50-unit field — too distorted", worst)
+	}
+}
+
+func TestEndToEndDeterministic(t *testing.T) {
+	m1, _, r1 := runIsoMap(t, 1000, 5, core.DefaultFilterConfig())
+	m2, _, r2 := runIsoMap(t, 1000, 5, core.DefaultFilterConfig())
+	if len(r1.Reports) != len(r2.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(r1.Reports), len(r2.Reports))
+	}
+	ra1 := m1.Raster(64, 64)
+	ra2 := m2.Raster(64, 64)
+	if field.Agreement(ra1, ra2) != 1 {
+		t.Error("same-seed reconstructions differ")
+	}
+}

@@ -1,0 +1,106 @@
+package contour
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// randomReports fabricates a plausible report set: positions in the field,
+// unit gradients in random directions, levels spread over the scheme.
+func randomReports(rng *rand.Rand, n int, levels field.Levels) []core.Report {
+	values := levels.Values()
+	reports := make([]core.Report, 0, n)
+	for i := 0; i < n; i++ {
+		idx := rng.Intn(len(values))
+		theta := rng.Float64() * 2 * 3.14159265
+		reports = append(reports, core.Report{
+			Level:      values[idx],
+			LevelIndex: idx,
+			Pos:        geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50},
+			Grad:       geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)},
+			Source:     -1,
+		})
+	}
+	return reports
+}
+
+func TestClassifyPointBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	levels := levels682()
+	maxClass := levels.Count()
+	bounds := geom.Rect(0, 0, 50, 50)
+	for trial := 0; trial < 20; trial++ {
+		reports := randomReports(rng, 1+rng.Intn(40), levels)
+		m := Reconstruct(reports, levels, bounds, rng.Float64()*15, DefaultOptions())
+		for probe := 0; probe < 50; probe++ {
+			p := geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+			c := m.ClassifyPoint(p)
+			if c < 0 || c > maxClass {
+				t.Fatalf("class %d outside [0, %d]", c, maxClass)
+			}
+		}
+	}
+}
+
+func TestNestingMonotoneProperty(t *testing.T) {
+	// The classification is, by construction, the length of the chain of
+	// consecutive inner levels: verify against direct levelInner calls.
+	rng := rand.New(rand.NewSource(33))
+	levels := levels682()
+	bounds := geom.Rect(0, 0, 50, 50)
+	for trial := 0; trial < 20; trial++ {
+		reports := randomReports(rng, 1+rng.Intn(40), levels)
+		m := Reconstruct(reports, levels, bounds, rng.Float64()*15, DefaultOptions())
+		for probe := 0; probe < 30; probe++ {
+			p := geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+			c := m.ClassifyPoint(p)
+			chain := 0
+			for _, lr := range m.levels {
+				if !lr.levelInner(p) {
+					break
+				}
+				chain++
+			}
+			if c != chain {
+				t.Fatalf("ClassifyPoint %d != inner chain %d", c, chain)
+			}
+		}
+	}
+}
+
+func TestRasterDeterministicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	levels := levels682()
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports := randomReports(rng, 30, levels)
+	m1 := Reconstruct(reports, levels, bounds, 9, DefaultOptions())
+	m2 := Reconstruct(reports, levels, bounds, 9, DefaultOptions())
+	r1 := m1.Raster(40, 40)
+	r2 := m2.Raster(40, 40)
+	if field.Agreement(r1, r2) != 1 {
+		t.Error("same inputs produced different rasters")
+	}
+}
+
+func TestMoreReportsNeverCrashReconstruction(t *testing.T) {
+	// Degenerate inputs: duplicate positions, zero-ish gradients, many
+	// reports at one level.
+	levels := levels682()
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports := []core.Report{
+		{LevelIndex: 0, Pos: geom.Point{X: 10, Y: 10}, Grad: geom.Vec{X: 1}},
+		{LevelIndex: 0, Pos: geom.Point{X: 10, Y: 10}, Grad: geom.Vec{X: 1}}, // duplicate
+		{LevelIndex: 0, Pos: geom.Point{X: 10, Y: 10.000001}, Grad: geom.Vec{Y: 1}},
+		{LevelIndex: 1, Pos: geom.Point{X: 0, Y: 0}, Grad: geom.Vec{X: 1, Y: 1}},    // corner
+		{LevelIndex: 2, Pos: geom.Point{X: 50, Y: 50}, Grad: geom.Vec{X: -1, Y: 0}}, // corner
+	}
+	m := Reconstruct(reports, levels, bounds, 7, DefaultOptions())
+	_ = m.Raster(32, 32)
+	_ = m.BoundarySegments(0)
+	_ = m.BoundaryPoints(1, 0.5)
+}

@@ -1,0 +1,93 @@
+package contour
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/geom"
+)
+
+func TestType2ClosesOppositeGradients(t *testing.T) {
+	// Two sites side by side, both with gradients pointing +x: each cell's
+	// inner part is its left side. The left cell's inner region touches
+	// the right cell's outer region along part of their bisector, so a
+	// type-2 boundary must appear there.
+	bounds := geom.Rect(0, 0, 20, 10)
+	reports := []core.Report{
+		{LevelIndex: 0, Level: 6, Pos: geom.Point{X: 5, Y: 5}, Grad: geom.Vec{X: 1}},
+		{LevelIndex: 0, Level: 6, Pos: geom.Point{X: 15, Y: 5}, Grad: geom.Vec{X: 1}},
+	}
+	m := Reconstruct(reports, levels682(), bounds, 5, Options{Regulate: false})
+	type2 := m.levels[0].type2Segments(bounds)
+	if len(type2) == 0 {
+		t.Fatal("no type-2 boundaries where inner meets outer")
+	}
+	// The type-2 pieces lie on the bisector x = 10, between the left
+	// cell's inner region (x <= 5 is inner for site 1... actually inner is
+	// x <= 5 relative to site: (p-site).grad <= 0 means x <= 5 for the
+	// left site and x <= 15 for the right). Region: union of [0,5] in left
+	// cell and [10,15] in right cell. Inner-outer contact at x=10 between
+	// the right cell's inner part and... the left cell's outer part
+	// [5,10]. So type-2 at x = 10 from the right cell.
+	for _, s := range type2 {
+		if math.Abs(s.A.X-10) > 1e-6 || math.Abs(s.B.X-10) > 1e-6 {
+			t.Errorf("type-2 segment %v not on the bisector x=10", s)
+		}
+	}
+}
+
+func TestType2AbsentWhenRegionsAgree(t *testing.T) {
+	// Opposing gradients pointing away from the shared border: both cells'
+	// inner parts touch at the bisector, so no type-2 boundary lies there.
+	bounds := geom.Rect(0, 0, 20, 10)
+	reports := []core.Report{
+		{LevelIndex: 0, Level: 6, Pos: geom.Point{X: 5, Y: 5}, Grad: geom.Vec{X: -1}},
+		{LevelIndex: 0, Level: 6, Pos: geom.Point{X: 15, Y: 5}, Grad: geom.Vec{X: 1}},
+	}
+	m := Reconstruct(reports, levels682(), bounds, 5, Options{Regulate: false})
+	type2 := m.levels[0].type2Segments(bounds)
+	for _, s := range type2 {
+		if math.Abs(s.Mid().X-10) < 1e-6 {
+			t.Errorf("type-2 segment %v on the bisector though both sides are inner", s)
+		}
+	}
+}
+
+func TestFullBoundaryIncludesChords(t *testing.T) {
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports := circleReports(geom.Point{X: 25, Y: 25}, 10, 16, 0, 6)
+	m := Reconstruct(reports, levels682(), bounds, 5, DefaultOptions())
+	chords := m.BoundarySegments(0)
+	full := m.FullBoundarySegments(0)
+	if len(full) < len(chords) {
+		t.Fatalf("full boundary (%d) smaller than chords (%d)", len(full), len(chords))
+	}
+	if got := m.FullBoundarySegments(-1); got != nil {
+		t.Error("invalid level should yield nil")
+	}
+	if got := m.FullBoundarySegments(3); got != nil {
+		t.Error("empty level should yield nil")
+	}
+}
+
+func TestType2OnWellSpreadCircleIsSmall(t *testing.T) {
+	// With dense, evenly spread reports around a circle the chords line up
+	// and type-2 closure pieces are short relative to the type-1 total.
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports := circleReports(geom.Point{X: 25, Y: 25}, 10, 32, 0, 6)
+	m := Reconstruct(reports, levels682(), bounds, 5, Options{Regulate: false})
+	var t1, t2 float64
+	for _, s := range m.BoundarySegments(0) {
+		t1 += s.Length()
+	}
+	for _, s := range m.levels[0].type2Segments(bounds) {
+		t2 += s.Length()
+	}
+	if t1 == 0 {
+		t.Fatal("no chords")
+	}
+	if t2 > t1 {
+		t.Errorf("type-2 length %v exceeds type-1 %v on a well-sampled circle", t2, t1)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+// Codec turns reports into the fixed-point wire format the paper's
+// evaluation assumes: "each parameter in a report uses two bytes, such as
+// the sensory value, position, gradient, etc." A report carries five
+// parameters — isolevel value, position x, position y, gradient x,
+// gradient y — each quantized over its range:
+//
+//   - the isolevel over the query's data space [Low, High],
+//   - coordinates over the field extent,
+//   - gradient components over [-1, 1] after normalization (only the
+//     direction matters to the sink's boundary deduction).
+//
+// BytesPerParam 2 reproduces the paper's format (10-byte reports,
+// quantization error ~1/65535 of each range — negligible); 1 halves the
+// report to 5 bytes at ~1/255 resolution, a traffic/fidelity trade the
+// ext-codec experiment measures.
+type Codec struct {
+	levels         field.Levels
+	x0, y0, x1, y1 float64
+	bytesPerParam  int
+	maxQuant       float64
+}
+
+// NewCodec builds a codec for reports of the given query levels over the
+// field bounds. bytesPerParam must be 1 or 2.
+func NewCodec(levels field.Levels, bounds geom.Polygon, bytesPerParam int) (*Codec, error) {
+	if bytesPerParam != 1 && bytesPerParam != 2 {
+		return nil, fmt.Errorf("core: bytesPerParam must be 1 or 2, got %d", bytesPerParam)
+	}
+	if levels.Step <= 0 || levels.High < levels.Low {
+		return nil, fmt.Errorf("core: codec requires a valid level scheme, got %+v", levels)
+	}
+	x0, y0, x1, y1 := bounds.BoundingBox()
+	if x1 <= x0 || y1 <= y0 {
+		return nil, fmt.Errorf("core: codec requires non-empty bounds")
+	}
+	maxQuant := 65535.0
+	if bytesPerParam == 1 {
+		maxQuant = 255.0
+	}
+	return &Codec{
+		levels:        levels,
+		x0:            x0,
+		y0:            y0,
+		x1:            x1,
+		y1:            y1,
+		bytesPerParam: bytesPerParam,
+		maxQuant:      maxQuant,
+	}, nil
+}
+
+// ReportSize returns the encoded size of one report in bytes.
+func (c *Codec) ReportSize() int { return 5 * c.bytesPerParam }
+
+// quantize maps v in [lo, hi] to an integer code.
+func (c *Codec) quantize(v, lo, hi float64) uint16 {
+	if hi <= lo {
+		return 0
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return uint16(math.Round(t * c.maxQuant))
+}
+
+// dequantize inverts quantize.
+func (c *Codec) dequantize(code uint16, lo, hi float64) float64 {
+	return lo + float64(code)/c.maxQuant*(hi-lo)
+}
+
+func (c *Codec) putParam(dst []byte, code uint16) []byte {
+	if c.bytesPerParam == 1 {
+		return append(dst, byte(code))
+	}
+	return binary.BigEndian.AppendUint16(dst, code)
+}
+
+func (c *Codec) getParam(src []byte) (uint16, []byte) {
+	if c.bytesPerParam == 1 {
+		return uint16(src[0]), src[1:]
+	}
+	return binary.BigEndian.Uint16(src), src[2:]
+}
+
+// Encode serializes a report. The source identity is not on the wire: the
+// isoposition is the report's identity, as in the paper's 3-tuple.
+func (c *Codec) Encode(r Report) []byte {
+	out := make([]byte, 0, c.ReportSize())
+	out = c.putParam(out, c.quantize(r.Level, c.levels.Low, c.levels.High))
+	out = c.putParam(out, c.quantize(r.Pos.X, c.x0, c.x1))
+	out = c.putParam(out, c.quantize(r.Pos.Y, c.y0, c.y1))
+	d := r.Grad.Unit()
+	out = c.putParam(out, c.quantize(d.X, -1, 1))
+	out = c.putParam(out, c.quantize(d.Y, -1, 1))
+	return out
+}
+
+// Decode parses one encoded report. The isolevel snaps to the nearest
+// level of the scheme (the wire carries the quantized value); Source is
+// -1 (not transmitted).
+func (c *Codec) Decode(b []byte) (Report, error) {
+	if len(b) != c.ReportSize() {
+		return Report{}, fmt.Errorf("core: encoded report is %d bytes, want %d", len(b), c.ReportSize())
+	}
+	var code uint16
+	code, b = c.getParam(b)
+	rawLevel := c.dequantize(code, c.levels.Low, c.levels.High)
+	level, idx := c.levels.Nearest(rawLevel)
+	var r Report
+	r.Level = level
+	r.LevelIndex = idx
+	code, b = c.getParam(b)
+	r.Pos.X = c.dequantize(code, c.x0, c.x1)
+	code, b = c.getParam(b)
+	r.Pos.Y = c.dequantize(code, c.y0, c.y1)
+	code, b = c.getParam(b)
+	gx := c.dequantize(code, -1, 1)
+	code, _ = c.getParam(b)
+	gy := c.dequantize(code, -1, 1)
+	r.Grad = geom.Vec{X: gx, Y: gy}
+	r.Source = network.NodeID(-1)
+	return r, nil
+}
+
+// EncodeAll concatenates the encodings of a report batch.
+func (c *Codec) EncodeAll(reports []Report) []byte {
+	out := make([]byte, 0, len(reports)*c.ReportSize())
+	for _, r := range reports {
+		out = append(out, c.Encode(r)...)
+	}
+	return out
+}
+
+// DecodeAll parses a concatenated batch.
+func (c *Codec) DecodeAll(b []byte) ([]Report, error) {
+	size := c.ReportSize()
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("core: batch of %d bytes is not a multiple of %d", len(b), size)
+	}
+	out := make([]Report, 0, len(b)/size)
+	for len(b) > 0 {
+		r, err := c.Decode(b[:size])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		b = b[size:]
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// DetectIsolineNodes runs the distributed isoline-node appointment of
+// Definition 3.1 over every alive node and returns the generated reports,
+// one per (node, matched isolevel).
+//
+// A node p with value v_p is an isoline node for isolevel lambda iff
+//  1. v_p lies in the border region [lambda-eps, lambda+eps], and
+//  2. some neighbor q has lambda strictly between v_p and v_q.
+//
+// Appointed nodes probe their 1-hop neighborhood for <value, position>
+// tuples (charged as one local broadcast plus one reply per neighbor) and
+// estimate their gradient direction by linear regression. Nodes whose
+// neighborhood is too degenerate for regression produce no report; the
+// paper's dense deployments make this rare.
+//
+// Costs are charged to c (which may be nil for pure detection).
+func DetectIsolineNodes(nw *network.Network, q Query, c *metrics.Counters) []Report {
+	var reports []Report
+	levels := q.Levels.Values()
+	for i := range nw.Nodes() {
+		id := network.NodeID(i)
+		if !nw.Alive(id) {
+			continue
+		}
+		node := nw.Node(id)
+		chargeOps(c, id, OpsQueryParse+OpsDetectPerLevel*len(levels))
+		candidates := q.CandidateLevels(node.Value)
+		if len(candidates) == 0 {
+			continue
+		}
+		neighbors := nw.AliveNeighbors(id)
+		// Condition 2: check each candidate level against the neighborhood.
+		var matched []int
+		for _, li := range candidates {
+			lambda := levels[li]
+			chargeOps(c, id, OpsDetectPerNeighbor*len(neighbors))
+			if straddlesLevel(nw, node.Value, neighbors, lambda) {
+				matched = append(matched, li)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		// Local measurement: probe the (k-hop) neighborhood once
+		// regardless of how many levels matched, then regress.
+		scope := neighbors
+		if k := q.scope(); k > 1 {
+			scope = nw.KHopNeighbors(id, k)
+		}
+		grad, ok := measureGradient(nw, id, scope, q.scope(), c)
+		if !ok {
+			continue
+		}
+		for _, li := range matched {
+			reports = append(reports, Report{
+				Level:      levels[li],
+				LevelIndex: li,
+				Pos:        node.Pos,
+				Grad:       grad,
+				Source:     id,
+			})
+		}
+	}
+	if c != nil {
+		c.GeneratedReports += int64(len(reports))
+	}
+	return reports
+}
+
+// straddlesLevel reports whether any neighbor's value puts lambda strictly
+// between it and v (Definition 3.1, condition 2).
+func straddlesLevel(nw *network.Network, v float64, neighbors []network.NodeID, lambda float64) bool {
+	for _, nb := range neighbors {
+		vq := nw.Node(nb).Value
+		if (v < lambda && lambda < vq) || (vq < lambda && lambda < v) {
+			return true
+		}
+	}
+	return false
+}
+
+// measureGradient performs the neighborhood probe and regression for one
+// isoline node, charging the local traffic and computation. With a k-hop
+// scope the probe floods k hops and the replies travel up to k hops back,
+// so the local traffic is charged with an average (k+1)/2-hop multiplier.
+func measureGradient(nw *network.Network, id network.NodeID, neighbors []network.NodeID, hops int, c *metrics.Counters) (geom.Vec, bool) {
+	node := nw.Node(id)
+	samples := make([]Sample, 0, len(neighbors)+1)
+	samples = append(samples, Sample{Pos: node.Pos, Value: node.Value})
+	for _, nb := range neighbors {
+		n := nw.Node(nb)
+		samples = append(samples, Sample{Pos: n.Pos, Value: n.Value})
+	}
+	if c != nil {
+		replyHops := (hops + 1) / 2
+		if replyHops < 1 {
+			replyHops = 1
+		}
+		c.Broadcast(id, neighbors, ProbeBytes)
+		for _, nb := range neighbors {
+			c.SendOneHop(nb, id, ProbeReplyBytes*replyHops)
+		}
+		chargeOps(c, id, OpsRegressionPerNeighbor*len(samples)+OpsRegressionSolve)
+	}
+	grad, err := GradientByRegression(samples)
+	if err != nil || grad.Norm() <= geom.Eps {
+		return geom.Vec{}, false
+	}
+	return grad, true
+}
+
+func chargeOps(c *metrics.Counters, id network.NodeID, ops int) {
+	if c != nil {
+		c.ChargeOps(id, ops)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// DetectIsolineNodesEdgeBased is an alternative appointment policy in the
+// spirit of isoline aggregation (Solis and Obraczka, Mobiquitous 2005 —
+// the related work the paper credits with the isoline-reporting idea but
+// faults for not specifying the detection): instead of Definition 3.1's
+// value border region, every radio edge whose endpoints straddle an
+// isolevel elects a reporter — the endpoint whose reading is closer to the
+// isolevel — with no epsilon parameter at all.
+//
+// Compared with Definition 3.1 it trades the tunable border band for
+// guaranteed coverage: every isoline crossing of the communication graph
+// produces exactly one candidate, so sparse or steep-gradient stretches
+// of the isoline cannot be silently skipped, at the price of more
+// reports on gentle gradients. The ext-detect experiment quantifies the
+// trade.
+func DetectIsolineNodesEdgeBased(nw *network.Network, q Query, c *metrics.Counters) []Report {
+	levels := q.Levels.Values()
+	// chosen[level] marks the appointed node per (level, node): a node
+	// straddling many edges reports once per level.
+	type key struct {
+		id network.NodeID
+		li int
+	}
+	chosen := make(map[key]struct{})
+	for i := range nw.Nodes() {
+		id := network.NodeID(i)
+		if !nw.Alive(id) {
+			continue
+		}
+		chargeOps(c, id, OpsQueryParse)
+		v := nw.Node(id).Value
+		for _, nb := range nw.AliveNeighbors(id) {
+			if nb < id {
+				continue // handle each edge once
+			}
+			vq := nw.Node(nb).Value
+			for li, lambda := range levels {
+				chargeOps(c, id, OpsDetectPerNeighbor)
+				if !((v < lambda && lambda < vq) || (vq < lambda && lambda < v)) {
+					continue
+				}
+				reporter := id
+				if diff(vq, lambda) < diff(v, lambda) {
+					reporter = nb
+				}
+				chosen[key{id: reporter, li: li}] = struct{}{}
+			}
+		}
+	}
+
+	var reports []Report
+	for i := range nw.Nodes() {
+		id := network.NodeID(i)
+		var matched []int
+		for li := range levels {
+			if _, ok := chosen[key{id: id, li: li}]; ok {
+				matched = append(matched, li)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		neighbors := nw.AliveNeighbors(id)
+		grad, ok := measureGradient(nw, id, neighbors, 1, c)
+		if !ok {
+			continue
+		}
+		node := nw.Node(id)
+		for _, li := range matched {
+			reports = append(reports, Report{
+				Level:      levels[li],
+				LevelIndex: li,
+				Pos:        node.Pos,
+				Grad:       grad,
+				Source:     id,
+			})
+		}
+	}
+	if c != nil {
+		c.GeneratedReports += int64(len(reports))
+	}
+	return reports
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

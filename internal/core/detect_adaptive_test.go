@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+func TestEdgeBasedDetectionCoversEveryCrossing(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	reports := DetectIsolineNodesEdgeBased(nw, q, nil)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// Every straddling edge must have an appointed endpoint for its level.
+	levels := q.Levels.Values()
+	appointed := make(map[network.NodeID]map[int]bool)
+	for _, r := range reports {
+		if appointed[r.Source] == nil {
+			appointed[r.Source] = make(map[int]bool)
+		}
+		appointed[r.Source][r.LevelIndex] = true
+	}
+	// Nodes that failed regression produce no report; collect them so the
+	// coverage check skips their edges.
+	for i := range nw.Nodes() {
+		id := network.NodeID(i)
+		if !nw.Alive(id) {
+			continue
+		}
+		v := nw.Node(id).Value
+		for _, nb := range nw.AliveNeighbors(id) {
+			if nb < id {
+				continue
+			}
+			vq := nw.Node(nb).Value
+			for li, lambda := range levels {
+				if !((v < lambda && lambda < vq) || (vq < lambda && lambda < v)) {
+					continue
+				}
+				if !appointed[id][li] && !appointed[nb][li] {
+					// Either endpoint may have failed regression; verify
+					// that is the only excuse.
+					gid, okI := measureGradient(nw, id, nw.AliveNeighbors(id), 1, nil)
+					gnb, okJ := measureGradient(nw, nb, nw.AliveNeighbors(nb), 1, nil)
+					_ = gid
+					_ = gnb
+					if okI && okJ {
+						t.Fatalf("edge %d-%d straddles level %v with no reporter", id, nb, lambda)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeBasedNeedsNoEpsilon(t *testing.T) {
+	// Edge-based detection is insensitive to the epsilon parameter that
+	// Definition 3.1 depends on.
+	nw, _, _ := defaultSetup(t, 2500, 1)
+	narrow, err := NewQueryEpsilon(field.Levels{Low: 6, High: 12, Step: 2}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := NewQueryEpsilon(field.Levels{Low: 6, High: 12, Step: 2}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNarrow := DetectIsolineNodesEdgeBased(nw, narrow, nil)
+	rWide := DetectIsolineNodesEdgeBased(nw, wide, nil)
+	if len(rNarrow) != len(rWide) {
+		t.Errorf("edge-based counts differ across epsilon: %d vs %d", len(rNarrow), len(rWide))
+	}
+	// Definition 3.1 counts, by contrast, depend on epsilon strongly.
+	dNarrow := DetectIsolineNodes(nw, narrow, nil)
+	dWide := DetectIsolineNodes(nw, wide, nil)
+	if len(dWide) <= len(dNarrow) {
+		t.Errorf("Def 3.1 counts should grow with epsilon: %d vs %d", len(dNarrow), len(dWide))
+	}
+}
+
+func TestEdgeBasedChargesCosts(t *testing.T) {
+	nw, _, q := defaultSetup(t, 900, 2)
+	c := metrics.NewCounters(nw.Len())
+	reports := DetectIsolineNodesEdgeBased(nw, q, c)
+	if c.GeneratedReports != int64(len(reports)) {
+		t.Errorf("GeneratedReports = %d, want %d", c.GeneratedReports, len(reports))
+	}
+	if c.TotalOps() == 0 {
+		t.Error("no ops charged")
+	}
+	for _, r := range reports {
+		if c.TxBytes(r.Source) < ProbeBytes {
+			t.Fatalf("reporter %d paid no probe traffic", r.Source)
+		}
+	}
+}
+
+func TestEdgeBasedReportersAreOnIsolines(t *testing.T) {
+	// An edge-based reporter straddles the level with some neighbor: its
+	// own value is within one local value-step of the isolevel.
+	nw, _, q := defaultSetup(t, 2500, 3)
+	reports := DetectIsolineNodesEdgeBased(nw, q, nil)
+	for _, r := range reports {
+		v := nw.Node(r.Source).Value
+		ok := false
+		for _, nb := range nw.AliveNeighbors(r.Source) {
+			vq := nw.Node(nb).Value
+			if (v < r.Level && r.Level < vq) || (vq < r.Level && r.Level < v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("reporter %d does not straddle level %v", r.Source, r.Level)
+		}
+	}
+}

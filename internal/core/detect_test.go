@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+func defaultSetup(t *testing.T, n int, seed int64) (*network.Network, field.Field, Query) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(n, f, 1.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw, f, q
+}
+
+func TestDetectIsolineNodesNonEmpty(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	c := metrics.NewCounters(nw.Len())
+	reports := DetectIsolineNodes(nw, q, c)
+	if len(reports) == 0 {
+		t.Fatal("no isoline nodes detected on default setup")
+	}
+	if c.GeneratedReports != int64(len(reports)) {
+		t.Errorf("GeneratedReports = %d, want %d", c.GeneratedReports, len(reports))
+	}
+}
+
+func TestDetectedNodesSatisfyDefinition(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	reports := DetectIsolineNodes(nw, q, nil)
+	for _, r := range reports {
+		node := nw.Node(r.Source)
+		// Condition 1: value in border region.
+		if math.Abs(node.Value-r.Level) > q.Epsilon+1e-12 {
+			t.Fatalf("node %d value %v outside border region of %v", r.Source, node.Value, r.Level)
+		}
+		// Condition 2: some alive neighbor straddles the level.
+		ok := false
+		for _, nb := range nw.AliveNeighbors(r.Source) {
+			vq := nw.Node(nb).Value
+			if (node.Value < r.Level && r.Level < vq) || (vq < r.Level && r.Level < node.Value) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("node %d fails condition 2 for level %v", r.Source, r.Level)
+		}
+		// Report fields are coherent.
+		if r.Pos != node.Pos {
+			t.Fatalf("report position %v != node position %v", r.Pos, node.Pos)
+		}
+		if r.Grad.Norm() <= geom.Eps {
+			t.Fatalf("report %v has zero gradient", r)
+		}
+	}
+}
+
+func TestDetectSkipsFailedNodes(t *testing.T) {
+	nw, f, q := defaultSetup(t, 2500, 1)
+	base := DetectIsolineNodes(nw, q, nil)
+	if len(base) == 0 {
+		t.Fatal("no base reports")
+	}
+	// Fail one reporting node; it must disappear from the reports.
+	victim := base[0].Source
+	nw.Node(victim).Failed = true
+	nw.Sense(f)
+	after := DetectIsolineNodes(nw, q, nil)
+	for _, r := range after {
+		if r.Source == victim {
+			t.Fatalf("failed node %d still reported", victim)
+		}
+	}
+}
+
+func TestDetectCountScalesLikeSqrtN(t *testing.T) {
+	// Theorem 4.1: isoline nodes = O(sqrt n). Quadrupling n (at fixed
+	// field => 2x density) should roughly double isoline nodes if the
+	// field were rescaled; here the field is fixed so the stripe width
+	// (radio range) is fixed: count scales linearly with density for
+	// fixed area... The paper normalizes density=1 and grows the field.
+	// Emulate that: same density, different field sizes.
+	for _, tc := range []struct {
+		side float64
+		n    int
+	}{{25, 625}, {50, 2500}} {
+		cfg := field.DefaultSeabedConfig()
+		cfg.Width, cfg.Height = tc.side, tc.side
+		f := field.NewSeabed(cfg)
+		nw, err := network.DeployUniform(tc.n, f, 1.5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.Sense(f)
+		q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports := DetectIsolineNodes(nw, q, nil)
+		// Crude O(sqrt n) sanity: reports should be well below n.
+		if len(reports) > tc.n/4 {
+			t.Errorf("side %v: %d reports for %d nodes — not sparse", tc.side, len(reports), tc.n)
+		}
+	}
+}
+
+func TestGradientApproximatesTrueNormal(t *testing.T) {
+	// Fig. 7: at average degree ~7+, the angle between the regressed
+	// gradient and the true field gradient is small (paper: within ~5
+	// degrees at degree >= 7; allow slack for our surface).
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(2500, f, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := DetectIsolineNodes(nw, q, nil)
+	if len(reports) < 10 {
+		t.Fatalf("too few reports (%d) for statistics", len(reports))
+	}
+	var sum float64
+	for _, r := range reports {
+		trueDown := f.GradientAt(r.Pos.X, r.Pos.Y).Neg()
+		sum += geom.Degrees(r.Grad.AngleBetween(trueDown))
+	}
+	mean := sum / float64(len(reports))
+	if mean > 15 {
+		t.Errorf("mean gradient direction error = %.1f degrees, want small", mean)
+	}
+}
+
+func TestDetectChargesLocalTraffic(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	c := metrics.NewCounters(nw.Len())
+	reports := DetectIsolineNodes(nw, q, c)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	// Every reporting node must have transmitted its neighborhood probe.
+	for _, r := range reports {
+		if c.TxBytes(r.Source) < ProbeBytes {
+			t.Fatalf("isoline node %d has no probe traffic", r.Source)
+		}
+		if c.Ops(r.Source) == 0 {
+			t.Fatalf("isoline node %d has no compute charge", r.Source)
+		}
+	}
+}

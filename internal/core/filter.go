@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// FilterConfig parameterizes the in-network filtering of Sec. 3.5. Two
+// reports of the same isolevel are considered redundant — and one of them
+// dropped — when BOTH their angular separation s_a and distance separation
+// s_d fall below the thresholds.
+type FilterConfig struct {
+	// Enabled turns filtering on. When false, every generated report is
+	// forwarded to the sink untouched.
+	Enabled bool
+	// MaxAngle is the angular-separation threshold s_a in radians.
+	MaxAngle float64
+	// MaxDist is the distance-separation threshold s_d in field units.
+	MaxDist float64
+}
+
+// DefaultFilterConfig returns the setting the paper uses for its headline
+// results: s_a = 30 degrees, s_d = 4 units (Sec. 5.1).
+func DefaultFilterConfig() FilterConfig {
+	return FilterConfig{Enabled: true, MaxAngle: 30 * math.Pi / 180, MaxDist: 4}
+}
+
+// Redundant reports whether b duplicates a under the thresholds: same
+// isolevel, angular separation below MaxAngle AND distance separation
+// below MaxDist (Sec. 3.5).
+func (fc FilterConfig) Redundant(a, b Report) bool {
+	if a.LevelIndex != b.LevelIndex {
+		return false
+	}
+	return AngularSeparation(a, b) < fc.MaxAngle && DistanceSeparation(a, b) < fc.MaxDist
+}
+
+// Delivery details one report-collection phase: the reports that reached
+// the sink and, for the scheduling analysis, how many reports each node
+// transmitted upward.
+type Delivery struct {
+	// Reports reached the sink.
+	Reports []Report
+	// ForwardedPerNode maps a node to the number of reports it
+	// transmitted to its parent (own and relayed, post-filtering).
+	ForwardedPerNode map[network.NodeID]int
+}
+
+// DeliverReports forwards the generated reports to the sink along the
+// routing tree, applying in-network filtering at every intermediate node,
+// and returns the reports that reach the sink.
+//
+// The delivery follows the level-synchronized TAG schedule: nodes process
+// in post-order, so an intermediate node sees the already-filtered report
+// sets of all its children before transmitting upward. Each node compares
+// every incoming report against the reports it stores (its own and its
+// other descendants') and drops the redundant ones; this matches the
+// paper's analysis in which each surviving report is compared at most once
+// with each other report on its way to the sink.
+//
+// Traffic is charged per tree hop: a report transmitted by child x and
+// received by parent y costs ReportBytes at each. Reports from unreachable
+// nodes are lost.
+func DeliverReports(tree *routing.Tree, reports []Report, fc FilterConfig, c *metrics.Counters) []Report {
+	return DeliverReportsDetailed(tree, reports, fc, c).Reports
+}
+
+// DeliverReportsDetailed is DeliverReports with per-node forwarding counts
+// exposed, for the slotted-schedule analysis (internal/schedule).
+func DeliverReportsDetailed(tree *routing.Tree, reports []Report, fc FilterConfig, c *metrics.Counters) Delivery {
+	// Group the generated reports by source node.
+	bySource := make(map[network.NodeID][]Report, len(reports))
+	for _, r := range reports {
+		bySource[r.Source] = append(bySource[r.Source], r)
+	}
+
+	// buffers[id] holds the filtered reports node id will forward.
+	buffers := make(map[network.NodeID][]Report, len(bySource))
+	forwarded := make(map[network.NodeID]int, len(bySource))
+	order := tree.PostOrder()
+	for _, id := range order {
+		// Start with the node's own reports (a node never filters its own
+		// single report against itself; with multiple matched levels they
+		// are on different isolevels and never mutually redundant).
+		buf := append([]Report(nil), bySource[id]...)
+		// Merge each child's filtered buffer, charging the hop.
+		for _, child := range tree.Children(id) {
+			incoming := buffers[child]
+			delete(buffers, child)
+			if len(incoming) == 0 {
+				continue
+			}
+			if c != nil {
+				c.ChargeTx(child, ReportBytes*len(incoming))
+				c.ChargeRx(id, ReportBytes*len(incoming))
+			}
+			if !fc.Enabled {
+				buf = append(buf, incoming...)
+				continue
+			}
+			for _, r := range incoming {
+				dup := false
+				for _, kept := range buf {
+					chargeOps(c, id, OpsFilterPerComparison)
+					if fc.Redundant(kept, r) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					buf = append(buf, r)
+				}
+			}
+		}
+		buffers[id] = buf
+		if id != tree.Root() && len(buf) > 0 {
+			forwarded[id] = len(buf)
+		}
+	}
+
+	sinkReports := buffers[tree.Root()]
+	if c != nil {
+		c.SinkReports += int64(len(sinkReports))
+	}
+	return Delivery{Reports: sinkReports, ForwardedPerNode: forwarded}
+}
+
+// DisseminateQuery floods the query from the sink down the routing tree
+// (Sec. 3.2): every internal node broadcasts the query once and each child
+// receives it. It returns the number of nodes reached.
+func DisseminateQuery(tree *routing.Tree, c *metrics.Counters) int {
+	reached := 0
+	for _, id := range tree.PostOrder() {
+		reached++
+		children := tree.Children(id)
+		if len(children) == 0 || c == nil {
+			continue
+		}
+		c.ChargeTx(id, QueryBytes)
+		for _, child := range children {
+			c.ChargeRx(child, QueryBytes)
+		}
+	}
+	return reached
+}

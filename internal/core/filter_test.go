@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func buildTree(t *testing.T, nw *network.Network) *routing.Tree {
+	t.Helper()
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestRedundantPredicate(t *testing.T) {
+	fc := FilterConfig{Enabled: true, MaxAngle: geom.Radians(30), MaxDist: 4}
+	a := Report{LevelIndex: 1, Pos: geom.Point{X: 0, Y: 0}, Grad: geom.Vec{X: 1}}
+	tests := []struct {
+		name string
+		b    Report
+		want bool
+	}{
+		{"close and aligned", Report{LevelIndex: 1, Pos: geom.Point{X: 1, Y: 0}, Grad: geom.Vec{X: 1, Y: 0.1}}, true},
+		{"different level", Report{LevelIndex: 2, Pos: geom.Point{X: 1, Y: 0}, Grad: geom.Vec{X: 1}}, false},
+		{"far apart", Report{LevelIndex: 1, Pos: geom.Point{X: 10, Y: 0}, Grad: geom.Vec{X: 1}}, false},
+		{"large angle", Report{LevelIndex: 1, Pos: geom.Point{X: 1, Y: 0}, Grad: geom.Vec{Y: 1}}, false},
+		{"just above angle threshold", Report{LevelIndex: 1, Pos: geom.Point{X: 1, Y: 0},
+			Grad: geom.Vec{X: math.Cos(geom.Radians(31)), Y: math.Sin(geom.Radians(31))}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := fc.Redundant(a, tt.b); got != tt.want {
+				t.Errorf("redundant = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSeparationMetrics(t *testing.T) {
+	a := Report{Pos: geom.Point{X: 0, Y: 0}, Grad: geom.Vec{X: 1}}
+	b := Report{Pos: geom.Point{X: 3, Y: 4}, Grad: geom.Vec{Y: 1}}
+	if got := DistanceSeparation(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("DistanceSeparation = %v, want 5", got)
+	}
+	if got := AngularSeparation(a, b); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("AngularSeparation = %v, want pi/2", got)
+	}
+}
+
+func TestDeliverNoFilterKeepsAll(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	tree := buildTree(t, nw)
+	generated := DetectIsolineNodes(nw, q, nil)
+	c := metrics.NewCounters(nw.Len())
+	got := DeliverReports(tree, generated, FilterConfig{Enabled: false}, c)
+	if len(got) != len(generated) {
+		t.Errorf("unfiltered delivery lost reports: %d of %d", len(got), len(generated))
+	}
+	if c.SinkReports != int64(len(got)) {
+		t.Errorf("SinkReports = %d, want %d", c.SinkReports, len(got))
+	}
+}
+
+func TestDeliverFilterReducesReports(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	tree := buildTree(t, nw)
+	generated := DetectIsolineNodes(nw, q, nil)
+	if len(generated) < 20 {
+		t.Fatalf("too few generated reports: %d", len(generated))
+	}
+	cNone := metrics.NewCounters(nw.Len())
+	all := DeliverReports(tree, generated, FilterConfig{Enabled: false}, cNone)
+	cFilt := metrics.NewCounters(nw.Len())
+	filtered := DeliverReports(tree, generated, DefaultFilterConfig(), cFilt)
+	if len(filtered) >= len(all) {
+		t.Errorf("filtering did not reduce reports: %d vs %d", len(filtered), len(all))
+	}
+	if cFilt.TotalTxBytes() >= cNone.TotalTxBytes() {
+		t.Errorf("filtering did not reduce traffic: %d vs %d", cFilt.TotalTxBytes(), cNone.TotalTxBytes())
+	}
+	// Filtering must charge comparison ops somewhere.
+	if cFilt.TotalOps() == 0 {
+		t.Error("filtering charged no ops")
+	}
+}
+
+func TestDeliverTighterThresholdsFilterMore(t *testing.T) {
+	nw, _, q := defaultSetup(t, 2500, 1)
+	tree := buildTree(t, nw)
+	generated := DetectIsolineNodes(nw, q, nil)
+	var prev = len(generated) + 1
+	for _, sd := range []float64{0, 2, 4, 8} {
+		fc := FilterConfig{Enabled: true, MaxAngle: geom.Radians(30), MaxDist: sd}
+		got := DeliverReports(tree, generated, fc, nil)
+		if len(got) > prev {
+			t.Errorf("sd=%v delivered %d > previous %d (should be monotone non-increasing)", sd, len(got), prev)
+		}
+		prev = len(got)
+	}
+}
+
+func TestDeliverSurvivorsSpreadAlongIsoline(t *testing.T) {
+	// After filtering, no two surviving same-level reports may be mutually
+	// redundant... note the paper's filter only guarantees this pairwise at
+	// the nodes where reports meet; survivors meeting only at the sink are
+	// all retained. At minimum, survivors must not be *identical*.
+	nw, _, q := defaultSetup(t, 2500, 1)
+	tree := buildTree(t, nw)
+	generated := DetectIsolineNodes(nw, q, nil)
+	got := DeliverReports(tree, generated, DefaultFilterConfig(), nil)
+	seen := make(map[network.NodeID]map[int]bool)
+	for _, r := range got {
+		if seen[r.Source] == nil {
+			seen[r.Source] = make(map[int]bool)
+		}
+		if seen[r.Source][r.LevelIndex] {
+			t.Fatalf("duplicate delivery of %v", r)
+		}
+		seen[r.Source][r.LevelIndex] = true
+	}
+}
+
+func TestDeliverDropsUnreachableSources(t *testing.T) {
+	nw, _, _ := defaultSetup(t, 100, 2)
+	tree := buildTree(t, nw)
+	fake := Report{Level: 8, LevelIndex: 1, Pos: geom.Point{X: 1, Y: 1}, Grad: geom.Vec{X: 1}, Source: -1}
+	got := DeliverReports(tree, []Report{fake}, FilterConfig{Enabled: false}, nil)
+	if len(got) != 0 {
+		t.Errorf("report from bogus source delivered: %v", got)
+	}
+}
+
+func TestDisseminateQueryChargesTree(t *testing.T) {
+	nw, _, _ := defaultSetup(t, 500, 3)
+	tree := buildTree(t, nw)
+	c := metrics.NewCounters(nw.Len())
+	reached := DisseminateQuery(tree, c)
+	if reached != tree.ReachableCount() {
+		t.Errorf("reached = %d, want %d", reached, tree.ReachableCount())
+	}
+	// Every non-root reachable node received the query exactly once.
+	var rx int64
+	for i := 0; i < nw.Len(); i++ {
+		rx += c.RxBytes(network.NodeID(i))
+	}
+	want := int64(QueryBytes) * int64(tree.ReachableCount()-1)
+	if rx != want {
+		t.Errorf("total query rx = %d, want %d", rx, want)
+	}
+}
+
+func TestDefaultFilterConfig(t *testing.T) {
+	fc := DefaultFilterConfig()
+	if !fc.Enabled {
+		t.Error("default filter should be enabled")
+	}
+	if math.Abs(geom.Degrees(fc.MaxAngle)-30) > 1e-9 {
+		t.Errorf("MaxAngle = %v degrees, want 30", geom.Degrees(fc.MaxAngle))
+	}
+	if fc.MaxDist != 4 {
+		t.Errorf("MaxDist = %v, want 4", fc.MaxDist)
+	}
+}
+
+var _ = field.Levels{} // keep field import when build tags change

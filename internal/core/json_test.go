@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := Report{
+		Level:      8,
+		LevelIndex: 1,
+		Pos:        geom.Point{X: 12.5, Y: 33.25},
+		Grad:       geom.Vec{X: -0.5, Y: 0.25},
+		Source:     42,
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"level"`, `"levelIndex"`, `"pos"`, `"grad"`, `"source"`, `"x"`, `"y"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled report missing %s: %s", key, data)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip: got %+v, want %+v", back, r)
+	}
+}
+
+func TestReportSliceJSON(t *testing.T) {
+	reports := []Report{
+		{Level: 6, LevelIndex: 0, Pos: geom.Point{X: 1, Y: 2}, Grad: geom.Vec{X: 1}, Source: 1},
+		{Level: 8, LevelIndex: 1, Pos: geom.Point{X: 3, Y: 4}, Grad: geom.Vec{Y: 1}, Source: 2},
+	}
+	data, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != reports[0] || back[1] != reports[1] {
+		t.Errorf("slice round trip mismatch: %+v", back)
+	}
+}

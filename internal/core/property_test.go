@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+func TestRedundantSymmetricProperty(t *testing.T) {
+	fc := DefaultFilterConfig()
+	f := func(ax, ay, agx, agy, bx, by, bgx, bgy float64, sameLevel bool) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return math.Mod(v, 50)
+		}
+		a := Report{
+			LevelIndex: 1,
+			Pos:        geom.Point{X: norm(ax), Y: norm(ay)},
+			Grad:       geom.Vec{X: norm(agx), Y: norm(agy)},
+		}
+		b := Report{
+			LevelIndex: 1,
+			Pos:        geom.Point{X: norm(bx), Y: norm(by)},
+			Grad:       geom.Vec{X: norm(bgx), Y: norm(bgy)},
+		}
+		if !sameLevel {
+			b.LevelIndex = 2
+		}
+		return fc.Redundant(a, b) == fc.Redundant(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidateLevelsWithinEpsilonProperty(t *testing.T) {
+	q, err := NewQueryEpsilon(field.Levels{Low: 0, High: 20, Step: 2}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := q.Levels.Values()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Mod(raw, 40)
+		for _, idx := range q.CandidateLevels(v) {
+			if idx < 0 || idx >= len(values) {
+				return false
+			}
+			if math.Abs(values[idx]-v) > q.Epsilon+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegressionRecoversRandomPlanesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		c0 := rng.Float64()*20 - 10
+		c1 := rng.Float64()*4 - 2
+		c2 := rng.Float64()*4 - 2
+		n := 4 + rng.Intn(12)
+		samples := make([]Sample, n)
+		for i := range samples {
+			p := geom.Point{X: rng.Float64() * 5, Y: rng.Float64() * 5}
+			samples[i] = Sample{Pos: p, Value: c0 + c1*p.X + c2*p.Y}
+		}
+		d, err := GradientByRegression(samples)
+		if err != nil {
+			// Random collinear sets are possible but vanishingly rare;
+			// treat as a skip.
+			continue
+		}
+		want := geom.Vec{X: -c1, Y: -c2}
+		if d.Sub(want).Norm() > 1e-6*(1+want.Norm()) {
+			t.Fatalf("trial %d: d = %v, want %v", trial, d, want)
+		}
+	}
+}
+
+func TestFilterNeverIncreasesReportsProperty(t *testing.T) {
+	// DeliverReports output size is bounded by its input size for any
+	// threshold combination.
+	nw, _, q := defaultSetup(t, 900, 3)
+	tree := buildTree(t, nw)
+	generated := DetectIsolineNodes(nw, q, nil)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		fc := FilterConfig{
+			Enabled:  true,
+			MaxAngle: rng.Float64() * math.Pi,
+			MaxDist:  rng.Float64() * 10,
+		}
+		got := DeliverReports(tree, generated, fc, nil)
+		if len(got) > len(generated) {
+			t.Fatalf("filter grew reports: %d > %d", len(got), len(generated))
+		}
+		// Every delivered report is one of the generated ones.
+		seen := make(map[Report]bool, len(generated))
+		for _, r := range generated {
+			seen[r] = true
+		}
+		for _, r := range got {
+			if !seen[r] {
+				t.Fatalf("delivered report %v was never generated", r)
+			}
+		}
+	}
+}
+
+func TestSeparationMetricsNonNegativeProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 100)
+		}
+		a := Report{Pos: geom.Point{X: norm(ax), Y: norm(ay)}, Grad: geom.Vec{X: 1}}
+		b := Report{Pos: geom.Point{X: norm(bx), Y: norm(by)}, Grad: geom.Vec{Y: 1}}
+		return DistanceSeparation(a, b) >= 0 && AngularSeparation(a, b) >= 0 &&
+			AngularSeparation(a, b) <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

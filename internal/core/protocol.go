@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"isomap/internal/field"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// Result summarizes one Iso-Map protocol round.
+type Result struct {
+	// Reports are the isoline reports received at the sink after
+	// in-network filtering.
+	Reports []Report
+	// Generated is the number of reports produced by isoline nodes before
+	// filtering.
+	Generated int
+	// IsolineNodes is the number of distinct nodes that appointed
+	// themselves isoline nodes.
+	IsolineNodes int
+	// SinkValue is the attribute value sensed at the sink itself; the
+	// reconstruction uses it to disambiguate isolevels with no reports.
+	SinkValue float64
+	// Counters holds the per-node communication and computation costs of
+	// the round.
+	Counters *metrics.Counters
+}
+
+// Run executes one full Iso-Map round over an already-built routing tree:
+// sensing, query dissemination, isoline-node appointment and measurement,
+// and filtered report delivery (Sec. 3.1-3.5). The caller reconstructs the
+// map from Result.Reports with internal/contour.
+func Run(tree *routing.Tree, f field.Field, q Query, fc FilterConfig) (*Result, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil routing tree")
+	}
+	tree.Network().Sense(f)
+	return RunSensed(tree, q, fc)
+}
+
+// Detector is an isoline-node appointment policy: Definition 3.1's border
+// band (DetectIsolineNodes, the paper's) or the edge-based election
+// (DetectIsolineNodesEdgeBased).
+type Detector func(nw *network.Network, q Query, c *metrics.Counters) []Report
+
+// RunSensed executes a protocol round over the node values already present
+// in the network — the entry point when the caller controls sensing (e.g.
+// network.SenseWithNoise for imperfect hardware).
+func RunSensed(tree *routing.Tree, q Query, fc FilterConfig) (*Result, error) {
+	return RunSensedWithDetector(tree, q, fc, DetectIsolineNodes)
+}
+
+// RunSensedWithDetector is RunSensed with an explicit appointment policy.
+func RunSensedWithDetector(tree *routing.Tree, q Query, fc FilterConfig, detect Detector) (*Result, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: nil routing tree")
+	}
+	if detect == nil {
+		detect = DetectIsolineNodes
+	}
+	nw := tree.Network()
+
+	c := metrics.NewCounters(nw.Len())
+	DisseminateQuery(tree, c)
+
+	generated := detect(nw, q, c)
+
+	// Reports from nodes with no route to the sink are lost (matters for
+	// the failure sweeps of Figs. 11b/12b).
+	routable := make([]Report, 0, len(generated))
+	for _, r := range generated {
+		if tree.Reachable(r.Source) {
+			routable = append(routable, r)
+		}
+	}
+
+	received := DeliverReports(tree, routable, fc, c)
+
+	distinct := make(map[int]struct{}, len(generated))
+	for _, r := range generated {
+		distinct[int(r.Source)] = struct{}{}
+	}
+
+	return &Result{
+		Reports:      received,
+		Generated:    len(generated),
+		IsolineNodes: len(distinct),
+		SinkValue:    nw.Node(tree.Root()).Value,
+		Counters:     c,
+	}, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/network"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	nw, f, q := defaultSetup(t, 2500, 1)
+	tree := buildTree(t, nw)
+	res, err := Run(tree, f, q, DefaultFilterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports at sink")
+	}
+	if res.Generated < len(res.Reports) {
+		t.Errorf("Generated (%d) < delivered (%d)", res.Generated, len(res.Reports))
+	}
+	if res.IsolineNodes == 0 || res.IsolineNodes > res.Generated {
+		t.Errorf("IsolineNodes = %d incoherent with Generated = %d", res.IsolineNodes, res.Generated)
+	}
+	if res.Counters == nil || res.Counters.TotalTxBytes() == 0 {
+		t.Error("counters not populated")
+	}
+	// The sink's own sensed value is recorded.
+	sinkNode := tree.Network().Node(tree.Root())
+	if res.SinkValue != sinkNode.Value {
+		t.Errorf("SinkValue = %v, want %v", res.SinkValue, sinkNode.Value)
+	}
+}
+
+func TestRunNilTree(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(nil, f, q, DefaultFilterConfig()); err == nil {
+		t.Error("want error for nil tree")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	nw, f, q := defaultSetup(t, 1000, 9)
+	tree := buildTree(t, nw)
+	r1, err := Run(tree, f, q, DefaultFilterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(tree, f, q, DefaultFilterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Reports) != len(r2.Reports) || r1.Generated != r2.Generated {
+		t.Errorf("non-deterministic run: %d/%d vs %d/%d",
+			len(r1.Reports), r1.Generated, len(r2.Reports), r2.Generated)
+	}
+}
+
+func TestRunTrafficScalesSublinearly(t *testing.T) {
+	// The headline claim: Iso-Map reporting is O(sqrt n). The filtered
+	// report stream received at the sink is proportional to total isoline
+	// length (the s_d threshold caps report density per unit of isoline),
+	// which grows like sqrt(n) for geometrically similar fields at
+	// constant density. Compare sink-received reports at two field sizes:
+	// the 4x-node field should deliver roughly 2x, clearly below 4x.
+	counts := make(map[float64]int)
+	for _, side := range []float64{25, 50} {
+		cfg := field.DefaultSeabedConfig()
+		// Scale the surface features with the field so the contour
+		// structure is geometrically similar at both sizes, as Theorem
+		// 4.1's constant-K assumption requires.
+		scale := side / cfg.Width
+		cfg.Width, cfg.Height = side, side
+		cfg.SigmaMin *= scale
+		cfg.SigmaMax *= scale
+		f := field.NewSeabed(cfg)
+		n := int(side * side)
+		nwSide, err := network.DeployUniform(n, f, 1.5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nwSide.Sense(f)
+		tree := buildTree(t, nwSide)
+		q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tree, f, q, DefaultFilterConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[side] = len(res.Reports)
+		// Report generation stays far below the node count regardless.
+		if res.Generated > n/4 {
+			t.Errorf("side %v: %d generated reports for %d nodes — not sparse", side, res.Generated, n)
+		}
+	}
+	if counts[25] == 0 {
+		t.Fatal("no reports on small field")
+	}
+	ratio := float64(counts[50]) / float64(counts[25])
+	if ratio > 3 {
+		t.Errorf("received-report growth ratio %v for 4x nodes — not O(sqrt n)-like (counts %v)", ratio, counts)
+	}
+}

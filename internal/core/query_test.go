@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+)
+
+func TestNewQueryDefaults(t *testing.T) {
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epsilon != 0.1 {
+		t.Errorf("Epsilon = %v, want 0.1 (5%% of T)", q.Epsilon)
+	}
+}
+
+func TestNewQueryValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		levels  field.Levels
+		eps     float64
+		wantErr bool
+	}{
+		{"ok", field.Levels{Low: 0, High: 10, Step: 2}, 0.1, false},
+		{"zero step", field.Levels{Low: 0, High: 10, Step: 0}, 0.1, true},
+		{"inverted", field.Levels{Low: 10, High: 0, Step: 2}, 0.1, true},
+		{"zero eps", field.Levels{Low: 0, High: 10, Step: 2}, 0, true},
+		{"eps too wide", field.Levels{Low: 0, High: 10, Step: 2}, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewQueryEpsilon(tt.levels, tt.eps)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCandidateLevels(t *testing.T) {
+	q, err := NewQueryEpsilon(field.Levels{Low: 6, High: 12, Step: 2}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		v    float64
+		want []int
+	}{
+		{6.0, []int{0}},
+		{6.05, []int{0}},
+		{6.1, []int{0}},
+		{6.2, nil},
+		{7.95, []int{1}},
+		{12.0, []int{3}},
+		{12.2, nil},
+		{5.85, nil},
+	}
+	for _, tt := range tests {
+		got := q.CandidateLevels(tt.v)
+		if len(got) != len(tt.want) {
+			t.Errorf("CandidateLevels(%v) = %v, want %v", tt.v, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("CandidateLevels(%v) = %v, want %v", tt.v, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestCandidateLevelsAtMostOneWithNarrowEps(t *testing.T) {
+	q, err := NewQuery(field.Levels{Low: 0, High: 20, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := -1.0; v <= 21; v += 0.013 {
+		if got := q.CandidateLevels(v); len(got) > 1 {
+			t.Fatalf("CandidateLevels(%v) matched %d levels", v, len(got))
+		}
+	}
+}

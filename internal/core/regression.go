@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"isomap/internal/geom"
+)
+
+// Sample is one <position, value> tuple collected from the neighborhood for
+// local spatial modeling.
+type Sample struct {
+	Pos   geom.Point
+	Value float64
+}
+
+// ErrDegenerateRegression is returned when the neighborhood samples do not
+// span a plane (fewer than three non-collinear points), so no gradient can
+// be estimated.
+var ErrDegenerateRegression = errors.New("core: regression samples are degenerate")
+
+// GradientByRegression fits the linear model v = c0 + c1*x + c2*y to the
+// samples by least squares (Eq. 2 of the paper: solving A w = b with
+// A = V^T V, b = V^T v) and returns the gradient direction
+// d = -(c1, c2)^T (Eq. 3) — the direction of steepest value decrease.
+//
+// The sample slice must include the isoline node's own reading; the paper's
+// n+1 points are the node plus its n neighbors.
+func GradientByRegression(samples []Sample) (geom.Vec, error) {
+	if len(samples) < 3 {
+		return geom.Vec{}, ErrDegenerateRegression
+	}
+	// Shift coordinates to the centroid for numerical stability; the
+	// gradient (c1, c2) is invariant under translation.
+	var mx, my float64
+	for _, s := range samples {
+		mx += s.Pos.X
+		my += s.Pos.Y
+	}
+	mx /= float64(len(samples))
+	my /= float64(len(samples))
+
+	// Accumulate the normal-equation sums.
+	var (
+		n            = float64(len(samples))
+		sx, sy       float64
+		sxx, syy     float64
+		sxy          float64
+		sv, sxv, syv float64
+	)
+	for _, s := range samples {
+		x := s.Pos.X - mx
+		y := s.Pos.Y - my
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		sv += s.Value
+		sxv += x * s.Value
+		syv += y * s.Value
+	}
+
+	a := [3][4]float64{
+		{n, sx, sy, sv},
+		{sx, sxx, sxy, sxv},
+		{sy, sxy, syy, syv},
+	}
+	w, err := solve3(a)
+	if err != nil {
+		return geom.Vec{}, err
+	}
+	return geom.Vec{X: -w[1], Y: -w[2]}, nil
+}
+
+// solve3 solves a 3x3 augmented linear system by Gaussian elimination with
+// partial pivoting.
+func solve3(a [3][4]float64) ([3]float64, error) {
+	const tol = 1e-12
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < tol {
+			return [3]float64{}, ErrDegenerateRegression
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < 3; r++ {
+			factor := a[r][col] / a[col][col]
+			for c := col; c < 4; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+		}
+	}
+	var w [3]float64
+	for col := 2; col >= 0; col-- {
+		sum := a[col][3]
+		for c := col + 1; c < 3; c++ {
+			sum -= a[col][c] * w[c]
+		}
+		w[col] = sum / a[col][col]
+	}
+	return w, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+func TestGradientByRegressionExactPlane(t *testing.T) {
+	// v = 3 + 2x - y: gradient (2,-1), so d = (-2, 1).
+	var samples []Sample
+	for _, p := range []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 0.5, Y: 0.3}} {
+		samples = append(samples, Sample{Pos: p, Value: 3 + 2*p.X - p.Y})
+	}
+	d, err := GradientByRegression(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.X+2) > 1e-9 || math.Abs(d.Y-1) > 1e-9 {
+		t.Errorf("d = %v, want <-2, 1>", d)
+	}
+}
+
+func TestGradientByRegressionNoisyPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var samples []Sample
+	for i := 0; i < 30; i++ {
+		p := geom.Point{X: rng.Float64() * 3, Y: rng.Float64() * 3}
+		noise := rng.NormFloat64() * 0.01
+		samples = append(samples, Sample{Pos: p, Value: 5 - p.X + 4*p.Y + noise})
+	}
+	d, err := GradientByRegression(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.Vec{X: 1, Y: -4}
+	if ang := d.AngleBetween(want); ang > 0.02 {
+		t.Errorf("direction error %v rad, d = %v", ang, d)
+	}
+}
+
+func TestGradientByRegressionDegenerate(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []Sample
+	}{
+		{"too few", []Sample{{Pos: geom.Point{}, Value: 1}, {Pos: geom.Point{X: 1}, Value: 2}}},
+		{"collinear", []Sample{
+			{Pos: geom.Point{X: 0}, Value: 1},
+			{Pos: geom.Point{X: 1}, Value: 2},
+			{Pos: geom.Point{X: 2}, Value: 3},
+			{Pos: geom.Point{X: 3}, Value: 4},
+		}},
+		{"coincident", []Sample{
+			{Pos: geom.Point{X: 1, Y: 1}, Value: 1},
+			{Pos: geom.Point{X: 1, Y: 1}, Value: 2},
+			{Pos: geom.Point{X: 1, Y: 1}, Value: 3},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := GradientByRegression(tt.samples); !errors.Is(err, ErrDegenerateRegression) {
+				t.Errorf("want ErrDegenerateRegression, got %v", err)
+			}
+		})
+	}
+}
+
+func TestGradientTranslationInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		var base, shifted []Sample
+		shift := geom.Vec{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		for i := 0; i < 10; i++ {
+			p := geom.Point{X: rng.Float64() * 2, Y: rng.Float64() * 2}
+			v := rng.Float64() * 10
+			base = append(base, Sample{Pos: p, Value: v})
+			shifted = append(shifted, Sample{Pos: p.Add(shift), Value: v})
+		}
+		d1, err1 := GradientByRegression(base)
+		d2, err2 := GradientByRegression(shifted)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("translation changed degeneracy: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if d1.Sub(d2).Norm() > 1e-6*(1+d1.Norm()) {
+			t.Fatalf("translation changed gradient: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestGradientPointsDownhill(t *testing.T) {
+	// On v = x^2 + y^2 near (1, 0), d must point roughly toward -x.
+	var samples []Sample
+	pts := []geom.Point{
+		{X: 0.9, Y: 0}, {X: 1.1, Y: 0}, {X: 1, Y: 0.1}, {X: 1, Y: -0.1}, {X: 1, Y: 0},
+	}
+	for _, p := range pts {
+		samples = append(samples, Sample{Pos: p, Value: p.X*p.X + p.Y*p.Y})
+	}
+	d, err := GradientByRegression(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.X >= 0 {
+		t.Errorf("d = %v should point downhill (negative x)", d)
+	}
+}
+
+func TestSolve3Identity(t *testing.T) {
+	a := [3][4]float64{
+		{1, 0, 0, 5},
+		{0, 1, 0, -2},
+		{0, 0, 1, 7},
+	}
+	w, err := solve3(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [3]float64{5, -2, 7} {
+		t.Errorf("w = %v", w)
+	}
+}
+
+func TestSolve3NeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := [3][4]float64{
+		{0, 1, 0, 2},
+		{1, 0, 0, 3},
+		{0, 0, 1, 4},
+	}
+	w, err := solve3(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [3]float64{3, 2, 4} {
+		t.Errorf("w = %v", w)
+	}
+}
+
+func TestSolve3Singular(t *testing.T) {
+	a := [3][4]float64{
+		{1, 2, 3, 1},
+		{2, 4, 6, 2},
+		{0, 0, 1, 1},
+	}
+	if _, err := solve3(a); err == nil {
+		t.Error("want error for singular system")
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+// Report is an isoline node's 3-tuple report r = <v, p, d> (Sec. 3.3): the
+// isolevel, the node position, and the local gradient direction. Source and
+// LevelIndex are carried for bookkeeping; on the wire the report occupies
+// ReportBytes.
+type Report struct {
+	// Level is the isolevel v the node sits on.
+	Level float64 `json:"level"`
+	// LevelIndex is Level's index in the query's isolevel scheme.
+	LevelIndex int `json:"levelIndex"`
+	// Pos is the isoposition p.
+	Pos geom.Point `json:"pos"`
+	// Grad is the gradient direction d = -grad(f): the direction in which
+	// the attribute value most degrades. The isoline's normal direction.
+	Grad geom.Vec `json:"grad"`
+	// Source identifies the reporting isoline node.
+	Source network.NodeID `json:"source"`
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("report{v=%.3g p=%v d=%v from=%d}", r.Level, r.Pos, r.Grad, r.Source)
+}
+
+// AngularSeparation returns s_a: the unsigned angle between the gradient
+// directions of two reports (Sec. 3.5).
+func AngularSeparation(a, b Report) float64 {
+	return a.Grad.AngleBetween(b.Grad)
+}
+
+// DistanceSeparation returns s_d: the distance between the isopositions of
+// two reports.
+func DistanceSeparation(a, b Report) float64 {
+	return a.Pos.DistTo(b.Pos)
+}

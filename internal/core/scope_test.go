@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+func TestHopScopeDefault(t *testing.T) {
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.HopScope != 1 {
+		t.Errorf("HopScope = %d, want 1", q.HopScope)
+	}
+	q.HopScope = 0
+	if got := q.scope(); got != 1 {
+		t.Errorf("scope() with 0 = %d, want 1", got)
+	}
+	q.HopScope = 3
+	if got := q.scope(); got != 3 {
+		t.Errorf("scope() = %d, want 3", got)
+	}
+}
+
+// scopeSetup deploys a sparse network where wider regression scopes pay
+// off (Sec. 3.3: "adjusted within k-hop neighbors for different sensor
+// deployment densities").
+func scopeSetup(t *testing.T) (*network.Network, field.Field) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(900, f, 2.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	return nw, f
+}
+
+func TestWiderScopeUsesMoreSamplesAndTraffic(t *testing.T) {
+	nw, _ := scopeSetup(t)
+	q1, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := q1
+	q2.HopScope = 2
+
+	c1 := metrics.NewCounters(nw.Len())
+	r1 := DetectIsolineNodes(nw, q1, c1)
+	c2 := metrics.NewCounters(nw.Len())
+	r2 := DetectIsolineNodes(nw, q2, c2)
+
+	// Same isoline nodes are appointed (detection is always 1-hop)...
+	if len(r1) != len(r2) {
+		t.Errorf("report counts differ across scopes: %d vs %d", len(r1), len(r2))
+	}
+	// ...but the wider probe costs more local traffic and computation.
+	if c2.TotalRxBytes() <= c1.TotalRxBytes() {
+		t.Errorf("2-hop probe rx %d not above 1-hop %d", c2.TotalRxBytes(), c1.TotalRxBytes())
+	}
+	if c2.TotalOps() <= c1.TotalOps() {
+		t.Errorf("2-hop ops %d not above 1-hop %d", c2.TotalOps(), c1.TotalOps())
+	}
+}
+
+func TestWiderScopeGradientsStillAccurate(t *testing.T) {
+	nw, f := scopeSetup(t)
+	q, err := NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.HopScope = 2
+	reports := DetectIsolineNodes(nw, q, nil)
+	if len(reports) < 5 {
+		t.Fatalf("too few reports: %d", len(reports))
+	}
+	var sum float64
+	for _, r := range reports {
+		trueDown := field.GradientAt(f, r.Pos.X, r.Pos.Y).Neg()
+		sum += geom.Degrees(r.Grad.AngleBetween(trueDown))
+	}
+	if mean := sum / float64(len(reports)); mean > 20 {
+		t.Errorf("2-hop scope mean gradient error %v degrees", mean)
+	}
+}

@@ -1,0 +1,190 @@
+package desim
+
+import (
+	"fmt"
+
+	"isomap/internal/core"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// CollectionResult is the outcome of a packet-level report collection.
+type CollectionResult struct {
+	// Delivered are the reports that reached the sink, in arrival order.
+	Delivered []core.Report
+	// CompletionSeconds is the time the last report arrived.
+	CompletionSeconds float64
+	// Radio exposes the link-layer statistics of the run.
+	Radio RadioStats
+	// Counters holds the physical tx/rx charges (retries and acks
+	// included) when collection was created with accounting.
+	Counters *metrics.Counters
+	// Events is the number of simulator events executed.
+	Events int64
+}
+
+// CollectReports executes the delivery phase of an Iso-Map round on the
+// discrete-event radio: every source injects its reports at a jittered
+// start, every tree node forwards (and, with fc enabled, filters) each
+// frame toward the sink as it arrives. It is the packet-level counterpart
+// of core.DeliverReports.
+func CollectReports(tree *routing.Tree, reports []core.Report, fc core.FilterConfig, cfg RadioConfig) (*CollectionResult, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("desim: nil routing tree")
+	}
+	nw := tree.Network()
+	eng := NewEngine()
+	counters := metrics.NewCounters(nw.Len())
+	radio, err := NewRadio(eng, nw, cfg, counters)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CollectionResult{Counters: counters}
+	// Per-node kept reports: the filter state each node compares against.
+	kept := make(map[network.NodeID][]core.Report, len(reports))
+	// Per-node outbox: reports awaiting the next flush toward the parent.
+	// Batching arrivals into one frame keeps the contention near the sink
+	// manageable, as real convergecast implementations do.
+	outbox := make(map[network.NodeID][]core.Report)
+	flushArmed := make(map[network.NodeID]bool)
+	const flushDelaySlots = 6
+
+	// seen tracks exact report identity per node: transport-layer
+	// re-queues after lost acks can replay a batch the node already
+	// relayed, and replays must not propagate twice.
+	seen := make(map[network.NodeID]map[core.Report]bool)
+
+	// accept dedups exact replays and applies in-network filtering at a
+	// node, returning the fresh subset and updating the node's state.
+	accept := func(at network.NodeID, incoming []core.Report) []core.Report {
+		if seen[at] == nil {
+			seen[at] = make(map[core.Report]bool)
+		}
+		var fresh []core.Report
+		for _, r := range incoming {
+			if seen[at][r] {
+				continue
+			}
+			seen[at][r] = true
+			if !fc.Enabled {
+				kept[at] = append(kept[at], r)
+				fresh = append(fresh, r)
+				continue
+			}
+			dup := false
+			for _, k := range kept[at] {
+				counters.ChargeOps(at, core.OpsFilterPerComparison)
+				if fc.Redundant(k, r) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept[at] = append(kept[at], r)
+				fresh = append(fresh, r)
+			}
+		}
+		return fresh
+	}
+
+	// forward queues a report batch at a node and arms its flush: one
+	// frame per flush carries everything queued meanwhile.
+	forward := func(from network.NodeID, batch []core.Report) {
+		if len(batch) == 0 {
+			return
+		}
+		parent := tree.Parent(from)
+		if parent < 0 {
+			return
+		}
+		outbox[from] = append(outbox[from], batch...)
+		if flushArmed[from] {
+			return
+		}
+		flushArmed[from] = true
+		// Stagger flushes per node to decorrelate relay bursts.
+		delay := float64(flushDelaySlots+int(from)%5) * cfg.SlotTime
+		eng.Schedule(delay, func() {
+			flushArmed[from] = false
+			pending := outbox[from]
+			delete(outbox, from)
+			if len(pending) == 0 {
+				return
+			}
+			_ = radio.Send(from, parent, core.ReportBytes*len(pending), pending)
+		})
+	}
+
+	// Transport-layer recovery: a batch abandoned by the link layer goes
+	// back into its sender's outbox and is flushed again after a pause,
+	// so sustained contention delays reports rather than losing them.
+	radio.OnDrop(func(f Frame) {
+		batch, ok := f.Payload.([]core.Report)
+		if !ok {
+			return
+		}
+		eng.Schedule(32*cfg.SlotTime, func() { forward(f.From, batch) })
+	})
+
+	// Install the receive handlers: filter, then deliver or relay.
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !tree.Reachable(id) {
+			continue
+		}
+		nodeID := id
+		radio.OnReceive(nodeID, func(f Frame) {
+			batch, ok := f.Payload.([]core.Report)
+			if !ok {
+				return
+			}
+			fresh := accept(nodeID, batch)
+			if nodeID == tree.Root() {
+				res.Delivered = append(res.Delivered, fresh...)
+				if len(fresh) > 0 {
+					res.CompletionSeconds = eng.Now()
+				}
+				return
+			}
+			forward(nodeID, fresh)
+		})
+	}
+
+	// Inject every source's reports with a small deterministic jitter to
+	// de-synchronize first transmissions.
+	bySource := make(map[network.NodeID][]core.Report, len(reports))
+	for _, r := range reports {
+		if tree.Reachable(r.Source) {
+			bySource[r.Source] = append(bySource[r.Source], r)
+		}
+	}
+	jitter := 0
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		batch, ok := bySource[id]
+		if !ok {
+			continue
+		}
+		jitter++
+		src := id
+		b := batch
+		// Spread source injections widely: simultaneous first
+		// transmissions across the field are what collision storms feed
+		// on.
+		eng.Schedule(float64(jitter*3%256)*cfg.SlotTime, func() {
+			fresh := accept(src, b)
+			if src == tree.Root() {
+				res.Delivered = append(res.Delivered, fresh...)
+				return
+			}
+			forward(src, fresh)
+		})
+	}
+
+	eng.Run()
+	res.Radio = radio.Stats
+	res.Events = eng.Steps()
+	return res, nil
+}

@@ -1,0 +1,104 @@
+// Package desim is a discrete-event, packet-level execution engine for
+// the sensor network: an event queue, a CSMA/CA radio model with
+// collisions, acknowledgements and retransmissions, and a convergecast
+// that carries Iso-Map reports to the sink frame by frame.
+//
+// The structural simulation (internal/core's post-order delivery) charges
+// costs without a notion of time or contention; desim executes the same
+// collection as actual transmissions, validating the structural results
+// and measuring what they cannot: real collection latency under
+// contention, retry counts, and collision losses. The paper itself
+// assumes a perfect link layer (Sec. 5); desim is the machinery to check
+// how far from perfect a contended CSMA collection is.
+package desim
+
+import "container/heap"
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+	steps int64
+}
+
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// Schedule enqueues fn to run delay seconds from now. Non-positive delays
+// run at the current time, after already-queued same-time events
+// (insertion order is preserved among equal timestamps).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at absolute time t (clamped to now).
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{t: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the
+// clock to the deadline. Later events stay queued.
+func (e *Engine) RunUntil(deadline float64) {
+	for e.queue.Len() > 0 && e.queue[0].t <= deadline {
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.t
+	e.steps++
+	ev.fn()
+}

@@ -1,0 +1,84 @@
+package desim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(2, func() { order = append(order, 2) })
+	eng.Schedule(1, func() { order = append(order, 1) })
+	eng.Schedule(3, func() { order = append(order, 3) })
+	end := eng.Run()
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if eng.Steps() != 3 {
+		t.Errorf("Steps = %d", eng.Steps())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(1, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var hits []float64
+	eng.Schedule(1, func() {
+		hits = append(hits, eng.Now())
+		eng.Schedule(1, func() { hits = append(hits, eng.Now()) })
+	})
+	eng.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.Schedule(5, func() {
+		eng.Schedule(-10, func() { ran = true })
+	})
+	end := eng.Run()
+	if !ran {
+		t.Error("negative-delay event never ran")
+	}
+	if end != 5 {
+		t.Errorf("clock went backwards: %v", end)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine()
+	var hits []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		eng.Schedule(d, func() { hits = append(hits, d) })
+	}
+	eng.RunUntil(2.5)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v, want events <= 2.5", hits)
+	}
+	if eng.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", eng.Now())
+	}
+	eng.Run()
+	if len(hits) != 4 {
+		t.Errorf("remaining events lost: %v", hits)
+	}
+}

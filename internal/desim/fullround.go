@@ -1,0 +1,268 @@
+package desim
+
+import (
+	"fmt"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// queryPayload is the flooded contour query.
+type queryPayload struct{ q core.Query }
+
+// probePayload is an isoline node's neighborhood probe.
+type probePayload struct{ asker network.NodeID }
+
+// replyPayload is a neighbor's <value, position> answer to a probe.
+type replyPayload struct {
+	sample core.Sample
+}
+
+// RoundResult is the outcome of a full packet-level Iso-Map round.
+type RoundResult struct {
+	// QueryReached counts nodes that received the flooded query.
+	QueryReached int
+	// IsolineNodes counts nodes that appointed themselves.
+	IsolineNodes int
+	// Generated counts reports produced (after regression succeeded).
+	Generated int
+	// Delivered are the reports collected at the sink.
+	Delivered []core.Report
+	// QuerySeconds, MeasureSeconds and CollectSeconds are the phase
+	// completion times; TotalSeconds is the whole round.
+	QuerySeconds   float64
+	MeasureSeconds float64
+	CollectSeconds float64
+	TotalSeconds   float64
+	// Radio exposes the link-layer statistics.
+	Radio RadioStats
+}
+
+// RunFullRound executes an entire Iso-Map round on the discrete-event
+// radio: the sink floods the query (unacknowledged broadcast flood with
+// duplicate suppression), nodes whose readings fall in the border region
+// probe their neighborhood and run the regression when the replies are in,
+// and the resulting reports converge-cast to the sink with in-network
+// filtering. Every phase is made of real frames subject to carrier
+// sensing, collisions and loss.
+//
+// Phase boundaries are realized with guard times rather than global
+// barriers: a node starts its probe a fixed delay after hearing the query,
+// and flushes its report once its reply-collection window closes — as a
+// real deployment would, with no global clock.
+func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig) (*RoundResult, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("desim: nil routing tree")
+	}
+	nw := tree.Network()
+	nw.Sense(f)
+	eng := NewEngine()
+	radio, err := NewRadio(eng, nw, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &RoundResult{}
+
+	// Windows (in seconds) shaping the round: how long a node listens for
+	// probe replies before regressing, and the convergecast batching
+	// delay.
+	const (
+		probeDelay  = 0.05 // after hearing the query
+		replyWindow = 0.25 // reply collection span
+	)
+
+	// jitterFor spreads per-node delays quasi-uniformly over a window of
+	// slots, deterministically: synchronized rebroadcasts are what kill
+	// unacknowledged floods.
+	jitterFor := func(id network.NodeID, spreadSlots int) float64 {
+		h := uint64(id)*2654435761 + 97
+		h ^= h >> 13
+		return float64(1+h%uint64(spreadSlots)) * cfg.SlotTime
+	}
+
+	queryHeard := make([]bool, nw.Len())
+	samples := make(map[network.NodeID][]core.Sample)
+	kept := make(map[network.NodeID][]core.Report)
+	seenReports := make(map[network.NodeID]map[core.Report]bool)
+	outbox := make(map[network.NodeID][]core.Report)
+	flushArmed := make(map[network.NodeID]bool)
+
+	accept := func(at network.NodeID, incoming []core.Report) []core.Report {
+		if seenReports[at] == nil {
+			seenReports[at] = make(map[core.Report]bool)
+		}
+		var fresh []core.Report
+		for _, r := range incoming {
+			if seenReports[at][r] {
+				continue
+			}
+			seenReports[at][r] = true
+			if fc.Enabled {
+				dup := false
+				for _, k := range kept[at] {
+					if fc.Redundant(k, r) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+			}
+			kept[at] = append(kept[at], r)
+			fresh = append(fresh, r)
+		}
+		return fresh
+	}
+
+	forward := func(from network.NodeID, batch []core.Report) {}
+	forward = func(from network.NodeID, batch []core.Report) {
+		if len(batch) == 0 {
+			return
+		}
+		parent := tree.Parent(from)
+		if parent < 0 {
+			return
+		}
+		outbox[from] = append(outbox[from], batch...)
+		if flushArmed[from] {
+			return
+		}
+		flushArmed[from] = true
+		delay := float64(6+int(from)%5) * cfg.SlotTime
+		eng.Schedule(delay, func() {
+			flushArmed[from] = false
+			pending := outbox[from]
+			delete(outbox, from)
+			if len(pending) == 0 {
+				return
+			}
+			_ = radio.Send(from, parent, core.ReportBytes*len(pending), pending)
+		})
+	}
+	radio.OnDrop(func(fr Frame) {
+		if batch, ok := fr.Payload.([]core.Report); ok {
+			eng.Schedule(32*cfg.SlotTime, func() { forward(fr.From, batch) })
+		}
+	})
+
+	// measure runs Definition 3.1 + regression once a node's reply window
+	// closes, then injects the reports into the convergecast.
+	measure := func(id network.NodeID) {
+		node := nw.Node(id)
+		levels := q.Levels.Values()
+		var matched []int
+		for _, li := range q.CandidateLevels(node.Value) {
+			lambda := levels[li]
+			for _, s := range samples[id] {
+				if (node.Value < lambda && lambda < s.Value) || (s.Value < lambda && lambda < node.Value) {
+					matched = append(matched, li)
+					break
+				}
+			}
+		}
+		if len(matched) == 0 {
+			return
+		}
+		all := append([]core.Sample{{Pos: node.Pos, Value: node.Value}}, samples[id]...)
+		grad, err := core.GradientByRegression(all)
+		if err != nil || grad.Norm() <= geom.Eps {
+			return
+		}
+		res.IsolineNodes++
+		var reports []core.Report
+		for _, li := range matched {
+			reports = append(reports, core.Report{
+				Level:      levels[li],
+				LevelIndex: li,
+				Pos:        node.Pos,
+				Grad:       grad,
+				Source:     id,
+			})
+		}
+		res.Generated += len(reports)
+		if t := eng.Now(); t > res.MeasureSeconds {
+			res.MeasureSeconds = t
+		}
+		fresh := accept(id, reports)
+		if id == tree.Root() {
+			res.Delivered = append(res.Delivered, fresh...)
+			return
+		}
+		forward(id, fresh)
+	}
+
+	// Receive handler: query flood, probes, replies and report batches.
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !nw.Alive(id) {
+			continue
+		}
+		nodeID := id
+		radio.OnReceive(nodeID, func(fr Frame) {
+			switch p := fr.Payload.(type) {
+			case queryPayload:
+				if queryHeard[nodeID] {
+					return
+				}
+				queryHeard[nodeID] = true
+				res.QueryReached++
+				if t := eng.Now(); t > res.QuerySeconds {
+					res.QuerySeconds = t
+				}
+				// Rebroadcast the flood once.
+				eng.Schedule(jitterFor(nodeID, 64), func() {
+					_ = radio.Broadcast(nodeID, core.QueryBytes, p)
+				})
+				// Border-region candidates probe their neighborhood.
+				if len(q.CandidateLevels(nw.Node(nodeID).Value)) == 0 {
+					return
+				}
+				eng.Schedule(probeDelay+jitterFor(nodeID+1000, 128), func() {
+					_ = radio.Broadcast(nodeID, core.ProbeBytes, probePayload{asker: nodeID})
+					eng.Schedule(replyWindow, func() { measure(nodeID) })
+				})
+			case probePayload:
+				n := nw.Node(nodeID)
+				reply := replyPayload{sample: core.Sample{Pos: n.Pos, Value: n.Value}}
+				eng.Schedule(jitterFor(nodeID+2000, 32), func() {
+					_ = radio.Send(nodeID, p.asker, core.ProbeReplyBytes, reply)
+				})
+			case replyPayload:
+				samples[nodeID] = append(samples[nodeID], p.sample)
+			case []core.Report:
+				fresh := accept(nodeID, p)
+				if nodeID == tree.Root() {
+					res.Delivered = append(res.Delivered, fresh...)
+					if len(fresh) > 0 && eng.Now() > res.CollectSeconds {
+						res.CollectSeconds = eng.Now()
+					}
+					return
+				}
+				forward(nodeID, fresh)
+			}
+		})
+	}
+
+	// The sink originates the query.
+	sink := tree.Root()
+	queryHeard[sink] = true
+	res.QueryReached++
+	eng.Schedule(0, func() {
+		_ = radio.Broadcast(sink, core.QueryBytes, queryPayload{q: q})
+	})
+	// The sink itself may be an isoline node: give it the same probe path.
+	if len(q.CandidateLevels(nw.Node(sink).Value)) > 0 {
+		eng.Schedule(probeDelay, func() {
+			_ = radio.Broadcast(sink, core.ProbeBytes, probePayload{asker: sink})
+			eng.Schedule(replyWindow, func() { measure(sink) })
+		})
+	}
+
+	res.TotalSeconds = eng.Run()
+	res.Radio = radio.Stats
+	return res, nil
+}

@@ -1,0 +1,376 @@
+package desim
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"isomap/internal/energy"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// RadioConfig parameterizes the CSMA/CA link layer.
+type RadioConfig struct {
+	// BitsPerSecond is the radio bitrate (default: the Mica2 CC1000 rate).
+	BitsPerSecond float64
+	// AckBytes is the acknowledgement frame size.
+	AckBytes int
+	// SlotTime is the backoff quantum in seconds.
+	SlotTime float64
+	// MaxRetries bounds retransmissions per frame before it is dropped.
+	MaxRetries int
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+// DefaultRadioConfig returns a CC1000-like configuration: 38.4 kbps, 2-byte
+// acks, ~1 ms backoff slots, 12 retries.
+func DefaultRadioConfig() RadioConfig {
+	return RadioConfig{
+		BitsPerSecond: energy.RadioBitsPerSecond,
+		AckBytes:      2,
+		SlotTime:      1e-3,
+		MaxRetries:    12,
+		Seed:          1,
+	}
+}
+
+// Frame is one link-layer data unit.
+type Frame struct {
+	From    network.NodeID
+	To      network.NodeID
+	Bytes   int
+	Payload any
+	seq     int64
+	isAck   bool
+	ackFor  int64
+	retries int
+}
+
+// RadioStats counts link-layer happenings.
+type RadioStats struct {
+	// DataSent counts first transmissions of data frames.
+	DataSent int
+	// Retries counts data retransmissions.
+	Retries int
+	// Collisions counts receptions corrupted by overlap.
+	Collisions int
+	// Drops counts data frames abandoned after MaxRetries.
+	Drops int
+	// Delivered counts data frames handed to their destination exactly
+	// once (duplicates from lost acks are filtered).
+	Delivered int
+}
+
+// Radio executes frame exchanges over the network's connectivity graph
+// with carrier sensing, receiver-side collisions, acknowledgements and
+// bounded retransmission.
+type Radio struct {
+	eng      *Engine
+	nw       *network.Network
+	cfg      RadioConfig
+	rng      *rand.Rand
+	states   []radioState
+	handlers []func(Frame)
+	seq      int64
+	pending  map[int64]*Frame // unacked data frames by seq
+	seen     []map[int64]bool // per-node delivered seqs (dedup)
+	counters *metrics.Counters
+
+	// Stats accumulates link-layer counts.
+	Stats RadioStats
+
+	// trace, when set, receives a line per link-layer event (tests only).
+	trace func(string)
+	// onDrop, when set, receives data frames abandoned after MaxRetries,
+	// so an upper layer can re-queue their payload.
+	onDrop func(Frame)
+}
+
+type radioState struct {
+	txUntil     float64
+	rxActive    bool
+	rxUntil     float64
+	rxCorrupted bool
+	rxFrame     Frame
+}
+
+// NewRadio builds a radio over the network. counters may be nil; when
+// given, every physical transmission and reception (including retries and
+// acks) is charged to it, which is what separates the measured link-layer
+// energy from the structural model's perfect-link charge.
+func NewRadio(eng *Engine, nw *network.Network, cfg RadioConfig, counters *metrics.Counters) (*Radio, error) {
+	if eng == nil || nw == nil {
+		return nil, fmt.Errorf("desim: nil engine or network")
+	}
+	if cfg.BitsPerSecond <= 0 {
+		return nil, fmt.Errorf("desim: bitrate must be positive, got %g", cfg.BitsPerSecond)
+	}
+	if cfg.SlotTime <= 0 {
+		return nil, fmt.Errorf("desim: slot time must be positive, got %g", cfg.SlotTime)
+	}
+	r := &Radio{
+		eng:      eng,
+		nw:       nw,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		states:   make([]radioState, nw.Len()),
+		handlers: make([]func(Frame), nw.Len()),
+		pending:  make(map[int64]*Frame),
+		seen:     make([]map[int64]bool, nw.Len()),
+		counters: counters,
+	}
+	for i := range r.seen {
+		r.seen[i] = make(map[int64]bool)
+	}
+	return r, nil
+}
+
+// OnReceive registers the upper-layer handler invoked when a data frame is
+// delivered to id.
+func (r *Radio) OnReceive(id network.NodeID, fn func(Frame)) {
+	r.handlers[id] = fn
+}
+
+// OnDrop registers the upper-layer handler invoked when a data frame is
+// abandoned after exhausting its retries.
+func (r *Radio) OnDrop(fn func(Frame)) {
+	r.onDrop = fn
+}
+
+// Broadcast queues an unacknowledged local broadcast: the frame is
+// transmitted once (after carrier sensing with bounded backoff) and every
+// neighbor that receives it intact gets it delivered with To == from's
+// neighbors individually. Lost receptions are not recovered — flooding
+// protocols tolerate that through redundancy.
+func (r *Radio) Broadcast(from network.NodeID, bytes int, payload any) error {
+	if !r.nw.Alive(from) {
+		return fmt.Errorf("desim: broadcast from dead node %d", from)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("desim: frame size must be positive, got %d", bytes)
+	}
+	r.seq++
+	f := Frame{From: from, To: broadcastAddr, Bytes: bytes, Payload: payload, seq: r.seq}
+	r.broadcastAttempt(f, 0)
+	return nil
+}
+
+// broadcastAddr marks a frame delivered to every intact receiver.
+const broadcastAddr network.NodeID = -2
+
+// broadcastAttempt carrier-senses and transmits a broadcast frame, backing
+// off a bounded number of times.
+func (r *Radio) broadcastAttempt(f Frame, tries int) {
+	if r.mediumBusy(f.From) && tries < 16 {
+		window := float64(int(1) << uint(minInt(tries+1, 6)))
+		delay := (1 + r.rng.Float64()*window) * r.cfg.SlotTime
+		r.eng.Schedule(delay, func() { r.broadcastAttempt(f, tries+1) })
+		return
+	}
+	r.transmit(f)
+}
+
+// Send queues a data frame for transmission; delivery is attempted with
+// CSMA/CA and acknowledged retransmission.
+func (r *Radio) Send(from, to network.NodeID, bytes int, payload any) error {
+	if !r.nw.Alive(from) || !r.nw.Alive(to) {
+		return fmt.Errorf("desim: send between dead nodes %d -> %d", from, to)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("desim: frame size must be positive, got %d", bytes)
+	}
+	r.seq++
+	f := &Frame{From: from, To: to, Bytes: bytes, Payload: payload, seq: r.seq}
+	r.pending[f.seq] = f
+	r.Stats.DataSent++
+	r.attempt(f)
+	return nil
+}
+
+// airtime returns the on-air duration of a frame.
+func (r *Radio) airtime(bytes int) float64 {
+	return float64(bytes) * 8 / r.cfg.BitsPerSecond
+}
+
+// mediumBusy reports whether id senses an ongoing transmission (its own or
+// a neighbor's).
+func (r *Radio) mediumBusy(id network.NodeID) bool {
+	now := r.eng.Now()
+	if r.states[id].txUntil > now {
+		return true
+	}
+	for _, nb := range r.nw.AliveNeighbors(id) {
+		if r.states[nb].txUntil > now {
+			return true
+		}
+	}
+	return false
+}
+
+// attempt runs one CSMA round for a data frame: sense, back off if busy,
+// otherwise transmit and arm the ack timeout.
+func (r *Radio) attempt(f *Frame) {
+	if _, alive := r.pending[f.seq]; !alive {
+		return // acked while backing off
+	}
+	if r.mediumBusy(f.From) {
+		r.backoff(f)
+		return
+	}
+	r.transmit(*f)
+	// Ack timeout: data airtime + ack airtime + turnaround guard.
+	timeout := r.airtime(f.Bytes) + r.airtime(r.cfg.AckBytes) + 4*r.cfg.SlotTime
+	seq := f.seq
+	r.eng.Schedule(timeout, func() {
+		pf, alive := r.pending[seq]
+		if !alive {
+			return // acked
+		}
+		pf.retries++
+		if pf.retries > r.cfg.MaxRetries {
+			delete(r.pending, seq)
+			r.Stats.Drops++
+			if r.onDrop != nil {
+				r.onDrop(*pf)
+			}
+			return
+		}
+		r.Stats.Retries++
+		r.backoff(pf)
+	})
+}
+
+// backoff reschedules a frame after a binary-exponential random delay.
+func (r *Radio) backoff(f *Frame) {
+	window := 1 << uint(minInt(f.retries+1, 6))
+	delay := (1 + r.rng.Float64()*float64(window)) * r.cfg.SlotTime
+	r.eng.Schedule(delay, func() { r.attempt(f) })
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// transmit puts a frame on the air: the sender is busy for the airtime and
+// the frame arrives at every alive neighbor, where it may collide.
+func (r *Radio) transmit(f Frame) {
+	now := r.eng.Now()
+	if r.trace != nil {
+		r.trace(fmtFrame("tx", f))
+	}
+	dur := r.airtime(f.Bytes)
+	r.states[f.From].txUntil = now + dur
+	if r.counters != nil {
+		r.counters.ChargeTx(f.From, f.Bytes)
+	}
+	for _, nb := range r.nw.AliveNeighbors(f.From) {
+		r.arrive(nb, f, dur)
+	}
+}
+
+// arrive begins a reception at node id, handling receiver-side collisions:
+// overlapping arrivals corrupt each other, and a transmitting node cannot
+// receive.
+func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
+	now := r.eng.Now()
+	st := &r.states[id]
+	if st.txUntil > now {
+		return // half-duplex: transmitting nodes miss the frame
+	}
+	if st.rxActive && st.rxUntil > now {
+		// Overlap: the ongoing reception corrupts; this frame is lost too.
+		if !st.rxCorrupted {
+			st.rxCorrupted = true
+			r.Stats.Collisions++
+		}
+		r.Stats.Collisions++
+		// Extend the busy window to cover the interferer; finishRx at the
+		// old deadline no-ops, so arm one at the new deadline.
+		if now+dur > st.rxUntil {
+			st.rxUntil = now + dur
+			r.eng.ScheduleAt(st.rxUntil, func() { r.finishRx(id) })
+		}
+		return
+	}
+	st.rxActive = true
+	st.rxUntil = now + dur
+	st.rxCorrupted = false
+	st.rxFrame = f
+	r.eng.ScheduleAt(st.rxUntil, func() { r.finishRx(id) })
+}
+
+// finishRx completes a reception at id, delivering intact frames addressed
+// to it and sending the ack.
+func (r *Radio) finishRx(id network.NodeID) {
+	st := &r.states[id]
+	if !st.rxActive || r.eng.Now() < st.rxUntil {
+		return // superseded by an extended (corrupted) window
+	}
+	f := st.rxFrame
+	corrupted := st.rxCorrupted
+	st.rxActive = false
+	st.rxCorrupted = false
+	if r.trace != nil {
+		r.trace(fmtFrame("rxEnd", f) + map[bool]string{true: " CORRUPT", false: ""}[corrupted] + " at " + itoa(int(id)))
+	}
+	if corrupted || (f.To != id && f.To != broadcastAddr) {
+		return
+	}
+	if r.counters != nil {
+		r.counters.ChargeRx(id, f.Bytes)
+	}
+	if f.To == broadcastAddr {
+		// Broadcast: deliver once per node, no ack.
+		if r.seen[id][f.seq] {
+			return
+		}
+		r.seen[id][f.seq] = true
+		if h := r.handlers[id]; h != nil {
+			h(f)
+		}
+		return
+	}
+	if f.isAck {
+		if _, alive := r.pending[f.ackFor]; alive {
+			delete(r.pending, f.ackFor)
+		}
+		return
+	}
+	// Ack the data frame (even duplicates, whose first ack was lost).
+	r.seq++
+	ack := Frame{From: id, To: f.From, Bytes: r.cfg.AckBytes, seq: r.seq, isAck: true, ackFor: f.seq}
+	r.eng.Schedule(r.cfg.SlotTime, func() {
+		if r.mediumBusy(ack.From) {
+			// One brief retry for the ack; a lost ack only costs a
+			// duplicate retransmission.
+			r.eng.Schedule(r.cfg.SlotTime*2, func() { r.transmit(ack) })
+			return
+		}
+		r.transmit(ack)
+	})
+	if r.seen[id][f.seq] {
+		return // duplicate data frame
+	}
+	r.seen[id][f.seq] = true
+	r.Stats.Delivered++
+	if h := r.handlers[id]; h != nil {
+		h(f)
+	}
+}
+
+func fmtFrame(kind string, f Frame) string {
+	label := "data"
+	if f.isAck {
+		label = "ack"
+	}
+	return kind + " " + label + " seq=" + itoa(int(f.seq)) + " " + itoa(int(f.From)) + "->" + itoa(int(f.To))
+}
+
+func itoa(v int) string {
+	return strconv.Itoa(v)
+}

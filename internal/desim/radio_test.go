@@ -1,0 +1,316 @@
+package desim
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// cliqueNetwork returns a 4-node clique (2x2 grid, spacing 25, radio 40
+// covers the 35.36-unit diagonal).
+func cliqueNetwork(t *testing.T) *network.Network {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployGrid(4, f, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// hiddenNetwork returns a 2x2 grid with radio 30: adjacent nodes (25
+// apart) hear each other but diagonals (35.36 apart) do not — the classic
+// hidden-terminal topology relative to any receiver.
+func hiddenNetwork(t *testing.T) *network.Network {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployGrid(4, f, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestRadioDelivery(t *testing.T) {
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	c := metrics.NewCounters(nw.Len())
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Frame
+	r.OnReceive(1, func(f Frame) { got = append(got, f) })
+	if err := r.Send(0, 1, 10, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(got))
+	}
+	if got[0].Payload != "hello" || got[0].From != 0 {
+		t.Errorf("frame = %+v", got[0])
+	}
+	if r.Stats.Delivered != 1 || r.Stats.DataSent != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	// Physical accounting includes the data frame at both ends.
+	if c.TxBytes(0) < 10 {
+		t.Errorf("sender tx = %d", c.TxBytes(0))
+	}
+	if c.RxBytes(1) < 10 {
+		t.Errorf("receiver rx = %d", c.RxBytes(1))
+	}
+	// The ack travels back.
+	if c.TxBytes(1) == 0 {
+		t.Error("no ack transmitted")
+	}
+}
+
+func TestRadioSendValidation(t *testing.T) {
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(0, 1, 0, nil); err == nil {
+		t.Error("want error for empty frame")
+	}
+	nw.Node(1).Failed = true
+	if err := r.Send(0, 1, 10, nil); err == nil {
+		t.Error("want error for dead receiver")
+	}
+	if _, err := NewRadio(nil, nw, DefaultRadioConfig(), nil); err == nil {
+		t.Error("want error for nil engine")
+	}
+	bad := DefaultRadioConfig()
+	bad.BitsPerSecond = 0
+	if _, err := NewRadio(eng, nw, bad, nil); err == nil {
+		t.Error("want error for zero bitrate")
+	}
+}
+
+func TestRadioConcurrentSendersEventuallyDeliver(t *testing.T) {
+	// All four nodes of a clique transmit to node 0 at once: CSMA backoff
+	// plus retransmission must deliver every frame despite collisions.
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	r.OnReceive(0, func(f Frame) { got++ })
+	for _, src := range []network.NodeID{1, 2, 3} {
+		if err := r.Send(src, 0, 20, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if got != 3 {
+		t.Fatalf("delivered %d of 3 concurrent frames (stats %+v)", got, r.Stats)
+	}
+}
+
+func TestRadioManyFramesUnderContention(t *testing.T) {
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perSender = 10
+	got := 0
+	r.OnReceive(0, func(f Frame) { got++ })
+	for k := 0; k < perSender; k++ {
+		for _, src := range []network.NodeID{1, 2, 3} {
+			k := k
+			src := src
+			eng.Schedule(float64(k)*0.002, func() {
+				if err := r.Send(src, 0, 12, nil); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+	eng.Run()
+	want := perSender * 3
+	if got < want-r.Stats.Drops {
+		t.Fatalf("delivered %d, sent %d, drops %d (stats %+v)", got, want, r.Stats.Drops, r.Stats)
+	}
+	if got+r.Stats.Drops != want {
+		t.Fatalf("delivered %d + drops %d != sent %d", got, r.Stats.Drops, want)
+	}
+}
+
+func TestRadioNoDuplicateDeliveries(t *testing.T) {
+	// Force heavy contention so acks are lost and retransmissions occur;
+	// the receiver must still deliver each frame once.
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	cfg := DefaultRadioConfig()
+	cfg.MaxRetries = 12
+	r, err := NewRadio(eng, nw, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[any]int)
+	for _, dst := range []network.NodeID{0, 1} {
+		dst := dst
+		r.OnReceive(dst, func(f Frame) { seen[f.Payload]++ })
+	}
+	id := 0
+	for k := 0; k < 8; k++ {
+		for _, pair := range [][2]network.NodeID{{2, 0}, {3, 1}, {1, 0}} {
+			id++
+			payload := id
+			src, dst := pair[0], pair[1]
+			eng.Schedule(float64(k)*0.001, func() {
+				_ = r.Send(src, dst, 16, payload)
+			})
+		}
+	}
+	eng.Run()
+	for payload, count := range seen {
+		if count > 1 {
+			t.Fatalf("payload %v delivered %d times", payload, count)
+		}
+	}
+}
+
+func TestRadioHiddenTerminalCollides(t *testing.T) {
+	// Nodes 1 (right) and 2 (top) cannot sense each other but both reach
+	// node 0: simultaneous sends collide at 0, yet retransmission
+	// eventually delivers both.
+	nw := hiddenNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	r.OnReceive(0, func(f Frame) { got++ })
+	if err := r.Send(1, 0, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Send(2, 0, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if r.Stats.Collisions == 0 {
+		t.Error("hidden terminals should have collided")
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d of 2 (stats %+v)", got, r.Stats)
+	}
+}
+
+func TestRadioOutOfRangeNeverDelivers(t *testing.T) {
+	// Diagonal nodes of the hidden topology share no link: the frame is
+	// retried and finally dropped.
+	nw := hiddenNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	r.OnReceive(3, func(f Frame) { got++ })
+	if err := r.Send(0, 3, 20, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got != 0 {
+		t.Error("out-of-range frame delivered")
+	}
+	if r.Stats.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", r.Stats.Drops)
+	}
+}
+
+func TestRadioConservationProperty(t *testing.T) {
+	// Over many random workloads on a clique: every data frame either
+	// delivers exactly once or is counted as a drop.
+	for seed := int64(1); seed <= 8; seed++ {
+		nw := cliqueNetwork(t)
+		eng := NewEngine()
+		cfg := DefaultRadioConfig()
+		cfg.Seed = seed
+		r, err := NewRadio(eng, nw, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered := 0
+		for id := network.NodeID(0); id < 4; id++ {
+			r.OnReceive(id, func(f Frame) { delivered++ })
+		}
+		sent := 0
+		rngState := seed
+		next := func(n int64) int64 {
+			rngState = (rngState*6364136223846793005 + 1442695040888963407)
+			v := rngState % n
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for k := 0; k < 25; k++ {
+			src := network.NodeID(next(4))
+			dst := network.NodeID(next(4))
+			if src == dst {
+				continue
+			}
+			sent++
+			at := float64(next(40)) * cfg.SlotTime
+			s, d := src, dst
+			eng.Schedule(at, func() { _ = r.Send(s, d, 8+int(next(20)), nil) })
+		}
+		eng.Run()
+		if delivered+r.Stats.Drops != sent {
+			t.Fatalf("seed %d: delivered %d + drops %d != sent %d (stats %+v)",
+				seed, delivered, r.Stats.Drops, sent, r.Stats)
+		}
+		if r.Stats.Delivered != delivered {
+			t.Fatalf("seed %d: stats delivered %d != handler count %d", seed, r.Stats.Delivered, delivered)
+		}
+	}
+}
+
+func TestBroadcastReachesIntactNeighbors(t *testing.T) {
+	nw := cliqueNetwork(t)
+	eng := NewEngine()
+	r, err := NewRadio(eng, nw, DefaultRadioConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heard := make(map[network.NodeID]int)
+	for id := network.NodeID(0); id < 4; id++ {
+		id := id
+		r.OnReceive(id, func(f Frame) { heard[id]++ })
+	}
+	if err := r.Broadcast(0, 8, "flood"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	// Quiet medium: every neighbor of 0 hears it exactly once; the sender
+	// does not deliver to itself.
+	for _, nb := range nw.AliveNeighbors(0) {
+		if heard[nb] != 1 {
+			t.Errorf("neighbor %d heard %d times", nb, heard[nb])
+		}
+	}
+	if heard[0] != 0 {
+		t.Errorf("sender heard its own broadcast %d times", heard[0])
+	}
+	// Validation errors.
+	if err := r.Broadcast(0, 0, nil); err == nil {
+		t.Error("want error for empty broadcast")
+	}
+	nw.Node(2).Failed = true
+	if err := r.Broadcast(2, 8, nil); err == nil {
+		t.Error("want error for dead broadcaster")
+	}
+}

@@ -1,0 +1,70 @@
+// Package energy converts the communication and computation counters of a
+// protocol run into per-node energy consumption, using the Mica2 mote model
+// of the paper's Sec. 5.3: an ATmega128 MCU consuming 33 mW active power at
+// 242 MIPS/W, and a CC1000 transceiver at 38.4 kbps consuming 29 mW
+// receiving and 42 mW transmitting (at 0 dBm).
+package energy
+
+import (
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// Mica2 radio and MCU characteristics (paper Sec. 5.3).
+const (
+	// RadioBitsPerSecond is the CC1000 data rate.
+	RadioBitsPerSecond = 38400.0
+	// TxPowerWatts is the transmit power draw at 0 dBm.
+	TxPowerWatts = 0.042
+	// RxPowerWatts is the receive power draw.
+	RxPowerWatts = 0.029
+	// InstructionsPerJoule follows from 242 MIPS/W.
+	InstructionsPerJoule = 242e6
+)
+
+// TxJoules returns the energy to transmit the given number of bytes.
+func TxJoules(bytes int64) float64 {
+	return float64(bytes) * 8 / RadioBitsPerSecond * TxPowerWatts
+}
+
+// RxJoules returns the energy to receive the given number of bytes.
+func RxJoules(bytes int64) float64 {
+	return float64(bytes) * 8 / RadioBitsPerSecond * RxPowerWatts
+}
+
+// ComputeJoules returns the energy to execute the given number of abstract
+// arithmetic operations, charged one instruction each.
+func ComputeJoules(ops int64) float64 {
+	return float64(ops) / InstructionsPerJoule
+}
+
+// NodeJoules returns the total energy a single node spent in the run.
+func NodeJoules(c *metrics.Counters, id network.NodeID) float64 {
+	return TxJoules(c.TxBytes(id)) + RxJoules(c.RxBytes(id)) + ComputeJoules(c.Ops(id))
+}
+
+// MeanNodeJoules returns the average per-node energy over the whole
+// network — the metric of Fig. 16.
+func MeanNodeJoules(c *metrics.Counters) float64 {
+	n := c.Len()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += NodeJoules(c, network.NodeID(i))
+	}
+	return total / float64(n)
+}
+
+// MaxNodeJoules returns the highest per-node energy — hotspot load, useful
+// for the ablation on filtering.
+func MaxNodeJoules(c *metrics.Counters) float64 {
+	var max float64
+	for i := 0; i < c.Len(); i++ {
+		if e := NodeJoules(c, network.NodeID(i)); e > max {
+			max = e
+		}
+	}
+	return max
+}

@@ -1,0 +1,63 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/metrics"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTxJoules(t *testing.T) {
+	// 4800 bytes = 38400 bits = 1 second of airtime at 42 mW.
+	if got := TxJoules(4800); !almostEqual(got, 0.042, 1e-12) {
+		t.Errorf("TxJoules(4800) = %v, want 0.042", got)
+	}
+	if got := TxJoules(0); got != 0 {
+		t.Errorf("TxJoules(0) = %v", got)
+	}
+}
+
+func TestRxJoules(t *testing.T) {
+	if got := RxJoules(4800); !almostEqual(got, 0.029, 1e-12) {
+		t.Errorf("RxJoules(4800) = %v, want 0.029", got)
+	}
+}
+
+func TestComputeJoules(t *testing.T) {
+	// 242e6 instructions = 1 J at 242 MIPS/W.
+	if got := ComputeJoules(242e6); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("ComputeJoules = %v, want 1", got)
+	}
+}
+
+func TestTxCostsMoreThanRx(t *testing.T) {
+	if TxJoules(1000) <= RxJoules(1000) {
+		t.Error("transmit should cost more than receive on Mica2")
+	}
+}
+
+func TestNodeAndMeanJoules(t *testing.T) {
+	c := metrics.NewCounters(2)
+	c.ChargeTx(0, 4800)
+	c.ChargeRx(0, 4800)
+	c.ChargeOps(0, 242e6)
+	want0 := 0.042 + 0.029 + 1.0
+	if got := NodeJoules(c, 0); !almostEqual(got, want0, 1e-9) {
+		t.Errorf("NodeJoules(0) = %v, want %v", got, want0)
+	}
+	if got := NodeJoules(c, 1); got != 0 {
+		t.Errorf("NodeJoules(1) = %v, want 0", got)
+	}
+	if got := MeanNodeJoules(c); !almostEqual(got, want0/2, 1e-9) {
+		t.Errorf("MeanNodeJoules = %v, want %v", got, want0/2)
+	}
+	if got := MaxNodeJoules(c); !almostEqual(got, want0, 1e-9) {
+		t.Errorf("MaxNodeJoules = %v, want %v", got, want0)
+	}
+	empty := metrics.NewCounters(0)
+	if got := MeanNodeJoules(empty); got != 0 {
+		t.Errorf("empty MeanNodeJoules = %v", got)
+	}
+}

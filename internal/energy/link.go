@@ -1,0 +1,55 @@
+package energy
+
+import (
+	"fmt"
+
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+)
+
+// LinkModel describes an unreliable link layer with stop-and-wait ARQ.
+// The paper assumes a perfect link layer "through performance based
+// routing dynamics and MAC layer retransmissions" (Sec. 5); this model
+// quantifies what that reliability costs: every hop is retransmitted until
+// delivered, so the expected radio energy scales by 1/(1-p) for a per-hop
+// loss probability p.
+type LinkModel struct {
+	// LossRate is the independent per-transmission loss probability,
+	// in [0, 1).
+	LossRate float64
+}
+
+// NewLinkModel validates the loss rate.
+func NewLinkModel(lossRate float64) (LinkModel, error) {
+	if lossRate < 0 || lossRate >= 1 {
+		return LinkModel{}, fmt.Errorf("energy: loss rate %g outside [0, 1)", lossRate)
+	}
+	return LinkModel{LossRate: lossRate}, nil
+}
+
+// ExpectedTransmissions returns the mean number of transmissions per
+// delivered frame, 1/(1-p).
+func (lm LinkModel) ExpectedTransmissions() float64 {
+	return 1 / (1 - lm.LossRate)
+}
+
+// NodeJoulesWithLoss returns a node's energy with radio costs inflated by
+// the ARQ retransmission factor; computation is unaffected.
+func NodeJoulesWithLoss(c *metrics.Counters, id network.NodeID, lm LinkModel) float64 {
+	f := lm.ExpectedTransmissions()
+	return f*(TxJoules(c.TxBytes(id))+RxJoules(c.RxBytes(id))) + ComputeJoules(c.Ops(id))
+}
+
+// MeanNodeJoulesWithLoss averages NodeJoulesWithLoss over the network —
+// the Fig. 16 metric under an imperfect link layer.
+func MeanNodeJoulesWithLoss(c *metrics.Counters, lm LinkModel) float64 {
+	n := c.Len()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += NodeJoulesWithLoss(c, network.NodeID(i), lm)
+	}
+	return total / float64(n)
+}

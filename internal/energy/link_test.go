@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"testing"
+
+	"isomap/internal/metrics"
+)
+
+func TestNewLinkModel(t *testing.T) {
+	if _, err := NewLinkModel(0); err != nil {
+		t.Errorf("loss 0 should be valid: %v", err)
+	}
+	if _, err := NewLinkModel(0.5); err != nil {
+		t.Errorf("loss 0.5 should be valid: %v", err)
+	}
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, err := NewLinkModel(bad); err == nil {
+			t.Errorf("loss %v should be rejected", bad)
+		}
+	}
+}
+
+func TestExpectedTransmissions(t *testing.T) {
+	lm, err := NewLinkModel(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lm.ExpectedTransmissions(); got != 2 {
+		t.Errorf("ExpectedTransmissions(0.5) = %v, want 2", got)
+	}
+	perfect, err := NewLinkModel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perfect.ExpectedTransmissions(); got != 1 {
+		t.Errorf("ExpectedTransmissions(0) = %v, want 1", got)
+	}
+}
+
+func TestNodeJoulesWithLoss(t *testing.T) {
+	c := metrics.NewCounters(1)
+	c.ChargeTx(0, 4800)
+	c.ChargeRx(0, 4800)
+	c.ChargeOps(0, 242e6)
+	lm, err := NewLinkModel(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radio doubles, compute does not.
+	want := 2*(0.042+0.029) + 1.0
+	if got := NodeJoulesWithLoss(c, 0, lm); !almostEqual(got, want, 1e-9) {
+		t.Errorf("NodeJoulesWithLoss = %v, want %v", got, want)
+	}
+	if got := MeanNodeJoulesWithLoss(c, lm); !almostEqual(got, want, 1e-9) {
+		t.Errorf("MeanNodeJoulesWithLoss = %v, want %v", got, want)
+	}
+	empty := metrics.NewCounters(0)
+	if got := MeanNodeJoulesWithLoss(empty, lm); got != 0 {
+		t.Errorf("empty MeanNodeJoulesWithLoss = %v", got)
+	}
+}
+
+func TestPerfectLinkMatchesBaseModel(t *testing.T) {
+	c := metrics.NewCounters(2)
+	c.ChargeTx(0, 1000)
+	c.ChargeRx(1, 1000)
+	c.ChargeOps(0, 5000)
+	lm, err := NewLinkModel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := MeanNodeJoulesWithLoss(c, lm), MeanNodeJoules(c); !almostEqual(got, want, 1e-15) {
+		t.Errorf("perfect link %v != base model %v", got, want)
+	}
+}

@@ -1,0 +1,243 @@
+// Package events extracts higher-level happenings from contour-map
+// rasters: connected contour regions (e.g. the alarm zones of the harbor
+// application, where depth fell below a safety threshold) and their
+// evolution between monitoring rounds. The paper positions contour maps as
+// the background on which the sink "detects and analyzes environmental
+// happenings in a global view"; this package is that analysis layer.
+package events
+
+import (
+	"sort"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// Region is one connected component of raster cells matching a predicate.
+type Region struct {
+	// ID numbers the region within its extraction (largest area first).
+	ID int `json:"id"`
+	// Cells is the component size in raster cells.
+	Cells int `json:"cells"`
+	// AreaFraction is Cells over the whole raster.
+	AreaFraction float64 `json:"areaFraction"`
+	// Centroid is the mean cell-center position in raster coordinates
+	// normalized to [0,1)x[0,1) (multiply by the field extent to map
+	// back).
+	Centroid geom.Point `json:"centroid"`
+}
+
+// Components labels the 4-connected components of raster cells whose class
+// satisfies pred, returning them sorted by descending size.
+func Components(ra *field.Raster, pred func(class int) bool) []Region {
+	if ra == nil || ra.Rows == 0 || ra.Cols == 0 {
+		return nil
+	}
+	labels := make([][]int, ra.Rows)
+	for r := range labels {
+		labels[r] = make([]int, ra.Cols)
+		for c := range labels[r] {
+			labels[r][c] = -1
+		}
+	}
+	var regions []Region
+	type cell struct{ r, c int }
+	for r := 0; r < ra.Rows; r++ {
+		for c := 0; c < ra.Cols; c++ {
+			if labels[r][c] >= 0 || !pred(ra.Cells[r][c]) {
+				continue
+			}
+			// Flood fill a new component.
+			id := len(regions)
+			queue := []cell{{r, c}}
+			labels[r][c] = id
+			var count int
+			var sumR, sumC float64
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				count++
+				sumR += float64(cur.r) + 0.5
+				sumC += float64(cur.c) + 0.5
+				for _, d := range [4]cell{{cur.r - 1, cur.c}, {cur.r + 1, cur.c}, {cur.r, cur.c - 1}, {cur.r, cur.c + 1}} {
+					if d.r < 0 || d.r >= ra.Rows || d.c < 0 || d.c >= ra.Cols {
+						continue
+					}
+					if labels[d.r][d.c] >= 0 || !pred(ra.Cells[d.r][d.c]) {
+						continue
+					}
+					labels[d.r][d.c] = id
+					queue = append(queue, d)
+				}
+			}
+			regions = append(regions, Region{
+				Cells:        count,
+				AreaFraction: float64(count) / float64(ra.Rows*ra.Cols),
+				Centroid: geom.Point{
+					X: sumC / float64(count) / float64(ra.Cols),
+					Y: sumR / float64(count) / float64(ra.Rows),
+				},
+			})
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Cells > regions[j].Cells })
+	for i := range regions {
+		regions[i].ID = i
+	}
+	return regions
+}
+
+// ClassBelow returns a predicate matching classes strictly below k — the
+// "depth under the k-th isolevel" alarm condition.
+func ClassBelow(k int) func(int) bool {
+	return func(class int) bool { return class < k }
+}
+
+// ClassAtLeast returns a predicate matching classes at or above k.
+func ClassAtLeast(k int) func(int) bool {
+	return func(class int) bool { return class >= k }
+}
+
+// SpansHorizontally reports whether some 4-connected component of cells
+// matching pred touches both the left and right raster edges — the
+// "navigable corridor" question of the harbor application: can a ship
+// needing the given depth cross the surveyed area?
+func SpansHorizontally(ra *field.Raster, pred func(class int) bool) bool {
+	if ra == nil || ra.Rows == 0 || ra.Cols == 0 {
+		return false
+	}
+	// Flood from every matching left-edge cell; succeed on reaching the
+	// right edge.
+	visited := make([][]bool, ra.Rows)
+	for r := range visited {
+		visited[r] = make([]bool, ra.Cols)
+	}
+	type cell struct{ r, c int }
+	var queue []cell
+	for r := 0; r < ra.Rows; r++ {
+		if pred(ra.Cells[r][0]) {
+			visited[r][0] = true
+			queue = append(queue, cell{r, 0})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.c == ra.Cols-1 {
+			return true
+		}
+		for _, d := range [4]cell{{cur.r - 1, cur.c}, {cur.r + 1, cur.c}, {cur.r, cur.c - 1}, {cur.r, cur.c + 1}} {
+			if d.r < 0 || d.r >= ra.Rows || d.c < 0 || d.c >= ra.Cols {
+				continue
+			}
+			if visited[d.r][d.c] || !pred(ra.Cells[d.r][d.c]) {
+				continue
+			}
+			visited[d.r][d.c] = true
+			queue = append(queue, cell{d.r, d.c})
+		}
+	}
+	return false
+}
+
+// TotalFraction sums the area fractions of a region set.
+func TotalFraction(regions []Region) float64 {
+	var f float64
+	for _, r := range regions {
+		f += r.AreaFraction
+	}
+	return f
+}
+
+// ChangeKind classifies a region's evolution between two rounds.
+type ChangeKind int
+
+// Region change kinds.
+const (
+	// Appeared marks a region with no counterpart in the previous round.
+	Appeared ChangeKind = iota + 1
+	// Disappeared marks a previous region with no current counterpart.
+	Disappeared
+	// Grew marks a matched region whose area increased noticeably.
+	Grew
+	// Shrank marks a matched region whose area decreased noticeably.
+	Shrank
+	// Stable marks a matched region with little change.
+	Stable
+)
+
+// String implements fmt.Stringer.
+func (k ChangeKind) String() string {
+	switch k {
+	case Appeared:
+		return "appeared"
+	case Disappeared:
+		return "disappeared"
+	case Grew:
+		return "grew"
+	case Shrank:
+		return "shrank"
+	case Stable:
+		return "stable"
+	default:
+		return "unknown"
+	}
+}
+
+// Change describes one region's evolution.
+type Change struct {
+	Kind ChangeKind
+	// Prev and Cur reference the matched regions; one of them is the zero
+	// Region for Appeared/Disappeared.
+	Prev Region
+	Cur  Region
+}
+
+// matchDist is the maximum centroid separation (in normalized units) that
+// still pairs a previous region with a current one.
+const matchDist = 0.15
+
+// growthTol is the relative area change below which a region counts as
+// stable.
+const growthTol = 0.15
+
+// Track matches current regions to a previous round's by centroid
+// proximity and classifies the change of each.
+func Track(prev, cur []Region) []Change {
+	usedPrev := make([]bool, len(prev))
+	var changes []Change
+	for _, c := range cur {
+		best := -1
+		bestDist := matchDist
+		for i, p := range prev {
+			if usedPrev[i] {
+				continue
+			}
+			if d := c.Centroid.DistTo(p.Centroid); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			changes = append(changes, Change{Kind: Appeared, Cur: c})
+			continue
+		}
+		usedPrev[best] = true
+		p := prev[best]
+		kind := Stable
+		switch {
+		case p.AreaFraction == 0 && c.AreaFraction > 0:
+			kind = Grew
+		case c.AreaFraction > p.AreaFraction*(1+growthTol):
+			kind = Grew
+		case c.AreaFraction < p.AreaFraction*(1-growthTol):
+			kind = Shrank
+		}
+		changes = append(changes, Change{Kind: kind, Prev: p, Cur: c})
+	}
+	for i, p := range prev {
+		if !usedPrev[i] {
+			changes = append(changes, Change{Kind: Disappeared, Prev: p})
+		}
+	}
+	return changes
+}

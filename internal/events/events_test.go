@@ -1,0 +1,217 @@
+package events
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// rasterFrom builds a raster from string art: '.' = class 0, digits their
+// value. Row 0 of the slice is raster row 0.
+func rasterFrom(rows []string) *field.Raster {
+	ra := field.NewRaster(len(rows), len(rows[0]))
+	for r, line := range rows {
+		for c, ch := range line {
+			if ch == '.' {
+				ra.Cells[r][c] = 0
+			} else {
+				ra.Cells[r][c] = int(ch - '0')
+			}
+		}
+	}
+	return ra
+}
+
+func TestComponentsTwoBlobs(t *testing.T) {
+	ra := rasterFrom([]string{
+		"11..",
+		"11..",
+		"...1",
+		"...1",
+	})
+	regions := Components(ra, ClassAtLeast(1))
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(regions))
+	}
+	// Sorted by size: 4-cell blob first.
+	if regions[0].Cells != 4 || regions[1].Cells != 2 {
+		t.Errorf("sizes = %d, %d, want 4, 2", regions[0].Cells, regions[1].Cells)
+	}
+	if regions[0].ID != 0 || regions[1].ID != 1 {
+		t.Errorf("IDs = %d, %d", regions[0].ID, regions[1].ID)
+	}
+	if got := regions[0].AreaFraction; got != 0.25 {
+		t.Errorf("AreaFraction = %v, want 0.25", got)
+	}
+	// Centroid of the 2x2 blob at rows 0-1, cols 0-1: normalized (0.25, 0.25).
+	if c := regions[0].Centroid; math.Abs(c.X-0.25) > 1e-9 || math.Abs(c.Y-0.25) > 1e-9 {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestComponentsDiagonalNotConnected(t *testing.T) {
+	ra := rasterFrom([]string{
+		"1.",
+		".1",
+	})
+	regions := Components(ra, ClassAtLeast(1))
+	if len(regions) != 2 {
+		t.Errorf("diagonal cells merged: %d regions, want 2 (4-connectivity)", len(regions))
+	}
+}
+
+func TestComponentsEmptyAndNil(t *testing.T) {
+	if got := Components(nil, ClassAtLeast(1)); got != nil {
+		t.Error("nil raster should yield nil")
+	}
+	ra := rasterFrom([]string{"..", ".."})
+	if got := Components(ra, ClassAtLeast(1)); got != nil {
+		t.Errorf("no matching cells should yield nil, got %v", got)
+	}
+	all := Components(ra, ClassBelow(1))
+	if len(all) != 1 || all[0].Cells != 4 {
+		t.Errorf("ClassBelow(1) should cover everything: %v", all)
+	}
+}
+
+func TestTotalFraction(t *testing.T) {
+	ra := rasterFrom([]string{
+		"11..",
+		"....",
+		"..2.",
+		"....",
+	})
+	regions := Components(ra, ClassAtLeast(1))
+	if got := TotalFraction(regions); math.Abs(got-3.0/16) > 1e-9 {
+		t.Errorf("TotalFraction = %v, want 3/16", got)
+	}
+	if got := TotalFraction(nil); got != 0 {
+		t.Errorf("empty TotalFraction = %v", got)
+	}
+}
+
+func TestTrackAppearGrowShrinkDisappear(t *testing.T) {
+	prev := []Region{
+		{ID: 0, Cells: 100, AreaFraction: 0.10, Centroid: pt(0.2, 0.2)},
+		{ID: 1, Cells: 50, AreaFraction: 0.05, Centroid: pt(0.8, 0.8)},
+	}
+	cur := []Region{
+		{ID: 0, Cells: 150, AreaFraction: 0.15, Centroid: pt(0.22, 0.21)}, // grew
+		{ID: 1, Cells: 30, AreaFraction: 0.03, Centroid: pt(0.5, 0.1)},    // appeared (far)
+	}
+	changes := Track(prev, cur)
+	kinds := map[ChangeKind]int{}
+	for _, ch := range changes {
+		kinds[ch.Kind]++
+	}
+	if kinds[Grew] != 1 {
+		t.Errorf("Grew = %d, want 1 (%v)", kinds[Grew], changes)
+	}
+	if kinds[Appeared] != 1 {
+		t.Errorf("Appeared = %d, want 1", kinds[Appeared])
+	}
+	if kinds[Disappeared] != 1 {
+		t.Errorf("Disappeared = %d, want 1", kinds[Disappeared])
+	}
+}
+
+func TestTrackStable(t *testing.T) {
+	prev := []Region{{Cells: 100, AreaFraction: 0.10, Centroid: pt(0.5, 0.5)}}
+	cur := []Region{{Cells: 104, AreaFraction: 0.104, Centroid: pt(0.5, 0.51)}}
+	changes := Track(prev, cur)
+	if len(changes) != 1 || changes[0].Kind != Stable {
+		t.Errorf("changes = %v, want one Stable", changes)
+	}
+}
+
+func TestTrackShrank(t *testing.T) {
+	prev := []Region{{Cells: 100, AreaFraction: 0.10, Centroid: pt(0.5, 0.5)}}
+	cur := []Region{{Cells: 40, AreaFraction: 0.04, Centroid: pt(0.5, 0.5)}}
+	changes := Track(prev, cur)
+	if len(changes) != 1 || changes[0].Kind != Shrank {
+		t.Errorf("changes = %v, want one Shrank", changes)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	for _, k := range []ChangeKind{Appeared, Disappeared, Grew, Shrank, Stable} {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d renders unknown", k)
+		}
+	}
+	if ChangeKind(99).String() != "unknown" {
+		t.Error("invalid kind should render unknown")
+	}
+}
+
+func TestComponentsOnRealContourMap(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	levels := field.Levels{Low: 6, High: 12, Step: 2}
+	ra := field.ClassifyRaster(f, levels, 96, 96)
+	deep := Components(ra, ClassAtLeast(3)) // deeper than 10 m
+	if len(deep) == 0 {
+		t.Fatal("no deep regions on default seabed")
+	}
+	if TotalFraction(deep) <= 0 || TotalFraction(deep) >= 1 {
+		t.Errorf("deep fraction = %v", TotalFraction(deep))
+	}
+	// Components partition the matching cells: sizes sum to the count of
+	// matching cells.
+	match := 0
+	for _, row := range ra.Cells {
+		for _, v := range row {
+			if v >= 3 {
+				match++
+			}
+		}
+	}
+	sum := 0
+	for _, r := range deep {
+		sum += r.Cells
+	}
+	if sum != match {
+		t.Errorf("component cells %d != matching cells %d", sum, match)
+	}
+}
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestSpansHorizontally(t *testing.T) {
+	corridor := rasterFrom([]string{
+		"....",
+		"1111",
+		"....",
+	})
+	if !SpansHorizontally(corridor, ClassAtLeast(1)) {
+		t.Error("straight corridor should span")
+	}
+	blocked := rasterFrom([]string{
+		"11.1",
+		"1..1",
+		"11.1",
+	})
+	if SpansHorizontally(blocked, ClassAtLeast(1)) {
+		t.Error("blocked corridor should not span")
+	}
+	winding := rasterFrom([]string{
+		"11..",
+		".1..",
+		".111",
+	})
+	if !SpansHorizontally(winding, ClassAtLeast(1)) {
+		t.Error("winding corridor should span")
+	}
+	if SpansHorizontally(nil, ClassAtLeast(1)) {
+		t.Error("nil raster should not span")
+	}
+	// Diagonal touching is not connectivity.
+	diag := rasterFrom([]string{
+		"1.",
+		".1",
+	})
+	if SpansHorizontally(diag, ClassAtLeast(1)) {
+		t.Error("diagonal cells should not form a corridor")
+	}
+}

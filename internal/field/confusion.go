@@ -1,0 +1,127 @@
+package field
+
+// Confusion is a per-class confusion matrix between a ground-truth raster
+// and an estimate: Counts[t][e] counts cells whose true class is t and
+// estimated class is e. It refines the scalar mapping-accuracy metric,
+// showing which contour bands a protocol confuses.
+type Confusion struct {
+	// Classes is the matrix dimension (max class + 1 over both rasters).
+	Classes int
+	// Counts[t][e] is the cell count with truth t, estimate e.
+	Counts [][]int
+	// Total is the number of compared cells.
+	Total int
+}
+
+// ConfusionMatrix builds the confusion matrix of two same-shape rasters,
+// or nil when the shapes differ.
+func ConfusionMatrix(truth, estimate *Raster) *Confusion {
+	if truth == nil || estimate == nil ||
+		truth.Rows != estimate.Rows || truth.Cols != estimate.Cols {
+		return nil
+	}
+	classes := 1
+	for r := 0; r < truth.Rows; r++ {
+		for c := 0; c < truth.Cols; c++ {
+			if v := truth.Cells[r][c] + 1; v > classes {
+				classes = v
+			}
+			if v := estimate.Cells[r][c] + 1; v > classes {
+				classes = v
+			}
+		}
+	}
+	m := &Confusion{Classes: classes, Total: truth.Rows * truth.Cols}
+	m.Counts = make([][]int, classes)
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, classes)
+	}
+	for r := 0; r < truth.Rows; r++ {
+		for c := 0; c < truth.Cols; c++ {
+			t := clampClass(truth.Cells[r][c], classes)
+			e := clampClass(estimate.Cells[r][c], classes)
+			m.Counts[t][e]++
+		}
+	}
+	return m
+}
+
+func clampClass(v, classes int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= classes {
+		return classes - 1
+	}
+	return v
+}
+
+// Accuracy returns the fraction of diagonal cells — identical to the
+// Agreement metric.
+func (m *Confusion) Accuracy() float64 {
+	if m == nil || m.Total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < m.Classes; i++ {
+		diag += m.Counts[i][i]
+	}
+	return float64(diag) / float64(m.Total)
+}
+
+// Recall returns the fraction of true class-t cells correctly estimated,
+// or -1 when the class never occurs in the truth.
+func (m *Confusion) Recall(t int) float64 {
+	if m == nil || t < 0 || t >= m.Classes {
+		return -1
+	}
+	total := 0
+	for e := 0; e < m.Classes; e++ {
+		total += m.Counts[t][e]
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(m.Counts[t][t]) / float64(total)
+}
+
+// Precision returns the fraction of estimated class-e cells that are
+// truly e, or -1 when the class is never estimated.
+func (m *Confusion) Precision(e int) float64 {
+	if m == nil || e < 0 || e >= m.Classes {
+		return -1
+	}
+	total := 0
+	for t := 0; t < m.Classes; t++ {
+		total += m.Counts[t][e]
+	}
+	if total == 0 {
+		return -1
+	}
+	return float64(m.Counts[e][e]) / float64(total)
+}
+
+// OffByOne returns the fraction of misclassified cells whose estimate was
+// an adjacent contour band — the benign error mode for contour maps (a
+// boundary drawn slightly off) as opposed to gross misclassification.
+func (m *Confusion) OffByOne() float64 {
+	if m == nil {
+		return 0
+	}
+	wrong, nearMiss := 0, 0
+	for t := 0; t < m.Classes; t++ {
+		for e := 0; e < m.Classes; e++ {
+			if t == e {
+				continue
+			}
+			wrong += m.Counts[t][e]
+			if t-e == 1 || e-t == 1 {
+				nearMiss += m.Counts[t][e]
+			}
+		}
+	}
+	if wrong == 0 {
+		return 1
+	}
+	return float64(nearMiss) / float64(wrong)
+}

@@ -1,0 +1,108 @@
+package field
+
+import "testing"
+
+func rasterOf(cells [][]int) *Raster {
+	ra := NewRaster(len(cells), len(cells[0]))
+	for r := range cells {
+		copy(ra.Cells[r], cells[r])
+	}
+	return ra
+}
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	truth := rasterOf([][]int{{0, 1}, {2, 2}})
+	est := rasterOf([][]int{{0, 2}, {2, 1}})
+	m := ConfusionMatrix(truth, est)
+	if m == nil || m.Classes != 3 || m.Total != 4 {
+		t.Fatalf("matrix = %+v", m)
+	}
+	if m.Counts[0][0] != 1 || m.Counts[1][2] != 1 || m.Counts[2][2] != 1 || m.Counts[2][1] != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if got := m.Accuracy(); got != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", got)
+	}
+	if got := Agreement(truth, est); got != m.Accuracy() {
+		t.Errorf("Accuracy %v disagrees with Agreement %v", m.Accuracy(), got)
+	}
+}
+
+func TestConfusionShapeMismatch(t *testing.T) {
+	a := NewRaster(2, 2)
+	b := NewRaster(3, 2)
+	if got := ConfusionMatrix(a, b); got != nil {
+		t.Error("mismatched shapes should yield nil")
+	}
+	if got := ConfusionMatrix(nil, a); got != nil {
+		t.Error("nil raster should yield nil")
+	}
+}
+
+func TestRecallPrecision(t *testing.T) {
+	truth := rasterOf([][]int{{1, 1}, {1, 0}})
+	est := rasterOf([][]int{{1, 0}, {1, 0}})
+	m := ConfusionMatrix(truth, est)
+	// Class 1: 3 true, 2 correctly estimated.
+	if got := m.Recall(1); got != 2.0/3 {
+		t.Errorf("Recall(1) = %v, want 2/3", got)
+	}
+	// Class 1 estimated twice, both truly 1.
+	if got := m.Precision(1); got != 1 {
+		t.Errorf("Precision(1) = %v, want 1", got)
+	}
+	// Class 0: 1 true, 1 correct; estimated twice, 1 correct.
+	if got := m.Recall(0); got != 1 {
+		t.Errorf("Recall(0) = %v, want 1", got)
+	}
+	if got := m.Precision(0); got != 0.5 {
+		t.Errorf("Precision(0) = %v, want 0.5", got)
+	}
+	// Missing class.
+	if got := m.Recall(5); got != -1 {
+		t.Errorf("Recall(5) = %v, want -1", got)
+	}
+	if got := m.Precision(-1); got != -1 {
+		t.Errorf("Precision(-1) = %v, want -1", got)
+	}
+}
+
+func TestOffByOne(t *testing.T) {
+	truth := rasterOf([][]int{{0, 0}, {2, 2}})
+	est := rasterOf([][]int{{1, 0}, {0, 2}})
+	m := ConfusionMatrix(truth, est)
+	// Two errors: 0->1 (adjacent) and 2->0 (gross): OffByOne = 0.5.
+	if got := m.OffByOne(); got != 0.5 {
+		t.Errorf("OffByOne = %v, want 0.5", got)
+	}
+	// Perfect map: OffByOne defined as 1 (no errors at all).
+	perfect := ConfusionMatrix(truth, truth)
+	if got := perfect.OffByOne(); got != 1 {
+		t.Errorf("perfect OffByOne = %v, want 1", got)
+	}
+}
+
+func TestConfusionOnRealReconstruction(t *testing.T) {
+	// Iso-Map's misclassifications are overwhelmingly off-by-one: the
+	// boundary is drawn slightly off, not the band misidentified.
+	s := NewSeabed(DefaultSeabedConfig())
+	levels := Levels{Low: 6, High: 12, Step: 2}
+	truth := ClassifyRaster(s, levels, 96, 96)
+	// Fabricate a shifted estimate: the same field sampled with an offset
+	// (a proxy for boundary displacement).
+	shifted := NewRaster(96, 96)
+	for r := 0; r < 96; r++ {
+		for c := 0; c < 96; c++ {
+			x := (float64(c)+1.5)/96*50 + 0.3
+			y := (float64(r) + 0.5) / 96 * 50
+			shifted.Cells[r][c] = levels.Classify(s.Value(x, y))
+		}
+	}
+	m := ConfusionMatrix(truth, shifted)
+	if m.Accuracy() < 0.8 {
+		t.Errorf("shifted accuracy = %v", m.Accuracy())
+	}
+	if m.OffByOne() < 0.95 {
+		t.Errorf("OffByOne = %v — boundary displacement should be near-pure off-by-one", m.OffByOne())
+	}
+}

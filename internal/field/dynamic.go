@@ -1,0 +1,91 @@
+package field
+
+import "math"
+
+// DynamicField is a time-varying scalar field: At freezes it at an instant.
+type DynamicField interface {
+	// At returns the field's snapshot at time t (arbitrary units).
+	At(t float64) Field
+}
+
+// SiltingSeabed models the harbor's dominant hazard (Sec. 2): silt
+// progressively deposited across the sea route, shallowing the water. The
+// deposition is a Gaussian band over the diagonal line x + y = BandCenter
+// whose amplitude grows linearly in time, with an optional storm that
+// multiplies the rate during a time window (the paper recounts a storm
+// that cut the route depth from 9.5 m to 5.7 m in days).
+type SiltingSeabed struct {
+	// Base is the initial seabed.
+	Base Field
+	// BandCenter locates the deposition band: the line x + y = BandCenter.
+	BandCenter float64
+	// BandWidth is the Gaussian half-width of the band (field units).
+	BandWidth float64
+	// Rate is the shallowing at the band center per unit time (meters).
+	Rate float64
+	// StormStart/StormEnd bound an optional high-intensity window during
+	// which deposition runs StormFactor times faster.
+	StormStart  float64
+	StormEnd    float64
+	StormFactor float64
+	// MinDepth clamps the depth from below (the bank never rises above
+	// the surface).
+	MinDepth float64
+}
+
+var _ DynamicField = (*SiltingSeabed)(nil)
+
+// DefaultSilting returns a silting scenario over the given base seabed:
+// a band across the middle of a 50-unit route shallowing 0.25 m per time
+// unit, with a 3x storm between t=4 and t=6.
+func DefaultSilting(base Field) *SiltingSeabed {
+	return &SiltingSeabed{
+		Base:        base,
+		BandCenter:  55,
+		BandWidth:   8,
+		Rate:        0.25,
+		StormStart:  4,
+		StormEnd:    6,
+		StormFactor: 3,
+		MinDepth:    0.5,
+	}
+}
+
+// depositionAt integrates the deposition amplitude up to time t.
+func (s *SiltingSeabed) depositionAt(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	base := t
+	if s.StormFactor > 1 && s.StormEnd > s.StormStart {
+		overlap := math.Min(t, s.StormEnd) - s.StormStart
+		if overlap > 0 {
+			base += overlap * (s.StormFactor - 1)
+		}
+	}
+	return base * s.Rate
+}
+
+// At implements DynamicField.
+func (s *SiltingSeabed) At(t float64) Field {
+	return &siltSnapshot{cfg: s, amp: s.depositionAt(t)}
+}
+
+type siltSnapshot struct {
+	cfg *SiltingSeabed
+	amp float64
+}
+
+func (sn *siltSnapshot) Value(x, y float64) float64 {
+	depth := sn.cfg.Base.Value(x, y)
+	d := (x + y - sn.cfg.BandCenter) / sn.cfg.BandWidth
+	depth -= sn.amp * math.Exp(-d*d)
+	if depth < sn.cfg.MinDepth {
+		depth = sn.cfg.MinDepth
+	}
+	return depth
+}
+
+func (sn *siltSnapshot) Bounds() (x0, y0, x1, y1 float64) {
+	return sn.cfg.Base.Bounds()
+}

@@ -1,0 +1,72 @@
+package field
+
+import "testing"
+
+func TestSiltingDepositionGrows(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	dyn := DefaultSilting(base)
+	// On the band center the depth decreases monotonically in time.
+	x, y := 27.5, 27.5 // x+y = 55 = BandCenter
+	prev := dyn.At(0).Value(x, y)
+	if prev != base.Value(x, y) {
+		t.Errorf("t=0 should equal the base field")
+	}
+	for _, tm := range []float64{1, 2, 4, 5, 6, 8} {
+		v := dyn.At(tm).Value(x, y)
+		if v >= prev {
+			t.Fatalf("depth did not shallow at t=%v: %v >= %v", tm, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSiltingStormAccelerates(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	dyn := DefaultSilting(base)
+	x, y := 27.5, 27.5
+	// Deposition per unit time during the storm (t in [4,6]) exceeds the
+	// calm rate.
+	calm := dyn.At(1).Value(x, y) - dyn.At(2).Value(x, y)
+	storm := dyn.At(4).Value(x, y) - dyn.At(5).Value(x, y)
+	if storm <= calm {
+		t.Errorf("storm deposition %v not above calm %v", storm, calm)
+	}
+}
+
+func TestSiltingFarFromBandUnchanged(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	dyn := DefaultSilting(base)
+	// A corner far from the x+y=55 band barely changes.
+	v0 := base.Value(2, 2)
+	v8 := dyn.At(8).Value(2, 2)
+	if d := v0 - v8; d > 0.05 {
+		t.Errorf("far corner shallowed by %v, want ~0", d)
+	}
+}
+
+func TestSiltingClampsAtMinDepth(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	dyn := DefaultSilting(base)
+	snap := dyn.At(1e6)
+	if v := snap.Value(27.5, 27.5); v != 0.5 {
+		t.Errorf("depth = %v, want clamped at MinDepth 0.5", v)
+	}
+}
+
+func TestSiltingBoundsMatchBase(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	snap := DefaultSilting(base).At(3)
+	bx0, by0, bx1, by1 := base.Bounds()
+	x0, y0, x1, y1 := snap.Bounds()
+	if x0 != bx0 || y0 != by0 || x1 != bx1 || y1 != by1 {
+		t.Error("snapshot bounds differ from base")
+	}
+}
+
+func TestSiltingNegativeTimeIsBase(t *testing.T) {
+	base := NewSeabed(DefaultSeabedConfig())
+	dyn := DefaultSilting(base)
+	if got, want := dyn.At(-5).Value(27.5, 27.5), base.Value(27.5, 27.5); got != want {
+		t.Errorf("t<0 Value = %v, want base %v", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+// Package field provides the scalar-field substrate for the Iso-Map
+// reproduction: the sensed attribute distribution over the surveillance
+// area, ground-truth gradients and isolines, and the isolevel scheme used
+// by contour queries.
+//
+// The paper evaluates against a sonar trace of underwater depth in
+// Huanghua Harbor. That trace is proprietary, so this package substitutes
+// a deterministic synthetic seabed (see Seabed) with the same qualitative
+// structure: a smooth surface with a handful of closed, "well behaved"
+// contour regions (Definition 4.1 of the paper). GridField additionally
+// loads externally supplied traces from a plain-text grid.
+package field
+
+import (
+	"math"
+
+	"isomap/internal/geom"
+)
+
+// Field is a scalar attribute distribution over a rectangular area.
+type Field interface {
+	// Value returns the attribute value at (x, y). Outside the bounds the
+	// value is extrapolated by clamping to the boundary.
+	Value(x, y float64) float64
+	// Bounds returns the rectangle [x0,x1] x [y0,y1] covered by the field.
+	Bounds() (x0, y0, x1, y1 float64)
+}
+
+// GradientField is a Field that can report its exact spatial gradient.
+type GradientField interface {
+	Field
+	// GradientAt returns the gradient vector (df/dx, df/dy) at (x, y).
+	GradientAt(x, y float64) geom.Vec
+}
+
+// NumericGradient estimates the gradient of any field by central
+// differences with step h. It is the ground-truth fallback for fields
+// without an analytic gradient.
+func NumericGradient(f Field, x, y, h float64) geom.Vec {
+	return geom.Vec{
+		X: (f.Value(x+h, y) - f.Value(x-h, y)) / (2 * h),
+		Y: (f.Value(x, y+h) - f.Value(x, y-h)) / (2 * h),
+	}
+}
+
+// GradientAt returns the exact gradient when f implements GradientField and
+// a central-difference estimate otherwise.
+func GradientAt(f Field, x, y float64) geom.Vec {
+	if g, ok := f.(GradientField); ok {
+		return g.GradientAt(x, y)
+	}
+	return NumericGradient(f, x, y, 1e-4)
+}
+
+// BoundsRect returns the field bounds as a geometry polygon.
+func BoundsRect(f Field) geom.Polygon {
+	x0, y0, x1, y1 := f.Bounds()
+	return geom.Rect(x0, y0, x1, y1)
+}
+
+// Levels describes the isolevel scheme of a contour query: the data space
+// [Low, High] and granularity Step, yielding isolevels Low, Low+Step, ...
+// up to High (Sec. 3.2).
+type Levels struct {
+	Low  float64
+	High float64
+	Step float64
+}
+
+// Values returns the isolevels lambda_i = Low + i*Step within [Low, High].
+func (l Levels) Values() []float64 {
+	if l.Step <= 0 || l.High < l.Low {
+		return nil
+	}
+	var out []float64
+	for v := l.Low; v <= l.High+geom.Eps; v += l.Step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Count returns the number of isolevels.
+func (l Levels) Count() int { return len(l.Values()) }
+
+// Classify maps an attribute value to its contour-region index: the number
+// of isolevels lambda_i with lambda_i <= v. Index 0 is the region below the
+// lowest isolevel.
+func (l Levels) Classify(v float64) int {
+	if l.Step <= 0 {
+		return 0
+	}
+	if v < l.Low {
+		return 0
+	}
+	idx := int(math.Floor((v-l.Low)/l.Step)) + 1
+	if max := l.Count(); idx > max {
+		idx = max
+	}
+	return idx
+}
+
+// Nearest returns the isolevel closest to v and its index, or (0, -1) when
+// the scheme is empty.
+func (l Levels) Nearest(v float64) (float64, int) {
+	vals := l.Values()
+	if len(vals) == 0 {
+		return 0, -1
+	}
+	best, bestIdx := vals[0], 0
+	for i, lv := range vals[1:] {
+		if math.Abs(lv-v) < math.Abs(best-v) {
+			best, bestIdx = lv, i+1
+		}
+	}
+	return best, bestIdx
+}

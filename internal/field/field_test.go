@@ -1,0 +1,128 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLevelsValues(t *testing.T) {
+	l := Levels{Low: 6, High: 12, Step: 2}
+	want := []float64{6, 8, 10, 12}
+	got := l.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("Values[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := l.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+func TestLevelsValuesDegenerate(t *testing.T) {
+	if got := (Levels{Low: 1, High: 0, Step: 1}).Values(); got != nil {
+		t.Errorf("inverted range Values = %v, want nil", got)
+	}
+	if got := (Levels{Low: 0, High: 1, Step: 0}).Values(); got != nil {
+		t.Errorf("zero step Values = %v, want nil", got)
+	}
+	if got := (Levels{Low: 5, High: 5, Step: 1}).Values(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("single-level Values = %v, want [5]", got)
+	}
+}
+
+func TestLevelsClassify(t *testing.T) {
+	l := Levels{Low: 6, High: 12, Step: 2}
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{5, 0},
+		{6, 1},
+		{7.9, 1},
+		{8, 2},
+		{11.9, 3},
+		{12, 4},
+		{100, 4},
+		{-10, 0},
+	}
+	for _, tt := range tests {
+		if got := l.Classify(tt.v); got != tt.want {
+			t.Errorf("Classify(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+	if got := (Levels{}).Classify(1); got != 0 {
+		t.Errorf("zero Levels Classify = %d", got)
+	}
+}
+
+func TestLevelsClassifyMonotoneProperty(t *testing.T) {
+	l := Levels{Low: 0, High: 10, Step: 1.5}
+	prev := -1
+	for v := -5.0; v <= 15; v += 0.01 {
+		c := l.Classify(v)
+		if c < prev {
+			t.Fatalf("Classify not monotone at %v: %d < %d", v, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestLevelsNearest(t *testing.T) {
+	l := Levels{Low: 6, High: 12, Step: 2}
+	if v, i := l.Nearest(8.7); v != 8 || i != 1 {
+		t.Errorf("Nearest(8.7) = %v, %d", v, i)
+	}
+	if v, i := l.Nearest(100); v != 12 || i != 3 {
+		t.Errorf("Nearest(100) = %v, %d", v, i)
+	}
+	if _, i := (Levels{}).Nearest(1); i != -1 {
+		t.Errorf("empty Nearest index = %d, want -1", i)
+	}
+}
+
+func TestNumericGradientMatchesAnalytic(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	pts := []geom.Point{{X: 10, Y: 10}, {X: 25, Y: 25}, {X: 40, Y: 12}, {X: 7, Y: 44}}
+	for _, p := range pts {
+		exact := s.GradientAt(p.X, p.Y)
+		approx := NumericGradient(s, p.X, p.Y, 1e-4)
+		if d := exact.Sub(approx).Norm(); d > 1e-5 {
+			t.Errorf("gradient mismatch at %v: exact %v approx %v", p, exact, approx)
+		}
+	}
+}
+
+func TestGradientAtDispatch(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	// GradientField path uses the analytic result.
+	if got, want := GradientAt(s, 20, 20), s.GradientAt(20, 20); got != want {
+		t.Errorf("GradientAt = %v, want %v", got, want)
+	}
+	// Non-gradient fields fall back to differences.
+	g, err := SampleField(s, 101, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := struct{ Field }{g} // hide GradientAt
+	got := GradientAt(plain, 20, 20)
+	want := s.GradientAt(20, 20)
+	if got.Sub(want).Norm() > 0.05 {
+		t.Errorf("fallback gradient %v too far from %v", got, want)
+	}
+}
+
+func TestBoundsRect(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	r := BoundsRect(s)
+	if got := r.Area(); !almostEqual(got, 2500, 1e-9) {
+		t.Errorf("bounds area = %v, want 2500", got)
+	}
+}

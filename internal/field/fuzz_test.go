@@ -1,0 +1,64 @@
+package field
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseGrid exercises the trace parser with arbitrary text: it must
+// either return an error or a well-formed field, never panic.
+func FuzzParseGrid(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("# comment\n1.5 -2e3\n4 5\n")
+	f.Add("")
+	f.Add("1 2 3\n4 5\n")
+	f.Add("nan inf\n1 2\n")
+	f.Add("1\n2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseGrid(strings.NewReader(src), 0, 0, 10, 10)
+		if err != nil {
+			return
+		}
+		if g.Rows() < 2 || g.Cols() < 2 {
+			t.Fatalf("accepted grid with shape %dx%d", g.Rows(), g.Cols())
+		}
+		// Sampling anywhere must not panic.
+		_ = g.Value(5, 5)
+		_ = g.Value(-100, 100)
+		_ = g.GradientAt(3, 3)
+	})
+}
+
+// FuzzLevelsClassify checks the classification invariants under arbitrary
+// scheme parameters and values.
+func FuzzLevelsClassify(f *testing.F) {
+	f.Add(6.0, 12.0, 2.0, 7.3)
+	f.Add(0.0, 0.0, 0.0, 1.0)
+	f.Add(-5.0, 5.0, 0.1, 0.0)
+	f.Fuzz(func(t *testing.T, low, high, step, v float64) {
+		for _, x := range []float64{low, high, step, v} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return
+			}
+		}
+		if step > 0 && (high-low)/step > 1e5 {
+			return // unreasonably many levels
+		}
+		l := Levels{Low: low, High: high, Step: step}
+		c := l.Classify(v)
+		n := l.Count()
+		if c < 0 || c > n {
+			t.Fatalf("Classify(%v) = %d outside [0, %d]", v, c, n)
+		}
+		if n > 0 {
+			nearest, idx := l.Nearest(v)
+			if idx < 0 || idx >= n {
+				t.Fatalf("Nearest index %d outside [0, %d)", idx, n)
+			}
+			if vals := l.Values(); vals[idx] != nearest {
+				t.Fatalf("Nearest value mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package field
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"isomap/internal/geom"
+)
+
+// GridField is a field defined by samples on a regular grid with bilinear
+// interpolation between them. It is the vehicle for loading external traces
+// (such as a sonar depth survey) from text.
+type GridField struct {
+	// values[row][col]; row 0 is y = y0.
+	values [][]float64
+	x0, y0 float64
+	x1, y1 float64
+}
+
+var _ GradientField = (*GridField)(nil)
+
+// NewGridField builds a grid field over [x0,x1] x [y0,y1] from row-major
+// samples. values[r][c] is the sample at y = y0 + r*dy, x = x0 + c*dx. It
+// returns an error for ragged or too-small grids or an empty extent.
+func NewGridField(values [][]float64, x0, y0, x1, y1 float64) (*GridField, error) {
+	if len(values) < 2 || len(values[0]) < 2 {
+		return nil, fmt.Errorf("grid field: need at least 2x2 samples, got %dx%d",
+			len(values), lenFirst(values))
+	}
+	cols := len(values[0])
+	for r, row := range values {
+		if len(row) != cols {
+			return nil, fmt.Errorf("grid field: ragged row %d (%d cols, want %d)", r, len(row), cols)
+		}
+	}
+	if x1 <= x0 || y1 <= y0 {
+		return nil, fmt.Errorf("grid field: empty extent [%g,%g]x[%g,%g]", x0, x1, y0, y1)
+	}
+	cp := make([][]float64, len(values))
+	for r, row := range values {
+		cp[r] = make([]float64, cols)
+		copy(cp[r], row)
+	}
+	return &GridField{values: cp, x0: x0, y0: y0, x1: x1, y1: y1}, nil
+}
+
+func lenFirst(v [][]float64) int {
+	if len(v) == 0 {
+		return 0
+	}
+	return len(v[0])
+}
+
+// ParseGrid reads a whitespace-separated grid of numbers (one row per line,
+// blank lines and lines starting with '#' ignored) and builds a GridField
+// over the given extent.
+func ParseGrid(r io.Reader, x0, y0, x1, y1 float64) (*GridField, error) {
+	var values [][]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		row := make([]float64, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("grid line %d: parse %q: %w", lineNo, f, err)
+			}
+			row = append(row, v)
+		}
+		values = append(values, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grid scan: %w", err)
+	}
+	return NewGridField(values, x0, y0, x1, y1)
+}
+
+// Bounds implements Field.
+func (g *GridField) Bounds() (x0, y0, x1, y1 float64) {
+	return g.x0, g.y0, g.x1, g.y1
+}
+
+// Rows returns the number of sample rows.
+func (g *GridField) Rows() int { return len(g.values) }
+
+// Cols returns the number of sample columns.
+func (g *GridField) Cols() int { return len(g.values[0]) }
+
+// cell maps a point to fractional grid coordinates (clamped to the grid).
+func (g *GridField) cell(x, y float64) (fx, fy float64) {
+	nx, ny := float64(g.Cols()-1), float64(g.Rows()-1)
+	fx = (x - g.x0) / (g.x1 - g.x0) * nx
+	fy = (y - g.y0) / (g.y1 - g.y0) * ny
+	fx = math.Max(0, math.Min(nx, fx))
+	fy = math.Max(0, math.Min(ny, fy))
+	return fx, fy
+}
+
+// Value returns the bilinearly interpolated sample at (x, y).
+func (g *GridField) Value(x, y float64) float64 {
+	fx, fy := g.cell(x, y)
+	c0 := int(fx)
+	r0 := int(fy)
+	c1 := min(c0+1, g.Cols()-1)
+	r1 := min(r0+1, g.Rows()-1)
+	tx := fx - float64(c0)
+	ty := fy - float64(r0)
+	v00 := g.values[r0][c0]
+	v01 := g.values[r0][c1]
+	v10 := g.values[r1][c0]
+	v11 := g.values[r1][c1]
+	return v00*(1-tx)*(1-ty) + v01*tx*(1-ty) + v10*(1-tx)*ty + v11*tx*ty
+}
+
+// GradientAt returns the central-difference gradient at (x, y) computed at
+// the grid resolution.
+func (g *GridField) GradientAt(x, y float64) geom.Vec {
+	hx := (g.x1 - g.x0) / float64(g.Cols()-1)
+	hy := (g.y1 - g.y0) / float64(g.Rows()-1)
+	return geom.Vec{
+		X: (g.Value(x+hx, y) - g.Value(x-hx, y)) / (2 * hx),
+		Y: (g.Value(x, y+hy) - g.Value(x, y-hy)) / (2 * hy),
+	}
+}
+
+// SampleField resamples any field onto an rows x cols GridField. It is used
+// to freeze a synthetic surface into trace form.
+func SampleField(f Field, rows, cols int) (*GridField, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("sample field: need at least 2x2, got %dx%d", rows, cols)
+	}
+	x0, y0, x1, y1 := f.Bounds()
+	values := make([][]float64, rows)
+	for r := 0; r < rows; r++ {
+		values[r] = make([]float64, cols)
+		y := y0 + (y1-y0)*float64(r)/float64(rows-1)
+		for c := 0; c < cols; c++ {
+			x := x0 + (x1-x0)*float64(c)/float64(cols-1)
+			values[r][c] = f.Value(x, y)
+		}
+	}
+	return NewGridField(values, x0, y0, x1, y1)
+}

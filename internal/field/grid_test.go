@@ -1,0 +1,146 @@
+package field
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewGridFieldValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		values  [][]float64
+		x1, y1  float64
+		wantErr bool
+	}{
+		{"ok", [][]float64{{1, 2}, {3, 4}}, 1, 1, false},
+		{"too small", [][]float64{{1, 2}}, 1, 1, true},
+		{"ragged", [][]float64{{1, 2}, {3}}, 1, 1, true},
+		{"empty extent", [][]float64{{1, 2}, {3, 4}}, 0, 1, true},
+		{"nil", nil, 1, 1, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewGridField(tt.values, 0, 0, tt.x1, tt.y1)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGridFieldCornersAndCenter(t *testing.T) {
+	g, err := NewGridField([][]float64{{0, 1}, {2, 3}}, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x, y, want float64
+	}{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3},
+		{0.5, 0.5, 1.5}, // bilinear center
+		{0.5, 0, 0.5},
+		{0, 0.5, 1},
+	}
+	for _, tt := range tests {
+		if got := g.Value(tt.x, tt.y); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Value(%v,%v) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestGridFieldClampsOutside(t *testing.T) {
+	g, err := NewGridField([][]float64{{0, 1}, {2, 3}}, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Value(-5, -5); got != 0 {
+		t.Errorf("Value(-5,-5) = %v, want 0", got)
+	}
+	if got := g.Value(5, 5); got != 3 {
+		t.Errorf("Value(5,5) = %v, want 3", got)
+	}
+}
+
+func TestGridFieldCopiesInput(t *testing.T) {
+	vals := [][]float64{{0, 1}, {2, 3}}
+	g, err := NewGridField(vals, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0][0] = 99
+	if got := g.Value(0, 0); got != 0 {
+		t.Errorf("GridField aliased caller slice: Value(0,0) = %v", got)
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	src := `
+# depth trace
+1 2 3
+4 5 6
+`
+	g, err := ParseGrid(strings.NewReader(src), 0, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 2 || g.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", g.Rows(), g.Cols())
+	}
+	if got := g.Value(2, 1); got != 6 {
+		t.Errorf("Value(2,1) = %v, want 6", got)
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	if _, err := ParseGrid(strings.NewReader("1 x\n2 3\n"), 0, 0, 1, 1); err == nil {
+		t.Error("want parse error for non-numeric token")
+	}
+	if _, err := ParseGrid(strings.NewReader("1 2\n3\n"), 0, 0, 1, 1); err == nil {
+		t.Error("want error for ragged grid")
+	}
+	if _, err := ParseGrid(strings.NewReader(""), 0, 0, 1, 1); err == nil {
+		t.Error("want error for empty grid")
+	}
+}
+
+func TestSampleFieldRoundTrip(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	g, err := SampleField(s, 201, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resampled field must track the original closely at off-grid
+	// points (smooth surface, dense sampling).
+	for _, p := range [][2]float64{{10.3, 17.7}, {33.1, 41.9}, {5.55, 5.55}} {
+		want := s.Value(p[0], p[1])
+		got := g.Value(p[0], p[1])
+		if !almostEqual(got, want, 0.02) {
+			t.Errorf("resampled Value(%v,%v) = %v, want ~%v", p[0], p[1], got, want)
+		}
+	}
+	if _, err := SampleField(s, 1, 10); err == nil {
+		t.Error("want error for too-small sampling")
+	}
+}
+
+func TestGridFieldGradient(t *testing.T) {
+	// f(x, y) = x + 2y sampled exactly: gradient must be (1, 2) everywhere.
+	rows, cols := 11, 11
+	values := make([][]float64, rows)
+	for r := range values {
+		values[r] = make([]float64, cols)
+		for c := range values[r] {
+			x := float64(c)
+			y := float64(r)
+			values[r][c] = x + 2*y
+		}
+	}
+	g, err := NewGridField(values, 0, 0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := g.GradientAt(5, 5)
+	if !almostEqual(grad.X, 1, 1e-9) || !almostEqual(grad.Y, 2, 1e-9) {
+		t.Errorf("gradient = %v, want <1,2>", grad)
+	}
+}

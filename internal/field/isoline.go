@@ -1,0 +1,139 @@
+package field
+
+import (
+	"isomap/internal/geom"
+)
+
+// IsolineSegments extracts the ground-truth isoline of the field at the
+// given level using marching squares on an nx x ny grid. The result is an
+// unordered set of line segments approximating the true curve; for metric
+// purposes (Hausdorff distance, Fig. 12) an unordered sampling suffices.
+func IsolineSegments(f Field, level float64, nx, ny int) []geom.Segment {
+	if nx < 1 || ny < 1 {
+		return nil
+	}
+	x0, y0, x1, y1 := f.Bounds()
+	dx := (x1 - x0) / float64(nx)
+	dy := (y1 - y0) / float64(ny)
+
+	// Sample grid corners once.
+	vals := make([][]float64, ny+1)
+	for j := 0; j <= ny; j++ {
+		vals[j] = make([]float64, nx+1)
+		for i := 0; i <= nx; i++ {
+			vals[j][i] = f.Value(x0+float64(i)*dx, y0+float64(j)*dy)
+		}
+	}
+
+	var segs []geom.Segment
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			cx0 := x0 + float64(i)*dx
+			cy0 := y0 + float64(j)*dy
+			// Corner values: bl, br, tr, tl.
+			bl := vals[j][i]
+			br := vals[j][i+1]
+			tr := vals[j+1][i+1]
+			tl := vals[j+1][i]
+
+			idx := 0
+			if bl >= level {
+				idx |= 1
+			}
+			if br >= level {
+				idx |= 2
+			}
+			if tr >= level {
+				idx |= 4
+			}
+			if tl >= level {
+				idx |= 8
+			}
+			if idx == 0 || idx == 15 {
+				continue
+			}
+
+			// Edge interpolation points.
+			bottom := func() geom.Point {
+				return geom.Point{X: cx0 + dx*interp(bl, br, level), Y: cy0}
+			}
+			top := func() geom.Point {
+				return geom.Point{X: cx0 + dx*interp(tl, tr, level), Y: cy0 + dy}
+			}
+			left := func() geom.Point {
+				return geom.Point{X: cx0, Y: cy0 + dy*interp(bl, tl, level)}
+			}
+			right := func() geom.Point {
+				return geom.Point{X: cx0 + dx, Y: cy0 + dy*interp(br, tr, level)}
+			}
+
+			add := func(a, b geom.Point) {
+				segs = append(segs, geom.Segment{A: a, B: b})
+			}
+
+			switch idx {
+			case 1, 14:
+				add(left(), bottom())
+			case 2, 13:
+				add(bottom(), right())
+			case 3, 12:
+				add(left(), right())
+			case 4, 11:
+				add(right(), top())
+			case 6, 9:
+				add(bottom(), top())
+			case 7, 8:
+				add(left(), top())
+			case 5, 10:
+				// Ambiguous saddle: disambiguate with the cell-center value.
+				center := f.Value(cx0+dx/2, cy0+dy/2)
+				centerHigh := center >= level
+				if (idx == 5) == centerHigh {
+					add(left(), top())
+					add(bottom(), right())
+				} else {
+					add(left(), bottom())
+					add(right(), top())
+				}
+			}
+		}
+	}
+	return segs
+}
+
+// interp returns the fraction along an edge from value a to value b at which
+// the level is crossed, clamped to [0, 1].
+func interp(a, b, level float64) float64 {
+	if a == b {
+		return 0.5
+	}
+	t := (level - a) / (b - a)
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// IsolinePoints samples the ground-truth isoline at the given level into a
+// point set with spacing at most step along each marching-squares segment.
+func IsolinePoints(f Field, level float64, nx, ny int, step float64) []geom.Point {
+	segs := IsolineSegments(f, level, nx, ny)
+	var pts []geom.Point
+	for _, s := range segs {
+		pts = append(pts, geom.Polyline{s.A, s.B}.Sample(step)...)
+	}
+	return pts
+}
+
+// IsolineLength returns the total length of the level's ground-truth
+// isoline; Theorem 4.1's O(sqrt n) bound is checked against this in tests.
+func IsolineLength(f Field, level float64, nx, ny int) float64 {
+	var total float64
+	for _, s := range IsolineSegments(f, level, nx, ny) {
+		total += s.Length()
+	}
+	return total
+}

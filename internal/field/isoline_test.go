@@ -1,0 +1,149 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+// planeField is f(x,y) = x over [0,10]^2; its isoline at level c is the
+// vertical line x = c.
+type planeField struct{}
+
+func (planeField) Value(x, y float64) float64       { return x }
+func (planeField) Bounds() (x0, y0, x1, y1 float64) { return 0, 0, 10, 10 }
+
+// coneField is f(x,y) = distance from center; isolines are circles.
+type coneField struct{}
+
+func (coneField) Value(x, y float64) float64       { return math.Hypot(x-5, y-5) }
+func (coneField) Bounds() (x0, y0, x1, y1 float64) { return 0, 0, 10, 10 }
+
+func TestIsolineSegmentsVerticalLine(t *testing.T) {
+	segs := IsolineSegments(planeField{}, 4, 20, 20)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	for _, s := range segs {
+		if !almostEqual(s.A.X, 4, 1e-9) || !almostEqual(s.B.X, 4, 1e-9) {
+			t.Errorf("segment %v not on x=4", s)
+		}
+	}
+	if got := IsolineLength(planeField{}, 4, 20, 20); !almostEqual(got, 10, 1e-6) {
+		t.Errorf("isoline length = %v, want 10", got)
+	}
+}
+
+func TestIsolineSegmentsCircle(t *testing.T) {
+	const r = 3.0
+	segs := IsolineSegments(coneField{}, r, 200, 200)
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	for _, s := range segs {
+		for _, p := range []geom.Point{s.A, s.B} {
+			d := math.Hypot(p.X-5, p.Y-5)
+			if math.Abs(d-r) > 0.05 {
+				t.Fatalf("point %v at radius %v, want %v", p, d, r)
+			}
+		}
+	}
+	// Total length approximates the circumference 2*pi*r.
+	got := IsolineLength(coneField{}, r, 200, 200)
+	want := 2 * math.Pi * r
+	if math.Abs(got-want) > 0.1 {
+		t.Errorf("circle length = %v, want ~%v", got, want)
+	}
+}
+
+func TestIsolineNoCrossing(t *testing.T) {
+	// Level outside the value range yields nothing.
+	if segs := IsolineSegments(planeField{}, 100, 10, 10); segs != nil {
+		t.Errorf("out-of-range isoline = %v segments", len(segs))
+	}
+	if segs := IsolineSegments(planeField{}, -1, 10, 10); segs != nil {
+		t.Errorf("below-range isoline = %v segments", len(segs))
+	}
+}
+
+func TestIsolineDegenerateGrid(t *testing.T) {
+	if segs := IsolineSegments(planeField{}, 5, 0, 10); segs != nil {
+		t.Error("zero-resolution grid should yield nil")
+	}
+}
+
+func TestIsolinePointsSpacing(t *testing.T) {
+	pts := IsolinePoints(planeField{}, 4, 20, 20, 0.25)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range pts {
+		if !almostEqual(p.X, 4, 1e-9) {
+			t.Errorf("point %v off isoline", p)
+		}
+	}
+}
+
+func TestIsolinePointsOnSeabedMatchLevel(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	pts := IsolinePoints(s, 10, 150, 150, 0.5)
+	if len(pts) == 0 {
+		t.Skip("level 10 not crossed by this surface")
+	}
+	for _, p := range pts {
+		if v := s.Value(p.X, p.Y); math.Abs(v-10) > 0.2 {
+			t.Errorf("isoline point %v has value %v, want ~10", p, v)
+		}
+	}
+}
+
+func TestIsolineSaddleHandled(t *testing.T) {
+	// A saddle surface exercises the ambiguous marching-squares cases.
+	saddle := gridFromFunc(21, 21, func(x, y float64) float64 {
+		return (x - 5) * (y - 5)
+	})
+	segs := IsolineSegments(saddle, 0.5, 40, 40)
+	if len(segs) == 0 {
+		t.Fatal("saddle isoline empty")
+	}
+	for _, s := range segs {
+		m := s.Mid()
+		if v := saddle.Value(m.X, m.Y); math.Abs(v-0.5) > 0.6 {
+			t.Errorf("saddle segment midpoint value %v far from level", v)
+		}
+	}
+}
+
+// gridFromFunc builds a GridField over [0,10]^2 sampling fn.
+func gridFromFunc(rows, cols int, fn func(x, y float64) float64) *GridField {
+	values := make([][]float64, rows)
+	for r := range values {
+		values[r] = make([]float64, cols)
+		y := 10 * float64(r) / float64(rows-1)
+		for c := range values[r] {
+			x := 10 * float64(c) / float64(cols-1)
+			values[r][c] = fn(x, y)
+		}
+	}
+	g, err := NewGridField(values, 0, 0, 10, 10)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestInterp(t *testing.T) {
+	if got := interp(0, 10, 5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("interp = %v, want 0.5", got)
+	}
+	if got := interp(3, 3, 3); got != 0.5 {
+		t.Errorf("flat interp = %v, want 0.5", got)
+	}
+	if got := interp(0, 10, -5); got != 0 {
+		t.Errorf("clamped low = %v", got)
+	}
+	if got := interp(0, 10, 15); got != 1 {
+		t.Errorf("clamped high = %v", got)
+	}
+}

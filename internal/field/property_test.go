@@ -1,0 +1,122 @@
+package field
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelsClassifyConsistentWithValuesProperty(t *testing.T) {
+	l := Levels{Low: 6, High: 12, Step: 2}
+	values := l.Values()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Mod(raw, 30)
+		c := l.Classify(v)
+		// c equals the count of isolevels <= v.
+		want := 0
+		for _, lv := range values {
+			if lv <= v+1e-12 {
+				want++
+			}
+		}
+		// Floating point at exact boundaries may differ by the epsilon
+		// convention; accept the floor-based count too.
+		return c == want || c == want-1 || c == want+1 && onBoundary(v, values)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func onBoundary(v float64, values []float64) bool {
+	for _, lv := range values {
+		if math.Abs(v-lv) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLevelsNearestIsNearestProperty(t *testing.T) {
+	l := Levels{Low: 0, High: 20, Step: 2.5}
+	values := l.Values()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Mod(raw, 40)
+		got, idx := l.Nearest(v)
+		if idx < 0 || idx >= len(values) || values[idx] != got {
+			return false
+		}
+		for _, lv := range values {
+			if math.Abs(lv-v) < math.Abs(got-v)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridFieldInterpolationBoundsProperty(t *testing.T) {
+	// Bilinear interpolation never exceeds the sample range.
+	g, err := NewGridField([][]float64{
+		{1, 5, 2},
+		{7, 3, 9},
+		{4, 8, 6},
+	}, 0, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rx, ry float64) bool {
+		if math.IsNaN(rx) || math.IsNaN(ry) || math.IsInf(rx, 0) || math.IsInf(ry, 0) {
+			return true
+		}
+		x := math.Mod(math.Abs(rx), 2)
+		y := math.Mod(math.Abs(ry), 2)
+		v := g.Value(x, y)
+		return v >= 1-1e-9 && v <= 9+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeabedValueWithinConfiguredEnvelopeProperty(t *testing.T) {
+	cfg := DefaultSeabedConfig()
+	s := NewSeabed(cfg)
+	// |value - base - slope| <= sum of bump amplitudes.
+	maxBump := float64(cfg.Bumps) * cfg.AmpMax
+	f := func(rx, ry float64) bool {
+		if math.IsNaN(rx) || math.IsNaN(ry) || math.IsInf(rx, 0) || math.IsInf(ry, 0) {
+			return true
+		}
+		x := math.Mod(math.Abs(rx), cfg.Width)
+		y := math.Mod(math.Abs(ry), cfg.Height)
+		base := cfg.BaseDepth + cfg.SlopeX*x + cfg.SlopeY*y
+		return math.Abs(s.Value(x, y)-base) <= maxBump+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyRasterValuesInRangeProperty(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	l := Levels{Low: 6, High: 12, Step: 2}
+	ra := ClassifyRaster(s, l, 50, 50)
+	max := l.Count()
+	for _, row := range ra.Cells {
+		for _, v := range row {
+			if v < 0 || v > max {
+				t.Fatalf("class %d outside [0, %d]", v, max)
+			}
+		}
+	}
+}

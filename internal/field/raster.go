@@ -1,0 +1,62 @@
+package field
+
+// Raster is a row-major grid of contour-region indices over the field
+// bounds; cell (r, c) covers the (r, c)-th of Rows x Cols equal rectangles.
+type Raster struct {
+	Rows  int
+	Cols  int
+	Cells [][]int
+}
+
+// NewRaster allocates a zeroed raster.
+func NewRaster(rows, cols int) *Raster {
+	cells := make([][]int, rows)
+	for r := range cells {
+		cells[r] = make([]int, cols)
+	}
+	return &Raster{Rows: rows, Cols: cols, Cells: cells}
+}
+
+// ClassifyRaster rasterizes the ground-truth contour map: every cell gets
+// the contour-region index of the field value at its center, under the
+// query's isolevel scheme. This is the reference against which mapping
+// accuracy (Fig. 11) is measured.
+func ClassifyRaster(f Field, levels Levels, rows, cols int) *Raster {
+	x0, y0, x1, y1 := f.Bounds()
+	ra := NewRaster(rows, cols)
+	for r := 0; r < rows; r++ {
+		y := y0 + (y1-y0)*(float64(r)+0.5)/float64(rows)
+		for c := 0; c < cols; c++ {
+			x := x0 + (x1-x0)*(float64(c)+0.5)/float64(cols)
+			ra.Cells[r][c] = levels.Classify(f.Value(x, y))
+		}
+	}
+	return ra
+}
+
+// CellCenter returns the field coordinates of the center of cell (r, c)
+// given the field bounds.
+func (ra *Raster) CellCenter(f Field, r, c int) (x, y float64) {
+	x0, y0, x1, y1 := f.Bounds()
+	x = x0 + (x1-x0)*(float64(c)+0.5)/float64(ra.Cols)
+	y = y0 + (y1-y0)*(float64(r)+0.5)/float64(ra.Rows)
+	return x, y
+}
+
+// Agreement returns the fraction of cells on which the two rasters agree —
+// the paper's "mapping accuracy: ratio of accurately mapped area to the
+// whole area". It returns 0 when shapes differ.
+func Agreement(a, b *Raster) float64 {
+	if a == nil || b == nil || a.Rows != b.Rows || a.Cols != b.Cols || a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	match := 0
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			if a.Cells[r][c] == b.Cells[r][c] {
+				match++
+			}
+		}
+	}
+	return float64(match) / float64(a.Rows*a.Cols)
+}

@@ -1,0 +1,73 @@
+package field
+
+import "testing"
+
+func TestClassifyRasterPlane(t *testing.T) {
+	levels := Levels{Low: 2, High: 8, Step: 2} // isolevels 2,4,6,8
+	ra := ClassifyRaster(planeField{}, levels, 10, 10)
+	// Column c has x-center (c+0.5); region index = #levels <= x.
+	for r := 0; r < 10; r++ {
+		for c := 0; c < 10; c++ {
+			x := (float64(c) + 0.5)
+			want := levels.Classify(x)
+			if got := ra.Cells[r][c]; got != want {
+				t.Fatalf("cell (%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := NewRaster(2, 2)
+	b := NewRaster(2, 2)
+	if got := Agreement(a, b); got != 1 {
+		t.Errorf("identical Agreement = %v, want 1", got)
+	}
+	b.Cells[0][0] = 1
+	if got := Agreement(a, b); got != 0.75 {
+		t.Errorf("Agreement = %v, want 0.75", got)
+	}
+}
+
+func TestAgreementShapeMismatch(t *testing.T) {
+	a := NewRaster(2, 2)
+	b := NewRaster(3, 2)
+	if got := Agreement(a, b); got != 0 {
+		t.Errorf("mismatched Agreement = %v, want 0", got)
+	}
+	if got := Agreement(nil, a); got != 0 {
+		t.Errorf("nil Agreement = %v, want 0", got)
+	}
+}
+
+func TestCellCenter(t *testing.T) {
+	ra := NewRaster(10, 10)
+	x, y := ra.CellCenter(planeField{}, 0, 0)
+	if !almostEqual(x, 0.5, 1e-12) || !almostEqual(y, 0.5, 1e-12) {
+		t.Errorf("CellCenter(0,0) = (%v,%v)", x, y)
+	}
+	x, y = ra.CellCenter(planeField{}, 9, 9)
+	if !almostEqual(x, 9.5, 1e-12) || !almostEqual(y, 9.5, 1e-12) {
+		t.Errorf("CellCenter(9,9) = (%v,%v)", x, y)
+	}
+}
+
+func TestClassifyRasterSeabedSelfAgreement(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	levels := Levels{Low: 6, High: 12, Step: 2}
+	a := ClassifyRaster(s, levels, 64, 64)
+	b := ClassifyRaster(s, levels, 64, 64)
+	if got := Agreement(a, b); got != 1 {
+		t.Errorf("self Agreement = %v, want 1", got)
+	}
+	// The map must contain more than one region class (a non-trivial map).
+	seen := make(map[int]bool)
+	for _, row := range a.Cells {
+		for _, v := range row {
+			seen[v] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("classified raster has %d distinct classes, want >= 2", len(seen))
+	}
+}

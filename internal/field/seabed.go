@@ -1,0 +1,146 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+
+	"isomap/internal/geom"
+)
+
+// SeabedConfig parameterizes the synthetic underwater-depth surface.
+type SeabedConfig struct {
+	// Width and Height give the field extent in normalized units. The
+	// paper's evaluation field is 50 x 50 units (400 m x 400 m).
+	Width  float64
+	Height float64
+	// BaseDepth is the depth far from any feature, in meters.
+	BaseDepth float64
+	// SlopeX and SlopeY tilt the seabed gently (meters per unit).
+	SlopeX float64
+	SlopeY float64
+	// Bumps is the number of Gaussian features (shoals and deeps).
+	Bumps int
+	// AmpMin and AmpMax bound feature amplitudes (meters). Negative
+	// amplitudes are generated too, modelling scoured channels.
+	AmpMin float64
+	AmpMax float64
+	// SigmaMin and SigmaMax bound feature radii (units).
+	SigmaMin float64
+	SigmaMax float64
+	// Seed drives the deterministic feature placement.
+	Seed int64
+}
+
+// DefaultSeabedConfig returns the configuration used throughout the
+// experiment suite: a 50x50-unit field whose depth spans roughly 4-14 m, so
+// that isolevels {6, 8, 10, 12} produce a handful of closed contour
+// regions, matching the structure of the paper's Fig. 1 trace.
+func DefaultSeabedConfig() SeabedConfig {
+	return SeabedConfig{
+		Width:     50,
+		Height:    50,
+		BaseDepth: 9,
+		SlopeX:    0.02,
+		SlopeY:    -0.015,
+		Bumps:     6,
+		AmpMin:    2.0,
+		AmpMax:    4.5,
+		SigmaMin:  5,
+		SigmaMax:  11,
+		// Seed 2 yields a depth range of roughly 5-13.5 m, so the isolevel
+		// scheme {6, 8, 10, 12} cuts the surface into several closed
+		// regions, mirroring the structure of the paper's trace.
+		Seed: 2,
+	}
+}
+
+// bump is one Gaussian seabed feature.
+type bump struct {
+	cx, cy float64
+	amp    float64
+	sigma2 float64
+}
+
+// Seabed is a deterministic synthetic underwater-depth field: a tilted base
+// plane plus a sum of Gaussian features. It implements GradientField, so
+// ground-truth normals for Fig. 7's gradient-error experiment are exact.
+type Seabed struct {
+	cfg   SeabedConfig
+	bumps []bump
+}
+
+var _ GradientField = (*Seabed)(nil)
+
+// NewSeabed builds the synthetic seabed from cfg. The same config always
+// yields the same surface.
+func NewSeabed(cfg SeabedConfig) *Seabed {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Seabed{cfg: cfg}
+	for i := 0; i < cfg.Bumps; i++ {
+		amp := cfg.AmpMin + rng.Float64()*(cfg.AmpMax-cfg.AmpMin)
+		if rng.Intn(2) == 0 {
+			amp = -amp
+		}
+		sigma := cfg.SigmaMin + rng.Float64()*(cfg.SigmaMax-cfg.SigmaMin)
+		s.bumps = append(s.bumps, bump{
+			// Keep feature centers away from the border so contour regions
+			// close inside the field, as the paper's theory assumes.
+			cx:     cfg.Width * (0.15 + 0.7*rng.Float64()),
+			cy:     cfg.Height * (0.15 + 0.7*rng.Float64()),
+			amp:    amp,
+			sigma2: sigma * sigma,
+		})
+	}
+	return s
+}
+
+// Value returns the depth at (x, y) in meters.
+func (s *Seabed) Value(x, y float64) float64 {
+	x, y = s.clamp(x, y)
+	v := s.cfg.BaseDepth + s.cfg.SlopeX*x + s.cfg.SlopeY*y
+	for _, b := range s.bumps {
+		dx, dy := x-b.cx, y-b.cy
+		v += b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma2))
+	}
+	return v
+}
+
+// GradientAt returns the exact analytic gradient at (x, y).
+func (s *Seabed) GradientAt(x, y float64) geom.Vec {
+	x, y = s.clamp(x, y)
+	g := geom.Vec{X: s.cfg.SlopeX, Y: s.cfg.SlopeY}
+	for _, b := range s.bumps {
+		dx, dy := x-b.cx, y-b.cy
+		e := b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma2))
+		g.X += -dx / b.sigma2 * e
+		g.Y += -dy / b.sigma2 * e
+	}
+	return g
+}
+
+// Bounds implements Field.
+func (s *Seabed) Bounds() (x0, y0, x1, y1 float64) {
+	return 0, 0, s.cfg.Width, s.cfg.Height
+}
+
+func (s *Seabed) clamp(x, y float64) (float64, float64) {
+	return math.Max(0, math.Min(s.cfg.Width, x)),
+		math.Max(0, math.Min(s.cfg.Height, y))
+}
+
+// ValueRange scans the field on a grid and returns the observed min and max
+// values; used to pick sensible query level schemes.
+func ValueRange(f Field, samples int) (lo, hi float64) {
+	x0, y0, x1, y1 := f.Bounds()
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i <= samples; i++ {
+		for j := 0; j <= samples; j++ {
+			x := x0 + (x1-x0)*float64(i)/float64(samples)
+			y := y0 + (y1-y0)*float64(j)/float64(samples)
+			v := f.Value(x, y)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	return lo, hi
+}

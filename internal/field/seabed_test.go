@@ -1,0 +1,112 @@
+package field
+
+import (
+	"testing"
+)
+
+func TestSeabedDeterministic(t *testing.T) {
+	a := NewSeabed(DefaultSeabedConfig())
+	b := NewSeabed(DefaultSeabedConfig())
+	for _, p := range [][2]float64{{0, 0}, {25, 25}, {49, 1}, {13.7, 42.2}} {
+		if a.Value(p[0], p[1]) != b.Value(p[0], p[1]) {
+			t.Fatalf("same config differs at %v", p)
+		}
+	}
+}
+
+func TestSeabedSeedChangesSurface(t *testing.T) {
+	cfg := DefaultSeabedConfig()
+	a := NewSeabed(cfg)
+	cfg.Seed++
+	b := NewSeabed(cfg)
+	same := true
+	for _, p := range [][2]float64{{10, 10}, {20, 30}, {40, 5}} {
+		if a.Value(p[0], p[1]) != b.Value(p[0], p[1]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical surfaces")
+	}
+}
+
+func TestSeabedValueRange(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	lo, hi := ValueRange(s, 100)
+	if lo >= hi {
+		t.Fatalf("degenerate range [%v, %v]", lo, hi)
+	}
+	// The default config must span the experiment isolevels {6,8,10,12}.
+	if lo > 6 || hi < 12 {
+		t.Errorf("range [%v, %v] does not span isolevels 6..12", lo, hi)
+	}
+	// Depths stay physically plausible.
+	if lo < 0 || hi > 30 {
+		t.Errorf("range [%v, %v] implausible for harbor depth", lo, hi)
+	}
+}
+
+func TestSeabedClampOutsideBounds(t *testing.T) {
+	s := NewSeabed(DefaultSeabedConfig())
+	if got, want := s.Value(-10, 25), s.Value(0, 25); got != want {
+		t.Errorf("clamp x: %v != %v", got, want)
+	}
+	if got, want := s.Value(25, 1e6), s.Value(25, 50); got != want {
+		t.Errorf("clamp y: %v != %v", got, want)
+	}
+}
+
+func TestSeabedSmoothness(t *testing.T) {
+	// Adjacent samples must differ by a small amount (smooth surface).
+	s := NewSeabed(DefaultSeabedConfig())
+	const h = 0.1
+	for x := 1.0; x < 49; x += 3.7 {
+		for y := 1.0; y < 49; y += 3.3 {
+			d := s.Value(x+h, y) - s.Value(x, y)
+			if d > 0.5 || d < -0.5 {
+				t.Fatalf("surface jump %v at (%v,%v)", d, x, y)
+			}
+		}
+	}
+}
+
+func TestSeabedHasMultipleContourRegions(t *testing.T) {
+	// The default surface must cross each experiment isolevel somewhere, so
+	// every isolevel produces a non-empty isoline.
+	s := NewSeabed(DefaultSeabedConfig())
+	for _, level := range (Levels{Low: 6, High: 12, Step: 2}).Values() {
+		if segs := IsolineSegments(s, level, 100, 100); len(segs) == 0 {
+			t.Errorf("isolevel %v has no isoline on default seabed", level)
+		}
+	}
+}
+
+func TestSeabedGradientNonzeroOnIsolines(t *testing.T) {
+	// Gradient must be well-defined where isoline nodes live; sample points
+	// near the 8 m isoline.
+	s := NewSeabed(DefaultSeabedConfig())
+	pts := IsolinePoints(s, 8, 80, 80, 1)
+	if len(pts) == 0 {
+		t.Fatal("no isoline points")
+	}
+	zero := 0
+	for _, p := range pts {
+		if s.GradientAt(p.X, p.Y).Norm() < 1e-6 {
+			zero++
+		}
+	}
+	if zero > len(pts)/10 {
+		t.Errorf("%d/%d isoline points have (near) zero gradient", zero, len(pts))
+	}
+}
+
+func TestValueRangeConstantField(t *testing.T) {
+	g, err := NewGridField([][]float64{{5, 5}, {5, 5}}, 0, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := ValueRange(g, 10)
+	if !almostEqual(lo, 5, 1e-9) || !almostEqual(hi, 5, 1e-9) {
+		t.Errorf("constant field range = [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,62 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClipHalfPlane feeds arbitrary half-planes to the clipper; the result
+// must always be inside both the half-plane and the original rectangle.
+func FuzzClipHalfPlane(f *testing.F) {
+	f.Add(5.0, 5.0, 1.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-3.0, 12.0, 0.5, -0.5)
+	f.Fuzz(func(t *testing.T, ox, oy, nx, ny float64) {
+		for _, v := range []float64{ox, oy, nx, ny} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		h := HalfPlane{Origin: Point{X: ox, Y: oy}, Normal: Vec{X: nx, Y: ny}}
+		pg := Rect(0, 0, 10, 10)
+		clipped := pg.ClipHalfPlane(h)
+		area := clipped.Area()
+		if area < 0 || area > 100+1e-6 {
+			t.Fatalf("clipped area %v outside [0, 100]", area)
+		}
+		if h.Normal.Norm() <= Eps {
+			return
+		}
+		tol := 1e-6 * (1 + h.Normal.Norm()) * 20
+		for _, p := range clipped {
+			if h.Side(p) > tol {
+				t.Fatalf("vertex %v outside half-plane by %v", p, h.Side(p))
+			}
+		}
+	})
+}
+
+// FuzzSegmentIntersection checks that intersection points (when reported)
+// actually lie near both segments.
+func FuzzSegmentIntersection(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 0.0, 2.0, 2.0, 0.0)
+	f.Add(0.0, 0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return
+			}
+		}
+		s1 := Segment{A: Point{X: ax, Y: ay}, B: Point{X: bx, Y: by}}
+		s2 := Segment{A: Point{X: cx, Y: cy}, B: Point{X: dx, Y: dy}}
+		p, ok := IntersectSegments(s1, s2)
+		if !ok {
+			return
+		}
+		scale := 1 + s1.Length() + s2.Length()
+		if s1.DistToPoint(p) > 1e-6*scale || s2.DistToPoint(p) > 1e-6*scale {
+			t.Fatalf("intersection %v off segments by %v / %v",
+				p, s1.DistToPoint(p), s2.DistToPoint(p))
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points as a CCW polygon
+// (Andrew's monotone chain). Degenerate inputs return what they can: fewer
+// than three distinct non-collinear points yield a polygon with fewer than
+// three vertices.
+func ConvexHull(points []Point) Polygon {
+	pts := dedupePoints(points)
+	if len(pts) < 3 {
+		return Polygon(pts)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+
+	build := func(ordered []Point) []Point {
+		var chain []Point
+		for _, p := range ordered {
+			for len(chain) >= 2 &&
+				chain[len(chain)-1].Sub(chain[len(chain)-2]).Cross(p.Sub(chain[len(chain)-2])) <= Eps {
+				chain = chain[:len(chain)-1]
+			}
+			chain = append(chain, p)
+		}
+		return chain
+	}
+
+	lower := build(pts)
+	reversed := make([]Point, len(pts))
+	for i, p := range pts {
+		reversed[len(pts)-1-i] = p
+	}
+	upper := build(reversed)
+
+	hull := make(Polygon, 0, len(lower)+len(upper)-2)
+	hull = append(hull, lower[:len(lower)-1]...)
+	hull = append(hull, upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return Polygon(pts[:minInt(len(pts), 2)])
+	}
+	return hull
+}
+
+func dedupePoints(points []Point) []Point {
+	out := make([]Point, 0, len(points))
+	for _, p := range points {
+		dup := false
+		for _, q := range out {
+			if p.NearlyEqual(q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

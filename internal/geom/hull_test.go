@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		{0, 0}, {2, 0}, {2, 2}, {0, 2},
+		{1, 1}, {0.5, 1.5}, // interior
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull vertices = %d, want 4: %v", len(hull), hull)
+	}
+	if !almostEqual(hull.Area(), 4, 1e-9) {
+		t.Errorf("hull area = %v, want 4", hull.Area())
+	}
+	if hull.SignedArea() <= 0 {
+		t.Error("hull should be CCW")
+	}
+}
+
+func TestConvexHullCollinear(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	hull := ConvexHull(pts)
+	if len(hull) > 2 {
+		t.Errorf("collinear hull has %d vertices: %v", len(hull), hull)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if got := ConvexHull(nil); len(got) != 0 {
+		t.Errorf("empty hull = %v", got)
+	}
+	if got := ConvexHull([]Point{{1, 1}}); len(got) != 1 {
+		t.Errorf("single-point hull = %v", got)
+	}
+	if got := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}}); len(got) != 1 {
+		t.Errorf("duplicate-point hull = %v", got)
+	}
+	if got := ConvexHull([]Point{{0, 0}, {1, 0}}); len(got) != 2 {
+		t.Errorf("two-point hull = %v", got)
+	}
+}
+
+func TestConvexHullContainsAllPointsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		for _, p := range pts {
+			if !hull.Contains(p) {
+				t.Fatalf("hull %v does not contain input %v", hull, p)
+			}
+		}
+		// Convexity: all turns CCW.
+		for i := range hull {
+			a, b, c := hull[i], hull[(i+1)%len(hull)], hull[(i+2)%len(hull)]
+			if b.Sub(a).Cross(c.Sub(b)) < -1e-9 {
+				t.Fatalf("hull not convex at %v", b)
+			}
+		}
+	}
+}
+
+func TestConvexHullOfCircleApproximatesDisk(t *testing.T) {
+	var pts []Point
+	for k := 0; k < 100; k++ {
+		th := 2 * math.Pi * float64(k) / 100
+		pts = append(pts, Point{X: 5 + 3*math.Cos(th), Y: 5 + 3*math.Sin(th)})
+	}
+	hull := ConvexHull(pts)
+	want := math.Pi * 9
+	if math.Abs(hull.Area()-want) > 0.1*want {
+		t.Errorf("hull area = %v, want ~%v", hull.Area(), want)
+	}
+}

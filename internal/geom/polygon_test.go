@@ -1,0 +1,239 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRectArea(t *testing.T) {
+	r := Rect(0, 0, 4, 3)
+	if got := r.Area(); !almostEqual(got, 12, 1e-12) {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.SignedArea(); got <= 0 {
+		t.Errorf("Rect should be CCW, signed area = %v", got)
+	}
+	if got := r.Perimeter(); !almostEqual(got, 14, 1e-12) {
+		t.Errorf("Perimeter = %v, want 14", got)
+	}
+}
+
+func TestEnsureCCW(t *testing.T) {
+	cw := Polygon{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	if cw.SignedArea() >= 0 {
+		t.Fatal("test fixture should be CW")
+	}
+	ccw := cw.EnsureCCW()
+	if ccw.SignedArea() <= 0 {
+		t.Error("EnsureCCW did not flip orientation")
+	}
+	if !almostEqual(ccw.Area(), cw.Area(), 1e-12) {
+		t.Error("EnsureCCW changed area")
+	}
+	// Already CCW stays untouched.
+	r := Rect(0, 0, 1, 1)
+	if got := r.EnsureCCW(); got.SignedArea() != r.SignedArea() {
+		t.Error("EnsureCCW altered a CCW polygon")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	r := Rect(0, 0, 4, 2)
+	if got := r.Centroid(); !got.NearlyEqual(Point{X: 2, Y: 1}) {
+		t.Errorf("Centroid = %v, want (2,1)", got)
+	}
+	tri := Polygon{{0, 0}, {3, 0}, {0, 3}}
+	if got := tri.Centroid(); !got.NearlyEqual(Point{X: 1, Y: 1}) {
+		t.Errorf("triangle Centroid = %v, want (1,1)", got)
+	}
+	// Degenerate polygon falls back to vertex average.
+	line := Polygon{{0, 0}, {2, 0}, {4, 0}}
+	if got := line.Centroid(); !got.NearlyEqual(Point{X: 2, Y: 0}) {
+		t.Errorf("degenerate Centroid = %v, want (2,0)", got)
+	}
+	if got := (Polygon{}).Centroid(); got != (Point{}) {
+		t.Errorf("empty Centroid = %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect(0, 0, 2, 2)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Point{X: 1, Y: 1}, true},
+		{"outside", Point{X: 3, Y: 1}, false},
+		{"on edge", Point{X: 0, Y: 1}, true},
+		{"on vertex", Point{X: 0, Y: 0}, true},
+		{"just outside", Point{X: -0.01, Y: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+	if (Polygon{{0, 0}, {1, 1}}).Contains(Point{X: 0.5, Y: 0.5}) {
+		t.Error("degenerate polygon should contain nothing strictly")
+	}
+}
+
+func TestContainsConcave(t *testing.T) {
+	// L-shaped polygon.
+	l := Polygon{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}
+	if !l.Contains(Point{X: 0.5, Y: 1.5}) {
+		t.Error("point in L arm should be inside")
+	}
+	if l.Contains(Point{X: 1.5, Y: 1.5}) {
+		t.Error("point in L notch should be outside")
+	}
+}
+
+func TestClipHalfPlane(t *testing.T) {
+	r := Rect(0, 0, 2, 2)
+	// Keep the half-plane x <= 1.
+	h := HalfPlane{Origin: Point{X: 1, Y: 0}, Normal: Vec{X: 1}}
+	clipped := r.ClipHalfPlane(h)
+	if got := clipped.Area(); !almostEqual(got, 2, 1e-9) {
+		t.Errorf("clipped area = %v, want 2", got)
+	}
+	for _, p := range clipped {
+		if p.X > 1+1e-9 {
+			t.Errorf("vertex %v outside half-plane", p)
+		}
+	}
+	// Clip away everything.
+	hAll := HalfPlane{Origin: Point{X: -1, Y: 0}, Normal: Vec{X: 1}}
+	if got := r.ClipHalfPlane(hAll); got != nil {
+		t.Errorf("fully-clipped polygon = %v, want nil", got)
+	}
+	// Clip nothing.
+	hNone := HalfPlane{Origin: Point{X: 5, Y: 0}, Normal: Vec{X: 1}}
+	if got := r.ClipHalfPlane(hNone); !almostEqual(got.Area(), 4, 1e-9) {
+		t.Errorf("unclipped area = %v, want 4", got.Area())
+	}
+	if got := (Polygon{}).ClipHalfPlane(h); got != nil {
+		t.Error("clipping empty polygon should be nil")
+	}
+}
+
+func TestClipHalfPlaneDiagonal(t *testing.T) {
+	r := Rect(0, 0, 1, 1)
+	// Keep points below the main diagonal: (p - (0,0)) . (-1,1) <= 0 means
+	// y <= x.
+	h := HalfPlane{Origin: Point{}, Normal: Vec{X: -1, Y: 1}}
+	clipped := r.ClipHalfPlane(h)
+	if got := clipped.Area(); !almostEqual(got, 0.5, 1e-9) {
+		t.Errorf("diagonal clip area = %v, want 0.5", got)
+	}
+}
+
+func TestClipAreaMonotoneProperty(t *testing.T) {
+	// Clipping can never increase area; repeated random clips stay
+	// non-negative and monotone.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		pg := Rect(0, 0, 10, 10)
+		area := pg.Area()
+		for k := 0; k < 6 && pg != nil; k++ {
+			h := HalfPlane{
+				Origin: Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+				Normal: Vec{X: rng.Float64()*2 - 1, Y: rng.Float64()*2 - 1},
+			}
+			pg = pg.ClipHalfPlane(h)
+			newArea := pg.Area()
+			if newArea > area+1e-9 {
+				t.Fatalf("clip increased area: %v -> %v", area, newArea)
+			}
+			area = newArea
+		}
+	}
+}
+
+func TestHalfPlaneSide(t *testing.T) {
+	h := HalfPlane{Origin: Point{X: 0, Y: 0}, Normal: Vec{X: 1}}
+	if !h.Contains(Point{X: -1, Y: 0}) {
+		t.Error("point on negative side should be contained")
+	}
+	if h.Contains(Point{X: 1, Y: 0}) {
+		t.Error("point on positive side should not be contained")
+	}
+	if !h.Contains(Point{X: 0, Y: 5}) {
+		t.Error("boundary point should be contained")
+	}
+	if got := h.Side(Point{X: 2, Y: 0}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Side = %v, want 2", got)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	r := Rect(0, 0, 1, 1)
+	edges := r.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("len(Edges) = %d, want 4", len(edges))
+	}
+	if edges[3].B != r[0] {
+		t.Error("last edge should close the polygon")
+	}
+	if got := (Polygon{{0, 0}}).Edges(); got != nil {
+		t.Error("single-vertex polygon should have no edges")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pg := Polygon{{1, 2}, {5, -1}, {3, 7}}
+	x0, y0, x1, y1 := pg.BoundingBox()
+	if x0 != 1 || y0 != -1 || x1 != 5 || y1 != 7 {
+		t.Errorf("BoundingBox = %v %v %v %v", x0, y0, x1, y1)
+	}
+	if x0, y0, x1, y1 := (Polygon{}).BoundingBox(); x0 != 0 || y0 != 0 || x1 != 0 || y1 != 0 {
+		t.Error("empty BoundingBox should be zeros")
+	}
+}
+
+func TestClipPreservesConvexity(t *testing.T) {
+	// All cross products of consecutive edges of a clipped convex polygon
+	// must have the same sign.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		pg := Rect(0, 0, 10, 10)
+		for k := 0; k < 5 && pg != nil; k++ {
+			h := HalfPlane{
+				Origin: Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+				Normal: Vec{X: rng.NormFloat64(), Y: rng.NormFloat64()},
+			}
+			pg = pg.ClipHalfPlane(h)
+		}
+		if pg == nil {
+			continue
+		}
+		n := len(pg)
+		for i := 0; i < n; i++ {
+			a, b, c := pg[i], pg[(i+1)%n], pg[(i+2)%n]
+			cross := b.Sub(a).Cross(c.Sub(b))
+			if cross < -1e-6 {
+				t.Fatalf("clipped polygon not convex at %v: cross=%v poly=%v", b, cross, pg)
+			}
+		}
+	}
+}
+
+func TestAreaInvariantUnderRotation(t *testing.T) {
+	pg := Polygon{{0, 0}, {4, 0}, {4, 3}, {1, 5}}
+	want := pg.Area()
+	theta := math.Pi / 7
+	rot := make(Polygon, len(pg))
+	for i, p := range pg {
+		rot[i] = Point{
+			X: p.X*math.Cos(theta) - p.Y*math.Sin(theta),
+			Y: p.X*math.Sin(theta) + p.Y*math.Cos(theta),
+		}
+	}
+	if got := rot.Area(); !almostEqual(got, want, 1e-9) {
+		t.Errorf("rotated area = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,92 @@
+package geom
+
+import "math"
+
+// Polyline is an open chain of points.
+type Polyline []Point
+
+// Length returns the total length of the polyline.
+func (pl Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(pl); i++ {
+		l += pl[i-1].DistTo(pl[i])
+	}
+	return l
+}
+
+// Sample returns points spaced at most step apart along the polyline,
+// always including the endpoints of every segment. A non-positive step
+// returns the vertices unchanged.
+func (pl Polyline) Sample(step float64) []Point {
+	if len(pl) == 0 {
+		return nil
+	}
+	if step <= 0 {
+		out := make([]Point, len(pl))
+		copy(out, pl)
+		return out
+	}
+	out := []Point{pl[0]}
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{A: pl[i-1], B: pl[i]}
+		n := int(math.Ceil(seg.Length() / step))
+		if n < 1 {
+			n = 1
+		}
+		for k := 1; k <= n; k++ {
+			out = append(out, seg.PointAt(float64(k)/float64(n)))
+		}
+	}
+	return out
+}
+
+// SamplePolygon returns boundary points of a polygon spaced at most step
+// apart.
+func SamplePolygon(pg Polygon, step float64) []Point {
+	if len(pg) == 0 {
+		return nil
+	}
+	closed := make(Polyline, 0, len(pg)+1)
+	closed = append(closed, pg...)
+	closed = append(closed, pg[0])
+	return closed.Sample(step)
+}
+
+// HausdorffDistance returns the symmetric Hausdorff distance between two
+// point sets: max over points of one set of the distance to the nearest
+// point of the other, symmetrized. It is the isoline irregularity metric of
+// Fig. 12. Either set being empty yields 0 against an empty set and the
+// directed distance is undefined, so we return -1 to signal "no comparison".
+func HausdorffDistance(a, b []Point) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return -1
+	}
+	d1 := directedHausdorff(a, b)
+	d2 := directedHausdorff(b, a)
+	if d2 > d1 {
+		return d2
+	}
+	return d1
+}
+
+func directedHausdorff(a, b []Point) float64 {
+	var worst float64
+	for _, p := range a {
+		best := p.Dist2To(b[0])
+		for _, q := range b[1:] {
+			if d := p.Dist2To(q); d < best {
+				best = d
+				if best == 0 {
+					break
+				}
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return math.Sqrt(worst)
+}

@@ -1,0 +1,131 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	pl := Polyline{{0, 0}, {3, 4}, {3, 10}}
+	if got := pl.Length(); !almostEqual(got, 11, 1e-12) {
+		t.Errorf("Length = %v, want 11", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty Length = %v", got)
+	}
+	if got := (Polyline{{1, 1}}).Length(); got != 0 {
+		t.Errorf("single-point Length = %v", got)
+	}
+}
+
+func TestPolylineSample(t *testing.T) {
+	pl := Polyline{{0, 0}, {10, 0}}
+	pts := pl.Sample(1)
+	if len(pts) != 11 {
+		t.Fatalf("len(Sample) = %d, want 11", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i-1].DistTo(pts[i]); d > 1+1e-9 {
+			t.Errorf("sample gap %v > step", d)
+		}
+	}
+	if pts[0] != pl[0] || pts[len(pts)-1] != pl[1] {
+		t.Error("sample should include endpoints")
+	}
+	// Non-positive step returns vertices.
+	if got := pl.Sample(0); len(got) != 2 {
+		t.Errorf("Sample(0) len = %d, want 2", len(got))
+	}
+	if got := (Polyline{}).Sample(1); got != nil {
+		t.Error("empty Sample should be nil")
+	}
+}
+
+func TestSamplePolygonClosesLoop(t *testing.T) {
+	r := Rect(0, 0, 2, 2)
+	pts := SamplePolygon(r, 0.5)
+	if len(pts) == 0 {
+		t.Fatal("no samples")
+	}
+	// First and last sample both at the starting vertex (closed loop).
+	if !pts[0].NearlyEqual(r[0]) || !pts[len(pts)-1].NearlyEqual(r[0]) {
+		t.Errorf("loop not closed: first %v last %v", pts[0], pts[len(pts)-1])
+	}
+	if got := SamplePolygon(Polygon{}, 1); got != nil {
+		t.Error("empty polygon sample should be nil")
+	}
+}
+
+func TestHausdorffIdentical(t *testing.T) {
+	a := []Point{{0, 0}, {1, 1}, {2, 2}}
+	if got := HausdorffDistance(a, a); got != 0 {
+		t.Errorf("identical sets Hausdorff = %v, want 0", got)
+	}
+}
+
+func TestHausdorffKnown(t *testing.T) {
+	a := []Point{{0, 0}, {1, 0}}
+	b := []Point{{0, 0}, {1, 3}}
+	if got := HausdorffDistance(a, b); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Hausdorff = %v, want 3", got)
+	}
+}
+
+func TestHausdorffEmpty(t *testing.T) {
+	if got := HausdorffDistance(nil, nil); got != 0 {
+		t.Errorf("both empty = %v, want 0", got)
+	}
+	if got := HausdorffDistance([]Point{{1, 1}}, nil); got != -1 {
+		t.Errorf("one empty = %v, want -1", got)
+	}
+	if got := HausdorffDistance(nil, []Point{{1, 1}}); got != -1 {
+		t.Errorf("one empty = %v, want -1", got)
+	}
+}
+
+func TestHausdorffSymmetricProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		na, nb := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := make([]Point, na)
+		b := make([]Point, nb)
+		for i := range a {
+			a[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		for i := range b {
+			b[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		if d1, d2 := HausdorffDistance(a, b), HausdorffDistance(b, a); !almostEqual(d1, d2, 1e-12) {
+			t.Fatalf("asymmetric Hausdorff: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestHausdorffSubsetProperty(t *testing.T) {
+	// Hausdorff(a, a ∪ extra) equals the directed distance from extra, and
+	// adding a far point can only grow the distance.
+	a := []Point{{0, 0}, {1, 0}, {2, 0}}
+	withFar := append(append([]Point{}, a...), Point{X: 0, Y: 10})
+	if got := HausdorffDistance(a, withFar); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("Hausdorff with far point = %v, want 10", got)
+	}
+}
+
+func TestHausdorffTranslationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := make([]Point, 15)
+	for i := range a {
+		a[i] = Point{X: rng.Float64() * 5, Y: rng.Float64() * 5}
+	}
+	shift := Vec{X: 3, Y: -2}
+	b := make([]Point, len(a))
+	for i, p := range a {
+		b[i] = p.Add(shift)
+	}
+	// Distance between a set and its translate is at most |shift| (and here
+	// exactly |shift| because every nearest match is the translated twin or
+	// closer).
+	if got := HausdorffDistance(a, b); got > shift.Norm()+1e-9 {
+		t.Errorf("translate Hausdorff = %v > shift %v", got, shift.Norm())
+	}
+}

@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clampCoord maps an arbitrary float into a sane coordinate range.
+func clampCoord(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+func TestClipHalfPlaneResultInsideProperty(t *testing.T) {
+	f := func(ox, oy, nx, ny float64) bool {
+		h := HalfPlane{
+			Origin: Point{X: clampCoord(ox), Y: clampCoord(oy)},
+			Normal: Vec{X: clampCoord(nx), Y: clampCoord(ny)},
+		}
+		if h.Normal.Norm() <= Eps {
+			return true
+		}
+		pg := Rect(-50, -50, 50, 50)
+		clipped := pg.ClipHalfPlane(h)
+		for _, p := range clipped {
+			if h.Side(p) > 1e-6 {
+				return false
+			}
+			if !pg.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipIdempotentProperty(t *testing.T) {
+	f := func(ox, oy, nx, ny float64) bool {
+		h := HalfPlane{
+			Origin: Point{X: clampCoord(ox), Y: clampCoord(oy)},
+			Normal: Vec{X: clampCoord(nx), Y: clampCoord(ny)},
+		}
+		if h.Normal.Norm() <= Eps {
+			return true
+		}
+		pg := Rect(-50, -50, 50, 50).ClipHalfPlane(h)
+		if pg == nil {
+			return true
+		}
+		again := pg.ClipHalfPlane(h)
+		// Clipping by the same half-plane again changes nothing (up to
+		// numerical noise in area).
+		return math.Abs(pg.Area()-again.Area()) <= 1e-6*(1+pg.Area())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectorEquidistantProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Point{X: clampCoord(ax), Y: clampCoord(ay)}
+		b := Point{X: clampCoord(bx), Y: clampCoord(by)}
+		if a.NearlyEqual(b) {
+			return true
+		}
+		h := bisectorHalfPlane(a, b)
+		// The half-plane boundary passes through the midpoint; points on
+		// the a-side are closer to a.
+		if math.Abs(h.Side(a.Mid(b))) > 1e-9 {
+			return false
+		}
+		if !h.Contains(a) {
+			return false
+		}
+		return h.Side(b) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoronoiPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		sites := make([]Point, n)
+		for i := range sites {
+			sites[i] = Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		}
+		bounds := Rect(0, 0, 40, 40)
+		d := Voronoi(sites, bounds)
+		var total float64
+		for _, c := range d.Cells {
+			total += c.Region.Area()
+		}
+		if math.Abs(total-1600) > 1e-4 {
+			t.Fatalf("trial %d: partition area %v != 1600", trial, total)
+		}
+		// Random probe points: the containing cell is the nearest site.
+		for probe := 0; probe < 20; probe++ {
+			p := Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+			nearest := d.CellContaining(p)
+			for i := range d.Cells {
+				if p.DistTo(d.Cells[i].Site) < p.DistTo(d.Cells[nearest].Site)-1e-9 {
+					t.Fatalf("CellContaining returned non-nearest site")
+				}
+			}
+		}
+	}
+}
+
+func TestHausdorffZeroIffSubsetsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(15)
+		a := make([]Point, n)
+		for i := range a {
+			a[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		}
+		// Same set in shuffled order: Hausdorff must be zero.
+		b := make([]Point, n)
+		copy(b, a)
+		rng.Shuffle(n, func(i, j int) { b[i], b[j] = b[j], b[i] })
+		if got := HausdorffDistance(a, b); got != 0 {
+			t.Fatalf("shuffled identical sets: Hausdorff = %v", got)
+		}
+	}
+}
+
+func TestPolygonAreaNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(8)
+		pg := make(Polygon, n)
+		for i := range pg {
+			pg[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		if pg.Area() < 0 {
+			t.Fatal("negative area")
+		}
+		ccw := pg.EnsureCCW()
+		if ccw.SignedArea() < -Eps {
+			t.Fatal("EnsureCCW left a CW polygon")
+		}
+	}
+}
+
+func TestSegmentClosestPointIsClosestProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		s := Segment{
+			A: Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+			B: Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+		}
+		p := Point{X: rng.Float64()*20 - 5, Y: rng.Float64()*20 - 5}
+		cp := s.ClosestPoint(p)
+		d := p.DistTo(cp)
+		// No sampled point on the segment is closer.
+		for k := 0; k <= 20; k++ {
+			q := s.PointAt(float64(k) / 20)
+			if p.DistTo(q) < d-1e-9 {
+				t.Fatalf("found closer point %v than ClosestPoint %v", q, cp)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package geom
+
+import "math"
+
+// Segment is a closed straight-line segment between two points.
+type Segment struct {
+	A Point
+	B Point
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.DistTo(s.B) }
+
+// Dir returns the (unnormalized) direction vector from A to B.
+func (s Segment) Dir() Vec { return s.B.Sub(s.A) }
+
+// Mid returns the midpoint of the segment.
+func (s Segment) Mid() Point { return s.A.Mid(s.B) }
+
+// PointAt returns the point A + t*(B-A). t in [0,1] stays on the segment.
+func (s Segment) PointAt(t float64) Point {
+	return Point{X: s.A.X + t*(s.B.X-s.A.X), Y: s.A.Y + t*(s.B.Y-s.A.Y)}
+}
+
+// ClosestPoint returns the point on the segment closest to p.
+func (s Segment) ClosestPoint(p Point) Point {
+	d := s.Dir()
+	n2 := d.Norm2()
+	if n2 <= Eps*Eps {
+		return s.A
+	}
+	t := p.Sub(s.A).Dot(d) / n2
+	t = math.Max(0, math.Min(1, t))
+	return s.PointAt(t)
+}
+
+// DistToPoint returns the distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	return p.DistTo(s.ClosestPoint(p))
+}
+
+// Line is an infinite line through Origin with direction Dir.
+type Line struct {
+	Origin Point
+	Dir    Vec
+}
+
+// LineThrough returns the line through two points.
+func LineThrough(a, b Point) Line {
+	return Line{Origin: a, Dir: b.Sub(a)}
+}
+
+// PerpendicularAt returns the line through p perpendicular to direction d.
+// This is how a type-1 boundary is constructed from an isoline node's
+// gradient direction (Sec. 3.4).
+func PerpendicularAt(p Point, d Vec) Line {
+	return Line{Origin: p, Dir: d.Perp()}
+}
+
+// IntersectLines returns the intersection point of two lines and true, or a
+// zero point and false when they are parallel (within Eps).
+func IntersectLines(l1, l2 Line) (Point, bool) {
+	den := l1.Dir.Cross(l2.Dir)
+	if math.Abs(den) <= Eps {
+		return Point{}, false
+	}
+	t := l2.Origin.Sub(l1.Origin).Cross(l2.Dir) / den
+	return l1.Origin.Add(l1.Dir.Scale(t)), true
+}
+
+// IntersectSegmentLine returns the intersection of segment s with line l and
+// true, or false when they do not intersect (or are parallel).
+func IntersectSegmentLine(s Segment, l Line) (Point, bool) {
+	den := s.Dir().Cross(l.Dir)
+	if math.Abs(den) <= Eps {
+		return Point{}, false
+	}
+	t := l.Origin.Sub(s.A).Cross(l.Dir) / den
+	if t < -Eps || t > 1+Eps {
+		return Point{}, false
+	}
+	return s.PointAt(math.Max(0, math.Min(1, t))), true
+}
+
+// IntersectSegments returns the intersection point of two closed segments
+// and true, or false when they do not intersect. Collinear overlap reports
+// the first segment's endpoint that lies on the other segment.
+func IntersectSegments(s1, s2 Segment) (Point, bool) {
+	d1, d2 := s1.Dir(), s2.Dir()
+	den := d1.Cross(d2)
+	diff := s2.A.Sub(s1.A)
+	if math.Abs(den) <= Eps {
+		// Parallel. Handle collinear overlap conservatively.
+		if math.Abs(diff.Cross(d1)) > Eps {
+			return Point{}, false
+		}
+		for _, p := range []Point{s1.A, s1.B} {
+			if s2.DistToPoint(p) <= Eps {
+				return p, true
+			}
+		}
+		for _, p := range []Point{s2.A, s2.B} {
+			if s1.DistToPoint(p) <= Eps {
+				return p, true
+			}
+		}
+		return Point{}, false
+	}
+	t := diff.Cross(d2) / den
+	u := diff.Cross(d1) / den
+	if t < -Eps || t > 1+Eps || u < -Eps || u > 1+Eps {
+		return Point{}, false
+	}
+	return s1.PointAt(math.Max(0, math.Min(1, t))), true
+}
+
+// SegmentDist returns the minimum distance between two segments.
+func SegmentDist(s1, s2 Segment) float64 {
+	if _, ok := IntersectSegments(s1, s2); ok {
+		return 0
+	}
+	d := s1.DistToPoint(s2.A)
+	if v := s1.DistToPoint(s2.B); v < d {
+		d = v
+	}
+	if v := s2.DistToPoint(s1.A); v < d {
+		d = v
+	}
+	if v := s2.DistToPoint(s1.B); v < d {
+		d = v
+	}
+	return d
+}

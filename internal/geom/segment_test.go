@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSegmentBasics(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 3, Y: 4}}
+	if got := s.Length(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Length = %v", got)
+	}
+	if got := s.Mid(); got != (Point{X: 1.5, Y: 2}) {
+		t.Errorf("Mid = %v", got)
+	}
+	if got := s.PointAt(0); got != s.A {
+		t.Errorf("PointAt(0) = %v", got)
+	}
+	if got := s.PointAt(1); got != s.B {
+		t.Errorf("PointAt(1) = %v", got)
+	}
+}
+
+func TestClosestPoint(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 10, Y: 0}}
+	tests := []struct {
+		name string
+		p    Point
+		want Point
+	}{
+		{"above middle", Point{X: 5, Y: 3}, Point{X: 5, Y: 0}},
+		{"before start", Point{X: -2, Y: 1}, Point{X: 0, Y: 0}},
+		{"past end", Point{X: 12, Y: -1}, Point{X: 10, Y: 0}},
+		{"on segment", Point{X: 4, Y: 0}, Point{X: 4, Y: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.ClosestPoint(tt.p); !got.NearlyEqual(tt.want) {
+				t.Errorf("ClosestPoint = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	degenerate := Segment{A: Point{X: 1, Y: 1}, B: Point{X: 1, Y: 1}}
+	if got := degenerate.ClosestPoint(Point{X: 5, Y: 5}); got != degenerate.A {
+		t.Errorf("degenerate ClosestPoint = %v", got)
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 10, Y: 0}}
+	if got := s.DistToPoint(Point{X: 5, Y: 3}); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("DistToPoint = %v, want 3", got)
+	}
+	if got := s.DistToPoint(Point{X: 13, Y: 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("DistToPoint past end = %v, want 5", got)
+	}
+}
+
+func TestIntersectLines(t *testing.T) {
+	l1 := LineThrough(Point{X: 0, Y: 0}, Point{X: 1, Y: 1})
+	l2 := LineThrough(Point{X: 0, Y: 2}, Point{X: 1, Y: 1})
+	p, ok := IntersectLines(l1, l2)
+	if !ok || !p.NearlyEqual(Point{X: 1, Y: 1}) {
+		t.Errorf("IntersectLines = %v, %v", p, ok)
+	}
+	// Parallel lines.
+	l3 := LineThrough(Point{X: 0, Y: 1}, Point{X: 1, Y: 2})
+	if _, ok := IntersectLines(l1, l3); ok {
+		t.Error("parallel lines should not intersect")
+	}
+}
+
+func TestPerpendicularAt(t *testing.T) {
+	l := PerpendicularAt(Point{X: 2, Y: 3}, Vec{X: 1, Y: 0})
+	if got := l.Dir.Dot(Vec{X: 1, Y: 0}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("perpendicular line not orthogonal to direction: %v", got)
+	}
+	if l.Origin != (Point{X: 2, Y: 3}) {
+		t.Errorf("Origin = %v", l.Origin)
+	}
+}
+
+func TestIntersectSegmentLine(t *testing.T) {
+	s := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 10, Y: 0}}
+	l := Line{Origin: Point{X: 4, Y: -5}, Dir: Vec{Y: 1}}
+	p, ok := IntersectSegmentLine(s, l)
+	if !ok || !p.NearlyEqual(Point{X: 4, Y: 0}) {
+		t.Errorf("IntersectSegmentLine = %v, %v", p, ok)
+	}
+	// Line misses the segment span.
+	l2 := Line{Origin: Point{X: 14, Y: -5}, Dir: Vec{Y: 1}}
+	if _, ok := IntersectSegmentLine(s, l2); ok {
+		t.Error("line beyond segment end should not intersect")
+	}
+	// Parallel.
+	l3 := Line{Origin: Point{X: 0, Y: 1}, Dir: Vec{X: 1}}
+	if _, ok := IntersectSegmentLine(s, l3); ok {
+		t.Error("parallel line should not intersect")
+	}
+}
+
+func TestIntersectSegments(t *testing.T) {
+	tests := []struct {
+		name   string
+		s1, s2 Segment
+		want   Point
+		wantOK bool
+	}{
+		{
+			name:   "crossing",
+			s1:     Segment{A: Point{X: 0, Y: 0}, B: Point{X: 2, Y: 2}},
+			s2:     Segment{A: Point{X: 0, Y: 2}, B: Point{X: 2, Y: 0}},
+			want:   Point{X: 1, Y: 1},
+			wantOK: true,
+		},
+		{
+			name:   "disjoint",
+			s1:     Segment{A: Point{X: 0, Y: 0}, B: Point{X: 1, Y: 0}},
+			s2:     Segment{A: Point{X: 0, Y: 1}, B: Point{X: 1, Y: 1}},
+			wantOK: false,
+		},
+		{
+			name:   "touching at endpoint",
+			s1:     Segment{A: Point{X: 0, Y: 0}, B: Point{X: 1, Y: 1}},
+			s2:     Segment{A: Point{X: 1, Y: 1}, B: Point{X: 2, Y: 0}},
+			want:   Point{X: 1, Y: 1},
+			wantOK: true,
+		},
+		{
+			name:   "collinear overlapping",
+			s1:     Segment{A: Point{X: 0, Y: 0}, B: Point{X: 2, Y: 0}},
+			s2:     Segment{A: Point{X: 1, Y: 0}, B: Point{X: 3, Y: 0}},
+			wantOK: true,
+		},
+		{
+			name:   "collinear disjoint",
+			s1:     Segment{A: Point{X: 0, Y: 0}, B: Point{X: 1, Y: 0}},
+			s2:     Segment{A: Point{X: 2, Y: 0}, B: Point{X: 3, Y: 0}},
+			wantOK: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, ok := IntersectSegments(tt.s1, tt.s2)
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tt.wantOK)
+			}
+			if ok && tt.want != (Point{}) && !p.NearlyEqual(tt.want) {
+				t.Errorf("point = %v, want %v", p, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDist(t *testing.T) {
+	s1 := Segment{A: Point{X: 0, Y: 0}, B: Point{X: 1, Y: 0}}
+	s2 := Segment{A: Point{X: 0, Y: 2}, B: Point{X: 1, Y: 2}}
+	if got := SegmentDist(s1, s2); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("SegmentDist = %v, want 2", got)
+	}
+	s3 := Segment{A: Point{X: 0.5, Y: -1}, B: Point{X: 0.5, Y: 1}}
+	if got := SegmentDist(s1, s3); got != 0 {
+		t.Errorf("intersecting SegmentDist = %v, want 0", got)
+	}
+}
+
+func TestIntersectSegmentsCommutativeProperty(t *testing.T) {
+	// Intersection existence must be symmetric in its arguments.
+	pts := []Point{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}, {2, 2}, {-1, 0.3},
+	}
+	for i := range pts {
+		for j := range pts {
+			for k := range pts {
+				for l := range pts {
+					s1 := Segment{A: pts[i], B: pts[j]}
+					s2 := Segment{A: pts[k], B: pts[l]}
+					_, ok1 := IntersectSegments(s1, s2)
+					_, ok2 := IntersectSegments(s2, s1)
+					if ok1 != ok2 {
+						t.Fatalf("asymmetric intersection: %v vs %v for %v %v", ok1, ok2, s1, s2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLineDirNonDegenerate(t *testing.T) {
+	l := LineThrough(Point{X: 1, Y: 2}, Point{X: 4, Y: 6})
+	if got := l.Dir.Norm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Dir norm = %v", got)
+	}
+	if math.IsNaN(l.Dir.Angle()) {
+		t.Error("Dir angle NaN")
+	}
+}

@@ -1,0 +1,133 @@
+// Package geom provides the computational-geometry substrate used by the
+// Iso-Map reproduction: points and vectors, segments, convex polygon
+// clipping, bounded Voronoi diagrams, polylines and Hausdorff distance.
+//
+// All coordinates are in the normalized field units used throughout the
+// paper's evaluation (the 50x50 unit field corresponds to a 400 m x 400 m
+// harbor section).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance used for geometric predicates. Coordinates in this
+// repository live in fields of side <= a few hundred units, so an absolute
+// tolerance is appropriate.
+const Eps = 1e-9
+
+// Point is a location in the plane.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Vec is a displacement (or direction) in the plane.
+type Vec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y) }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("<%.4g, %.4g>", v.X, v.Y) }
+
+// Add returns p translated by v.
+func (p Point) Add(v Vec) Point { return Point{X: p.X + v.X, Y: p.Y + v.Y} }
+
+// Sub returns the displacement from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// DistTo returns the Euclidean distance between p and q.
+func (p Point) DistTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2To returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths such as Voronoi membership tests.
+func (p Point) Dist2To(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point {
+	return Point{X: (p.X + q.X) / 2, Y: (p.Y + q.Y) / 2}
+}
+
+// NearlyEqual reports whether p and q coincide within Eps.
+func (p Point) NearlyEqual(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Add returns the vector sum v+w.
+func (v Vec) Add(w Vec) Vec { return Vec{X: v.X + w.X, Y: v.Y + w.Y} }
+
+// Sub returns the vector difference v-w.
+func (v Vec) Sub(w Vec) Vec { return Vec{X: v.X - w.X, Y: v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{X: v.X * s, Y: v.Y * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the cross product of v and w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared length of v.
+func (v Vec) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Unit returns v normalized to unit length. The zero vector is returned
+// unchanged.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n <= Eps {
+		return Vec{}
+	}
+	return Vec{X: v.X / n, Y: v.Y / n}
+}
+
+// Perp returns v rotated 90 degrees counterclockwise.
+func (v Vec) Perp() Vec { return Vec{X: -v.Y, Y: v.X} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{X: -v.X, Y: -v.Y} }
+
+// Angle returns the direction of v in radians in (-pi, pi].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// AngleBetween returns the unsigned angle between v and w in [0, pi].
+// It is the metric used for the angular-separation filter parameter s_a.
+func (v Vec) AngleBetween(w Vec) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv <= Eps || nw <= Eps {
+		return 0
+	}
+	c := v.Dot(w) / (nv * nw)
+	c = math.Max(-1, math.Min(1, c))
+	return math.Acos(c)
+}
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// NormalizeAngle maps an angle in radians to (-pi, pi].
+func NormalizeAngle(a float64) float64 {
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}

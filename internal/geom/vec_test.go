@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{X: 1, Y: 2}
+	q := Point{X: 4, Y: 6}
+	if got := p.DistTo(q); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("DistTo = %v, want 5", got)
+	}
+	if got := p.Dist2To(q); !almostEqual(got, 25, 1e-12) {
+		t.Errorf("Dist2To = %v, want 25", got)
+	}
+	if got := q.Sub(p); got != (Vec{X: 3, Y: 4}) {
+		t.Errorf("Sub = %v, want <3,4>", got)
+	}
+	if got := p.Add(Vec{X: 3, Y: 4}); got != q {
+		t.Errorf("Add = %v, want %v", got, q)
+	}
+	if got := p.Mid(q); got != (Point{X: 2.5, Y: 4}) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{X: 3, Y: 4}
+	if got := v.Norm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Unit().Norm(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Unit norm = %v, want 1", got)
+	}
+	if got := (Vec{}).Unit(); got != (Vec{}) {
+		t.Errorf("zero Unit = %v, want zero", got)
+	}
+	if got := v.Perp().Dot(v); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Perp not orthogonal: dot = %v", got)
+	}
+	if got := v.Cross(v.Perp()); got <= 0 {
+		t.Errorf("Perp should be CCW: cross = %v", got)
+	}
+	if got := v.Neg(); got != (Vec{X: -3, Y: -4}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec{X: 6, Y: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	tests := []struct {
+		name string
+		v, w Vec
+		want float64
+	}{
+		{"same", Vec{X: 1}, Vec{X: 2}, 0},
+		{"orthogonal", Vec{X: 1}, Vec{Y: 1}, math.Pi / 2},
+		{"opposite", Vec{X: 1}, Vec{X: -1}, math.Pi},
+		{"45deg", Vec{X: 1}, Vec{X: 1, Y: 1}, math.Pi / 4},
+		{"zero vec", Vec{}, Vec{X: 1}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.AngleBetween(tt.w); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("AngleBetween = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAngleConversions(t *testing.T) {
+	if got := Degrees(math.Pi); !almostEqual(got, 180, 1e-12) {
+		t.Errorf("Degrees(pi) = %v", got)
+	}
+	if got := Radians(90); !almostEqual(got, math.Pi/2, 1e-12) {
+		t.Errorf("Radians(90) = %v", got)
+	}
+	if got := NormalizeAngle(3 * math.Pi); !almostEqual(got, math.Pi, 1e-9) {
+		t.Errorf("NormalizeAngle(3pi) = %v, want pi", got)
+	}
+	if got := NormalizeAngle(-3 * math.Pi); !almostEqual(got, math.Pi, 1e-9) {
+		t.Errorf("NormalizeAngle(-3pi) = %v, want pi", got)
+	}
+}
+
+func TestAngleBetweenSymmetricProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		v := Vec{X: math.Mod(a, 100), Y: math.Mod(b, 100)}
+		w := Vec{X: math.Mod(c, 100), Y: math.Mod(d, 100)}
+		g1, g2 := v.AngleBetween(w), w.AngleBetween(v)
+		return almostEqual(g1, g2, 1e-9) && g1 >= 0 && g1 <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randPoint := func() Point {
+		return Point{X: rng.Float64()*100 - 50, Y: rng.Float64()*100 - 50}
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randPoint(), randPoint(), randPoint()
+		if a.DistTo(c) > a.DistTo(b)+b.DistTo(c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := (Point{X: 1, Y: 2}).String(); got == "" {
+		t.Error("Point.String empty")
+	}
+	if got := (Vec{X: 1, Y: 2}).String(); got == "" {
+		t.Error("Vec.String empty")
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	p := Point{X: 1, Y: 1}
+	if !p.NearlyEqual(Point{X: 1 + Eps/2, Y: 1}) {
+		t.Error("should be nearly equal within Eps")
+	}
+	if p.NearlyEqual(Point{X: 1.1, Y: 1}) {
+		t.Error("should not be nearly equal at 0.1 apart")
+	}
+}

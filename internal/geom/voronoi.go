@@ -1,0 +1,126 @@
+package geom
+
+// VoronoiCell is one cell of a bounded Voronoi diagram: the convex region of
+// the bounding polygon closer to Site than to any other site.
+type VoronoiCell struct {
+	// Site is the generating point (an isoposition in Iso-Map).
+	Site Point
+	// Index is the position of the site in the input slice.
+	Index int
+	// Region is the cell polygon (CCW). Nil when the cell degenerates,
+	// which only happens for duplicate sites.
+	Region Polygon
+	// Neighbors lists the indices of sites whose cells share a boundary
+	// edge with this cell, aligned with SharedEdges.
+	Neighbors []int
+	// SharedEdges[i] is the (clipped) bisector edge shared with
+	// Neighbors[i].
+	SharedEdges []Segment
+}
+
+// VoronoiDiagram is a bounded Voronoi diagram over a convex boundary.
+type VoronoiDiagram struct {
+	// Bounds is the clipping polygon (typically the field rectangle).
+	Bounds Polygon
+	// Cells holds one cell per input site, in input order.
+	Cells []VoronoiCell
+}
+
+// Voronoi computes the Voronoi diagram of sites bounded by the convex
+// polygon bounds. Each cell is obtained by clipping bounds against the
+// perpendicular-bisector half-plane of every other site — O(k^2) work for k
+// sites, which is exact and fast for the O(sqrt n) isoline reports the sink
+// receives per isolevel.
+func Voronoi(sites []Point, bounds Polygon) *VoronoiDiagram {
+	bounds = bounds.EnsureCCW()
+	d := &VoronoiDiagram{
+		Bounds: bounds,
+		Cells:  make([]VoronoiCell, len(sites)),
+	}
+	for i, s := range sites {
+		cell := VoronoiCell{Site: s, Index: i}
+		region := bounds
+		for j, t := range sites {
+			if j == i || region == nil {
+				continue
+			}
+			if s.NearlyEqual(t) {
+				// Duplicate sites split the plane ambiguously; assign the
+				// region to the lower-indexed site.
+				if j < i {
+					region = nil
+				}
+				continue
+			}
+			region = region.ClipHalfPlane(bisectorHalfPlane(s, t))
+		}
+		cell.Region = region
+		d.Cells[i] = cell
+	}
+	d.computeAdjacency(sites)
+	return d
+}
+
+// bisectorHalfPlane returns the half-plane of points at least as close to s
+// as to t.
+func bisectorHalfPlane(s, t Point) HalfPlane {
+	return HalfPlane{Origin: s.Mid(t), Normal: t.Sub(s)}
+}
+
+// computeAdjacency finds, for every cell, the neighboring cells with which
+// it shares a bisector edge, recording the shared edge segments.
+func (d *VoronoiDiagram) computeAdjacency(sites []Point) {
+	for i := range d.Cells {
+		ci := &d.Cells[i]
+		if ci.Region == nil {
+			continue
+		}
+		for _, e := range ci.Region.Edges() {
+			j, ok := d.edgeNeighbor(sites, i, e)
+			if !ok {
+				continue
+			}
+			ci.Neighbors = append(ci.Neighbors, j)
+			ci.SharedEdges = append(ci.SharedEdges, e)
+		}
+	}
+}
+
+// edgeNeighbor identifies which other site (if any) generates edge e of cell
+// i: the edge midpoint must be (within tolerance) equidistant from both
+// sites and the edge must lie on their bisector.
+func (d *VoronoiDiagram) edgeNeighbor(sites []Point, i int, e Segment) (int, bool) {
+	const tol = 1e-6
+	m := e.Mid()
+	di := m.DistTo(sites[i])
+	best, bestDist := -1, di+tol
+	for j, s := range sites {
+		if j == i {
+			continue
+		}
+		if dj := m.DistTo(s); dj < bestDist {
+			best, bestDist = j, dj
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	// The shared edge midpoint is equidistant from both generating sites.
+	if bestDist < di-tol {
+		return 0, false
+	}
+	return best, true
+}
+
+// CellContaining returns the index of the cell whose site is nearest to p,
+// or -1 for an empty diagram. Ties go to the lowest index.
+func (d *VoronoiDiagram) CellContaining(p Point) int {
+	best, bestDist := -1, 0.0
+	for i := range d.Cells {
+		dist := p.Dist2To(d.Cells[i].Site)
+		if best < 0 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}

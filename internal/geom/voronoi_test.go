@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVoronoiSingleSite(t *testing.T) {
+	bounds := Rect(0, 0, 10, 10)
+	d := Voronoi([]Point{{5, 5}}, bounds)
+	if len(d.Cells) != 1 {
+		t.Fatalf("cells = %d", len(d.Cells))
+	}
+	if got := d.Cells[0].Region.Area(); !almostEqual(got, 100, 1e-9) {
+		t.Errorf("single-site cell area = %v, want 100", got)
+	}
+	if len(d.Cells[0].Neighbors) != 0 {
+		t.Errorf("single site should have no neighbors, got %v", d.Cells[0].Neighbors)
+	}
+}
+
+func TestVoronoiTwoSites(t *testing.T) {
+	bounds := Rect(0, 0, 10, 10)
+	d := Voronoi([]Point{{2, 5}, {8, 5}}, bounds)
+	a0 := d.Cells[0].Region.Area()
+	a1 := d.Cells[1].Region.Area()
+	if !almostEqual(a0, 50, 1e-6) || !almostEqual(a1, 50, 1e-6) {
+		t.Errorf("areas = %v, %v, want 50 each", a0, a1)
+	}
+	// Each cell contains its own site.
+	for i, c := range d.Cells {
+		if !c.Region.Contains(c.Site) {
+			t.Errorf("cell %d does not contain its site", i)
+		}
+	}
+	// They are mutual neighbors.
+	if len(d.Cells[0].Neighbors) != 1 || d.Cells[0].Neighbors[0] != 1 {
+		t.Errorf("cell0 neighbors = %v, want [1]", d.Cells[0].Neighbors)
+	}
+	if len(d.Cells[1].Neighbors) != 1 || d.Cells[1].Neighbors[0] != 0 {
+		t.Errorf("cell1 neighbors = %v, want [0]", d.Cells[1].Neighbors)
+	}
+	// Shared edge is the x=5 bisector.
+	e := d.Cells[0].SharedEdges[0]
+	if !almostEqual(e.A.X, 5, 1e-6) || !almostEqual(e.B.X, 5, 1e-6) {
+		t.Errorf("shared edge not on bisector: %v", e)
+	}
+}
+
+func TestVoronoiGridSites(t *testing.T) {
+	bounds := Rect(0, 0, 4, 4)
+	var sites []Point
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sites = append(sites, Point{X: 0.5 + float64(i), Y: 0.5 + float64(j)})
+		}
+	}
+	d := Voronoi(sites, bounds)
+	for i, c := range d.Cells {
+		if got := c.Region.Area(); !almostEqual(got, 1, 1e-6) {
+			t.Errorf("grid cell %d area = %v, want 1", i, got)
+		}
+	}
+}
+
+func TestVoronoiAreasPartitionBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bounds := Rect(0, 0, 50, 50)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		sites := make([]Point, n)
+		for i := range sites {
+			sites[i] = Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		d := Voronoi(sites, bounds)
+		var total float64
+		for _, c := range d.Cells {
+			total += c.Region.Area()
+		}
+		if !almostEqual(total, 2500, 1e-4) {
+			t.Fatalf("trial %d: cell areas sum to %v, want 2500", trial, total)
+		}
+	}
+}
+
+func TestVoronoiCellsContainOwnSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bounds := Rect(0, 0, 20, 20)
+	sites := make([]Point, 50)
+	for i := range sites {
+		sites[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+	}
+	d := Voronoi(sites, bounds)
+	for i, c := range d.Cells {
+		if c.Region == nil {
+			t.Fatalf("cell %d nil region", i)
+		}
+		if !c.Region.Contains(c.Site) {
+			t.Errorf("cell %d does not contain site %v", i, c.Site)
+		}
+	}
+}
+
+func TestVoronoiNearestSiteProperty(t *testing.T) {
+	// Any point strictly inside a cell must be nearest to that cell's site.
+	rng := rand.New(rand.NewSource(17))
+	bounds := Rect(0, 0, 30, 30)
+	sites := make([]Point, 25)
+	for i := range sites {
+		sites[i] = Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+	}
+	d := Voronoi(sites, bounds)
+	for trial := 0; trial < 500; trial++ {
+		p := Point{X: rng.Float64() * 30, Y: rng.Float64() * 30}
+		owner := -1
+		for i, c := range d.Cells {
+			if c.Region.Contains(p) {
+				// A boundary point can belong to several cells; take the
+				// first and check it's within tolerance of the nearest.
+				owner = i
+				break
+			}
+		}
+		if owner < 0 {
+			t.Fatalf("point %v in no cell", p)
+		}
+		nearest := d.CellContaining(p)
+		dOwner := p.DistTo(d.Cells[owner].Site)
+		dNearest := p.DistTo(d.Cells[nearest].Site)
+		if dOwner > dNearest+1e-6 {
+			t.Errorf("point %v in cell %d (dist %v) but nearest site is %d (dist %v)",
+				p, owner, dOwner, nearest, dNearest)
+		}
+	}
+}
+
+func TestVoronoiDuplicateSites(t *testing.T) {
+	bounds := Rect(0, 0, 10, 10)
+	d := Voronoi([]Point{{3, 3}, {3, 3}, {7, 7}}, bounds)
+	if d.Cells[0].Region == nil {
+		t.Error("first duplicate should keep its region")
+	}
+	if d.Cells[1].Region != nil {
+		t.Error("second duplicate should have nil region")
+	}
+	if d.Cells[2].Region == nil {
+		t.Error("distinct site should keep its region")
+	}
+	a := d.Cells[0].Region.Area() + d.Cells[2].Region.Area()
+	if !almostEqual(a, 100, 1e-6) {
+		t.Errorf("areas sum = %v, want 100", a)
+	}
+}
+
+func TestVoronoiAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	bounds := Rect(0, 0, 40, 40)
+	sites := make([]Point, 30)
+	for i := range sites {
+		sites[i] = Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+	}
+	d := Voronoi(sites, bounds)
+	adj := make(map[[2]int]bool)
+	for i, c := range d.Cells {
+		for _, j := range c.Neighbors {
+			adj[[2]int{i, j}] = true
+		}
+	}
+	for key := range adj {
+		if !adj[[2]int{key[1], key[0]}] {
+			t.Errorf("adjacency %v not symmetric", key)
+		}
+	}
+}
+
+func TestCellContainingEmpty(t *testing.T) {
+	d := &VoronoiDiagram{}
+	if got := d.CellContaining(Point{X: 1, Y: 1}); got != -1 {
+		t.Errorf("CellContaining on empty diagram = %d, want -1", got)
+	}
+}
+
+func TestVoronoiCollinearSites(t *testing.T) {
+	bounds := Rect(0, 0, 9, 3)
+	sites := []Point{{1.5, 1.5}, {4.5, 1.5}, {7.5, 1.5}}
+	d := Voronoi(sites, bounds)
+	for i, c := range d.Cells {
+		if got := c.Region.Area(); !almostEqual(got, 9, 1e-6) {
+			t.Errorf("collinear cell %d area = %v, want 9", i, got)
+		}
+	}
+	// Middle cell has two neighbors, outer cells one each.
+	if len(d.Cells[1].Neighbors) != 2 {
+		t.Errorf("middle cell neighbors = %v", d.Cells[1].Neighbors)
+	}
+	if len(d.Cells[0].Neighbors) != 1 || len(d.Cells[2].Neighbors) != 1 {
+		t.Errorf("outer cell neighbors = %v / %v", d.Cells[0].Neighbors, d.Cells[2].Neighbors)
+	}
+}
+
+func TestVoronoiSharedEdgeOnBisector(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bounds := Rect(0, 0, 20, 20)
+	sites := make([]Point, 12)
+	for i := range sites {
+		sites[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+	}
+	d := Voronoi(sites, bounds)
+	for i, c := range d.Cells {
+		for k, j := range c.Neighbors {
+			e := c.SharedEdges[k]
+			m := e.Mid()
+			di := m.DistTo(sites[i])
+			dj := m.DistTo(sites[j])
+			if math.Abs(di-dj) > 1e-5 {
+				t.Errorf("shared edge midpoint not equidistant: cell %d nbr %d (%v vs %v)", i, j, di, dj)
+			}
+		}
+	}
+}

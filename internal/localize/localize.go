@@ -1,0 +1,217 @@
+// Package localize implements DV-hop localization, standing in for the
+// localization algorithms the paper's isoline reports rely on when nodes
+// carry no GPS ("the position p can be obtained either from attached
+// localization devices such as a GPS receiver or by one of existing
+// algorithms", Sec. 3.3).
+//
+// DV-hop: a small set of anchor nodes know their true positions. Every
+// anchor floods a hop-count beacon; each node records its hop distance to
+// every anchor. Anchors estimate an average per-hop length from their
+// mutual hop counts and true distances; ordinary nodes convert hop counts
+// into range estimates and solve a linearized least-squares
+// multilateration for their position.
+package localize
+
+import (
+	"fmt"
+	"math"
+
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+// Result holds the per-node position estimates of one localization run.
+type Result struct {
+	// Estimated maps every localized node to its position estimate.
+	// Anchors map to their true position. Nodes unreachable from enough
+	// anchors are absent.
+	Estimated map[network.NodeID]geom.Point
+	// Anchors lists the anchor node IDs used.
+	Anchors []network.NodeID
+	// MeanError and MaxError summarize the estimate error over localized
+	// non-anchor nodes, in field units.
+	MeanError float64
+	MaxError  float64
+}
+
+// DVHop localizes every node of the network from the given anchors. At
+// least three non-collinear anchors are required; nodes that cannot reach
+// three anchors stay unlocalized.
+func DVHop(nw *network.Network, anchors []network.NodeID) (*Result, error) {
+	if len(anchors) < 3 {
+		return nil, fmt.Errorf("localize: need at least 3 anchors, got %d", len(anchors))
+	}
+	for _, a := range anchors {
+		if !nw.Alive(a) {
+			return nil, fmt.Errorf("localize: anchor %d is not an alive node", a)
+		}
+	}
+
+	// Hop-count flood from every anchor.
+	hops := make([][]int, len(anchors))
+	for i, a := range anchors {
+		hops[i] = bfsHops(nw, a)
+	}
+
+	// Each anchor's per-hop length: mean over other anchors of
+	// trueDistance / hopCount.
+	hopLen := make([]float64, len(anchors))
+	for i, a := range anchors {
+		var sum float64
+		count := 0
+		for j, b := range anchors {
+			if i == j || hops[i][b] <= 0 {
+				continue
+			}
+			sum += nw.Node(a).Pos.DistTo(nw.Node(b).Pos) / float64(hops[i][b])
+			count++
+		}
+		if count > 0 {
+			hopLen[i] = sum / float64(count)
+		}
+	}
+
+	res := &Result{
+		Estimated: make(map[network.NodeID]geom.Point, nw.Len()),
+		Anchors:   append([]network.NodeID(nil), anchors...),
+	}
+	var errSum float64
+	errCount := 0
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !nw.Alive(id) {
+			continue
+		}
+		if idx := anchorIndex(anchors, id); idx >= 0 {
+			res.Estimated[id] = nw.Node(id).Pos
+			continue
+		}
+		// Collect range estimates to reachable anchors.
+		var pts []geom.Point
+		var dists []float64
+		for k, a := range anchors {
+			h := hops[k][id]
+			if h <= 0 || hopLen[k] <= 0 {
+				continue
+			}
+			pts = append(pts, nw.Node(a).Pos)
+			dists = append(dists, float64(h)*hopLen[k])
+		}
+		if len(pts) < 3 {
+			continue
+		}
+		est, ok := multilaterate(pts, dists)
+		if !ok {
+			continue
+		}
+		res.Estimated[id] = est
+		e := est.DistTo(nw.Node(id).Pos)
+		errSum += e
+		errCount++
+		if e > res.MaxError {
+			res.MaxError = e
+		}
+	}
+	if errCount > 0 {
+		res.MeanError = errSum / float64(errCount)
+	}
+	return res, nil
+}
+
+func anchorIndex(anchors []network.NodeID, id network.NodeID) int {
+	for i, a := range anchors {
+		if a == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// bfsHops returns the hop distance from root to every node (-1 when
+// unreachable).
+func bfsHops(nw *network.Network, root network.NodeID) []int {
+	hops := make([]int, nw.Len())
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[root] = 0
+	queue := []network.NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range nw.AliveNeighbors(cur) {
+			if hops[nb] >= 0 {
+				continue
+			}
+			hops[nb] = hops[cur] + 1
+			queue = append(queue, nb)
+		}
+	}
+	return hops
+}
+
+// multilaterate solves for a position from at least three (anchor, range)
+// pairs by the standard linearization: subtracting the last anchor's
+// circle equation from the others yields a linear system solved by least
+// squares (2x2 normal equations).
+func multilaterate(pts []geom.Point, dists []float64) (geom.Point, bool) {
+	n := len(pts) - 1
+	ref := pts[len(pts)-1]
+	refD := dists[len(pts)-1]
+	// Rows: 2(x_i - x_ref) x + 2(y_i - y_ref) y = x_i^2 - x_ref^2 + y_i^2
+	// - y_ref^2 + refD^2 - d_i^2.
+	var a11, a12, a22, b1, b2 float64
+	for i := 0; i < n; i++ {
+		ax := 2 * (pts[i].X - ref.X)
+		ay := 2 * (pts[i].Y - ref.Y)
+		rhs := pts[i].X*pts[i].X - ref.X*ref.X +
+			pts[i].Y*pts[i].Y - ref.Y*ref.Y +
+			refD*refD - dists[i]*dists[i]
+		a11 += ax * ax
+		a12 += ax * ay
+		a22 += ay * ay
+		b1 += ax * rhs
+		b2 += ay * rhs
+	}
+	det := a11*a22 - a12*a12
+	if math.Abs(det) < 1e-9 {
+		return geom.Point{}, false
+	}
+	return geom.Point{
+		X: (a22*b1 - a12*b2) / det,
+		Y: (a11*b2 - a12*b1) / det,
+	}, true
+}
+
+// SpreadAnchors picks k anchors spread over the field: the alive nodes
+// nearest the points of a ceil(sqrt(k))-sized jittered grid. Deterministic
+// for a given network.
+func SpreadAnchors(nw *network.Network, k int) ([]network.NodeID, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("localize: need at least 3 anchors, got %d", k)
+	}
+	x0, y0, x1, y1 := nw.Bounds().BoundingBox()
+	side := int(math.Ceil(math.Sqrt(float64(k))))
+	seen := make(map[network.NodeID]bool, k)
+	var anchors []network.NodeID
+	for gy := 0; gy < side && len(anchors) < k; gy++ {
+		for gx := 0; gx < side && len(anchors) < k; gx++ {
+			p := geom.Point{
+				X: x0 + (x1-x0)*(float64(gx)+0.5)/float64(side),
+				Y: y0 + (y1-y0)*(float64(gy)+0.5)/float64(side),
+			}
+			id, err := nw.NearestNode(p)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[id] {
+				seen[id] = true
+				anchors = append(anchors, id)
+			}
+		}
+	}
+	if len(anchors) < 3 {
+		return nil, fmt.Errorf("localize: found only %d distinct anchors", len(anchors))
+	}
+	return anchors, nil
+}

@@ -1,0 +1,146 @@
+package localize
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+func deploy(t *testing.T, n int, seed int64) *network.Network {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(n, f, 1.5, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestMultilaterateExact(t *testing.T) {
+	truth := geom.Point{X: 3, Y: 7}
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 10}}
+	dists := make([]float64, len(pts))
+	for i, p := range pts {
+		dists[i] = p.DistTo(truth)
+	}
+	got, ok := multilaterate(pts, dists)
+	if !ok {
+		t.Fatal("multilaterate failed")
+	}
+	if got.DistTo(truth) > 1e-9 {
+		t.Errorf("estimate %v, want %v", got, truth)
+	}
+}
+
+func TestMultilaterateCollinearFails(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 10, Y: 0}}
+	dists := []float64{1, 2, 3}
+	if _, ok := multilaterate(pts, dists); ok {
+		t.Error("collinear anchors should fail")
+	}
+}
+
+func TestSpreadAnchors(t *testing.T) {
+	nw := deploy(t, 2500, 1)
+	anchors, err := SpreadAnchors(nw, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) != 9 {
+		t.Fatalf("anchors = %d, want 9", len(anchors))
+	}
+	seen := make(map[network.NodeID]bool)
+	for _, a := range anchors {
+		if seen[a] {
+			t.Fatal("duplicate anchor")
+		}
+		seen[a] = true
+	}
+	if _, err := SpreadAnchors(nw, 2); err == nil {
+		t.Error("want error for k<3")
+	}
+}
+
+func TestDVHopValidation(t *testing.T) {
+	nw := deploy(t, 100, 1)
+	if _, err := DVHop(nw, []network.NodeID{0, 1}); err == nil {
+		t.Error("want error for too few anchors")
+	}
+	nw.Node(0).Failed = true
+	if _, err := DVHop(nw, []network.NodeID{0, 1, 2}); err == nil {
+		t.Error("want error for failed anchor")
+	}
+}
+
+func TestDVHopAccuracy(t *testing.T) {
+	nw := deploy(t, 2500, 1)
+	anchors, err := SpreadAnchors(nw, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DVHop(nw, anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly every node localizes on a connected graph.
+	if len(res.Estimated) < nw.Len()*9/10 {
+		t.Errorf("localized %d of %d nodes", len(res.Estimated), nw.Len())
+	}
+	// DV-hop on a degree-7 uniform deployment gets within a few radio
+	// ranges; mean error under 3 field units (2 radio ranges).
+	if res.MeanError > 3 {
+		t.Errorf("mean error = %v units, want < 3", res.MeanError)
+	}
+	if res.MaxError < res.MeanError {
+		t.Error("max error below mean error")
+	}
+	// Anchors localize exactly.
+	for _, a := range anchors {
+		if res.Estimated[a] != nw.Node(a).Pos {
+			t.Fatalf("anchor %d not at true position", a)
+		}
+	}
+}
+
+func TestDVHopMoreAnchorsHelp(t *testing.T) {
+	nw := deploy(t, 2500, 3)
+	few, err := SpreadAnchors(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SpreadAnchors(nw, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFew, err := DVHop(nw, few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMany, err := DVHop(nw, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMany.MeanError >= resFew.MeanError {
+		t.Errorf("more anchors did not help: %v vs %v", resMany.MeanError, resFew.MeanError)
+	}
+}
+
+func TestBFSHopsMatchesTreeLevels(t *testing.T) {
+	nw := deploy(t, 500, 5)
+	root, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := bfsHops(nw, root)
+	if hops[root] != 0 {
+		t.Errorf("root hops = %d", hops[root])
+	}
+	// Spot-check: every neighbor of the root is at hop 1.
+	for _, nb := range nw.AliveNeighbors(root) {
+		if hops[nb] != 1 {
+			t.Errorf("neighbor %d hops = %d, want 1", nb, hops[nb])
+		}
+	}
+}

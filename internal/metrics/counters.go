@@ -1,0 +1,157 @@
+// Package metrics provides the bookkeeping used by every experiment:
+// per-node traffic and computation counters, and aggregate views matching
+// the paper's evaluation metrics (traffic overhead in KB, per-node
+// computational intensity, report counts).
+package metrics
+
+import (
+	"fmt"
+
+	"isomap/internal/network"
+)
+
+// Counters accumulates per-node communication and computation costs during
+// one protocol run.
+type Counters struct {
+	txBytes []int64
+	rxBytes []int64
+	ops     []int64
+	// SinkReports counts reports that actually arrive at the sink.
+	SinkReports int64
+	// GeneratedReports counts reports created at source nodes, before any
+	// in-network filtering.
+	GeneratedReports int64
+}
+
+// NewCounters returns counters for a network of n nodes.
+func NewCounters(n int) *Counters {
+	return &Counters{
+		txBytes: make([]int64, n),
+		rxBytes: make([]int64, n),
+		ops:     make([]int64, n),
+	}
+}
+
+// Len returns the number of tracked nodes.
+func (c *Counters) Len() int { return len(c.txBytes) }
+
+func (c *Counters) check(id network.NodeID) error {
+	if int(id) < 0 || int(id) >= len(c.txBytes) {
+		return fmt.Errorf("metrics: node %d out of range [0,%d)", id, len(c.txBytes))
+	}
+	return nil
+}
+
+// ChargeTx charges a transmission of the given size to id.
+func (c *Counters) ChargeTx(id network.NodeID, bytes int) {
+	if c.check(id) == nil {
+		c.txBytes[id] += int64(bytes)
+	}
+}
+
+// ChargeRx charges a reception of the given size to id.
+func (c *Counters) ChargeRx(id network.NodeID, bytes int) {
+	if c.check(id) == nil {
+		c.rxBytes[id] += int64(bytes)
+	}
+}
+
+// ChargeOps charges abstract arithmetic operations to id.
+func (c *Counters) ChargeOps(id network.NodeID, ops int) {
+	if c.check(id) == nil {
+		c.ops[id] += int64(ops)
+	}
+}
+
+// TxBytes returns the bytes transmitted by id.
+func (c *Counters) TxBytes(id network.NodeID) int64 {
+	if c.check(id) != nil {
+		return 0
+	}
+	return c.txBytes[id]
+}
+
+// RxBytes returns the bytes received by id.
+func (c *Counters) RxBytes(id network.NodeID) int64 {
+	if c.check(id) != nil {
+		return 0
+	}
+	return c.rxBytes[id]
+}
+
+// Ops returns the operations charged to id.
+func (c *Counters) Ops(id network.NodeID) int64 {
+	if c.check(id) != nil {
+		return 0
+	}
+	return c.ops[id]
+}
+
+// TotalTxBytes returns the network-wide transmitted bytes — the "traffic
+// overhead" of Fig. 14 (every hop-by-hop transmission counted once).
+func (c *Counters) TotalTxBytes() int64 {
+	var t int64
+	for _, v := range c.txBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalRxBytes returns the network-wide received bytes.
+func (c *Counters) TotalRxBytes() int64 {
+	var t int64
+	for _, v := range c.rxBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalOps returns the network-wide operation count.
+func (c *Counters) TotalOps() int64 {
+	var t int64
+	for _, v := range c.ops {
+		t += v
+	}
+	return t
+}
+
+// MeanOpsPerNode returns the average computational intensity per node
+// (Fig. 15).
+func (c *Counters) MeanOpsPerNode() float64 {
+	if len(c.ops) == 0 {
+		return 0
+	}
+	return float64(c.TotalOps()) / float64(len(c.ops))
+}
+
+// TrafficKB returns the total transmitted traffic in kilobytes (Fig. 14's
+// unit).
+func (c *Counters) TrafficKB() float64 {
+	return float64(c.TotalTxBytes()) / 1024
+}
+
+// SendToSink charges the hop-by-hop delivery of a message of the given size
+// along path (source first, sink last): every node but the sink transmits
+// once, every node but the source receives once.
+func (c *Counters) SendToSink(path []network.NodeID, bytes int) {
+	for i := 0; i < len(path)-1; i++ {
+		c.ChargeTx(path[i], bytes)
+		c.ChargeRx(path[i+1], bytes)
+	}
+}
+
+// SendOneHop charges a single-hop exchange from src to dst.
+func (c *Counters) SendOneHop(src, dst network.NodeID, bytes int) {
+	c.ChargeTx(src, bytes)
+	c.ChargeRx(dst, bytes)
+}
+
+// Broadcast charges one transmission at src and one reception per listener.
+// Local neighborhood queries (the isoline node asking its neighbors for
+// <value, position> tuples) use radio broadcast.
+func (c *Counters) Broadcast(src network.NodeID, listeners []network.NodeID, bytes int) {
+	c.ChargeTx(src, bytes)
+	for _, l := range listeners {
+		c.ChargeRx(l, bytes)
+	}
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"testing"
+
+	"isomap/internal/network"
+)
+
+func TestChargeAndTotals(t *testing.T) {
+	c := NewCounters(3)
+	c.ChargeTx(0, 10)
+	c.ChargeTx(0, 5)
+	c.ChargeRx(1, 10)
+	c.ChargeOps(2, 100)
+	if got := c.TxBytes(0); got != 15 {
+		t.Errorf("TxBytes(0) = %d, want 15", got)
+	}
+	if got := c.RxBytes(1); got != 10 {
+		t.Errorf("RxBytes(1) = %d, want 10", got)
+	}
+	if got := c.Ops(2); got != 100 {
+		t.Errorf("Ops(2) = %d, want 100", got)
+	}
+	if got := c.TotalTxBytes(); got != 15 {
+		t.Errorf("TotalTxBytes = %d, want 15", got)
+	}
+	if got := c.TotalRxBytes(); got != 10 {
+		t.Errorf("TotalRxBytes = %d, want 10", got)
+	}
+	if got := c.TotalOps(); got != 100 {
+		t.Errorf("TotalOps = %d, want 100", got)
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+func TestOutOfRangeChargesIgnored(t *testing.T) {
+	c := NewCounters(2)
+	c.ChargeTx(-1, 10)
+	c.ChargeRx(5, 10)
+	c.ChargeOps(2, 10)
+	if c.TotalTxBytes() != 0 || c.TotalRxBytes() != 0 || c.TotalOps() != 0 {
+		t.Error("out-of-range charges should be ignored")
+	}
+	if c.TxBytes(-1) != 0 || c.RxBytes(9) != 0 || c.Ops(9) != 0 {
+		t.Error("out-of-range reads should be zero")
+	}
+}
+
+func TestSendToSink(t *testing.T) {
+	c := NewCounters(4)
+	path := []network.NodeID{3, 2, 1, 0}
+	c.SendToSink(path, 10)
+	// Three hops: 3->2, 2->1, 1->0.
+	for _, id := range []network.NodeID{3, 2, 1} {
+		if got := c.TxBytes(id); got != 10 {
+			t.Errorf("TxBytes(%d) = %d, want 10", id, got)
+		}
+	}
+	if got := c.TxBytes(0); got != 0 {
+		t.Errorf("sink should not transmit, TxBytes = %d", got)
+	}
+	if got := c.RxBytes(3); got != 0 {
+		t.Errorf("source should not receive, RxBytes = %d", got)
+	}
+	if got := c.TotalTxBytes(); got != 30 {
+		t.Errorf("TotalTxBytes = %d, want 30", got)
+	}
+	// Single-node path (source is sink) charges nothing.
+	c2 := NewCounters(1)
+	c2.SendToSink([]network.NodeID{0}, 10)
+	if c2.TotalTxBytes() != 0 {
+		t.Error("self-delivery should be free")
+	}
+}
+
+func TestSendOneHopAndBroadcast(t *testing.T) {
+	c := NewCounters(4)
+	c.SendOneHop(0, 1, 6)
+	if c.TxBytes(0) != 6 || c.RxBytes(1) != 6 {
+		t.Error("SendOneHop mischarged")
+	}
+	c.Broadcast(2, []network.NodeID{0, 1, 3}, 4)
+	if c.TxBytes(2) != 4 {
+		t.Errorf("broadcast tx = %d, want 4 (single transmission)", c.TxBytes(2))
+	}
+	for _, id := range []network.NodeID{0, 1, 3} {
+		if c.RxBytes(id) < 4 {
+			t.Errorf("listener %d rx = %d, want >= 4", id, c.RxBytes(id))
+		}
+	}
+}
+
+func TestMeanOpsAndTrafficKB(t *testing.T) {
+	c := NewCounters(2)
+	c.ChargeOps(0, 10)
+	c.ChargeOps(1, 30)
+	if got := c.MeanOpsPerNode(); got != 20 {
+		t.Errorf("MeanOpsPerNode = %v, want 20", got)
+	}
+	c.ChargeTx(0, 2048)
+	if got := c.TrafficKB(); got != 2 {
+		t.Errorf("TrafficKB = %v, want 2", got)
+	}
+	empty := NewCounters(0)
+	if got := empty.MeanOpsPerNode(); got != 0 {
+		t.Errorf("empty MeanOpsPerNode = %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+package monitor
+
+import (
+	"testing"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func session(t *testing.T, temporal TemporalConfig) (*Monitor, field.DynamicField) {
+	t.Helper()
+	base := field.NewSeabed(field.DefaultSeabedConfig())
+	dyn := field.DefaultSilting(base)
+	nw, err := network.DeployUniform(2500, base, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(tree, Config{
+		Query:    q,
+		Filter:   core.DefaultFilterConfig(),
+		Temporal: temporal,
+		Options:  contour.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dyn
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("want error for nil tree")
+	}
+	base := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(50, base, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(tree, Config{}); err == nil {
+		t.Error("want error for empty query")
+	}
+}
+
+func TestStaticFieldSuppressesSteadyState(t *testing.T) {
+	m, _ := session(t, DefaultTemporal())
+	static := field.NewSeabed(field.DefaultSeabedConfig())
+
+	first, err := m.Round(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Delivered == 0 {
+		t.Fatal("first round delivered nothing")
+	}
+	if first.Suppressed != 0 {
+		t.Errorf("first round suppressed %d (nothing to compare against)", first.Suppressed)
+	}
+
+	second, err := m.Round(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On an unchanged field every repeated report is suppressed.
+	if second.Delivered != 0 {
+		t.Errorf("static field round 2 delivered %d reports, want 0", second.Delivered)
+	}
+	if second.Suppressed == 0 {
+		t.Error("static field round 2 suppressed nothing")
+	}
+	if second.TrafficKB >= first.TrafficKB/2 {
+		t.Errorf("steady-state traffic %.2f KB not far below first round %.2f KB",
+			second.TrafficKB, first.TrafficKB)
+	}
+	// The sink's belief persists.
+	if second.CachedReports != first.CachedReports {
+		t.Errorf("cache shrank: %d -> %d", first.CachedReports, second.CachedReports)
+	}
+}
+
+func TestChangingFieldTriggersReports(t *testing.T) {
+	m, dyn := session(t, DefaultTemporal())
+	if _, err := m.Round(dyn.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	later, err := m.Round(dyn.At(8)) // past the storm: large depth change
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later.Delivered == 0 {
+		t.Error("silted field produced no new reports")
+	}
+	if later.Retired == 0 {
+		t.Error("silted field retired no stale reports (isolines moved)")
+	}
+}
+
+func TestWithoutTemporalEveryRoundPaysFull(t *testing.T) {
+	m, _ := session(t, TemporalConfig{})
+	static := field.NewSeabed(field.DefaultSeabedConfig())
+	r1, err := m.Round(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Round(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Delivered == 0 {
+		t.Error("non-temporal round 2 delivered nothing")
+	}
+	// Round 2 has no query dissemination, so compare deliveries instead.
+	if r2.Delivered != r1.Delivered {
+		t.Errorf("non-temporal deliveries differ: %d vs %d", r1.Delivered, r2.Delivered)
+	}
+	if m.Rounds() != 2 {
+		t.Errorf("Rounds = %d", m.Rounds())
+	}
+}
+
+func TestMonitoringMapStaysAccurate(t *testing.T) {
+	m, dyn := session(t, DefaultTemporal())
+	levels := field.Levels{Low: 6, High: 12, Step: 2}
+	for _, tm := range []float64{0, 2, 8} {
+		snap := dyn.At(tm)
+		st, err := m.Round(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := field.ClassifyRaster(snap, levels, 96, 96)
+		acc := field.Agreement(truth, st.Map.Raster(96, 96))
+		if acc < 0.75 {
+			t.Errorf("t=%v: monitored map accuracy %.3f, want >= 0.75", tm, acc)
+		}
+	}
+}
+
+func TestCumulativeTrafficMonotone(t *testing.T) {
+	m, dyn := session(t, DefaultTemporal())
+	var prev float64
+	for i := 0; i < 4; i++ {
+		st, err := m.Round(dyn.At(float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CumulativeTrafficKB < prev {
+			t.Fatalf("cumulative traffic decreased: %v -> %v", prev, st.CumulativeTrafficKB)
+		}
+		prev = st.CumulativeTrafficKB
+		if st.Round != i {
+			t.Fatalf("round numbering: got %d want %d", st.Round, i)
+		}
+	}
+}
+
+func TestTemporalSavesTrafficOnSlowField(t *testing.T) {
+	run := func(temporal TemporalConfig) float64 {
+		m, dyn := session(t, temporal)
+		var total float64
+		for i := 0; i < 5; i++ {
+			st, err := m.Round(dyn.At(float64(i) * 0.5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total = st.CumulativeTrafficKB
+		}
+		return total
+	}
+	with := run(DefaultTemporal())
+	without := run(TemporalConfig{})
+	if with >= without {
+		t.Errorf("temporal suppression saved nothing: %.1f KB vs %.1f KB", with, without)
+	}
+}

@@ -1,0 +1,321 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+func testField() field.Field { return field.NewSeabed(field.DefaultSeabedConfig()) }
+
+func TestDeployUniformDeterministic(t *testing.T) {
+	f := testField()
+	a, err := DeployUniform(100, f, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeployUniform(100, f, 1.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Node(NodeID(i)).Pos != b.Node(NodeID(i)).Pos {
+			t.Fatalf("node %d positions differ across identical seeds", i)
+		}
+	}
+	c, err := DeployUniform(100, f, 1.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if a.Node(NodeID(i)).Pos != c.Node(NodeID(i)).Pos {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical deployments")
+	}
+}
+
+func TestDeployUniformInBounds(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(500, f, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, y0, x1, y1 := f.Bounds()
+	for _, n := range nw.Nodes() {
+		if n.Pos.X < x0 || n.Pos.X > x1 || n.Pos.Y < y0 || n.Pos.Y > y1 {
+			t.Fatalf("node %d at %v outside bounds", n.ID, n.Pos)
+		}
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	f := testField()
+	if _, err := DeployUniform(0, f, 1.5, 1); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("want ErrNoNodes, got %v", err)
+	}
+	if _, err := DeployUniform(10, f, 0, 1); !errors.Is(err, ErrBadRadio) {
+		t.Errorf("want ErrBadRadio, got %v", err)
+	}
+	if _, err := DeployGrid(0, f, 1.5); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("want ErrNoNodes, got %v", err)
+	}
+}
+
+func TestDeployGridShape(t *testing.T) {
+	f := testField()
+	nw, err := DeployGrid(2500, f, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Len() != 2500 {
+		t.Fatalf("grid Len = %d, want 2500", nw.Len())
+	}
+	// Spacing between the first two nodes is the cell size, 1 unit.
+	d := nw.Node(0).Pos.DistTo(nw.Node(1).Pos)
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("grid spacing = %v, want 1", d)
+	}
+	// Non-square request rounds down to a full square.
+	nw2, err := DeployGrid(10, f, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw2.Len() != 9 {
+		t.Errorf("grid Len for 10 = %d, want 9", nw2.Len())
+	}
+}
+
+func TestNeighborsSymmetricAndWithinRange(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(400, f, 2.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := NodeID(i)
+		for _, j := range nw.Neighbors(id) {
+			if d := nw.Node(id).Pos.DistTo(nw.Node(j).Pos); d > 2.5+1e-9 {
+				t.Fatalf("neighbor %d of %d at distance %v > radio", j, id, d)
+			}
+			// Symmetry.
+			found := false
+			for _, k := range nw.Neighbors(j) {
+				if k == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d -> %d", id, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(200, f, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		want := 0
+		for j := 0; j < nw.Len(); j++ {
+			if i == j {
+				continue
+			}
+			if nw.Node(NodeID(i)).Pos.DistTo(nw.Node(NodeID(j)).Pos) <= 3 {
+				want++
+			}
+		}
+		if got := len(nw.Neighbors(NodeID(i))); got != want {
+			t.Fatalf("node %d neighbor count %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestAverageDegreeMatchesPaperSetting(t *testing.T) {
+	// Density 1 (2,500 nodes on 50x50) with radio 1.5 must give average
+	// degree around 7 (Sec. 5: "radio range no less than 1.5 ... results in
+	// an average node degree of 7").
+	f := testField()
+	nw, err := DeployUniform(2500, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := nw.AverageDegree()
+	if deg < 5.5 || deg > 8.5 {
+		t.Errorf("average degree = %v, want ~7", deg)
+	}
+}
+
+func TestSense(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(50, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	for _, n := range nw.Nodes() {
+		if want := f.Value(n.Pos.X, n.Pos.Y); n.Value != want {
+			t.Fatalf("node %d Value = %v, want %v", n.ID, n.Value, want)
+		}
+	}
+}
+
+func TestSenseSkipsFailed(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(10, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Node(3).Failed = true
+	nw.Sense(f)
+	if nw.Node(3).Value != 0 {
+		t.Error("failed node should not sense")
+	}
+}
+
+func TestFailFraction(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(1000, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.FailFraction(0.3, 99)
+	failed := 0
+	for _, n := range nw.Nodes() {
+		if n.Failed {
+			failed++
+		}
+	}
+	if failed != 300 {
+		t.Errorf("failed = %d, want 300", failed)
+	}
+	// Monotone growth.
+	nw.FailFraction(0.5, 100)
+	failed = 0
+	for _, n := range nw.Nodes() {
+		if n.Failed {
+			failed++
+		}
+	}
+	if failed != 500 {
+		t.Errorf("failed after growth = %d, want 500", failed)
+	}
+	// No-op for non-positive fraction.
+	nw.FailFraction(0, 1)
+	nw.FailFraction(-1, 1)
+}
+
+func TestReset(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(20, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	nw.FailFraction(0.5, 1)
+	nw.Reset()
+	for _, n := range nw.Nodes() {
+		if n.Failed || n.Value != 0 {
+			t.Fatalf("node %d not reset: %+v", n.ID, n)
+		}
+	}
+}
+
+func TestAliveAndAliveNeighbors(t *testing.T) {
+	f := testField()
+	nw, err := DeployGrid(25, f, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Alive(0) {
+		t.Error("fresh node should be alive")
+	}
+	if nw.Alive(-1) || nw.Alive(NodeID(nw.Len())) {
+		t.Error("out-of-range IDs should not be alive")
+	}
+	n0 := nw.Neighbors(0)
+	if len(n0) == 0 {
+		t.Fatal("expected neighbors with large radio")
+	}
+	nw.Node(n0[0]).Failed = true
+	if got := len(nw.AliveNeighbors(0)); got != len(n0)-1 {
+		t.Errorf("AliveNeighbors = %d, want %d", got, len(n0)-1)
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	f := testField()
+	nw, err := DeployGrid(25, f, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := nw.NearestNode(geom.Point{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Errorf("nearest to origin = %d, want 0", id)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		nw.Node(NodeID(i)).Failed = true
+	}
+	if _, err := nw.NearestNode(geom.Point{}); err == nil {
+		t.Error("want error when all nodes failed")
+	}
+}
+
+func TestConnectedFrom(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(2500, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := nw.NearestNode(geom.Point{X: 25, Y: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := nw.ConnectedFrom(root)
+	// The paper's setting keeps the graph connected; allow a small number
+	// of stragglers on the border.
+	if reach < nw.Len()*95/100 {
+		t.Errorf("connected component = %d of %d, want near-full connectivity", reach, nw.Len())
+	}
+	nw.Node(root).Failed = true
+	if got := nw.ConnectedFrom(root); got != 0 {
+		t.Errorf("ConnectedFrom failed root = %d, want 0", got)
+	}
+}
+
+func TestKHopNeighbors(t *testing.T) {
+	f := testField()
+	nw, err := DeployGrid(25, f, 10.1) // 5x5 grid, spacing 10: 4-connected
+	if err != nil {
+		t.Fatal(err)
+	}
+	center, err := nw.NearestNode(geom.Point{X: 25, Y: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := nw.KHopNeighbors(center, 1)
+	h2 := nw.KHopNeighbors(center, 2)
+	if len(h1) != 4 {
+		t.Errorf("1-hop = %d, want 4", len(h1))
+	}
+	if len(h2) <= len(h1) {
+		t.Errorf("2-hop (%d) should exceed 1-hop (%d)", len(h2), len(h1))
+	}
+	if got := nw.KHopNeighbors(center, 0); got != nil {
+		t.Error("0-hop should be nil")
+	}
+}

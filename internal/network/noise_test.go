@@ -1,0 +1,79 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+)
+
+func TestSenseWithNoiseZeroSigmaIsExact(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := DeployUniform(100, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SenseWithNoise(f, 0, 5)
+	for _, n := range nw.Nodes() {
+		if n.Value != f.Value(n.Pos.X, n.Pos.Y) {
+			t.Fatalf("sigma=0 should be exact sensing")
+		}
+	}
+}
+
+func TestSenseWithNoiseDeterministic(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	a, err := DeployUniform(100, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeployUniform(100, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SenseWithNoise(f, 0.2, 7)
+	b.SenseWithNoise(f, 0.2, 7)
+	for i := range a.Nodes() {
+		if a.Node(NodeID(i)).Value != b.Node(NodeID(i)).Value {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+}
+
+func TestSenseWithNoiseStatistics(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := DeployUniform(5000, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sigma = 0.3
+	nw.SenseWithNoise(f, sigma, 3)
+	var sum, sum2 float64
+	for _, n := range nw.Nodes() {
+		d := n.Value - f.Value(n.Pos.X, n.Pos.Y)
+		sum += d
+		sum2 += d * d
+	}
+	count := float64(nw.Len())
+	mean := sum / count
+	std := math.Sqrt(sum2/count - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("noise mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-sigma) > 0.02 {
+		t.Errorf("noise std = %v, want ~%v", std, sigma)
+	}
+}
+
+func TestSenseWithNoiseSkipsFailed(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := DeployUniform(10, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Node(0).Failed = true
+	nw.SenseWithNoise(f, 0.5, 1)
+	if nw.Node(0).Value != 0 {
+		t.Error("failed node sensed")
+	}
+}

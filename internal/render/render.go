@@ -1,0 +1,93 @@
+// Package render turns contour-map rasters into terminal-friendly ASCII
+// art and portable graymap (PGM) images, used by the CLI tools and
+// examples to visualize the maps the paper shows in Figs. 1, 9 and 10.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"isomap/internal/field"
+)
+
+// palette maps region indices to glyphs, darkest (deepest region) last.
+const palette = " .:-=+*#%@"
+
+// ASCII renders a raster as text, one character per cell, row 0 at the
+// bottom (y grows upward, matching field coordinates).
+func ASCII(ra *field.Raster) string {
+	if ra == nil || ra.Rows == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow((ra.Cols + 1) * ra.Rows)
+	for r := ra.Rows - 1; r >= 0; r-- {
+		for c := 0; c < ra.Cols; c++ {
+			b.WriteByte(glyph(ra.Cells[r][c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func glyph(class int) byte {
+	if class < 0 {
+		class = 0
+	}
+	if class >= len(palette) {
+		class = len(palette) - 1
+	}
+	return palette[class]
+}
+
+// SideBySide renders two rasters of the same height next to each other
+// with labels, for truth-vs-estimate comparisons.
+func SideBySide(left, right *field.Raster, leftLabel, rightLabel string) string {
+	l := strings.Split(strings.TrimRight(ASCII(left), "\n"), "\n")
+	r := strings.Split(strings.TrimRight(ASCII(right), "\n"), "\n")
+	if len(l) != len(r) {
+		return ASCII(left) + "\n" + ASCII(right)
+	}
+	width := 0
+	for _, line := range l {
+		if len(line) > width {
+			width = len(line)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s   %s\n", width, leftLabel, rightLabel)
+	for i := range l {
+		fmt.Fprintf(&b, "%-*s | %s\n", width, l[i], r[i])
+	}
+	return b.String()
+}
+
+// PGM renders a raster as a plain-text portable graymap (P2), with region
+// indices mapped over the full gray range.
+func PGM(ra *field.Raster, maxClass int) string {
+	if ra == nil || ra.Rows == 0 {
+		return ""
+	}
+	if maxClass < 1 {
+		maxClass = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", ra.Cols, ra.Rows)
+	for r := ra.Rows - 1; r >= 0; r-- {
+		for c := 0; c < ra.Cols; c++ {
+			v := ra.Cells[r][c]
+			if v < 0 {
+				v = 0
+			}
+			if v > maxClass {
+				v = maxClass
+			}
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", v*255/maxClass)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"isomap/internal/field"
+)
+
+func sample() *field.Raster {
+	ra := field.NewRaster(2, 3)
+	ra.Cells[0][0] = 0
+	ra.Cells[0][1] = 1
+	ra.Cells[0][2] = 2
+	ra.Cells[1][0] = 3
+	ra.Cells[1][1] = 4
+	ra.Cells[1][2] = 99 // clamps to last glyph
+	return ra
+}
+
+func TestASCII(t *testing.T) {
+	s := ASCII(sample())
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	// Row 1 (top of output) is raster row 1.
+	if lines[0] != "-=@" {
+		t.Errorf("top line = %q, want %q", lines[0], "-=@")
+	}
+	if lines[1] != " .:" {
+		t.Errorf("bottom line = %q, want %q", lines[1], " .:")
+	}
+	if got := ASCII(nil); got != "" {
+		t.Errorf("nil ASCII = %q", got)
+	}
+}
+
+func TestGlyphClamps(t *testing.T) {
+	if glyph(-3) != ' ' {
+		t.Error("negative class should map to first glyph")
+	}
+	if glyph(1000) != '@' {
+		t.Error("huge class should map to last glyph")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	s := SideBySide(sample(), sample(), "truth", "estimate")
+	if !strings.Contains(s, "truth") || !strings.Contains(s, "estimate") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(s, " | ") {
+		t.Error("separator missing")
+	}
+}
+
+func TestPGM(t *testing.T) {
+	s := PGM(sample(), 4)
+	if !strings.HasPrefix(s, "P2\n3 2\n255\n") {
+		t.Fatalf("bad header: %q", s[:20])
+	}
+	if !strings.Contains(s, "255") {
+		t.Error("max gray missing")
+	}
+	if got := PGM(nil, 4); got != "" {
+		t.Errorf("nil PGM = %q", got)
+	}
+	// Zero maxClass does not divide by zero.
+	_ = PGM(sample(), 0)
+}

@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/network"
+)
+
+func TestTreeExcludesFailedNodes(t *testing.T) {
+	nw := deploy(t, 1000, 2.5, 7)
+	nw.FailFraction(0.3, 9)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if nw.Node(id).Failed && tree.Reachable(id) {
+			t.Fatalf("failed node %d is on the tree", id)
+		}
+	}
+}
+
+func TestTreeRoutesAroundFailedRelays(t *testing.T) {
+	// Dense network: failing a batch of nodes must not orphan the rest.
+	nw := deploy(t, 2500, 2.0, 7)
+	sink := sinkOf(t, nw)
+	before, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill all the sink's current tree children except one... actually,
+	// kill a random 10% that excludes the sink.
+	nw.FailFraction(0.1, 3)
+	nw.Node(sink).Failed = false
+	after, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for i := 0; i < nw.Len(); i++ {
+		if nw.Alive(network.NodeID(i)) {
+			alive++
+		}
+	}
+	// Nearly all alive nodes still reach the sink (dense graph).
+	if after.ReachableCount() < alive*95/100 {
+		t.Errorf("after failures: reachable %d of %d alive", after.ReachableCount(), alive)
+	}
+	if after.ReachableCount() >= before.ReachableCount() {
+		t.Errorf("reachable did not drop: %d -> %d", before.ReachableCount(), after.ReachableCount())
+	}
+}
+
+func TestPartitionedNetworkTreeCoversOneComponent(t *testing.T) {
+	// Build a barbell: two clusters joined by one bridge node, then kill
+	// the bridge.
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployGrid(25, f, 12.6) // 5x5 grid, spacing 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the middle column (x = 25): indices with col 2.
+	for r := 0; r < 5; r++ {
+		nw.Node(network.NodeID(r*5 + 2)).Failed = true
+	}
+	tree, err := NewTree(nw, 0) // bottom-left corner
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the left two columns (10 nodes) are reachable: the radio range
+	// 12.6 spans one grid step (10) and the diagonal (14.1) is out of
+	// range, so the dead column severs the halves.
+	if got := tree.ReachableCount(); got != 10 {
+		t.Errorf("reachable = %d, want 10 (left component)", got)
+	}
+	// A right-half node is unreachable.
+	if tree.Reachable(network.NodeID(4)) {
+		t.Error("right component should be severed")
+	}
+}

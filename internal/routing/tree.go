@@ -1,0 +1,158 @@
+// Package routing implements the tree-based routing substrate the paper
+// assumes (Sec. 3.1): a spanning tree rooted at the sink over the
+// communication graph, with each node assigned a level equal to its hop
+// distance from the sink. All compared protocols run on this same tree,
+// providing the "fair platform" the paper argues for.
+package routing
+
+import (
+	"fmt"
+
+	"isomap/internal/network"
+)
+
+// Tree is a sink-rooted BFS spanning tree over the alive communication
+// graph of a network.
+type Tree struct {
+	nw     *network.Network
+	root   network.NodeID
+	parent []network.NodeID
+	level  []int
+	// children is derived from parent; kept for aggregation traversals.
+	children [][]network.NodeID
+	maxLevel int
+}
+
+// NewTree builds the routing tree rooted at root. Nodes outside the root's
+// connected component get level -1 and no parent; they cannot report. An
+// error is returned when the root itself is dead or out of range.
+func NewTree(nw *network.Network, root network.NodeID) (*Tree, error) {
+	if !nw.Alive(root) {
+		return nil, fmt.Errorf("routing: root %d is not an alive node", root)
+	}
+	n := nw.Len()
+	t := &Tree{
+		nw:       nw,
+		root:     root,
+		parent:   make([]network.NodeID, n),
+		level:    make([]int, n),
+		children: make([][]network.NodeID, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = -1
+		t.level[i] = -1
+	}
+	t.level[root] = 0
+	queue := []network.NodeID{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range nw.AliveNeighbors(cur) {
+			if t.level[nb] >= 0 {
+				continue
+			}
+			t.level[nb] = t.level[cur] + 1
+			t.parent[nb] = cur
+			t.children[cur] = append(t.children[cur], nb)
+			if t.level[nb] > t.maxLevel {
+				t.maxLevel = t.level[nb]
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return t, nil
+}
+
+// Root returns the sink node ID.
+func (t *Tree) Root() network.NodeID { return t.root }
+
+// Network returns the network the tree spans.
+func (t *Tree) Network() *network.Network { return t.nw }
+
+// Reachable reports whether id has a route to the sink.
+func (t *Tree) Reachable(id network.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(t.level) && t.level[id] >= 0
+}
+
+// Level returns the hop distance of id from the sink, or -1 when
+// unreachable.
+func (t *Tree) Level(id network.NodeID) int {
+	if int(id) < 0 || int(id) >= len(t.level) {
+		return -1
+	}
+	return t.level[id]
+}
+
+// Parent returns the parent of id on the tree, or -1 for the root and
+// unreachable nodes.
+func (t *Tree) Parent(id network.NodeID) network.NodeID {
+	if int(id) < 0 || int(id) >= len(t.parent) {
+		return -1
+	}
+	return t.parent[id]
+}
+
+// Children returns the tree children of id.
+func (t *Tree) Children(id network.NodeID) []network.NodeID {
+	if int(id) < 0 || int(id) >= len(t.children) {
+		return nil
+	}
+	return t.children[id]
+}
+
+// MaxLevel returns the deepest level in the tree — the effective network
+// diameter in hops used by Figs. 14-16.
+func (t *Tree) MaxLevel() int { return t.maxLevel }
+
+// PathToSink returns the node sequence from id (inclusive) to the root
+// (inclusive), or nil when id is unreachable.
+func (t *Tree) PathToSink(id network.NodeID) []network.NodeID {
+	if !t.Reachable(id) {
+		return nil
+	}
+	path := make([]network.NodeID, 0, t.level[id]+1)
+	for cur := id; ; cur = t.parent[cur] {
+		path = append(path, cur)
+		if cur == t.root {
+			return path
+		}
+	}
+}
+
+// ReachableCount returns the number of nodes with a route to the sink.
+func (t *Tree) ReachableCount() int {
+	count := 0
+	for _, l := range t.level {
+		if l >= 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// PostOrder returns the reachable nodes in post-order (every node after all
+// its descendants). In-network aggregation protocols process reports in
+// this order, exactly as the level-synchronized slots of TAG would deliver
+// them.
+func (t *Tree) PostOrder() []network.NodeID {
+	out := make([]network.NodeID, 0, t.ReachableCount())
+	// Iterative DFS to avoid recursion on deep trees.
+	type frame struct {
+		id   network.NodeID
+		next int
+	}
+	stack := []frame{{id: t.root}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.children[f.id]
+		if f.next < len(kids) {
+			child := kids[f.next]
+			f.next++
+			stack = append(stack, frame{id: child})
+			continue
+		}
+		out = append(out, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package routing
+
+import (
+	"testing"
+
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+func deploy(t *testing.T, n int, radio float64, seed int64) *network.Network {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(n, f, radio, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func sinkOf(t *testing.T, nw *network.Network) network.NodeID {
+	t.Helper()
+	id, err := nw.NearestNode(geom.Point{X: 25, Y: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestNewTreeBasics(t *testing.T) {
+	nw := deploy(t, 1000, 2.5, 3)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root() != sink {
+		t.Errorf("Root = %d, want %d", tree.Root(), sink)
+	}
+	if got := tree.Level(sink); got != 0 {
+		t.Errorf("sink level = %d, want 0", got)
+	}
+	if got := tree.Parent(sink); got != -1 {
+		t.Errorf("sink parent = %d, want -1", got)
+	}
+	if tree.Network() != nw {
+		t.Error("Network() mismatch")
+	}
+}
+
+func TestNewTreeDeadRoot(t *testing.T) {
+	nw := deploy(t, 10, 2.5, 3)
+	nw.Node(0).Failed = true
+	if _, err := NewTree(nw, 0); err == nil {
+		t.Error("want error for dead root")
+	}
+	if _, err := NewTree(nw, network.NodeID(999)); err == nil {
+		t.Error("want error for out-of-range root")
+	}
+}
+
+func TestTreeLevelsAreBFSDistances(t *testing.T) {
+	nw := deploy(t, 800, 2.5, 9)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if !tree.Reachable(id) {
+			continue
+		}
+		// Parent is exactly one level lower (paper Sec. 3.1).
+		if id != sink {
+			p := tree.Parent(id)
+			if tree.Level(id) != tree.Level(p)+1 {
+				t.Fatalf("node %d level %d, parent %d level %d", id, tree.Level(id), p, tree.Level(p))
+			}
+			// Parent must be a radio neighbor.
+			if nw.Node(id).Pos.DistTo(nw.Node(p).Pos) > nw.Radio()+1e-9 {
+				t.Fatalf("parent %d of %d not within radio range", p, id)
+			}
+		}
+		// BFS optimality: no alive neighbor has level < mine - 1.
+		for _, nb := range nw.AliveNeighbors(id) {
+			if tree.Reachable(nb) && tree.Level(nb) < tree.Level(id)-1 {
+				t.Fatalf("node %d level %d has neighbor %d at level %d", id, tree.Level(id), nb, tree.Level(nb))
+			}
+		}
+	}
+}
+
+func TestPathToSink(t *testing.T) {
+	nw := deploy(t, 800, 2.5, 9)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i += 37 {
+		id := network.NodeID(i)
+		if !tree.Reachable(id) {
+			continue
+		}
+		path := tree.PathToSink(id)
+		if path[0] != id || path[len(path)-1] != sink {
+			t.Fatalf("path endpoints %v", path)
+		}
+		if len(path) != tree.Level(id)+1 {
+			t.Fatalf("path length %d, want level+1 = %d", len(path), tree.Level(id)+1)
+		}
+		for k := 1; k < len(path); k++ {
+			if tree.Parent(path[k-1]) != path[k] {
+				t.Fatalf("path step %d not parent link", k)
+			}
+		}
+	}
+}
+
+func TestPathToSinkUnreachable(t *testing.T) {
+	// Two isolated nodes: only the root is reachable.
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployGrid(4, f, 0.5) // spacing 25, radio 0.5: isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(nw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Reachable(1) {
+		t.Error("node 1 should be unreachable")
+	}
+	if got := tree.PathToSink(1); got != nil {
+		t.Errorf("unreachable path = %v", got)
+	}
+	if got := tree.ReachableCount(); got != 1 {
+		t.Errorf("ReachableCount = %d, want 1", got)
+	}
+	if tree.Level(-1) != -1 || tree.Parent(-1) != -1 || tree.Children(-1) != nil {
+		t.Error("out-of-range queries should be -1/nil")
+	}
+}
+
+func TestChildrenConsistentWithParent(t *testing.T) {
+	nw := deploy(t, 500, 2.5, 4)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		for _, c := range tree.Children(id) {
+			if tree.Parent(c) != id {
+				t.Fatalf("child %d of %d has parent %d", c, id, tree.Parent(c))
+			}
+		}
+	}
+}
+
+func TestPostOrder(t *testing.T) {
+	nw := deploy(t, 500, 2.5, 4)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tree.PostOrder()
+	if len(order) != tree.ReachableCount() {
+		t.Fatalf("PostOrder len = %d, want %d", len(order), tree.ReachableCount())
+	}
+	// Every node appears after all of its children.
+	pos := make(map[network.NodeID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, id := range order {
+		for _, c := range tree.Children(id) {
+			if pos[c] > pos[id] {
+				t.Fatalf("child %d after parent %d in post-order", c, id)
+			}
+		}
+	}
+	if order[len(order)-1] != sink {
+		t.Error("root should be last in post-order")
+	}
+}
+
+func TestMaxLevelGrowsWithField(t *testing.T) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	small, err := network.DeployUniform(400, f, 1.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkS, err := small.NearestNode(geom.Point{X: 25, Y: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeS, err := NewTree(small, sinkS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	big, err := network.DeployUniform(2500, f, 1.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkB, err := big.NearestNode(geom.Point{X: 25, Y: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, err := NewTree(big, sinkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Denser network reaches more nodes; diameter (in hops, center sink on
+	// the same field) stays in the same ballpark but the tree covers far
+	// more nodes.
+	if treeB.ReachableCount() <= treeS.ReachableCount() {
+		t.Errorf("reachable: big %d <= small %d", treeB.ReachableCount(), treeS.ReachableCount())
+	}
+	if treeB.MaxLevel() <= 0 {
+		t.Error("MaxLevel should be positive")
+	}
+}

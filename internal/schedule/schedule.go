@@ -1,0 +1,150 @@
+// Package schedule analyzes the report-collection epoch under the
+// TAG-style level-synchronized schedule the paper assumes (Sec. 3.1:
+// "Nodes in different levels forward packets during different time
+// slots"). Given the per-node forwarding volumes of a protocol round it
+// derives the dimensions the structural simulation cannot: collection
+// latency, per-node buffering requirements, and the idle-listening energy
+// of the epoch's radio duty cycle.
+//
+// The epoch model: collection proceeds from the deepest tree level toward
+// the sink, one slot per level. In the slot of level L every level-L node
+// transmits its (already filtered) buffer once; its parent listens. A
+// slot must be long enough for the busiest node of that level to drain
+// its buffer, so the slot duration is set by the maximum per-node bytes
+// at that level. A report generated at depth d therefore arrives after
+// the d slots closest to the sink, and the epoch completes in MaxLevel
+// slots.
+package schedule
+
+import (
+	"fmt"
+
+	"isomap/internal/core"
+	"isomap/internal/energy"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// Epoch is the derived timing and buffering profile of one collection
+// round.
+type Epoch struct {
+	// Slots is the number of level slots in the epoch (the tree depth).
+	Slots int
+	// SlotSeconds holds each slot's duration: SlotSeconds[i] is the slot
+	// in which level (Slots-i) transmits, i.e. slots are ordered in time.
+	SlotSeconds []float64
+	// TotalSeconds is the end-to-end collection latency of the epoch.
+	TotalSeconds float64
+	// MaxQueueReports is the largest per-node buffer over the epoch, in
+	// reports — the memory a mote must provision.
+	MaxQueueReports int
+	// MaxQueueNode identifies the bottleneck node.
+	MaxQueueNode network.NodeID
+	// IdleListenJoulesPerNode is the mean idle-listening energy spent by
+	// nodes keeping their radio on during their children's slot beyond
+	// the bytes actually received.
+	IdleListenJoulesPerNode float64
+}
+
+// PlanEpoch derives the epoch profile for a delivery over the tree, with
+// each report occupying reportBytes on the wire.
+func PlanEpoch(tree *routing.Tree, d core.Delivery, reportBytes int) (*Epoch, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("schedule: nil routing tree")
+	}
+	if reportBytes <= 0 {
+		return nil, fmt.Errorf("schedule: report size must be positive, got %d", reportBytes)
+	}
+	depth := tree.MaxLevel()
+	ep := &Epoch{Slots: depth}
+	if depth == 0 {
+		return ep, nil
+	}
+
+	// Per-level maximum transmission volume sets each slot's length.
+	maxBytesAtLevel := make([]int, depth+1)
+	for id, count := range d.ForwardedPerNode {
+		l := tree.Level(id)
+		if l <= 0 {
+			continue
+		}
+		if b := count * reportBytes; b > maxBytesAtLevel[l] {
+			maxBytesAtLevel[l] = b
+		}
+		if count > ep.MaxQueueReports {
+			ep.MaxQueueReports = count
+			ep.MaxQueueNode = id
+		}
+	}
+
+	// Slots run deepest level first.
+	ep.SlotSeconds = make([]float64, 0, depth)
+	for l := depth; l >= 1; l-- {
+		sec := float64(maxBytesAtLevel[l]) * 8 / energy.RadioBitsPerSecond
+		ep.SlotSeconds = append(ep.SlotSeconds, sec)
+		ep.TotalSeconds += sec
+	}
+
+	ep.IdleListenJoulesPerNode = idleListening(tree, d, reportBytes, maxBytesAtLevel)
+	return ep, nil
+}
+
+// idleListening computes the mean per-node energy wasted listening during
+// the children's slot beyond the bytes actually received: a parent keeps
+// its receiver on for the whole slot of the level below it, but only part
+// of that slot carries its own children's bytes.
+func idleListening(tree *routing.Tree, d core.Delivery, reportBytes int, maxBytesAtLevel []int) float64 {
+	n := tree.Network().Len()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		id := network.NodeID(i)
+		if !tree.Reachable(id) || len(tree.Children(id)) == 0 {
+			continue
+		}
+		childLevel := tree.Level(id) + 1
+		if childLevel >= len(maxBytesAtLevel) && childLevel != len(maxBytesAtLevel) {
+			continue
+		}
+		slotBytes := 0
+		if childLevel < len(maxBytesAtLevel) {
+			slotBytes = maxBytesAtLevel[childLevel]
+		}
+		received := 0
+		for _, ch := range tree.Children(id) {
+			received += d.ForwardedPerNode[ch] * reportBytes
+		}
+		idleBytes := slotBytes - received
+		if idleBytes <= 0 {
+			continue
+		}
+		// Idle listening draws receive power for the unused slot time.
+		total += float64(idleBytes) * 8 / energy.RadioBitsPerSecond * energy.RxPowerWatts
+	}
+	return total / float64(n)
+}
+
+// LatencyOf returns the collection latency of a report generated at the
+// given source: the sum of the slot durations it traverses (its own
+// level's slot and every closer one). Unreachable sources return -1.
+func (ep *Epoch) LatencyOf(tree *routing.Tree, source network.NodeID) float64 {
+	l := tree.Level(source)
+	if l < 0 {
+		return -1
+	}
+	if l == 0 || ep.Slots == 0 {
+		return 0
+	}
+	if l > ep.Slots {
+		l = ep.Slots
+	}
+	// SlotSeconds[0] serves level Slots ... SlotSeconds[Slots-1] serves
+	// level 1; a level-l report rides the last l slots.
+	var lat float64
+	for i := ep.Slots - l; i < ep.Slots; i++ {
+		lat += ep.SlotSeconds[i]
+	}
+	return lat
+}

@@ -1,0 +1,152 @@
+package schedule
+
+import (
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+func runRound(t *testing.T, n int, fc core.FilterConfig) (*routing.Tree, core.Delivery) {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	nw, err := network.DeployUniform(n, f, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated := core.DetectIsolineNodes(nw, q, nil)
+	d := core.DeliverReportsDetailed(tree, generated, fc, nil)
+	return tree, d
+}
+
+func TestPlanEpochBasics(t *testing.T) {
+	tree, d := runRound(t, 2500, core.DefaultFilterConfig())
+	ep, err := PlanEpoch(tree, d, core.ReportBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Slots != tree.MaxLevel() {
+		t.Errorf("Slots = %d, want %d", ep.Slots, tree.MaxLevel())
+	}
+	if len(ep.SlotSeconds) != ep.Slots {
+		t.Errorf("len(SlotSeconds) = %d", len(ep.SlotSeconds))
+	}
+	var sum float64
+	for _, s := range ep.SlotSeconds {
+		if s < 0 {
+			t.Fatalf("negative slot duration %v", s)
+		}
+		sum += s
+	}
+	if sum != ep.TotalSeconds {
+		t.Errorf("TotalSeconds %v != slot sum %v", ep.TotalSeconds, sum)
+	}
+	if ep.TotalSeconds <= 0 {
+		t.Error("epoch with reports should take time")
+	}
+	if ep.MaxQueueReports <= 0 {
+		t.Error("some node must buffer reports")
+	}
+	if ep.IdleListenJoulesPerNode < 0 {
+		t.Error("negative idle-listening energy")
+	}
+}
+
+func TestPlanEpochErrors(t *testing.T) {
+	if _, err := PlanEpoch(nil, core.Delivery{}, 10); err == nil {
+		t.Error("want error for nil tree")
+	}
+	tree, d := runRound(t, 100, core.DefaultFilterConfig())
+	if _, err := PlanEpoch(tree, d, 0); err == nil {
+		t.Error("want error for zero report size")
+	}
+}
+
+func TestFilteringShortensEpoch(t *testing.T) {
+	tree, dAll := runRound(t, 2500, core.FilterConfig{Enabled: false})
+	_, dFiltered := runRound(t, 2500, core.DefaultFilterConfig())
+	epAll, err := PlanEpoch(tree, dAll, core.ReportBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epFiltered, err := PlanEpoch(tree, dFiltered, core.ReportBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epFiltered.TotalSeconds >= epAll.TotalSeconds {
+		t.Errorf("filtering did not shorten epoch: %v vs %v",
+			epFiltered.TotalSeconds, epAll.TotalSeconds)
+	}
+	if epFiltered.MaxQueueReports >= epAll.MaxQueueReports {
+		t.Errorf("filtering did not shrink buffers: %d vs %d",
+			epFiltered.MaxQueueReports, epAll.MaxQueueReports)
+	}
+}
+
+func TestLatencyOf(t *testing.T) {
+	tree, d := runRound(t, 2500, core.DefaultFilterConfig())
+	ep, err := PlanEpoch(tree, d, core.ReportBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink has zero latency.
+	if got := ep.LatencyOf(tree, tree.Root()); got != 0 {
+		t.Errorf("sink latency = %v", got)
+	}
+	// Latency grows with depth and never exceeds the epoch.
+	var prevLat float64
+	for l := 1; l <= ep.Slots; l++ {
+		// Find a node at level l.
+		var node network.NodeID = -1
+		for i := 0; i < tree.Network().Len(); i++ {
+			if tree.Level(network.NodeID(i)) == l {
+				node = network.NodeID(i)
+				break
+			}
+		}
+		if node < 0 {
+			continue
+		}
+		lat := ep.LatencyOf(tree, node)
+		if lat < prevLat {
+			t.Fatalf("latency decreased with depth at level %d: %v < %v", l, lat, prevLat)
+		}
+		if lat > ep.TotalSeconds+1e-12 {
+			t.Fatalf("latency %v exceeds epoch %v", lat, ep.TotalSeconds)
+		}
+		prevLat = lat
+	}
+	// Unreachable source.
+	if got := ep.LatencyOf(tree, network.NodeID(-1)); got != -1 {
+		t.Errorf("unreachable latency = %v, want -1", got)
+	}
+}
+
+func TestEmptyDeliveryZeroEpoch(t *testing.T) {
+	tree, _ := runRound(t, 100, core.DefaultFilterConfig())
+	ep, err := PlanEpoch(tree, core.Delivery{}, core.ReportBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.TotalSeconds != 0 {
+		t.Errorf("empty delivery epoch = %v seconds", ep.TotalSeconds)
+	}
+	if ep.MaxQueueReports != 0 {
+		t.Errorf("empty delivery buffers = %d", ep.MaxQueueReports)
+	}
+}

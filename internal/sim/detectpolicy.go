@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+)
+
+// ExtDetectPolicySweep compares the paper's Definition 3.1 detection (the
+// epsilon border band) against the edge-based policy of the isoline-
+// aggregation lineage across densities: generated reports, sink reports
+// and mapping accuracy.
+func ExtDetectPolicySweep(runs int) (*Table, error) {
+	t := &Table{
+		ID:    "ext-detect",
+		Title: "Detection policy: Def. 3.1 (eps band) vs edge-based election",
+		Columns: []string{
+			"density", "gen (3.1)", "sink (3.1)", "acc (3.1)",
+			"gen (edge)", "sink (edge)", "acc (edge)",
+		},
+	}
+	for _, d := range []float64{0.16, 0.36, 1, 4} {
+		n := nodesAtDensity(d)
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return detectPolicyRow(n, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+	}
+	return t, nil
+}
+
+func detectPolicyRow(n int, seed int64) ([]float64, error) {
+	env, err := Build(Scenario{Nodes: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	env.Network.Sense(env.Field)
+	truth := env.truthRaster()
+
+	evaluate := func(detect func() []core.Report) (gen, sink, acc float64) {
+		generated := detect()
+		routableReports := routable(env, generated)
+		delivered := core.DeliverReports(env.Tree, routableReports, *env.Scenario.Filter, nil)
+		sinkValue := env.Network.Node(env.Tree.Root()).Value
+		m := contour.Reconstruct(delivered, env.Query.Levels,
+			field.BoundsRect(env.Field), sinkValue, contour.DefaultOptions())
+		return float64(len(generated)), float64(len(delivered)),
+			field.Agreement(truth, m.Raster(RasterRes, RasterRes))
+	}
+
+	g1, s1, a1 := evaluate(func() []core.Report {
+		return core.DetectIsolineNodes(env.Network, env.Query, nil)
+	})
+	g2, s2, a2 := evaluate(func() []core.Report {
+		return core.DetectIsolineNodesEdgeBased(env.Network, env.Query, nil)
+	})
+	return []float64{g1, s1, a1, g2, s2, a2}, nil
+}

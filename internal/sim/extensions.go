@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"isomap/internal/baseline/inlr"
+	"isomap/internal/baseline/tinydb"
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/energy"
+	"isomap/internal/field"
+	"isomap/internal/metrics"
+	"isomap/internal/monitor"
+)
+
+// The extension experiments go beyond the paper's figures: they quantify
+// the sensitivity knobs the paper mentions but does not sweep (sensing
+// noise, the k-hop regression scope, an imperfect link layer) and the
+// continuous-monitoring mode of its future work.
+
+// ExtNoiseSweep measures mapping accuracy and received reports against
+// Gaussian sensing noise. The border-region test of Definition 3.1
+// compares readings against isolevels directly, so noise first inflates
+// the isoline-node population and then corrupts the map.
+func ExtNoiseSweep(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "ext-noise",
+		Title:   "Iso-Map vs sensing noise (sigma in meters)",
+		Columns: []string{"sigma", "generated", "sink reports", "accuracy"},
+	}
+	for _, sigma := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			env, err := Build(Scenario{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			env.Network.SenseWithNoise(env.Field, sigma, seed+100)
+			res, err := core.RunSensed(env.Tree, env.Query, *env.Scenario.Filter)
+			if err != nil {
+				return nil, err
+			}
+			m := contour.Reconstruct(res.Reports, env.Query.Levels,
+				field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
+			acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
+			return []float64{float64(res.Generated), float64(len(res.Reports)), acc}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(sigma, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// ExtScopeSweep measures the k-hop regression scope on a sparse
+// deployment: gradient precision against local traffic cost (Sec. 3.3's
+// adjustable query scope).
+func ExtScopeSweep(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "ext-scope",
+		Title:   "Regression scope k (sparse deployment, density 0.36)",
+		Columns: []string{"k hops", "mean grad error (deg)", "accuracy", "traffic KB"},
+	}
+	for _, k := range []int{1, 2, 3} {
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			env, err := Build(Scenario{Nodes: nodesAtDensity(0.36), Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			env.Query.HopScope = k
+			_, meanErr, _, err := env.gradientErrorStats()
+			if err != nil {
+				return nil, err
+			}
+			st, _, err := env.RunIsoMap()
+			if err != nil {
+				return nil, err
+			}
+			return []float64{meanErr, st.Accuracy, st.TrafficKB}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// ExtLossSweep recomputes Fig. 16's per-node energy under an imperfect
+// link layer with ARQ retransmissions.
+func ExtLossSweep() (*Table, error) {
+	t := &Table{
+		ID:      "ext-loss",
+		Title:   "Per-node energy (J) vs link loss rate, n=2500",
+		Columns: []string{"loss rate", "TinyDB J", "INLR J", "Iso-Map J"},
+	}
+	counters, err := lossCounters()
+	if err != nil {
+		return nil, err
+	}
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3} {
+		lm, err := energy.NewLinkModel(loss)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(loss,
+			energy.MeanNodeJoulesWithLoss(counters[0], lm),
+			energy.MeanNodeJoulesWithLoss(counters[1], lm),
+			energy.MeanNodeJoulesWithLoss(counters[2], lm))
+	}
+	return t, nil
+}
+
+// lossCounters runs the Fig. 16 trio once at the reference size and
+// returns their raw counters for energy post-processing.
+func lossCounters() ([3]*metrics.Counters, error) {
+	var out [3]*metrics.Counters
+	gridEnv, err := Build(Scenario{Grid: true, Seed: 1})
+	if err != nil {
+		return out, err
+	}
+	tdbRes, err := tinydb.Run(gridEnv.Tree, gridEnv.Field)
+	if err != nil {
+		return out, err
+	}
+	inlRes, err := inlr.Run(gridEnv.Tree, gridEnv.Field,
+		inlr.DefaultConfig(gridEnv.Scenario.Levels.Step, gridEnv.nodeSpacing()))
+	if err != nil {
+		return out, err
+	}
+	randEnv, err := Build(Scenario{Seed: 1})
+	if err != nil {
+		return out, err
+	}
+	isoRes, err := core.Run(randEnv.Tree, randEnv.Field, randEnv.Query, *randEnv.Scenario.Filter)
+	if err != nil {
+		return out, err
+	}
+	out[0], out[1], out[2] = tdbRes.Counters, inlRes.Counters, isoRes.Counters
+	return out, nil
+}
+
+// ExtMonitorRounds traces a continuous-monitoring session over the silting
+// seabed, with and without temporal suppression, reporting per-round
+// traffic and delivered reports. Rounds are spaced monitorTimeStep apart:
+// temporal suppression is the win when the field drifts slowly relative
+// to the monitoring period (fast change re-reports everything anyway).
+func ExtMonitorRounds(rounds int) (*Table, error) {
+	const monitorTimeStep = 0.25
+	if rounds < 1 {
+		rounds = 8
+	}
+	t := &Table{
+		ID:      "ext-monitor",
+		Title:   "Continuous monitoring of the silting route (dt=0.25, storm at t=4..6)",
+		Columns: []string{"t", "delivered (temporal)", "traffic KB (temporal)", "delivered (plain)", "traffic KB (plain)"},
+	}
+	runSession := func(temporal monitor.TemporalConfig) ([]*monitor.RoundStats, error) {
+		env, err := Build(Scenario{Seed: 7})
+		if err != nil {
+			return nil, err
+		}
+		dyn := field.DefaultSilting(env.Field)
+		m, err := monitor.New(env.Tree, monitor.Config{
+			Query:    env.Query,
+			Filter:   *env.Scenario.Filter,
+			Temporal: temporal,
+			Options:  contour.DefaultOptions(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out []*monitor.RoundStats
+		for i := 0; i < rounds; i++ {
+			st, err := m.Round(dyn.At(float64(i) * monitorTimeStep))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		}
+		return out, nil
+	}
+	withTemporal, err := runSession(monitor.DefaultTemporal())
+	if err != nil {
+		return nil, err
+	}
+	plain, err := runSession(monitor.TemporalConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for i := range withTemporal {
+		t.AddRow(float64(i)*monitorTimeStep,
+			withTemporal[i].Delivered, withTemporal[i].TrafficKB,
+			plain[i].Delivered, plain[i].TrafficKB)
+	}
+	return t, nil
+}

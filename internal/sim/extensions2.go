@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/localize"
+	"isomap/internal/schedule"
+)
+
+// ExtLatencySweep derives the TAG-slotted collection-epoch profile of an
+// Iso-Map round — latency, bottleneck buffering and idle listening — with
+// and without in-network filtering, across network sizes.
+func ExtLatencySweep() (*Table, error) {
+	t := &Table{
+		ID:    "ext-latency",
+		Title: "Collection epoch under level-slotted scheduling (Iso-Map)",
+		Columns: []string{
+			"field side", "nodes", "filter", "epoch (s)", "max queue (reports)", "idle listen (J/node)",
+		},
+	}
+	for _, side := range []float64{20, 50, 90} {
+		for _, filtered := range []bool{true, false} {
+			env, err := Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			env.Network.Sense(env.Field)
+			generated := core.DetectIsolineNodes(env.Network, env.Query, nil)
+			fc := core.FilterConfig{Enabled: false}
+			if filtered {
+				fc = core.DefaultFilterConfig()
+			}
+			d := core.DeliverReportsDetailed(env.Tree, routable(env, generated), fc, nil)
+			ep, err := schedule.PlanEpoch(env.Tree, d, core.ReportBytes)
+			if err != nil {
+				return nil, err
+			}
+			label := "off"
+			if filtered {
+				label = "on"
+			}
+			t.AddRow(side, env.Network.Len(), label,
+				ep.TotalSeconds, ep.MaxQueueReports, ep.IdleListenJoulesPerNode)
+		}
+	}
+	return t, nil
+}
+
+func routable(env *Env, reports []core.Report) []core.Report {
+	out := make([]core.Report, 0, len(reports))
+	for _, r := range reports {
+		if env.Tree.Reachable(r.Source) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ExtLocalizeSweep measures what DV-hop localization (instead of GPS)
+// costs the contour map: report positions are replaced by their DV-hop
+// estimates before reconstruction, for growing anchor populations.
+func ExtLocalizeSweep(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "ext-localize",
+		Title:   "Mapping accuracy with DV-hop positions instead of GPS",
+		Columns: []string{"anchors", "mean position error", "accuracy"},
+	}
+	type setting struct {
+		label   string
+		anchors int
+	}
+	settings := []setting{
+		{"4", 4}, {"9", 9}, {"16", 16}, {"25", 25}, {"GPS", 0},
+	}
+	for _, s := range settings {
+		anchors := s.anchors
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return localizedAccuracy(anchors, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.label, vals[0], vals[1])
+	}
+	return t, nil
+}
+
+// localizedAccuracy runs one Iso-Map round whose report positions come
+// from DV-hop with the given anchor count (0 = true GPS positions),
+// returning {mean position error, accuracy}.
+func localizedAccuracy(anchors int, seed int64) ([]float64, error) {
+	env, err := Build(Scenario{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(env.Tree, env.Field, env.Query, *env.Scenario.Filter)
+	if err != nil {
+		return nil, err
+	}
+	reports := res.Reports
+	posErr := 0.0
+	if anchors > 0 {
+		anchorIDs, err := localize.SpreadAnchors(env.Network, anchors)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := localize.DVHop(env.Network, anchorIDs)
+		if err != nil {
+			return nil, err
+		}
+		posErr = loc.MeanError
+		relocated := make([]core.Report, 0, len(reports))
+		for _, r := range reports {
+			est, ok := loc.Estimated[r.Source]
+			if !ok {
+				continue // unlocalized nodes cannot report a position
+			}
+			r.Pos = est
+			relocated = append(relocated, r)
+		}
+		if len(relocated) == 0 {
+			return nil, fmt.Errorf("sim: no localized reports")
+		}
+		reports = relocated
+	}
+	m := contour.Reconstruct(reports, env.Query.Levels,
+		field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
+	acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
+	return []float64{posErr, acc}, nil
+}

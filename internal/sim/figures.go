@@ -1,0 +1,600 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/stats"
+)
+
+// Densities used by the density sweeps (normalized to 1 = 2,500 nodes on
+// the 50x50 field, as in Sec. 5).
+var sweepDensities = []float64{0.16, 0.36, 0.64, 1, 2, 4}
+
+// Field sides for the diameter sweeps of Figs. 14a/15/16 at density 1.
+var sweepSides = []float64{20, 35, 50, 70, 90}
+
+// nodesAtDensity returns the node count realizing a normalized density on
+// the reference 50x50 field.
+func nodesAtDensity(d float64) int { return int(math.Round(d * 2500)) }
+
+// averageOver runs fn for seeds 1..runs and averages the returned values
+// elementwise, skipping negative (n/a) samples per element.
+func averageOver(runs int, fn func(seed int64) ([]float64, error)) ([]float64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var sums []float64
+	var counts []int
+	for seed := int64(1); seed <= int64(runs); seed++ {
+		vals, err := fn(seed)
+		if err != nil {
+			return nil, err
+		}
+		if sums == nil {
+			sums = make([]float64, len(vals))
+			counts = make([]int, len(vals))
+		}
+		for i, v := range vals {
+			if v < 0 {
+				continue
+			}
+			sums[i] += v
+			counts[i]++
+		}
+	}
+	out := make([]float64, len(sums))
+	for i := range sums {
+		if counts[i] == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = sums[i] / float64(counts[i])
+	}
+	return out, nil
+}
+
+// Table1Overhead reproduces Table 1: the analytic overhead comparison of
+// the five approaches, annotated with the measured generated-report counts
+// and network computation at the reference scenario (n = 2,500).
+func Table1Overhead() (*Table, error) {
+	t := &Table{
+		ID:    "table1",
+		Title: "Overhead comparison of different approaches (analytic + measured at n=2500)",
+		Columns: []string{
+			"Protocol", "Reports (analytic)", "Computation (analytic)",
+			"Deployment", "Reports (measured)", "Network ops (measured)",
+		},
+	}
+	gridEnv, err := Build(Scenario{Grid: true, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	randEnv, err := Build(Scenario{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	tdb, _, err := gridEnv.RunTinyDB()
+	if err != nil {
+		return nil, err
+	}
+	esc, err := randEnv.RunEScan()
+	if err != nil {
+		return nil, err
+	}
+	inl, err := gridEnv.RunINLR()
+	if err != nil {
+		return nil, err
+	}
+	sup, err := gridEnv.RunSuppress()
+	if err != nil {
+		return nil, err
+	}
+	iso, _, err := randEnv.RunIsoMap()
+	if err != nil {
+		return nil, err
+	}
+
+	t.AddRow("TinyDB", "n", "O(n)", "grid", tdb.Generated, fmt.Sprintf("%.3g", tdb.MeanOps*float64(tdb.Nodes)))
+	t.AddRow("eScan", "n", "O(n^4)", "any", esc.Generated, fmt.Sprintf("%.3g", esc.MeanOps*float64(esc.Nodes)))
+	t.AddRow("INLR", "n", "Omega(n^1.5)", "grid", inl.Generated, fmt.Sprintf("%.3g", inl.MeanOps*float64(inl.Nodes)))
+	t.AddRow("Suppression", "O(n)", "Omega(n*d)", "grid", sup.Generated, fmt.Sprintf("%.3g", sup.MeanOps*float64(sup.Nodes)))
+	t.AddRow("Iso-Map", "O(sqrt n)", "O(n)", "any", iso.Generated, fmt.Sprintf("%.3g", iso.MeanOps*float64(iso.Nodes)))
+	return t, nil
+}
+
+// Fig7GradientError reproduces Fig. 7: the error between the regressed
+// gradient direction and the true isoline normal, against the average node
+// degree (varied through the radio range).
+func Fig7GradientError(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "Gradient direction error vs average node degree",
+		Columns: []string{"radio", "avg degree", "mean error (deg)", "p95 error (deg)"},
+	}
+	for _, radio := range []float64{1.1, 1.3, 1.5, 1.8, 2.2, 2.6} {
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			env, err := Build(Scenario{Radio: radio, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			deg, mean, p95, err := env.gradientErrorStats()
+			if err != nil {
+				return nil, err
+			}
+			return []float64{deg, mean, p95}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(radio, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// gradientErrorStats measures the angular error of every isoline node's
+// regressed gradient against the true field normal.
+func (e *Env) gradientErrorStats() (avgDegree, meanErr, p95Err float64, err error) {
+	e.Network.Sense(e.Field)
+	reports := core.DetectIsolineNodes(e.Network, e.Query, nil)
+	if len(reports) == 0 {
+		return 0, 0, 0, fmt.Errorf("sim: no isoline nodes at radio %g", e.Scenario.Radio)
+	}
+	errsDeg := make([]float64, 0, len(reports))
+	for _, r := range reports {
+		trueDown := field.GradientAt(e.Field, r.Pos.X, r.Pos.Y).Neg()
+		errsDeg = append(errsDeg, geom.Degrees(r.Grad.AngleBetween(trueDown)))
+	}
+	return e.Network.AverageDegree(), stats.Mean(errsDeg), stats.Percentile(errsDeg, 95), nil
+}
+
+// Fig9ReportDensity reproduces Fig. 9: the contour map built under two
+// in-network filter settings, contrasting received reports and accuracy.
+func Fig9ReportDensity() (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Contour regions under different report densities",
+		Columns: []string{"filter (sa, sd)", "sink reports", "accuracy"},
+	}
+	settings := []struct {
+		label string
+		fc    core.FilterConfig
+	}{
+		{"off (all reports)", core.FilterConfig{Enabled: false}},
+		{"sa=30deg sd=4", core.DefaultFilterConfig()},
+		{"sa=45deg sd=8", core.FilterConfig{Enabled: true, MaxAngle: geom.Radians(45), MaxDist: 8}},
+	}
+	for _, s := range settings {
+		fc := s.fc
+		env, err := Build(Scenario{Seed: 1, Filter: &fc})
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := env.RunIsoMap()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s.label, st.SinkReports, st.Accuracy)
+	}
+	return t, nil
+}
+
+// Fig10Maps reproduces Fig. 10: TinyDB and Iso-Map contour maps at
+// normalized node densities 4, 1 and 0.16, reporting the received reports
+// and accuracy that accompany the paper's rendered maps.
+func Fig10Maps(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Contour mapping at densities 4 / 1 / 0.16",
+		Columns: []string{"density", "nodes", "TinyDB accuracy", "Iso-Map accuracy", "Iso-Map sink reports"},
+	}
+	for _, d := range []float64{4, 1, 0.16} {
+		n := nodesAtDensity(d)
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			tdb, _, err := gridEnv.RunTinyDB()
+			if err != nil {
+				return nil, err
+			}
+			randEnv, err := Build(Scenario{Nodes: n, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			iso, _, err := randEnv.RunIsoMap()
+			if err != nil {
+				return nil, err
+			}
+			return []float64{tdb.Accuracy, iso.Accuracy, float64(iso.SinkReports)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d, n, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// Fig11aAccuracyDensity reproduces Fig. 11a: mapping accuracy against node
+// density for TinyDB and Iso-Map with two border tolerances.
+func Fig11aAccuracyDensity(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig11a",
+		Title:   "Mapping accuracy vs node density",
+		Columns: []string{"density", "TinyDB", "Iso-Map eps=0.05T", "Iso-Map eps=0.2T"},
+	}
+	for _, d := range sweepDensities {
+		n := nodesAtDensity(d)
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return accuracyTriple(n, 0, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// Fig11bAccuracyFailures reproduces Fig. 11b: mapping accuracy against the
+// node-failure ratio.
+func Fig11bAccuracyFailures(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig11b",
+		Title:   "Mapping accuracy vs node failures",
+		Columns: []string{"failure ratio", "TinyDB", "Iso-Map eps=0.05T", "Iso-Map eps=0.2T"},
+	}
+	for _, fail := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return accuracyTriple(2500, fail, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fail, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// accuracyTriple runs TinyDB and the two Iso-Map epsilon settings on one
+// seed, returning their accuracies.
+func accuracyTriple(n int, fail float64, seed int64) ([]float64, error) {
+	gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
+	if err != nil {
+		return nil, err
+	}
+	tdb, _, err := gridEnv.RunTinyDB()
+	if err != nil {
+		return nil, err
+	}
+	isoNarrow, err := isoMapAccuracy(n, fail, seed, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	isoWide, err := isoMapAccuracy(n, fail, seed, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{tdb.Accuracy, isoNarrow, isoWide}, nil
+}
+
+func isoMapAccuracy(n int, fail float64, seed int64, epsFraction float64) (float64, error) {
+	env, err := Build(Scenario{
+		Nodes:        n,
+		Seed:         seed,
+		FailFraction: fail,
+		Epsilon:      epsFraction * 2, // Step = 2
+	})
+	if err != nil {
+		return 0, err
+	}
+	st, _, err := env.RunIsoMap()
+	if err != nil {
+		return 0, err
+	}
+	return st.Accuracy, nil
+}
+
+// Fig12aHausdorffDensity reproduces Fig. 12a: the Hausdorff distance
+// between estimated and true isolines against node density, for Iso-Map on
+// random and grid deployments and for TinyDB.
+func Fig12aHausdorffDensity(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig12a",
+		Title:   "Isoline Hausdorff distance vs node density",
+		Columns: []string{"density", "Iso-Map random", "Iso-Map grid", "TinyDB"},
+	}
+	for _, d := range sweepDensities {
+		n := nodesAtDensity(d)
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return hausdorffTriple(n, 0, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+// Fig12bHausdorffFailures reproduces Fig. 12b: Hausdorff distance against
+// the node-failure ratio.
+func Fig12bHausdorffFailures(runs int) (*Table, error) {
+	t := &Table{
+		ID:      "fig12b",
+		Title:   "Isoline Hausdorff distance vs node failures",
+		Columns: []string{"failure ratio", "Iso-Map random", "Iso-Map grid", "TinyDB"},
+	}
+	for _, fail := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
+			return hausdorffTriple(2500, fail, seed)
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fail, vals[0], vals[1], vals[2])
+	}
+	return t, nil
+}
+
+func hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
+	randEnv, err := Build(Scenario{Nodes: n, Seed: seed, FailFraction: fail})
+	if err != nil {
+		return nil, err
+	}
+	isoRand, _, err := randEnv.RunIsoMap()
+	if err != nil {
+		return nil, err
+	}
+	gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
+	if err != nil {
+		return nil, err
+	}
+	isoGrid, _, err := gridEnv.RunIsoMap()
+	if err != nil {
+		return nil, err
+	}
+	gridEnv2, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
+	if err != nil {
+		return nil, err
+	}
+	tdb, _, err := gridEnv2.RunTinyDB()
+	if err != nil {
+		return nil, err
+	}
+	return []float64{isoRand.MeanHausdorff, isoGrid.MeanHausdorff, tdb.MeanHausdorff}, nil
+}
+
+// Fig13aFilterReports reproduces Fig. 13a: the number of reports received
+// at the sink under different (s_a, s_d) filter settings.
+func Fig13aFilterReports() (*Table, error) {
+	return fig13(false)
+}
+
+// Fig13bFilterAccuracy reproduces Fig. 13b: the mapping accuracy under the
+// same filter settings.
+func Fig13bFilterAccuracy() (*Table, error) {
+	return fig13(true)
+}
+
+func fig13(accuracy bool) (*Table, error) {
+	id, title, col := "fig13a", "Sink reports vs filter thresholds", "sink reports"
+	if accuracy {
+		id, title, col = "fig13b", "Mapping accuracy vs filter thresholds", "accuracy"
+	}
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"sa (deg)", "sd", col},
+	}
+	for _, sa := range []float64{0, 15, 30, 45, 60} {
+		for _, sd := range []float64{0, 2, 4, 6, 8} {
+			fc := core.FilterConfig{Enabled: true, MaxAngle: geom.Radians(sa), MaxDist: sd}
+			env, err := Build(Scenario{Seed: 1, Filter: &fc})
+			if err != nil {
+				return nil, err
+			}
+			st, _, err := env.RunIsoMap()
+			if err != nil {
+				return nil, err
+			}
+			if accuracy {
+				t.AddRow(sa, sd, st.Accuracy)
+			} else {
+				t.AddRow(sa, sd, st.SinkReports)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig14aTrafficDiameter reproduces Fig. 14a: traffic overhead (KB) of
+// TinyDB, INLR and Iso-Map against the network diameter at density 1.
+func Fig14aTrafficDiameter() (*Table, error) {
+	t := &Table{
+		ID:      "fig14a",
+		Title:   "Traffic overhead (KB) vs network diameter",
+		Columns: []string{"field side", "nodes", "diameter (hops)", "TinyDB KB", "INLR KB", "Iso-Map KB"},
+	}
+	for _, side := range sweepSides {
+		row, err := trafficRow(side, 1)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig14bTrafficDensity reproduces Fig. 14b: traffic overhead against node
+// density on the reference field.
+func Fig14bTrafficDensity() (*Table, error) {
+	t := &Table{
+		ID:      "fig14b",
+		Title:   "Traffic overhead (KB) vs node density",
+		Columns: []string{"density", "nodes", "diameter (hops)", "TinyDB KB", "INLR KB", "Iso-Map KB"},
+	}
+	for _, d := range []float64{0.5, 1, 2, 4} {
+		row, err := trafficRow(50, d)
+		if err != nil {
+			return nil, err
+		}
+		row[0] = d
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// trafficRow runs the three protocols of Figs. 14-16 on one scenario.
+func trafficRow(side, density float64) ([]any, error) {
+	n := int(math.Round(density * side * side))
+	gridEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	tdb, _, err := gridEnv.RunTinyDB()
+	if err != nil {
+		return nil, err
+	}
+	inl, err := gridEnv.RunINLR()
+	if err != nil {
+		return nil, err
+	}
+	randEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	iso, _, err := randEnv.RunIsoMap()
+	if err != nil {
+		return nil, err
+	}
+	return []any{side, n, tdb.Diameter, tdb.TrafficKB, inl.TrafficKB, iso.TrafficKB}, nil
+}
+
+// Fig15aCompute reproduces Fig. 15a: per-node computational intensity of
+// the three protocols against network size.
+func Fig15aCompute() (*Table, error) {
+	t := &Table{
+		ID:      "fig15a",
+		Title:   "Per-node computational intensity vs network size",
+		Columns: []string{"field side", "nodes", "TinyDB ops", "INLR ops", "Iso-Map ops"},
+	}
+	for _, side := range sweepSides {
+		stats, err := threeProtocolStats(side)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(side, stats[0].Nodes, stats[0].MeanOps, stats[1].MeanOps, stats[2].MeanOps)
+	}
+	return t, nil
+}
+
+// Fig15bComputeIsoMap reproduces Fig. 15b: the amplified Iso-Map view
+// showing constant per-node intensity.
+func Fig15bComputeIsoMap() (*Table, error) {
+	t := &Table{
+		ID:      "fig15b",
+		Title:   "Iso-Map per-node computational intensity vs network size (amplified)",
+		Columns: []string{"field side", "nodes", "Iso-Map ops/node"},
+	}
+	for _, side := range sweepSides {
+		env, err := Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		iso, _, err := env.RunIsoMap()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(side, iso.Nodes, iso.MeanOps)
+	}
+	return t, nil
+}
+
+// Fig16Energy reproduces Fig. 16: per-node energy consumption of the three
+// protocols against network size, under the Mica2 model.
+func Fig16Energy() (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Per-node energy (J) vs network size",
+		Columns: []string{"field side", "nodes", "TinyDB J", "INLR J", "Iso-Map J"},
+	}
+	for _, side := range sweepSides {
+		stats, err := threeProtocolStats(side)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(side, stats[0].Nodes, stats[0].MeanEnergyJ, stats[1].MeanEnergyJ, stats[2].MeanEnergyJ)
+	}
+	return t, nil
+}
+
+// threeProtocolStats runs TinyDB, INLR and Iso-Map at density 1 on a field
+// of the given side, returning their stats in that order.
+func threeProtocolStats(side float64) ([3]Stats, error) {
+	var out [3]Stats
+	n := int(side * side)
+	gridEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
+	if err != nil {
+		return out, err
+	}
+	tdb, _, err := gridEnv.RunTinyDB()
+	if err != nil {
+		return out, err
+	}
+	inl, err := gridEnv.RunINLR()
+	if err != nil {
+		return out, err
+	}
+	randEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
+	if err != nil {
+		return out, err
+	}
+	iso, _, err := randEnv.RunIsoMap()
+	if err != nil {
+		return out, err
+	}
+	out[0], out[1], out[2] = tdb, inl, iso
+	return out, nil
+}
+
+// AllFigures regenerates every table and figure with the given averaging
+// runs, in paper order.
+func AllFigures(runs int) ([]*Table, error) {
+	type gen struct {
+		name string
+		fn   func() (*Table, error)
+	}
+	gens := []gen{
+		{"table1", Table1Overhead},
+		{"fig7", func() (*Table, error) { return Fig7GradientError(runs) }},
+		{"fig9", Fig9ReportDensity},
+		{"fig10", func() (*Table, error) { return Fig10Maps(runs) }},
+		{"fig11a", func() (*Table, error) { return Fig11aAccuracyDensity(runs) }},
+		{"fig11b", func() (*Table, error) { return Fig11bAccuracyFailures(runs) }},
+		{"fig12a", func() (*Table, error) { return Fig12aHausdorffDensity(runs) }},
+		{"fig12b", func() (*Table, error) { return Fig12bHausdorffFailures(runs) }},
+		{"fig13a", Fig13aFilterReports},
+		{"fig13b", Fig13bFilterAccuracy},
+		{"fig14a", Fig14aTrafficDiameter},
+		{"fig14b", Fig14bTrafficDensity},
+		{"fig15a", Fig15aCompute},
+		{"fig15b", Fig15bComputeIsoMap},
+		{"fig16", Fig16Energy},
+	}
+	var out []*Table
+	for _, g := range gens {
+		tb, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", g.name, err)
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

@@ -1,0 +1,291 @@
+// Package sim is the experiment harness of the reproduction: it
+// materializes deployment scenarios, runs every protocol (Iso-Map and the
+// four baselines) over them, and regenerates each table and figure of the
+// paper's evaluation (Sec. 5) as a printable series.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"isomap/internal/baseline/escan"
+	"isomap/internal/baseline/inlr"
+	"isomap/internal/baseline/suppress"
+	"isomap/internal/baseline/tinydb"
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/energy"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/metrics"
+	"isomap/internal/network"
+	"isomap/internal/routing"
+)
+
+// RasterRes is the resolution of the accuracy rasters (per side).
+const RasterRes = 100
+
+// Scenario describes one simulated deployment and query.
+type Scenario struct {
+	// Nodes is the deployed node count.
+	Nodes int
+	// FieldSide is the field edge length in normalized units (the paper's
+	// reference field is 50, i.e. 400 m x 400 m).
+	FieldSide float64
+	// Radio is the radio range; zero selects the connectivity default
+	// 1.5/sqrt(density), the paper's "no less than 1.5 at density 1".
+	Radio float64
+	// Grid selects grid deployment instead of uniform random.
+	Grid bool
+	// Seed drives deployment and failure randomness.
+	Seed int64
+	// FailFraction kills this fraction of nodes before the round.
+	FailFraction float64
+	// Levels is the queried isolevel scheme; zero value selects the
+	// default {6, 8, 10, 12} of the evaluation.
+	Levels field.Levels
+	// Epsilon is the border tolerance; zero selects 0.05*Step.
+	Epsilon float64
+	// Filter is Iso-Map's in-network filter configuration; the zero value
+	// selects the paper's default (s_a = 30 degrees, s_d = 4).
+	Filter *core.FilterConfig
+	// Regulate disables the sink regulation rules when false and a
+	// RegulateSet is true.
+	Regulate    bool
+	RegulateSet bool
+	// Trace overrides the synthetic seabed with an externally supplied
+	// field (e.g. a depth trace loaded with field.ParseGrid). FieldSide
+	// is then derived from the trace bounds.
+	Trace field.Field
+}
+
+// withDefaults fills the zero-valued scenario fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Nodes == 0 {
+		s.Nodes = 2500
+	}
+	if s.Trace != nil {
+		x0, _, x1, _ := s.Trace.Bounds()
+		s.FieldSide = x1 - x0
+	}
+	if s.FieldSide == 0 {
+		s.FieldSide = 50
+	}
+	if s.Radio == 0 {
+		density := float64(s.Nodes) / (s.FieldSide * s.FieldSide)
+		s.Radio = 1.5 / math.Sqrt(density)
+	}
+	if s.Levels == (field.Levels{}) {
+		s.Levels = field.Levels{Low: 6, High: 12, Step: 2}
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = core.DefaultEpsilonFraction * s.Levels.Step
+	}
+	if s.Filter == nil {
+		fc := core.DefaultFilterConfig()
+		s.Filter = &fc
+	}
+	if !s.RegulateSet {
+		s.Regulate = true
+	}
+	return s
+}
+
+// Env is a materialized scenario: the field surface, the deployed network
+// and the routing tree.
+type Env struct {
+	Scenario Scenario
+	Field    field.Field
+	Network  *network.Network
+	Tree     *routing.Tree
+	Query    core.Query
+}
+
+// Build materializes the scenario. The synthetic seabed is scaled
+// geometrically with the field side so larger deployments see a similar
+// contour structure (constant region count, Theorem 4.1's assumption).
+func Build(s Scenario) (*Env, error) {
+	s = s.withDefaults()
+	var f field.Field
+	if s.Trace != nil {
+		f = s.Trace
+	} else {
+		cfg := field.DefaultSeabedConfig()
+		scale := s.FieldSide / cfg.Width
+		cfg.Width, cfg.Height = s.FieldSide, s.FieldSide
+		cfg.SigmaMin *= scale
+		cfg.SigmaMax *= scale
+		f = field.NewSeabed(cfg)
+	}
+
+	var (
+		nw  *network.Network
+		err error
+	)
+	if s.Grid {
+		nw, err = network.DeployGrid(s.Nodes, f, s.Radio)
+	} else {
+		nw, err = network.DeployUniform(s.Nodes, f, s.Radio, s.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: deploy: %w", err)
+	}
+	if s.FailFraction > 0 {
+		nw.FailFraction(s.FailFraction, s.Seed+1)
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		return nil, fmt.Errorf("sim: sink: %w", err)
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		return nil, fmt.Errorf("sim: tree: %w", err)
+	}
+	q, err := core.NewQueryEpsilon(s.Levels, s.Epsilon)
+	if err != nil {
+		return nil, fmt.Errorf("sim: query: %w", err)
+	}
+	return &Env{Scenario: s, Field: f, Network: nw, Tree: tree, Query: q}, nil
+}
+
+// Stats summarizes one protocol round in the units the paper plots.
+type Stats struct {
+	Protocol  string  `json:"protocol"`
+	Nodes     int     `json:"nodes"`
+	Diameter  int     `json:"diameterHops"`
+	AvgDegree float64 `json:"avgDegree"`
+	// Generated and SinkReports count data reports.
+	Generated   int64 `json:"generatedReports"`
+	SinkReports int64 `json:"sinkReports"`
+	// TrafficKB is total transmitted bytes / 1024 (Fig. 14).
+	TrafficKB float64 `json:"trafficKB"`
+	// MeanOps is the per-node computational intensity (Fig. 15).
+	MeanOps float64 `json:"meanOpsPerNode"`
+	// MeanEnergyJ is the per-node energy in joules (Fig. 16).
+	MeanEnergyJ float64 `json:"meanEnergyJoules"`
+	// Accuracy is the mapping accuracy against ground truth, or -1 when
+	// the protocol does not reconstruct a map (Fig. 11).
+	Accuracy float64 `json:"accuracy"`
+	// MeanHausdorff averages the per-isolevel Hausdorff distances between
+	// estimated and true isolines, or -1 when unavailable (Fig. 12).
+	MeanHausdorff float64 `json:"meanHausdorff"`
+}
+
+func (e *Env) baseStats(name string, c *metrics.Counters) Stats {
+	return Stats{
+		Protocol:      name,
+		Nodes:         e.Network.Len(),
+		Diameter:      e.Tree.MaxLevel(),
+		AvgDegree:     e.Network.AverageDegree(),
+		Generated:     c.GeneratedReports,
+		SinkReports:   c.SinkReports,
+		TrafficKB:     c.TrafficKB(),
+		MeanOps:       c.MeanOpsPerNode(),
+		MeanEnergyJ:   energy.MeanNodeJoules(c),
+		Accuracy:      -1,
+		MeanHausdorff: -1,
+	}
+}
+
+// truthRaster rasterizes the ground-truth contour map of the scenario.
+func (e *Env) truthRaster() *field.Raster {
+	return field.ClassifyRaster(e.Field, e.Scenario.Levels, RasterRes, RasterRes)
+}
+
+// RunIsoMap executes one Iso-Map round and reconstructs the map.
+func (e *Env) RunIsoMap() (Stats, *contour.Map, error) {
+	res, err := core.Run(e.Tree, e.Field, e.Query, *e.Scenario.Filter)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	opts := contour.Options{Regulate: e.Scenario.Regulate}
+	m := contour.Reconstruct(res.Reports, e.Query.Levels, field.BoundsRect(e.Field), res.SinkValue, opts)
+	st := e.baseStats("Iso-Map", res.Counters)
+	st.Accuracy = field.Agreement(e.truthRaster(), m.Raster(RasterRes, RasterRes))
+	st.MeanHausdorff = e.isoMapHausdorff(m)
+	return st, m, nil
+}
+
+func (e *Env) isoMapHausdorff(m *contour.Map) float64 {
+	var sum float64
+	count := 0
+	for i, lv := range e.Scenario.Levels.Values() {
+		truth := field.IsolinePoints(e.Field, lv, 150, 150, 0.5)
+		est := m.BoundaryPoints(i, 0.5)
+		if len(truth) == 0 || len(est) == 0 {
+			continue
+		}
+		if h := geom.HausdorffDistance(truth, est); h >= 0 {
+			sum += h
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	return sum / float64(count)
+}
+
+// RunTinyDB executes one TinyDB round (requires a grid scenario).
+func (e *Env) RunTinyDB() (Stats, *tinydb.Result, error) {
+	res, err := tinydb.Run(e.Tree, e.Field)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	st := e.baseStats("TinyDB", res.Counters)
+	st.Accuracy = field.Agreement(e.truthRaster(), res.Raster(e.Scenario.Levels, RasterRes, RasterRes))
+	st.MeanHausdorff = e.tinyDBHausdorff(res)
+	return st, res, nil
+}
+
+func (e *Env) tinyDBHausdorff(res *tinydb.Result) float64 {
+	var sum float64
+	count := 0
+	for _, lv := range e.Scenario.Levels.Values() {
+		truth := field.IsolinePoints(e.Field, lv, 150, 150, 0.5)
+		est := res.IsolinePoints(lv, 0.5)
+		if len(truth) == 0 || len(est) == 0 {
+			continue
+		}
+		if h := geom.HausdorffDistance(truth, est); h >= 0 {
+			sum += h
+			count++
+		}
+	}
+	if count == 0 {
+		return -1
+	}
+	return sum / float64(count)
+}
+
+// nodeSpacing returns the mean node spacing of the scenario.
+func (e *Env) nodeSpacing() float64 {
+	return e.Scenario.FieldSide / math.Sqrt(float64(e.Scenario.Nodes))
+}
+
+// RunINLR executes one INLR round.
+func (e *Env) RunINLR() (Stats, error) {
+	res, err := inlr.Run(e.Tree, e.Field, inlr.DefaultConfig(e.Scenario.Levels.Step, e.nodeSpacing()))
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.baseStats("INLR", res.Counters), nil
+}
+
+// RunEScan executes one eScan round.
+func (e *Env) RunEScan() (Stats, error) {
+	res, err := escan.Run(e.Tree, e.Field, escan.DefaultConfig(e.Scenario.Levels.Step, e.nodeSpacing()))
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.baseStats("eScan", res.Counters), nil
+}
+
+// RunSuppress executes one data-suppression round.
+func (e *Env) RunSuppress() (Stats, error) {
+	res, err := suppress.Run(e.Tree, e.Field, suppress.DefaultConfig(e.Scenario.Levels.Step))
+	if err != nil {
+		return Stats{}, err
+	}
+	return e.baseStats("Suppression", res.Counters), nil
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: one table or figure series.
+type Table struct {
+	// ID names the reproduced artifact, e.g. "fig11a" or "table1".
+	ID string
+	// Title describes the series.
+	Title string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold formatted cells, aligned with Columns.
+	Rows [][]string
+}
+
+// AddRow appends a row, formatting each value: floats with %.4g, the rest
+// with %v. A float exactly -1 renders as "-" (not applicable).
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, 0, len(vals))
+	for _, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			if x == -1 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%.4g", x))
+			}
+		case float32:
+			row = append(row, fmt.Sprintf("%.4g", x))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// CSV renders the table as RFC-4180-style comma-separated values with a
+// header row, for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, col := range t.Columns {
+		widths[i] = len(col)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package isomap is an implementation of Iso-Map, the energy-efficient
+// contour-mapping protocol for wireless sensor networks of Li and Liu
+// (ICDCS 2007 / IEEE TKDE 2010), together with the simulation substrate
+// and baselines used by the paper's evaluation.
+//
+// Iso-Map builds contour maps of a sensed scalar field from the reports of
+// the small set of "isoline nodes" — nodes straddling an isoline of the
+// queried attribute — cutting generated traffic from O(n) to O(sqrt n)
+// while keeping per-node computation constant. Each isoline node reports
+// the 3-tuple <isolevel, position, gradient direction>, the gradient
+// estimated by linear regression over its radio neighborhood; redundant
+// reports are filtered in-network; and the sink reconstructs contour
+// regions per isolevel from a Voronoi diagram of the reported isopositions.
+//
+// The typical flow:
+//
+//	f := isomap.DefaultSeabed()                             // or any Field
+//	nw, _ := isomap.DeployUniform(2500, f, 1.5, seed)       // sensor network
+//	tree, _ := isomap.NewTreeAtCenter(nw)                   // routing tree
+//	q, _ := isomap.NewQuery(isomap.Levels{Low: 6, High: 12, Step: 2})
+//	res, _ := isomap.Run(tree, f, q, isomap.DefaultFilter()) // protocol round
+//	m := isomap.Reconstruct(res.Reports, q.Levels, f, res.SinkValue)
+//	class := m.ClassifyPoint(isomap.Point{X: 10, Y: 20})
+//
+// Or, in one call over a freshly deployed network: MapField.
+package isomap
+
+import (
+	"fmt"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/render"
+	"isomap/internal/routing"
+)
+
+// Core geometric and protocol types, re-exported for API users.
+type (
+	// Point is a location in the normalized field plane.
+	Point = geom.Point
+	// Vec is a direction or displacement.
+	Vec = geom.Vec
+	// Levels is the isolevel scheme of a contour query.
+	Levels = field.Levels
+	// Field is a scalar attribute distribution over a rectangle.
+	Field = field.Field
+	// Raster is a grid of contour-region indices.
+	Raster = field.Raster
+	// Network is a deployed sensor network.
+	Network = network.Network
+	// NodeID identifies a sensor node.
+	NodeID = network.NodeID
+	// Tree is a sink-rooted routing tree.
+	Tree = routing.Tree
+	// Query is a contour-mapping query.
+	Query = core.Query
+	// Report is an isoline node's <level, position, gradient> report.
+	Report = core.Report
+	// FilterConfig parameterizes in-network report filtering.
+	FilterConfig = core.FilterConfig
+	// Result summarizes one protocol round.
+	Result = core.Result
+	// Map is a reconstructed contour map.
+	Map = contour.Map
+	// SeabedConfig parameterizes the synthetic depth surface.
+	SeabedConfig = field.SeabedConfig
+)
+
+// DefaultSeabed returns the deterministic synthetic underwater-depth field
+// used throughout the experiment suite: a 50x50-unit harbor section whose
+// depth spans roughly 5-13.5 m.
+func DefaultSeabed() Field {
+	return field.NewSeabed(field.DefaultSeabedConfig())
+}
+
+// NewSeabed builds a synthetic depth surface from cfg.
+func NewSeabed(cfg SeabedConfig) Field { return field.NewSeabed(cfg) }
+
+// DefaultSeabedConfig returns the experiment suite's surface parameters.
+func DefaultSeabedConfig() SeabedConfig { return field.DefaultSeabedConfig() }
+
+// DeployUniform scatters n sensor nodes uniformly at random over the
+// field's bounds with the given radio range, deterministically in seed.
+func DeployUniform(n int, f Field, radio float64, seed int64) (*Network, error) {
+	return network.DeployUniform(n, f, radio, seed)
+}
+
+// DeployGrid places (floor(sqrt(n)))^2 sensor nodes on a regular grid, the
+// deployment required by the TinyDB/INLR/suppression baselines.
+func DeployGrid(n int, f Field, radio float64) (*Network, error) {
+	return network.DeployGrid(n, f, radio)
+}
+
+// NewTree builds the sink-rooted routing tree over the network.
+func NewTree(nw *Network, sink NodeID) (*Tree, error) {
+	return routing.NewTree(nw, sink)
+}
+
+// NewTreeAtCenter roots the routing tree at the alive node nearest the
+// field center — the default sink placement of the experiment suite.
+func NewTreeAtCenter(nw *Network) (*Tree, error) {
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		return nil, fmt.Errorf("isomap: sink placement: %w", err)
+	}
+	return routing.NewTree(nw, sink)
+}
+
+// NewQuery builds a contour query over the isolevel scheme with the
+// paper's default border tolerance (5% of the granularity).
+func NewQuery(levels Levels) (Query, error) { return core.NewQuery(levels) }
+
+// NewQueryEpsilon builds a contour query with an explicit border
+// tolerance.
+func NewQueryEpsilon(levels Levels, epsilon float64) (Query, error) {
+	return core.NewQueryEpsilon(levels, epsilon)
+}
+
+// DefaultFilter returns the paper's in-network filter setting:
+// angular separation 30 degrees, distance separation 4 units.
+func DefaultFilter() FilterConfig { return core.DefaultFilterConfig() }
+
+// NoFilter disables in-network filtering; every generated report reaches
+// the sink.
+func NoFilter() FilterConfig { return FilterConfig{} }
+
+// Run executes one Iso-Map protocol round over the routing tree: sensing,
+// query dissemination, isoline-node detection and measurement, and
+// filtered report delivery.
+func Run(tree *Tree, f Field, q Query, fc FilterConfig) (*Result, error) {
+	return core.Run(tree, f, q, fc)
+}
+
+// Reconstruct builds the contour map from the reports collected at the
+// sink. sinkValue (available as Result.SinkValue) settles isolevels that
+// received no reports.
+func Reconstruct(reports []Report, levels Levels, f Field, sinkValue float64) *Map {
+	return contour.Reconstruct(reports, levels, field.BoundsRect(f), sinkValue, contour.DefaultOptions())
+}
+
+// TruthRaster rasterizes the ground-truth contour map of a field under an
+// isolevel scheme, for accuracy comparisons.
+func TruthRaster(f Field, levels Levels, rows, cols int) *Raster {
+	return field.ClassifyRaster(f, levels, rows, cols)
+}
+
+// Accuracy returns the fraction of raster cells on which the two maps
+// agree — the paper's mapping-accuracy metric.
+func Accuracy(truth, estimate *Raster) float64 { return field.Agreement(truth, estimate) }
+
+// RenderASCII draws a contour raster as terminal text, one glyph per cell,
+// deeper regions darker.
+func RenderASCII(ra *Raster) string { return render.ASCII(ra) }
+
+// RenderSideBySide draws two rasters next to each other with labels, for
+// truth-vs-estimate comparisons.
+func RenderSideBySide(left, right *Raster, leftLabel, rightLabel string) string {
+	return render.SideBySide(left, right, leftLabel, rightLabel)
+}
+
+// MapField is the one-call convenience API: it deploys n nodes over f,
+// roots a tree at the field center, runs one Iso-Map round with the
+// default filter and reconstructs the contour map.
+func MapField(f Field, n int, radio float64, seed int64, levels Levels) (*Map, *Result, error) {
+	nw, err := DeployUniform(n, f, radio, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := NewTreeAtCenter(nw)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := NewQuery(levels)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Run(tree, f, q, DefaultFilter())
+	if err != nil {
+		return nil, nil, err
+	}
+	return Reconstruct(res.Reports, levels, f, res.SinkValue), res, nil
+}

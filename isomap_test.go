@@ -1,0 +1,97 @@
+package isomap_test
+
+import (
+	"testing"
+
+	"isomap"
+)
+
+func TestMapFieldQuickstart(t *testing.T) {
+	f := isomap.DefaultSeabed()
+	levels := isomap.Levels{Low: 6, High: 12, Step: 2}
+	m, res, err := isomap.MapField(f, 2500, 1.5, 1, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	truth := isomap.TruthRaster(f, levels, 100, 100)
+	if acc := isomap.Accuracy(truth, m.Raster(100, 100)); acc < 0.8 {
+		t.Errorf("quickstart accuracy = %v, want > 0.8", acc)
+	}
+}
+
+func TestExplicitPipeline(t *testing.T) {
+	f := isomap.DefaultSeabed()
+	nw, err := isomap.DeployUniform(1600, f, 1.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := isomap.NewTreeAtCenter(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := isomap.NewQuery(isomap.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := isomap.Run(tree, f, q, isomap.DefaultFilter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := isomap.Reconstruct(res.Reports, q.Levels, f, res.SinkValue)
+	if got := m.ClassifyPoint(isomap.Point{X: 25, Y: 25}); got < 0 {
+		t.Errorf("ClassifyPoint = %d", got)
+	}
+}
+
+func TestNoFilterDeliversEverything(t *testing.T) {
+	f := isomap.DefaultSeabed()
+	nw, err := isomap.DeployUniform(900, f, 2.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := isomap.NewTreeAtCenter(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := isomap.NewQuery(isomap.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := isomap.Run(tree, f, q, isomap.NoFilter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := isomap.Run(tree, f, q, isomap.DefaultFilter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Reports) > len(all.Reports) {
+		t.Errorf("filtered (%d) > unfiltered (%d)", len(filtered.Reports), len(all.Reports))
+	}
+}
+
+func TestDeployGridExported(t *testing.T) {
+	f := isomap.DefaultSeabed()
+	nw, err := isomap.DeployGrid(2500, f, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Len() != 2500 {
+		t.Errorf("Len = %d", nw.Len())
+	}
+}
+
+func TestNewTreeAtCenterAllFailed(t *testing.T) {
+	f := isomap.DefaultSeabed()
+	nw, err := isomap.DeployUniform(10, f, 1.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.FailFraction(1.0, 1)
+	if _, err := isomap.NewTreeAtCenter(nw); err == nil {
+		t.Error("want error when every node failed")
+	}
+}
