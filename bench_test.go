@@ -65,6 +65,27 @@ func BenchmarkFig12bHausdorffFailures(b *testing.B) {
 	benchTable(b, func() (*sim.Table, error) { return sim.Fig12bHausdorffFailures(1) })
 }
 
+// BenchmarkAllFiguresSequential and BenchmarkAllFiguresParallel regenerate
+// the complete figure set on a fresh Runner per iteration (so no cache
+// state leaks between iterations) at pool width 1 vs GOMAXPROCS. On a
+// multi-core machine the parallel variant shows the worker-pool speedup;
+// the outputs are byte-identical either way.
+func BenchmarkAllFiguresSequential(b *testing.B) { benchAllFigures(b, 1) }
+func BenchmarkAllFiguresParallel(b *testing.B)   { benchAllFigures(b, 0) }
+
+func benchAllFigures(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := sim.NewRunner(parallel).AllFigures(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
 func BenchmarkFig13aFilterReports(b *testing.B)  { benchTable(b, sim.Fig13aFilterReports) }
 func BenchmarkFig13bFilterAccuracy(b *testing.B) { benchTable(b, sim.Fig13bFilterAccuracy) }
 func BenchmarkFig14aTrafficDiameter(b *testing.B) {

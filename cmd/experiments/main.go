@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-figure all] [-runs 3]
+//	experiments [-figure all] [-runs 3] [-parallel N]
+//
+// -parallel sets the worker-pool width of the sweep runner (0 selects
+// GOMAXPROCS); the (scenario, seed) cells of each figure run as parallel
+// jobs over a shared deployment cache, and the emitted tables are
+// byte-identical at any -parallel value.
 //
 // Figures: table1, fig7, fig9, fig10, fig11a, fig11b, fig12a, fig12b,
 // fig13a, fig13b, fig14a, fig14b, fig15a, fig15b, fig16, all.
@@ -29,12 +34,14 @@ func main() {
 
 func run() error {
 	var (
-		figure = flag.String("figure", "all", "which table/figure to regenerate")
-		runs   = flag.Int("runs", 3, "random-seed repetitions to average over")
-		format = flag.String("format", "text", "output format: text or csv")
-		outDir = flag.String("out", "", "also write each table to <out>/<id>.<ext>")
+		figure   = flag.String("figure", "all", "which table/figure to regenerate")
+		runs     = flag.Int("runs", 3, "random-seed repetitions to average over")
+		format   = flag.String("format", "text", "output format: text or csv")
+		outDir   = flag.String("out", "", "also write each table to <out>/<id>.<ext>")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS); output is identical at any width")
 	)
 	flag.Parse()
+	r := sim.NewRunner(*parallel)
 	emit := func(tb *sim.Table) error {
 		var body, ext string
 		if *format == "csv" {
@@ -58,36 +65,36 @@ func run() error {
 	}
 
 	gens := map[string]func() (*sim.Table, error){
-		"table1": sim.Table1Overhead,
-		"fig7":   func() (*sim.Table, error) { return sim.Fig7GradientError(*runs) },
-		"fig9":   sim.Fig9ReportDensity,
-		"fig10":  func() (*sim.Table, error) { return sim.Fig10Maps(*runs) },
-		"fig11a": func() (*sim.Table, error) { return sim.Fig11aAccuracyDensity(*runs) },
-		"fig11b": func() (*sim.Table, error) { return sim.Fig11bAccuracyFailures(*runs) },
-		"fig12a": func() (*sim.Table, error) { return sim.Fig12aHausdorffDensity(*runs) },
-		"fig12b": func() (*sim.Table, error) { return sim.Fig12bHausdorffFailures(*runs) },
-		"fig13a": sim.Fig13aFilterReports,
-		"fig13b": sim.Fig13bFilterAccuracy,
-		"fig14a": sim.Fig14aTrafficDiameter,
-		"fig14b": sim.Fig14bTrafficDensity,
-		"fig15a": sim.Fig15aCompute,
-		"fig15b": sim.Fig15bComputeIsoMap,
-		"fig16":  sim.Fig16Energy,
+		"table1": r.Table1Overhead,
+		"fig7":   func() (*sim.Table, error) { return r.Fig7GradientError(*runs) },
+		"fig9":   r.Fig9ReportDensity,
+		"fig10":  func() (*sim.Table, error) { return r.Fig10Maps(*runs) },
+		"fig11a": func() (*sim.Table, error) { return r.Fig11aAccuracyDensity(*runs) },
+		"fig11b": func() (*sim.Table, error) { return r.Fig11bAccuracyFailures(*runs) },
+		"fig12a": func() (*sim.Table, error) { return r.Fig12aHausdorffDensity(*runs) },
+		"fig12b": func() (*sim.Table, error) { return r.Fig12bHausdorffFailures(*runs) },
+		"fig13a": r.Fig13aFilterReports,
+		"fig13b": r.Fig13bFilterAccuracy,
+		"fig14a": r.Fig14aTrafficDiameter,
+		"fig14b": r.Fig14bTrafficDensity,
+		"fig15a": r.Fig15aCompute,
+		"fig15b": r.Fig15bComputeIsoMap,
+		"fig16":  r.Fig16Energy,
 		// Extension experiments beyond the paper's figures.
-		"ext-noise":    func() (*sim.Table, error) { return sim.ExtNoiseSweep(*runs) },
-		"ext-scope":    func() (*sim.Table, error) { return sim.ExtScopeSweep(*runs) },
-		"ext-loss":     sim.ExtLossSweep,
-		"ext-monitor":  func() (*sim.Table, error) { return sim.ExtMonitorRounds(8) },
-		"ext-latency":  sim.ExtLatencySweep,
-		"ext-localize": func() (*sim.Table, error) { return sim.ExtLocalizeSweep(*runs) },
-		"ext-mac":      sim.ExtMACSweep,
-		"ext-lifetime": sim.ExtLifetimeSweep,
-		"ext-detect":   func() (*sim.Table, error) { return sim.ExtDetectPolicySweep(*runs) },
-		"ext-codec":    func() (*sim.Table, error) { return sim.ExtCodecSweep(*runs) },
+		"ext-noise":    func() (*sim.Table, error) { return r.ExtNoiseSweep(*runs) },
+		"ext-scope":    func() (*sim.Table, error) { return r.ExtScopeSweep(*runs) },
+		"ext-loss":     r.ExtLossSweep,
+		"ext-monitor":  func() (*sim.Table, error) { return r.ExtMonitorRounds(8) },
+		"ext-latency":  r.ExtLatencySweep,
+		"ext-localize": func() (*sim.Table, error) { return r.ExtLocalizeSweep(*runs) },
+		"ext-mac":      r.ExtMACSweep,
+		"ext-lifetime": r.ExtLifetimeSweep,
+		"ext-detect":   func() (*sim.Table, error) { return r.ExtDetectPolicySweep(*runs) },
+		"ext-codec":    func() (*sim.Table, error) { return r.ExtCodecSweep(*runs) },
 	}
 
 	if *figure == "all" {
-		tables, err := sim.AllFigures(*runs)
+		tables, err := r.AllFigures(*runs)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,89 @@
+package field
+
+import (
+	"reflect"
+	"sync"
+
+	"isomap/internal/geom"
+)
+
+// Memo caches the expensive ground-truth derivations of a field — the
+// classified raster and the sampled isoline point sets — per (field,
+// levels/level, resolution) key. The experiment sweeps re-evaluate the
+// same truth for every protocol run of every seed; one Memo shared across
+// a sweep collapses that to a single computation per distinct key.
+//
+// Cached values are returned by reference and shared between callers
+// (possibly on different goroutines): they must be treated as immutable.
+// Keys include the Field interface value itself, so memoization only helps
+// when callers share field instances; Cacheable reports whether a field's
+// dynamic type can serve as a key at all.
+//
+// All methods are safe for concurrent use.
+type Memo struct {
+	mu       sync.Mutex
+	rasters  map[rasterKey]*Raster
+	isolines map[isolineKey][]geom.Point
+}
+
+type rasterKey struct {
+	f          Field
+	levels     Levels
+	rows, cols int
+}
+
+type isolineKey struct {
+	f      Field
+	level  float64
+	nx, ny int
+	step   float64
+}
+
+// NewMemo returns an empty truth cache.
+func NewMemo() *Memo {
+	return &Memo{
+		rasters:  make(map[rasterKey]*Raster),
+		isolines: make(map[isolineKey][]geom.Point),
+	}
+}
+
+// Cacheable reports whether f can be used as a memo key: its dynamic type
+// must be comparable (pointer field implementations are; struct fields
+// embedding slices are not).
+func Cacheable(f Field) bool {
+	return f != nil && reflect.TypeOf(f).Comparable()
+}
+
+// ClassifyRaster is a caching ClassifyRaster: the shared result must not
+// be modified. Non-cacheable fields fall through to a direct computation.
+func (m *Memo) ClassifyRaster(f Field, levels Levels, rows, cols int) *Raster {
+	if m == nil || !Cacheable(f) {
+		return ClassifyRaster(f, levels, rows, cols)
+	}
+	key := rasterKey{f: f, levels: levels, rows: rows, cols: cols}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ra, ok := m.rasters[key]; ok {
+		return ra
+	}
+	ra := ClassifyRaster(f, levels, rows, cols)
+	m.rasters[key] = ra
+	return ra
+}
+
+// IsolinePoints is a caching IsolinePoints: the shared slice must not be
+// modified. Non-cacheable fields fall through to a direct computation.
+func (m *Memo) IsolinePoints(f Field, level float64, nx, ny int, step float64) []geom.Point {
+	if m == nil || !Cacheable(f) {
+		return IsolinePoints(f, level, nx, ny, step)
+	}
+	key := isolineKey{f: f, level: level, nx: nx, ny: ny, step: step}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if pts, ok := m.isolines[key]; ok {
+		return pts
+	}
+	pts := IsolinePoints(f, level, nx, ny, step)
+	m.isolines[key] = pts
+	return pts
+}

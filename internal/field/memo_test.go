@@ -1,0 +1,82 @@
+package field
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMemoClassifyRasterCachesPerKey(t *testing.T) {
+	f := NewSeabed(DefaultSeabedConfig())
+	m := NewMemo()
+	levels := Levels{Low: 6, High: 12, Step: 2}
+
+	a := m.ClassifyRaster(f, levels, 40, 40)
+	b := m.ClassifyRaster(f, levels, 40, 40)
+	if a != b {
+		t.Error("identical keys should return the cached raster instance")
+	}
+	if c := m.ClassifyRaster(f, levels, 50, 50); c == a {
+		t.Error("different resolutions must not share a cache slot")
+	}
+	if want := ClassifyRaster(f, levels, 40, 40); Agreement(a, want) != 1 {
+		t.Error("cached raster differs from a direct computation")
+	}
+}
+
+func TestMemoIsolinePointsCachesPerKey(t *testing.T) {
+	f := NewSeabed(DefaultSeabedConfig())
+	m := NewMemo()
+
+	a := m.IsolinePoints(f, 8, 60, 60, 0.5)
+	b := m.IsolinePoints(f, 8, 60, 60, 0.5)
+	if len(a) == 0 {
+		t.Fatal("expected isoline points at level 8")
+	}
+	if &a[0] != &b[0] {
+		t.Error("identical keys should return the cached slice")
+	}
+	direct := IsolinePoints(f, 8, 60, 60, 0.5)
+	if len(direct) != len(a) {
+		t.Errorf("cached %d points, direct %d", len(a), len(direct))
+	}
+	if c := m.IsolinePoints(f, 10, 60, 60, 0.5); len(c) > 0 && &c[0] == &a[0] {
+		t.Error("different levels must not share a cache slot")
+	}
+}
+
+func TestMemoNilAndUncacheableFallThrough(t *testing.T) {
+	f := NewSeabed(DefaultSeabedConfig())
+	levels := Levels{Low: 6, High: 12, Step: 2}
+	var m *Memo
+	if ra := m.ClassifyRaster(f, levels, 20, 20); ra == nil {
+		t.Error("nil memo should still compute")
+	}
+	if pts := m.IsolinePoints(f, 8, 30, 30, 0.5); len(pts) == 0 {
+		t.Error("nil memo should still compute isolines")
+	}
+	if Cacheable(nil) {
+		t.Error("nil field must not be cacheable")
+	}
+	if !Cacheable(f) {
+		t.Error("pointer field implementations are cacheable")
+	}
+}
+
+func TestMemoConcurrentAccess(t *testing.T) {
+	f := NewSeabed(DefaultSeabedConfig())
+	m := NewMemo()
+	levels := Levels{Low: 6, High: 12, Step: 2}
+	want := m.ClassifyRaster(f, levels, 30, 30)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := m.ClassifyRaster(f, levels, 30, 30); got != want {
+				t.Error("concurrent lookup returned a different instance")
+			}
+			m.IsolinePoints(f, 8, 40, 40, 0.5)
+		}()
+	}
+	wg.Wait()
+}

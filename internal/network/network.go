@@ -68,9 +68,9 @@ func DeployUniform(n int, f field.Field, radio float64, seed int64) (*Network, e
 
 // DeployGrid places n nodes on a regular grid over the bounds of f — the
 // deployment TinyDB, INLR and the data-suppression protocol require. The
-// actual count is rows*cols for the squarest grid with rows*cols >= n is
-// rounded down to rows*cols <= n closest square; concretely we use
-// floor(sqrt(n)) per side, so a request of 2,500 yields exactly 50x50.
+// actual count is floor(sqrt(n))^2, the largest square grid not exceeding
+// n nodes: a request of 2,500 yields exactly 50x50, while a request of
+// 2,600 also yields 50x50 (51^2 = 2,601 > 2,600).
 func DeployGrid(n int, f field.Field, radio float64) (*Network, error) {
 	if err := validate(n, radio, f); err != nil {
 		return nil, err
@@ -269,6 +269,23 @@ func (nw *Network) FailFraction(fraction float64, seed int64) {
 			nw.nodes[i].Failed = true
 			failed++
 		}
+	}
+}
+
+// Clone returns a copy of the network that owns its node slice but shares
+// the immutable radio graph (adjacency lists and bounds) with the
+// original. Sensing and failure injection on the clone never affect the
+// original, so one deployed network can back many concurrent protocol
+// runs — the sim runner's deployment cache hands out one clone per
+// experiment job. The shared adjacency lists must not be mutated.
+func (nw *Network) Clone() *Network {
+	nodes := make([]Node, len(nw.nodes))
+	copy(nodes, nw.nodes)
+	return &Network{
+		nodes:     nodes,
+		radio:     nw.radio,
+		bounds:    nw.bounds,
+		neighbors: nw.neighbors,
 	}
 }
 

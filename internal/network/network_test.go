@@ -216,6 +216,63 @@ func TestFailFraction(t *testing.T) {
 	nw.FailFraction(-1, 1)
 }
 
+func TestFailFractionDeterministic(t *testing.T) {
+	f := testField()
+	kill := func() map[int]bool {
+		nw, err := DeployUniform(500, f, 1.5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.FailFraction(0.2, 31)
+		dead := make(map[int]bool)
+		for _, n := range nw.Nodes() {
+			if n.Failed {
+				dead[int(n.ID)] = true
+			}
+		}
+		return dead
+	}
+	a, b := kill(), kill()
+	if len(a) != len(b) {
+		t.Fatalf("failure counts differ across identical seeds: %d vs %d", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("node %d failed in one run but not the other", id)
+		}
+	}
+}
+
+func TestCloneIsolatesNodeState(t *testing.T) {
+	f := testField()
+	nw, err := DeployUniform(100, f, 1.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Sense(f)
+	cp := nw.Clone()
+	if cp.Len() != nw.Len() {
+		t.Fatalf("clone Len = %d, want %d", cp.Len(), nw.Len())
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := NodeID(i)
+		if cp.Node(id).Pos != nw.Node(id).Pos || cp.Node(id).Value != nw.Node(id).Value {
+			t.Fatalf("clone node %d differs from original", i)
+		}
+	}
+	// Mutable node state must not be shared...
+	cp.Node(5).Failed = true
+	cp.Node(5).Value = -99
+	if nw.Node(5).Failed || nw.Node(5).Value == -99 {
+		t.Error("mutating the clone leaked into the original")
+	}
+	// ...while the immutable adjacency is.
+	a, b := nw.Neighbors(5), cp.Neighbors(5)
+	if len(a) != len(b) {
+		t.Errorf("clone adjacency differs: %d vs %d neighbors", len(b), len(a))
+	}
+}
+
 func TestReset(t *testing.T) {
 	f := testField()
 	nw, err := DeployUniform(20, f, 1.5, 2)

@@ -13,6 +13,13 @@ import (
 
 // Tree is a sink-rooted BFS spanning tree over the alive communication
 // graph of a network.
+//
+// A Tree is immutable after NewTree: every method is a read, so a tree is
+// safe for concurrent use as long as the underlying network's alive set
+// does not change under it. Protocol rounds (core.Run, the baselines) only
+// re-sense node values and never alter the topology, which is what makes
+// an Env reusable across protocol runs — see Rebind for running many
+// concurrent rounds over clones of one deployment.
 type Tree struct {
 	nw     *network.Network
 	root   network.NodeID
@@ -61,6 +68,26 @@ func NewTree(nw *network.Network, root network.NodeID) (*Tree, error) {
 		}
 	}
 	return t, nil
+}
+
+// Rebind returns a tree with identical structure whose Network() is nw —
+// intended for a Network.Clone of the network the tree was built over, so
+// a cached deployment can back many concurrent protocol runs without
+// re-running BFS. The structural slices (parents, levels, children) are
+// shared with the receiver; they are immutable after NewTree. The clone
+// must have the same node count (and, for the levels to stay meaningful,
+// the same alive set) as the original network.
+func (t *Tree) Rebind(nw *network.Network) (*Tree, error) {
+	if nw == nil || nw.Len() != len(t.parent) {
+		got := 0
+		if nw != nil {
+			got = nw.Len()
+		}
+		return nil, fmt.Errorf("routing: rebind to %d-node network, tree spans %d", got, len(t.parent))
+	}
+	cp := *t
+	cp.nw = nw
+	return &cp, nil
 }
 
 // Root returns the sink node ID.

@@ -48,6 +48,44 @@ func TestNewTreeBasics(t *testing.T) {
 	}
 }
 
+func TestRebind(t *testing.T) {
+	nw := deploy(t, 200, 2.5, 3)
+	sink := sinkOf(t, nw)
+	tree, err := NewTree(nw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := nw.Clone()
+	bound, err := tree.Rebind(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Network() != cp {
+		t.Error("Rebind did not point the tree at the clone")
+	}
+	if tree.Network() != nw {
+		t.Error("Rebind mutated the original tree")
+	}
+	// Structure is shared and identical.
+	if bound.Root() != tree.Root() || bound.MaxLevel() != tree.MaxLevel() {
+		t.Error("rebound tree structure differs")
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := network.NodeID(i)
+		if bound.Parent(id) != tree.Parent(id) || bound.Level(id) != tree.Level(id) {
+			t.Fatalf("node %d parent/level differ after Rebind", i)
+		}
+	}
+	// Size mismatch and nil are rejected.
+	small := deploy(t, 50, 2.5, 3)
+	if _, err := tree.Rebind(small); err == nil {
+		t.Error("want error rebinding to a different-size network")
+	}
+	if _, err := tree.Rebind(nil); err == nil {
+		t.Error("want error rebinding to nil")
+	}
+}
+
 func TestNewTreeDeadRoot(t *testing.T) {
 	nw := deploy(t, 10, 2.5, 3)
 	nw.Node(0).Failed = true

@@ -10,7 +10,10 @@ import (
 // the fixed-point codec (quantizing position, isolevel and gradient)
 // before reconstruction, at the paper's 2 bytes per parameter and at a
 // compact 1 byte per parameter that halves the report traffic.
-func ExtCodecSweep(runs int) (*Table, error) {
+func ExtCodecSweep(runs int) (*Table, error) { return defaultRunner().ExtCodecSweep(runs) }
+
+// ExtCodecSweep is the Runner form of the package-level function.
+func (r *Runner) ExtCodecSweep(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "ext-codec",
 		Title:   "Wire-format quantization: accuracy vs report size",
@@ -20,21 +23,21 @@ func ExtCodecSweep(runs int) (*Table, error) {
 		label string
 		bpp   int // 0 = no codec (float64 reference)
 	}
-	for _, s := range []setting{{"exact (no codec)", 0}, {"2 (paper)", 2}, {"1 (compact)", 1}} {
-		bpp := s.bpp
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return codecRow(bpp, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(s.label, vals[0], vals[1], vals[2])
+	settings := []setting{{"exact (no codec)", 0}, {"2 (paper)", 2}, {"1 (compact)", 1}}
+	rows, err := sweepAverage(r, len(settings), runs, func(p int, seed int64) ([]float64, error) {
+		return r.codecRow(settings[p].bpp, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, s := range settings {
+		t.AddRow(s.label, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
 
-func codecRow(bpp int, seed int64) ([]float64, error) {
-	env, err := Build(Scenario{Seed: seed})
+func (r *Runner) codecRow(bpp int, seed int64) ([]float64, error) {
+	env, err := r.Build(Scenario{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +62,8 @@ func codecRow(bpp int, seed int64) ([]float64, error) {
 	// Report-only traffic: every delivered report re-costed at the wire
 	// size over its source's hop count.
 	var trafficBytes float64
-	for _, r := range res.Reports {
-		trafficBytes += reportBytes * float64(env.Tree.Level(r.Source))
+	for _, rp := range res.Reports {
+		trafficBytes += reportBytes * float64(env.Tree.Level(rp.Source))
 	}
 	m := contour.Reconstruct(reports, env.Query.Levels,
 		field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())

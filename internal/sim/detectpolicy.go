@@ -11,6 +11,11 @@ import (
 // aggregation lineage across densities: generated reports, sink reports
 // and mapping accuracy.
 func ExtDetectPolicySweep(runs int) (*Table, error) {
+	return defaultRunner().ExtDetectPolicySweep(runs)
+}
+
+// ExtDetectPolicySweep is the Runner form of the package-level function.
+func (r *Runner) ExtDetectPolicySweep(runs int) (*Table, error) {
 	t := &Table{
 		ID:    "ext-detect",
 		Title: "Detection policy: Def. 3.1 (eps band) vs edge-based election",
@@ -19,21 +24,21 @@ func ExtDetectPolicySweep(runs int) (*Table, error) {
 			"gen (edge)", "sink (edge)", "acc (edge)",
 		},
 	}
-	for _, d := range []float64{0.16, 0.36, 1, 4} {
-		n := nodesAtDensity(d)
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return detectPolicyRow(n, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(d, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+	densities := []float64{0.16, 0.36, 1, 4}
+	rows, err := sweepAverage(r, len(densities), runs, func(p int, seed int64) ([]float64, error) {
+		return r.detectPolicyRow(nodesAtDensity(densities[p]), seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, d := range densities {
+		t.AddRow(d, rows[p][0], rows[p][1], rows[p][2], rows[p][3], rows[p][4], rows[p][5])
 	}
 	return t, nil
 }
 
-func detectPolicyRow(n int, seed int64) ([]float64, error) {
-	env, err := Build(Scenario{Nodes: n, Seed: seed})
+func (r *Runner) detectPolicyRow(n int, seed int64) ([]float64, error) {
+	env, err := r.Build(Scenario{Nodes: n, Seed: seed})
 	if err != nil {
 		return nil, err
 	}

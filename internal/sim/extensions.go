@@ -20,32 +20,36 @@ import (
 // Gaussian sensing noise. The border-region test of Definition 3.1
 // compares readings against isolevels directly, so noise first inflates
 // the isoline-node population and then corrupts the map.
-func ExtNoiseSweep(runs int) (*Table, error) {
+func ExtNoiseSweep(runs int) (*Table, error) { return defaultRunner().ExtNoiseSweep(runs) }
+
+// ExtNoiseSweep is the Runner form of the package-level function.
+func (r *Runner) ExtNoiseSweep(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "ext-noise",
 		Title:   "Iso-Map vs sensing noise (sigma in meters)",
 		Columns: []string{"sigma", "generated", "sink reports", "accuracy"},
 	}
-	for _, sigma := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			env, err := Build(Scenario{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			env.Network.SenseWithNoise(env.Field, sigma, seed+100)
-			res, err := core.RunSensed(env.Tree, env.Query, *env.Scenario.Filter)
-			if err != nil {
-				return nil, err
-			}
-			m := contour.Reconstruct(res.Reports, env.Query.Levels,
-				field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
-			acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
-			return []float64{float64(res.Generated), float64(len(res.Reports)), acc}, nil
-		})
+	sigmas := []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4}
+	rows, err := sweepAverage(r, len(sigmas), runs, func(p int, seed int64) ([]float64, error) {
+		env, err := r.Build(Scenario{Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(sigma, vals[0], vals[1], vals[2])
+		env.Network.SenseWithNoise(env.Field, sigmas[p], seed+100)
+		res, err := core.RunSensed(env.Tree, env.Query, *env.Scenario.Filter)
+		if err != nil {
+			return nil, err
+		}
+		m := contour.Reconstruct(res.Reports, env.Query.Levels,
+			field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
+		acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
+		return []float64{float64(res.Generated), float64(len(res.Reports)), acc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, sigma := range sigmas {
+		t.AddRow(sigma, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
@@ -53,46 +57,53 @@ func ExtNoiseSweep(runs int) (*Table, error) {
 // ExtScopeSweep measures the k-hop regression scope on a sparse
 // deployment: gradient precision against local traffic cost (Sec. 3.3's
 // adjustable query scope).
-func ExtScopeSweep(runs int) (*Table, error) {
+func ExtScopeSweep(runs int) (*Table, error) { return defaultRunner().ExtScopeSweep(runs) }
+
+// ExtScopeSweep is the Runner form of the package-level function.
+func (r *Runner) ExtScopeSweep(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "ext-scope",
 		Title:   "Regression scope k (sparse deployment, density 0.36)",
 		Columns: []string{"k hops", "mean grad error (deg)", "accuracy", "traffic KB"},
 	}
-	for _, k := range []int{1, 2, 3} {
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			env, err := Build(Scenario{Nodes: nodesAtDensity(0.36), Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			env.Query.HopScope = k
-			_, meanErr, _, err := env.gradientErrorStats()
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := env.RunIsoMap()
-			if err != nil {
-				return nil, err
-			}
-			return []float64{meanErr, st.Accuracy, st.TrafficKB}, nil
-		})
+	scopes := []int{1, 2, 3}
+	rows, err := sweepAverage(r, len(scopes), runs, func(p int, seed int64) ([]float64, error) {
+		env, err := r.Build(Scenario{Nodes: nodesAtDensity(0.36), Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(k, vals[0], vals[1], vals[2])
+		env.Query.HopScope = scopes[p]
+		_, meanErr, _, err := env.gradientErrorStats()
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := env.RunIsoMap()
+		if err != nil {
+			return nil, err
+		}
+		return []float64{meanErr, st.Accuracy, st.TrafficKB}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, k := range scopes {
+		t.AddRow(k, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
 
 // ExtLossSweep recomputes Fig. 16's per-node energy under an imperfect
 // link layer with ARQ retransmissions.
-func ExtLossSweep() (*Table, error) {
+func ExtLossSweep() (*Table, error) { return defaultRunner().ExtLossSweep() }
+
+// ExtLossSweep is the Runner form of the package-level function.
+func (r *Runner) ExtLossSweep() (*Table, error) {
 	t := &Table{
 		ID:      "ext-loss",
 		Title:   "Per-node energy (J) vs link loss rate, n=2500",
 		Columns: []string{"loss rate", "TinyDB J", "INLR J", "Iso-Map J"},
 	}
-	counters, err := lossCounters()
+	counters, err := r.lossCounters()
 	if err != nil {
 		return nil, err
 	}
@@ -109,32 +120,41 @@ func ExtLossSweep() (*Table, error) {
 	return t, nil
 }
 
-// lossCounters runs the Fig. 16 trio once at the reference size and
-// returns their raw counters for energy post-processing.
-func lossCounters() ([3]*metrics.Counters, error) {
+// lossCounters runs the Fig. 16 trio once at the reference size as three
+// pool jobs and returns their raw counters for energy post-processing.
+func (r *Runner) lossCounters() ([3]*metrics.Counters, error) {
 	var out [3]*metrics.Counters
-	gridEnv, err := Build(Scenario{Grid: true, Seed: 1})
+	counters, err := runJobs(r, 3, func(i int) (*metrics.Counters, error) {
+		env, err := r.Build(Scenario{Grid: i != 2, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		switch i {
+		case 0:
+			res, err := tinydb.Run(env.Tree, env.Field)
+			if err != nil {
+				return nil, err
+			}
+			return res.Counters, nil
+		case 1:
+			res, err := inlr.Run(env.Tree, env.Field,
+				inlr.DefaultConfig(env.Scenario.Levels.Step, env.nodeSpacing()))
+			if err != nil {
+				return nil, err
+			}
+			return res.Counters, nil
+		default:
+			res, err := core.Run(env.Tree, env.Field, env.Query, *env.Scenario.Filter)
+			if err != nil {
+				return nil, err
+			}
+			return res.Counters, nil
+		}
+	})
 	if err != nil {
 		return out, err
 	}
-	tdbRes, err := tinydb.Run(gridEnv.Tree, gridEnv.Field)
-	if err != nil {
-		return out, err
-	}
-	inlRes, err := inlr.Run(gridEnv.Tree, gridEnv.Field,
-		inlr.DefaultConfig(gridEnv.Scenario.Levels.Step, gridEnv.nodeSpacing()))
-	if err != nil {
-		return out, err
-	}
-	randEnv, err := Build(Scenario{Seed: 1})
-	if err != nil {
-		return out, err
-	}
-	isoRes, err := core.Run(randEnv.Tree, randEnv.Field, randEnv.Query, *randEnv.Scenario.Filter)
-	if err != nil {
-		return out, err
-	}
-	out[0], out[1], out[2] = tdbRes.Counters, inlRes.Counters, isoRes.Counters
+	copy(out[:], counters)
 	return out, nil
 }
 
@@ -143,7 +163,12 @@ func lossCounters() ([3]*metrics.Counters, error) {
 // traffic and delivered reports. Rounds are spaced monitorTimeStep apart:
 // temporal suppression is the win when the field drifts slowly relative
 // to the monitoring period (fast change re-reports everything anyway).
-func ExtMonitorRounds(rounds int) (*Table, error) {
+func ExtMonitorRounds(rounds int) (*Table, error) { return defaultRunner().ExtMonitorRounds(rounds) }
+
+// ExtMonitorRounds is the Runner form of the package-level function; the
+// two sessions (with and without temporal suppression) run as independent
+// jobs over their own Envs.
+func (r *Runner) ExtMonitorRounds(rounds int) (*Table, error) {
 	const monitorTimeStep = 0.25
 	if rounds < 1 {
 		rounds = 8
@@ -154,7 +179,7 @@ func ExtMonitorRounds(rounds int) (*Table, error) {
 		Columns: []string{"t", "delivered (temporal)", "traffic KB (temporal)", "delivered (plain)", "traffic KB (plain)"},
 	}
 	runSession := func(temporal monitor.TemporalConfig) ([]*monitor.RoundStats, error) {
-		env, err := Build(Scenario{Seed: 7})
+		env, err := r.Build(Scenario{Seed: 7})
 		if err != nil {
 			return nil, err
 		}
@@ -178,14 +203,14 @@ func ExtMonitorRounds(rounds int) (*Table, error) {
 		}
 		return out, nil
 	}
-	withTemporal, err := runSession(monitor.DefaultTemporal())
+	configs := []monitor.TemporalConfig{monitor.DefaultTemporal(), {}}
+	sessions, err := runJobs(r, len(configs), func(i int) ([]*monitor.RoundStats, error) {
+		return runSession(configs[i])
+	})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := runSession(monitor.TemporalConfig{})
-	if err != nil {
-		return nil, err
-	}
+	withTemporal, plain := sessions[0], sessions[1]
 	for i := range withTemporal {
 		t.AddRow(float64(i)*monitorTimeStep,
 			withTemporal[i].Delivered, withTemporal[i].TrafficKB,

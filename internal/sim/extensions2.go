@@ -13,7 +13,10 @@ import (
 // ExtLatencySweep derives the TAG-slotted collection-epoch profile of an
 // Iso-Map round — latency, bottleneck buffering and idle listening — with
 // and without in-network filtering, across network sizes.
-func ExtLatencySweep() (*Table, error) {
+func ExtLatencySweep() (*Table, error) { return defaultRunner().ExtLatencySweep() }
+
+// ExtLatencySweep is the Runner form of the package-level function.
+func (r *Runner) ExtLatencySweep() (*Table, error) {
 	t := &Table{
 		ID:    "ext-latency",
 		Title: "Collection epoch under level-slotted scheduling (Iso-Map)",
@@ -21,30 +24,49 @@ func ExtLatencySweep() (*Table, error) {
 			"field side", "nodes", "filter", "epoch (s)", "max queue (reports)", "idle listen (J/node)",
 		},
 	}
+	type cell struct {
+		side     float64
+		filtered bool
+	}
+	var cells []cell
 	for _, side := range []float64{20, 50, 90} {
 		for _, filtered := range []bool{true, false} {
-			env, err := Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
-			if err != nil {
-				return nil, err
-			}
-			env.Network.Sense(env.Field)
-			generated := core.DetectIsolineNodes(env.Network, env.Query, nil)
-			fc := core.FilterConfig{Enabled: false}
-			if filtered {
-				fc = core.DefaultFilterConfig()
-			}
-			d := core.DeliverReportsDetailed(env.Tree, routable(env, generated), fc, nil)
-			ep, err := schedule.PlanEpoch(env.Tree, d, core.ReportBytes)
-			if err != nil {
-				return nil, err
-			}
-			label := "off"
-			if filtered {
-				label = "on"
-			}
-			t.AddRow(side, env.Network.Len(), label,
-				ep.TotalSeconds, ep.MaxQueueReports, ep.IdleListenJoulesPerNode)
+			cells = append(cells, cell{side, filtered})
 		}
+	}
+	type row struct {
+		nodes int
+		ep    *schedule.Epoch
+	}
+	rows, err := runJobs(r, len(cells), func(i int) (row, error) {
+		side, filtered := cells[i].side, cells[i].filtered
+		env, err := r.Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
+		if err != nil {
+			return row{}, err
+		}
+		env.Network.Sense(env.Field)
+		generated := core.DetectIsolineNodes(env.Network, env.Query, nil)
+		fc := core.FilterConfig{Enabled: false}
+		if filtered {
+			fc = core.DefaultFilterConfig()
+		}
+		d := core.DeliverReportsDetailed(env.Tree, routable(env, generated), fc, nil)
+		ep, err := schedule.PlanEpoch(env.Tree, d, core.ReportBytes)
+		if err != nil {
+			return row{}, err
+		}
+		return row{nodes: env.Network.Len(), ep: ep}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		label := "off"
+		if c.filtered {
+			label = "on"
+		}
+		t.AddRow(c.side, rows[i].nodes, label,
+			rows[i].ep.TotalSeconds, rows[i].ep.MaxQueueReports, rows[i].ep.IdleListenJoulesPerNode)
 	}
 	return t, nil
 }
@@ -62,7 +84,10 @@ func routable(env *Env, reports []core.Report) []core.Report {
 // ExtLocalizeSweep measures what DV-hop localization (instead of GPS)
 // costs the contour map: report positions are replaced by their DV-hop
 // estimates before reconstruction, for growing anchor populations.
-func ExtLocalizeSweep(runs int) (*Table, error) {
+func ExtLocalizeSweep(runs int) (*Table, error) { return defaultRunner().ExtLocalizeSweep(runs) }
+
+// ExtLocalizeSweep is the Runner form of the package-level function.
+func (r *Runner) ExtLocalizeSweep(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "ext-localize",
 		Title:   "Mapping accuracy with DV-hop positions instead of GPS",
@@ -75,15 +100,14 @@ func ExtLocalizeSweep(runs int) (*Table, error) {
 	settings := []setting{
 		{"4", 4}, {"9", 9}, {"16", 16}, {"25", 25}, {"GPS", 0},
 	}
-	for _, s := range settings {
-		anchors := s.anchors
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return localizedAccuracy(anchors, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(s.label, vals[0], vals[1])
+	rows, err := sweepAverage(r, len(settings), runs, func(p int, seed int64) ([]float64, error) {
+		return r.localizedAccuracy(settings[p].anchors, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, s := range settings {
+		t.AddRow(s.label, rows[p][0], rows[p][1])
 	}
 	return t, nil
 }
@@ -91,8 +115,8 @@ func ExtLocalizeSweep(runs int) (*Table, error) {
 // localizedAccuracy runs one Iso-Map round whose report positions come
 // from DV-hop with the given anchor count (0 = true GPS positions),
 // returning {mean position error, accuracy}.
-func localizedAccuracy(anchors int, seed int64) ([]float64, error) {
-	env, err := Build(Scenario{Seed: seed})
+func (r *Runner) localizedAccuracy(anchors int, seed int64) ([]float64, error) {
+	env, err := r.Build(Scenario{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -113,13 +137,13 @@ func localizedAccuracy(anchors int, seed int64) ([]float64, error) {
 		}
 		posErr = loc.MeanError
 		relocated := make([]core.Report, 0, len(reports))
-		for _, r := range reports {
-			est, ok := loc.Estimated[r.Source]
+		for _, rp := range reports {
+			est, ok := loc.Estimated[rp.Source]
 			if !ok {
 				continue // unlocalized nodes cannot report a position
 			}
-			r.Pos = est
-			relocated = append(relocated, r)
+			rp.Pos = est
+			relocated = append(relocated, rp)
 		}
 		if len(relocated) == 0 {
 			return nil, fmt.Errorf("sim: no localized reports")

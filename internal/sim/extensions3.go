@@ -12,7 +12,10 @@ import (
 // CSMA/CA engine and contrasts it with the structural (perfect-link)
 // model: completion time, collision counts, and the physical byte overhead
 // of acknowledgements and retransmissions.
-func ExtMACSweep() (*Table, error) {
+func ExtMACSweep() (*Table, error) { return defaultRunner().ExtMACSweep() }
+
+// ExtMACSweep is the Runner form of the package-level function.
+func (r *Runner) ExtMACSweep() (*Table, error) {
 	t := &Table{
 		ID:    "ext-mac",
 		Title: "Packet-level CSMA/CA collection vs structural model (Iso-Map)",
@@ -21,36 +24,51 @@ func ExtMACSweep() (*Table, error) {
 			"collisions", "phys bytes / struct bytes",
 		},
 	}
+	type cell struct {
+		n        int
+		filtered bool
+	}
+	var cells []cell
 	for _, n := range []int{400, 2500} {
 		for _, filtered := range []bool{true, false} {
-			env, err := Build(Scenario{Nodes: n, FieldSide: sideForNodes(n), Seed: 1})
-			if err != nil {
-				return nil, err
-			}
-			env.Network.Sense(env.Field)
-			generated := core.DetectIsolineNodes(env.Network, env.Query, nil)
-			routableReports := routable(env, generated)
-			fc := core.FilterConfig{Enabled: false}
-			label := "off"
-			if filtered {
-				fc = core.DefaultFilterConfig()
-				label = "on"
-			}
-			sc := metrics.NewCounters(env.Network.Len())
-			structural := core.DeliverReports(env.Tree, routableReports, fc, sc)
-			structuralBytes := sc.TotalTxBytes()
-
-			res, err := desim.CollectReports(env.Tree, routableReports, fc, desim.DefaultRadioConfig())
-			if err != nil {
-				return nil, err
-			}
-			ratio := float64(res.Counters.TotalTxBytes()) / float64(maxInt64(structuralBytes, 1))
-			t.AddRow(n, label,
-				intPair(len(res.Delivered), len(structural)),
-				res.CompletionSeconds,
-				res.Radio.Collisions,
-				ratio)
+			cells = append(cells, cell{n, filtered})
 		}
+	}
+	rows, err := runJobs(r, len(cells), func(i int) ([]any, error) {
+		n, filtered := cells[i].n, cells[i].filtered
+		env, err := r.Build(Scenario{Nodes: n, FieldSide: sideForNodes(n), Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		env.Network.Sense(env.Field)
+		generated := core.DetectIsolineNodes(env.Network, env.Query, nil)
+		routableReports := routable(env, generated)
+		fc := core.FilterConfig{Enabled: false}
+		label := "off"
+		if filtered {
+			fc = core.DefaultFilterConfig()
+			label = "on"
+		}
+		sc := metrics.NewCounters(env.Network.Len())
+		structural := core.DeliverReports(env.Tree, routableReports, fc, sc)
+		structuralBytes := sc.TotalTxBytes()
+
+		res, err := desim.CollectReports(env.Tree, routableReports, fc, desim.DefaultRadioConfig())
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(res.Counters.TotalTxBytes()) / float64(maxInt64(structuralBytes, 1))
+		return []any{n, label,
+			intPair(len(res.Delivered), len(structural)),
+			res.CompletionSeconds,
+			res.Radio.Collisions,
+			ratio}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"isomap/internal/core"
 	"isomap/internal/field"
@@ -21,46 +22,14 @@ var sweepSides = []float64{20, 35, 50, 70, 90}
 // the reference 50x50 field.
 func nodesAtDensity(d float64) int { return int(math.Round(d * 2500)) }
 
-// averageOver runs fn for seeds 1..runs and averages the returned values
-// elementwise, skipping negative (n/a) samples per element.
-func averageOver(runs int, fn func(seed int64) ([]float64, error)) ([]float64, error) {
-	if runs < 1 {
-		runs = 1
-	}
-	var sums []float64
-	var counts []int
-	for seed := int64(1); seed <= int64(runs); seed++ {
-		vals, err := fn(seed)
-		if err != nil {
-			return nil, err
-		}
-		if sums == nil {
-			sums = make([]float64, len(vals))
-			counts = make([]int, len(vals))
-		}
-		for i, v := range vals {
-			if v < 0 {
-				continue
-			}
-			sums[i] += v
-			counts[i]++
-		}
-	}
-	out := make([]float64, len(sums))
-	for i := range sums {
-		if counts[i] == 0 {
-			out[i] = -1
-			continue
-		}
-		out[i] = sums[i] / float64(counts[i])
-	}
-	return out, nil
-}
-
 // Table1Overhead reproduces Table 1: the analytic overhead comparison of
 // the five approaches, annotated with the measured generated-report counts
 // and network computation at the reference scenario (n = 2,500).
-func Table1Overhead() (*Table, error) {
+func Table1Overhead() (*Table, error) { return defaultRunner().Table1Overhead() }
+
+// Table1Overhead is the Runner form of the package-level function; the
+// five protocol rounds run as independent jobs on the worker pool.
+func (r *Runner) Table1Overhead() (*Table, error) {
 	t := &Table{
 		ID:    "table1",
 		Title: "Overhead comparison of different approaches (analytic + measured at n=2500)",
@@ -69,69 +38,66 @@ func Table1Overhead() (*Table, error) {
 			"Deployment", "Reports (measured)", "Network ops (measured)",
 		},
 	}
-	gridEnv, err := Build(Scenario{Grid: true, Seed: 1})
+	// One job per protocol; the grid and random deployments are cloned
+	// from the cache, so the three grid jobs do not rebuild the network.
+	cells := []struct {
+		grid bool
+		run  func(*Env) (Stats, error)
+	}{
+		{true, func(e *Env) (Stats, error) { st, _, err := e.RunTinyDB(); return st, err }},
+		{false, func(e *Env) (Stats, error) { return e.RunEScan() }},
+		{true, func(e *Env) (Stats, error) { return e.RunINLR() }},
+		{true, func(e *Env) (Stats, error) { return e.RunSuppress() }},
+		{false, func(e *Env) (Stats, error) { st, _, err := e.RunIsoMap(); return st, err }},
+	}
+	measured, err := runJobs(r, len(cells), func(i int) (Stats, error) {
+		env, err := r.Build(Scenario{Grid: cells[i].grid, Seed: 1})
+		if err != nil {
+			return Stats{}, err
+		}
+		return cells[i].run(env)
+	})
 	if err != nil {
 		return nil, err
 	}
-	randEnv, err := Build(Scenario{Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-
-	tdb, _, err := gridEnv.RunTinyDB()
-	if err != nil {
-		return nil, err
-	}
-	esc, err := randEnv.RunEScan()
-	if err != nil {
-		return nil, err
-	}
-	inl, err := gridEnv.RunINLR()
-	if err != nil {
-		return nil, err
-	}
-	sup, err := gridEnv.RunSuppress()
-	if err != nil {
-		return nil, err
-	}
-	iso, _, err := randEnv.RunIsoMap()
-	if err != nil {
-		return nil, err
-	}
-
-	t.AddRow("TinyDB", "n", "O(n)", "grid", tdb.Generated, fmt.Sprintf("%.3g", tdb.MeanOps*float64(tdb.Nodes)))
-	t.AddRow("eScan", "n", "O(n^4)", "any", esc.Generated, fmt.Sprintf("%.3g", esc.MeanOps*float64(esc.Nodes)))
-	t.AddRow("INLR", "n", "Omega(n^1.5)", "grid", inl.Generated, fmt.Sprintf("%.3g", inl.MeanOps*float64(inl.Nodes)))
-	t.AddRow("Suppression", "O(n)", "Omega(n*d)", "grid", sup.Generated, fmt.Sprintf("%.3g", sup.MeanOps*float64(sup.Nodes)))
-	t.AddRow("Iso-Map", "O(sqrt n)", "O(n)", "any", iso.Generated, fmt.Sprintf("%.3g", iso.MeanOps*float64(iso.Nodes)))
+	ops := func(st Stats) string { return fmt.Sprintf("%.3g", st.MeanOps*float64(st.Nodes)) }
+	t.AddRow("TinyDB", "n", "O(n)", "grid", measured[0].Generated, ops(measured[0]))
+	t.AddRow("eScan", "n", "O(n^4)", "any", measured[1].Generated, ops(measured[1]))
+	t.AddRow("INLR", "n", "Omega(n^1.5)", "grid", measured[2].Generated, ops(measured[2]))
+	t.AddRow("Suppression", "O(n)", "Omega(n*d)", "grid", measured[3].Generated, ops(measured[3]))
+	t.AddRow("Iso-Map", "O(sqrt n)", "O(n)", "any", measured[4].Generated, ops(measured[4]))
 	return t, nil
 }
 
 // Fig7GradientError reproduces Fig. 7: the error between the regressed
 // gradient direction and the true isoline normal, against the average node
 // degree (varied through the radio range).
-func Fig7GradientError(runs int) (*Table, error) {
+func Fig7GradientError(runs int) (*Table, error) { return defaultRunner().Fig7GradientError(runs) }
+
+// Fig7GradientError is the Runner form of the package-level function.
+func (r *Runner) Fig7GradientError(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "Gradient direction error vs average node degree",
 		Columns: []string{"radio", "avg degree", "mean error (deg)", "p95 error (deg)"},
 	}
-	for _, radio := range []float64{1.1, 1.3, 1.5, 1.8, 2.2, 2.6} {
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			env, err := Build(Scenario{Radio: radio, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			deg, mean, p95, err := env.gradientErrorStats()
-			if err != nil {
-				return nil, err
-			}
-			return []float64{deg, mean, p95}, nil
-		})
+	radios := []float64{1.1, 1.3, 1.5, 1.8, 2.2, 2.6}
+	rows, err := sweepAverage(r, len(radios), runs, func(p int, seed int64) ([]float64, error) {
+		env, err := r.Build(Scenario{Radio: radios[p], Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(radio, vals[0], vals[1], vals[2])
+		deg, mean, p95, err := env.gradientErrorStats()
+		if err != nil {
+			return nil, err
+		}
+		return []float64{deg, mean, p95}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, radio := range radios {
+		t.AddRow(radio, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
@@ -154,7 +120,10 @@ func (e *Env) gradientErrorStats() (avgDegree, meanErr, p95Err float64, err erro
 
 // Fig9ReportDensity reproduces Fig. 9: the contour map built under two
 // in-network filter settings, contrasting received reports and accuracy.
-func Fig9ReportDensity() (*Table, error) {
+func Fig9ReportDensity() (*Table, error) { return defaultRunner().Fig9ReportDensity() }
+
+// Fig9ReportDensity is the Runner form of the package-level function.
+func (r *Runner) Fig9ReportDensity() (*Table, error) {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "Contour regions under different report densities",
@@ -168,17 +137,20 @@ func Fig9ReportDensity() (*Table, error) {
 		{"sa=30deg sd=4", core.DefaultFilterConfig()},
 		{"sa=45deg sd=8", core.FilterConfig{Enabled: true, MaxAngle: geom.Radians(45), MaxDist: 8}},
 	}
-	for _, s := range settings {
-		fc := s.fc
-		env, err := Build(Scenario{Seed: 1, Filter: &fc})
+	rows, err := runJobs(r, len(settings), func(i int) (Stats, error) {
+		fc := settings[i].fc
+		env, err := r.Build(Scenario{Seed: 1, Filter: &fc})
 		if err != nil {
-			return nil, err
+			return Stats{}, err
 		}
 		st, _, err := env.RunIsoMap()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(s.label, st.SinkReports, st.Accuracy)
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range settings {
+		t.AddRow(s.label, rows[i].SinkReports, rows[i].Accuracy)
 	}
 	return t, nil
 }
@@ -186,37 +158,41 @@ func Fig9ReportDensity() (*Table, error) {
 // Fig10Maps reproduces Fig. 10: TinyDB and Iso-Map contour maps at
 // normalized node densities 4, 1 and 0.16, reporting the received reports
 // and accuracy that accompany the paper's rendered maps.
-func Fig10Maps(runs int) (*Table, error) {
+func Fig10Maps(runs int) (*Table, error) { return defaultRunner().Fig10Maps(runs) }
+
+// Fig10Maps is the Runner form of the package-level function.
+func (r *Runner) Fig10Maps(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Contour mapping at densities 4 / 1 / 0.16",
 		Columns: []string{"density", "nodes", "TinyDB accuracy", "Iso-Map accuracy", "Iso-Map sink reports"},
 	}
-	for _, d := range []float64{4, 1, 0.16} {
-		n := nodesAtDensity(d)
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			tdb, _, err := gridEnv.RunTinyDB()
-			if err != nil {
-				return nil, err
-			}
-			randEnv, err := Build(Scenario{Nodes: n, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			iso, _, err := randEnv.RunIsoMap()
-			if err != nil {
-				return nil, err
-			}
-			return []float64{tdb.Accuracy, iso.Accuracy, float64(iso.SinkReports)}, nil
-		})
+	densities := []float64{4, 1, 0.16}
+	rows, err := sweepAverage(r, len(densities), runs, func(p int, seed int64) ([]float64, error) {
+		n := nodesAtDensity(densities[p])
+		gridEnv, err := r.Build(Scenario{Nodes: n, Grid: true, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d, n, vals[0], vals[1], vals[2])
+		tdb, _, err := gridEnv.RunTinyDB()
+		if err != nil {
+			return nil, err
+		}
+		randEnv, err := r.Build(Scenario{Nodes: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		iso, _, err := randEnv.RunIsoMap()
+		if err != nil {
+			return nil, err
+		}
+		return []float64{tdb.Accuracy, iso.Accuracy, float64(iso.SinkReports)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, d := range densities {
+		t.AddRow(d, nodesAtDensity(d), rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
@@ -224,20 +200,24 @@ func Fig10Maps(runs int) (*Table, error) {
 // Fig11aAccuracyDensity reproduces Fig. 11a: mapping accuracy against node
 // density for TinyDB and Iso-Map with two border tolerances.
 func Fig11aAccuracyDensity(runs int) (*Table, error) {
+	return defaultRunner().Fig11aAccuracyDensity(runs)
+}
+
+// Fig11aAccuracyDensity is the Runner form of the package-level function.
+func (r *Runner) Fig11aAccuracyDensity(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig11a",
 		Title:   "Mapping accuracy vs node density",
 		Columns: []string{"density", "TinyDB", "Iso-Map eps=0.05T", "Iso-Map eps=0.2T"},
 	}
-	for _, d := range sweepDensities {
-		n := nodesAtDensity(d)
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return accuracyTriple(n, 0, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(d, vals[0], vals[1], vals[2])
+	rows, err := sweepAverage(r, len(sweepDensities), runs, func(p int, seed int64) ([]float64, error) {
+		return r.accuracyTriple(nodesAtDensity(sweepDensities[p]), 0, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, d := range sweepDensities {
+		t.AddRow(d, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
@@ -245,27 +225,34 @@ func Fig11aAccuracyDensity(runs int) (*Table, error) {
 // Fig11bAccuracyFailures reproduces Fig. 11b: mapping accuracy against the
 // node-failure ratio.
 func Fig11bAccuracyFailures(runs int) (*Table, error) {
+	return defaultRunner().Fig11bAccuracyFailures(runs)
+}
+
+// Fig11bAccuracyFailures is the Runner form of the package-level function.
+func (r *Runner) Fig11bAccuracyFailures(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig11b",
 		Title:   "Mapping accuracy vs node failures",
 		Columns: []string{"failure ratio", "TinyDB", "Iso-Map eps=0.05T", "Iso-Map eps=0.2T"},
 	}
-	for _, fail := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return accuracyTriple(2500, fail, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fail, vals[0], vals[1], vals[2])
+	fails := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	rows, err := sweepAverage(r, len(fails), runs, func(p int, seed int64) ([]float64, error) {
+		return r.accuracyTriple(2500, fails[p], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, fail := range fails {
+		t.AddRow(fail, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
 
 // accuracyTriple runs TinyDB and the two Iso-Map epsilon settings on one
-// seed, returning their accuracies.
-func accuracyTriple(n int, fail float64, seed int64) ([]float64, error) {
-	gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
+// seed, returning their accuracies. The two Iso-Map runs differ only in
+// epsilon, so they share one cached deployment.
+func (r *Runner) accuracyTriple(n int, fail float64, seed int64) ([]float64, error) {
+	gridEnv, err := r.Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
 	if err != nil {
 		return nil, err
 	}
@@ -273,19 +260,19 @@ func accuracyTriple(n int, fail float64, seed int64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	isoNarrow, err := isoMapAccuracy(n, fail, seed, 0.05)
+	isoNarrow, err := r.isoMapAccuracy(n, fail, seed, 0.05)
 	if err != nil {
 		return nil, err
 	}
-	isoWide, err := isoMapAccuracy(n, fail, seed, 0.2)
+	isoWide, err := r.isoMapAccuracy(n, fail, seed, 0.2)
 	if err != nil {
 		return nil, err
 	}
 	return []float64{tdb.Accuracy, isoNarrow, isoWide}, nil
 }
 
-func isoMapAccuracy(n int, fail float64, seed int64, epsFraction float64) (float64, error) {
-	env, err := Build(Scenario{
+func (r *Runner) isoMapAccuracy(n int, fail float64, seed int64, epsFraction float64) (float64, error) {
+	env, err := r.Build(Scenario{
 		Nodes:        n,
 		Seed:         seed,
 		FailFraction: fail,
@@ -305,20 +292,24 @@ func isoMapAccuracy(n int, fail float64, seed int64, epsFraction float64) (float
 // between estimated and true isolines against node density, for Iso-Map on
 // random and grid deployments and for TinyDB.
 func Fig12aHausdorffDensity(runs int) (*Table, error) {
+	return defaultRunner().Fig12aHausdorffDensity(runs)
+}
+
+// Fig12aHausdorffDensity is the Runner form of the package-level function.
+func (r *Runner) Fig12aHausdorffDensity(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig12a",
 		Title:   "Isoline Hausdorff distance vs node density",
 		Columns: []string{"density", "Iso-Map random", "Iso-Map grid", "TinyDB"},
 	}
-	for _, d := range sweepDensities {
-		n := nodesAtDensity(d)
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return hausdorffTriple(n, 0, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(d, vals[0], vals[1], vals[2])
+	rows, err := sweepAverage(r, len(sweepDensities), runs, func(p int, seed int64) ([]float64, error) {
+		return r.hausdorffTriple(nodesAtDensity(sweepDensities[p]), 0, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, d := range sweepDensities {
+		t.AddRow(d, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
@@ -326,25 +317,35 @@ func Fig12aHausdorffDensity(runs int) (*Table, error) {
 // Fig12bHausdorffFailures reproduces Fig. 12b: Hausdorff distance against
 // the node-failure ratio.
 func Fig12bHausdorffFailures(runs int) (*Table, error) {
+	return defaultRunner().Fig12bHausdorffFailures(runs)
+}
+
+// Fig12bHausdorffFailures is the Runner form of the package-level function.
+func (r *Runner) Fig12bHausdorffFailures(runs int) (*Table, error) {
 	t := &Table{
 		ID:      "fig12b",
 		Title:   "Isoline Hausdorff distance vs node failures",
 		Columns: []string{"failure ratio", "Iso-Map random", "Iso-Map grid", "TinyDB"},
 	}
-	for _, fail := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
-		vals, err := averageOver(runs, func(seed int64) ([]float64, error) {
-			return hausdorffTriple(2500, fail, seed)
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fail, vals[0], vals[1], vals[2])
+	fails := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	rows, err := sweepAverage(r, len(fails), runs, func(p int, seed int64) ([]float64, error) {
+		return r.hausdorffTriple(2500, fails[p], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p, fail := range fails {
+		t.AddRow(fail, rows[p][0], rows[p][1], rows[p][2])
 	}
 	return t, nil
 }
 
-func hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
-	randEnv, err := Build(Scenario{Nodes: n, Seed: seed, FailFraction: fail})
+// hausdorffTriple runs Iso-Map on random and grid deployments and TinyDB
+// on the grid one. The Env reuse contract (each Run* re-senses) lets
+// TinyDB run on the same grid Env after Iso-Map instead of rebuilding an
+// identical deployment.
+func (r *Runner) hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
+	randEnv, err := r.Build(Scenario{Nodes: n, Seed: seed, FailFraction: fail})
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +353,7 @@ func hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	gridEnv, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
+	gridEnv, err := r.Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
 	if err != nil {
 		return nil, err
 	}
@@ -360,11 +361,7 @@ func hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	gridEnv2, err := Build(Scenario{Nodes: n, Grid: true, Seed: seed, FailFraction: fail})
-	if err != nil {
-		return nil, err
-	}
-	tdb, _, err := gridEnv2.RunTinyDB()
+	tdb, _, err := gridEnv.RunTinyDB()
 	if err != nil {
 		return nil, err
 	}
@@ -373,17 +370,19 @@ func hausdorffTriple(n int, fail float64, seed int64) ([]float64, error) {
 
 // Fig13aFilterReports reproduces Fig. 13a: the number of reports received
 // at the sink under different (s_a, s_d) filter settings.
-func Fig13aFilterReports() (*Table, error) {
-	return fig13(false)
-}
+func Fig13aFilterReports() (*Table, error) { return defaultRunner().Fig13aFilterReports() }
+
+// Fig13aFilterReports is the Runner form of the package-level function.
+func (r *Runner) Fig13aFilterReports() (*Table, error) { return r.fig13(false) }
 
 // Fig13bFilterAccuracy reproduces Fig. 13b: the mapping accuracy under the
 // same filter settings.
-func Fig13bFilterAccuracy() (*Table, error) {
-	return fig13(true)
-}
+func Fig13bFilterAccuracy() (*Table, error) { return defaultRunner().Fig13bFilterAccuracy() }
 
-func fig13(accuracy bool) (*Table, error) {
+// Fig13bFilterAccuracy is the Runner form of the package-level function.
+func (r *Runner) Fig13bFilterAccuracy() (*Table, error) { return r.fig13(true) }
+
+func (r *Runner) fig13(accuracy bool) (*Table, error) {
 	id, title, col := "fig13a", "Sink reports vs filter thresholds", "sink reports"
 	if accuracy {
 		id, title, col = "fig13b", "Mapping accuracy vs filter thresholds", "accuracy"
@@ -393,22 +392,28 @@ func fig13(accuracy bool) (*Table, error) {
 		Title:   title,
 		Columns: []string{"sa (deg)", "sd", col},
 	}
-	for _, sa := range []float64{0, 15, 30, 45, 60} {
-		for _, sd := range []float64{0, 2, 4, 6, 8} {
-			fc := core.FilterConfig{Enabled: true, MaxAngle: geom.Radians(sa), MaxDist: sd}
-			env, err := Build(Scenario{Seed: 1, Filter: &fc})
-			if err != nil {
-				return nil, err
-			}
-			st, _, err := env.RunIsoMap()
-			if err != nil {
-				return nil, err
-			}
-			if accuracy {
-				t.AddRow(sa, sd, st.Accuracy)
-			} else {
-				t.AddRow(sa, sd, st.SinkReports)
-			}
+	sas := []float64{0, 15, 30, 45, 60}
+	sds := []float64{0, 2, 4, 6, 8}
+	// All 25 (sa, sd) cells share one cached deployment and fan out as
+	// independent jobs.
+	rows, err := runJobs(r, len(sas)*len(sds), func(i int) (Stats, error) {
+		fc := core.FilterConfig{Enabled: true, MaxAngle: geom.Radians(sas[i/len(sds)]), MaxDist: sds[i%len(sds)]}
+		env, err := r.Build(Scenario{Seed: 1, Filter: &fc})
+		if err != nil {
+			return Stats{}, err
+		}
+		st, _, err := env.RunIsoMap()
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, st := range rows {
+		sa, sd := sas[i/len(sds)], sds[i%len(sds)]
+		if accuracy {
+			t.AddRow(sa, sd, st.Accuracy)
+		} else {
+			t.AddRow(sa, sd, st.SinkReports)
 		}
 	}
 	return t, nil
@@ -416,17 +421,22 @@ func fig13(accuracy bool) (*Table, error) {
 
 // Fig14aTrafficDiameter reproduces Fig. 14a: traffic overhead (KB) of
 // TinyDB, INLR and Iso-Map against the network diameter at density 1.
-func Fig14aTrafficDiameter() (*Table, error) {
+func Fig14aTrafficDiameter() (*Table, error) { return defaultRunner().Fig14aTrafficDiameter() }
+
+// Fig14aTrafficDiameter is the Runner form of the package-level function.
+func (r *Runner) Fig14aTrafficDiameter() (*Table, error) {
 	t := &Table{
 		ID:      "fig14a",
 		Title:   "Traffic overhead (KB) vs network diameter",
 		Columns: []string{"field side", "nodes", "diameter (hops)", "TinyDB KB", "INLR KB", "Iso-Map KB"},
 	}
-	for _, side := range sweepSides {
-		row, err := trafficRow(side, 1)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := runJobs(r, len(sweepSides), func(i int) ([]any, error) {
+		return r.trafficRow(sweepSides[i], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
@@ -434,27 +444,37 @@ func Fig14aTrafficDiameter() (*Table, error) {
 
 // Fig14bTrafficDensity reproduces Fig. 14b: traffic overhead against node
 // density on the reference field.
-func Fig14bTrafficDensity() (*Table, error) {
+func Fig14bTrafficDensity() (*Table, error) { return defaultRunner().Fig14bTrafficDensity() }
+
+// Fig14bTrafficDensity is the Runner form of the package-level function.
+func (r *Runner) Fig14bTrafficDensity() (*Table, error) {
 	t := &Table{
 		ID:      "fig14b",
 		Title:   "Traffic overhead (KB) vs node density",
 		Columns: []string{"density", "nodes", "diameter (hops)", "TinyDB KB", "INLR KB", "Iso-Map KB"},
 	}
-	for _, d := range []float64{0.5, 1, 2, 4} {
-		row, err := trafficRow(50, d)
+	densities := []float64{0.5, 1, 2, 4}
+	rows, err := runJobs(r, len(densities), func(i int) ([]any, error) {
+		row, err := r.trafficRow(50, densities[i])
 		if err != nil {
 			return nil, err
 		}
-		row[0] = d
+		row[0] = densities[i]
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return t, nil
 }
 
 // trafficRow runs the three protocols of Figs. 14-16 on one scenario.
-func trafficRow(side, density float64) ([]any, error) {
+func (r *Runner) trafficRow(side, density float64) ([]any, error) {
 	n := int(math.Round(density * side * side))
-	gridEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
+	gridEnv, err := r.Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -466,7 +486,7 @@ func trafficRow(side, density float64) ([]any, error) {
 	if err != nil {
 		return nil, err
 	}
-	randEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
+	randEnv, err := r.Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -479,68 +499,85 @@ func trafficRow(side, density float64) ([]any, error) {
 
 // Fig15aCompute reproduces Fig. 15a: per-node computational intensity of
 // the three protocols against network size.
-func Fig15aCompute() (*Table, error) {
+func Fig15aCompute() (*Table, error) { return defaultRunner().Fig15aCompute() }
+
+// Fig15aCompute is the Runner form of the package-level function.
+func (r *Runner) Fig15aCompute() (*Table, error) {
 	t := &Table{
 		ID:      "fig15a",
 		Title:   "Per-node computational intensity vs network size",
 		Columns: []string{"field side", "nodes", "TinyDB ops", "INLR ops", "Iso-Map ops"},
 	}
-	for _, side := range sweepSides {
-		stats, err := threeProtocolStats(side)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(side, stats[0].Nodes, stats[0].MeanOps, stats[1].MeanOps, stats[2].MeanOps)
+	rows, err := runJobs(r, len(sweepSides), func(i int) ([3]Stats, error) {
+		return r.threeProtocolStats(sweepSides[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, side := range sweepSides {
+		t.AddRow(side, rows[i][0].Nodes, rows[i][0].MeanOps, rows[i][1].MeanOps, rows[i][2].MeanOps)
 	}
 	return t, nil
 }
 
 // Fig15bComputeIsoMap reproduces Fig. 15b: the amplified Iso-Map view
 // showing constant per-node intensity.
-func Fig15bComputeIsoMap() (*Table, error) {
+func Fig15bComputeIsoMap() (*Table, error) { return defaultRunner().Fig15bComputeIsoMap() }
+
+// Fig15bComputeIsoMap is the Runner form of the package-level function.
+func (r *Runner) Fig15bComputeIsoMap() (*Table, error) {
 	t := &Table{
 		ID:      "fig15b",
 		Title:   "Iso-Map per-node computational intensity vs network size (amplified)",
 		Columns: []string{"field side", "nodes", "Iso-Map ops/node"},
 	}
-	for _, side := range sweepSides {
-		env, err := Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
+	rows, err := runJobs(r, len(sweepSides), func(i int) (Stats, error) {
+		side := sweepSides[i]
+		env, err := r.Build(Scenario{Nodes: int(side * side), FieldSide: side, Seed: 1})
 		if err != nil {
-			return nil, err
+			return Stats{}, err
 		}
 		iso, _, err := env.RunIsoMap()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(side, iso.Nodes, iso.MeanOps)
+		return iso, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, side := range sweepSides {
+		t.AddRow(side, rows[i].Nodes, rows[i].MeanOps)
 	}
 	return t, nil
 }
 
 // Fig16Energy reproduces Fig. 16: per-node energy consumption of the three
 // protocols against network size, under the Mica2 model.
-func Fig16Energy() (*Table, error) {
+func Fig16Energy() (*Table, error) { return defaultRunner().Fig16Energy() }
+
+// Fig16Energy is the Runner form of the package-level function.
+func (r *Runner) Fig16Energy() (*Table, error) {
 	t := &Table{
 		ID:      "fig16",
 		Title:   "Per-node energy (J) vs network size",
 		Columns: []string{"field side", "nodes", "TinyDB J", "INLR J", "Iso-Map J"},
 	}
-	for _, side := range sweepSides {
-		stats, err := threeProtocolStats(side)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(side, stats[0].Nodes, stats[0].MeanEnergyJ, stats[1].MeanEnergyJ, stats[2].MeanEnergyJ)
+	rows, err := runJobs(r, len(sweepSides), func(i int) ([3]Stats, error) {
+		return r.threeProtocolStats(sweepSides[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, side := range sweepSides {
+		t.AddRow(side, rows[i][0].Nodes, rows[i][0].MeanEnergyJ, rows[i][1].MeanEnergyJ, rows[i][2].MeanEnergyJ)
 	}
 	return t, nil
 }
 
 // threeProtocolStats runs TinyDB, INLR and Iso-Map at density 1 on a field
 // of the given side, returning their stats in that order.
-func threeProtocolStats(side float64) ([3]Stats, error) {
+func (r *Runner) threeProtocolStats(side float64) ([3]Stats, error) {
 	var out [3]Stats
 	n := int(side * side)
-	gridEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
+	gridEnv, err := r.Build(Scenario{Nodes: n, FieldSide: side, Grid: true, Seed: 1})
 	if err != nil {
 		return out, err
 	}
@@ -552,7 +589,7 @@ func threeProtocolStats(side float64) ([3]Stats, error) {
 	if err != nil {
 		return out, err
 	}
-	randEnv, err := Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
+	randEnv, err := r.Build(Scenario{Nodes: n, FieldSide: side, Seed: 1})
 	if err != nil {
 		return out, err
 	}
@@ -566,35 +603,51 @@ func threeProtocolStats(side float64) ([3]Stats, error) {
 
 // AllFigures regenerates every table and figure with the given averaging
 // runs, in paper order.
-func AllFigures(runs int) ([]*Table, error) {
+func AllFigures(runs int) ([]*Table, error) { return defaultRunner().AllFigures(runs) }
+
+// AllFigures is the Runner form of the package-level function. The figure
+// generators themselves run concurrently; all protocol work inside them
+// executes as jobs on the runner's bounded pool, and the tables come back
+// in paper order regardless of completion order.
+func (r *Runner) AllFigures(runs int) ([]*Table, error) {
 	type gen struct {
 		name string
 		fn   func() (*Table, error)
 	}
 	gens := []gen{
-		{"table1", Table1Overhead},
-		{"fig7", func() (*Table, error) { return Fig7GradientError(runs) }},
-		{"fig9", Fig9ReportDensity},
-		{"fig10", func() (*Table, error) { return Fig10Maps(runs) }},
-		{"fig11a", func() (*Table, error) { return Fig11aAccuracyDensity(runs) }},
-		{"fig11b", func() (*Table, error) { return Fig11bAccuracyFailures(runs) }},
-		{"fig12a", func() (*Table, error) { return Fig12aHausdorffDensity(runs) }},
-		{"fig12b", func() (*Table, error) { return Fig12bHausdorffFailures(runs) }},
-		{"fig13a", Fig13aFilterReports},
-		{"fig13b", Fig13bFilterAccuracy},
-		{"fig14a", Fig14aTrafficDiameter},
-		{"fig14b", Fig14bTrafficDensity},
-		{"fig15a", Fig15aCompute},
-		{"fig15b", Fig15bComputeIsoMap},
-		{"fig16", Fig16Energy},
+		{"table1", r.Table1Overhead},
+		{"fig7", func() (*Table, error) { return r.Fig7GradientError(runs) }},
+		{"fig9", r.Fig9ReportDensity},
+		{"fig10", func() (*Table, error) { return r.Fig10Maps(runs) }},
+		{"fig11a", func() (*Table, error) { return r.Fig11aAccuracyDensity(runs) }},
+		{"fig11b", func() (*Table, error) { return r.Fig11bAccuracyFailures(runs) }},
+		{"fig12a", func() (*Table, error) { return r.Fig12aHausdorffDensity(runs) }},
+		{"fig12b", func() (*Table, error) { return r.Fig12bHausdorffFailures(runs) }},
+		{"fig13a", r.Fig13aFilterReports},
+		{"fig13b", r.Fig13bFilterAccuracy},
+		{"fig14a", r.Fig14aTrafficDiameter},
+		{"fig14b", r.Fig14bTrafficDensity},
+		{"fig15a", r.Fig15aCompute},
+		{"fig15b", r.Fig15bComputeIsoMap},
+		{"fig16", r.Fig16Energy},
 	}
-	var out []*Table
-	for _, g := range gens {
-		tb, err := g.fn()
+	out := make([]*Table, len(gens))
+	errs := make([]error, len(gens))
+	var wg sync.WaitGroup
+	for i := range gens {
+		wg.Add(1)
+		// Generators hold no pool slot themselves — only their cell jobs
+		// do — so nested fan-out cannot deadlock the pool.
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = gens[i].fn()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: %s: %w", g.name, err)
+			return nil, fmt.Errorf("sim: %s: %w", gens[i].name, err)
 		}
-		out = append(out, tb)
 	}
 	return out, nil
 }

@@ -89,7 +89,13 @@ func runLifetime(name string, env *Env, roundCost func(*routing.Tree) (*metrics.
 
 // ExtLifetimeSweep runs TinyDB and Iso-Map to exhaustion on identical
 // batteries: the endurance counterpart of Fig. 16's per-round energy.
-func ExtLifetimeSweep() (*Table, error) {
+func ExtLifetimeSweep() (*Table, error) { return defaultRunner().ExtLifetimeSweep() }
+
+// ExtLifetimeSweep is the Runner form of the package-level function; the
+// two endurance sessions run as independent jobs. Lifetime runs mutate
+// node failure state round after round, which is safe exactly because
+// each Build hands out an isolated clone of the cached deployment.
+func (r *Runner) ExtLifetimeSweep() (*Table, error) {
 	t := &Table{
 		ID:    "ext-lifetime",
 		Title: "Network lifetime on a fixed battery (rounds; 0 = never within 400)",
@@ -97,39 +103,37 @@ func ExtLifetimeSweep() (*Table, error) {
 			"protocol", "first death", "10% dead", "unusable", "rounds run",
 		},
 	}
-
-	gridEnv, err := Build(Scenario{Grid: true, Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	tdb, err := runLifetime("TinyDB", gridEnv, func(tree *routing.Tree) (*metrics.Counters, error) {
-		r, err := tinydb.Run(tree, gridEnv.Field)
+	results, err := runJobs(r, 2, func(i int) (*LifetimeResult, error) {
+		if i == 0 {
+			gridEnv, err := r.Build(Scenario{Grid: true, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return runLifetime("TinyDB", gridEnv, func(tree *routing.Tree) (*metrics.Counters, error) {
+				res, err := tinydb.Run(tree, gridEnv.Field)
+				if err != nil {
+					return nil, err
+				}
+				return res.Counters, nil
+			})
+		}
+		randEnv, err := r.Build(Scenario{Seed: 1})
 		if err != nil {
 			return nil, err
 		}
-		return r.Counters, nil
+		return runLifetime("Iso-Map", randEnv, func(tree *routing.Tree) (*metrics.Counters, error) {
+			res, err := core.Run(tree, randEnv.Field, randEnv.Query, *randEnv.Scenario.Filter)
+			if err != nil {
+				return nil, err
+			}
+			return res.Counters, nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	randEnv, err := Build(Scenario{Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	iso, err := runLifetime("Iso-Map", randEnv, func(tree *routing.Tree) (*metrics.Counters, error) {
-		res, err := core.Run(tree, randEnv.Field, randEnv.Query, *randEnv.Scenario.Filter)
-		if err != nil {
-			return nil, err
-		}
-		return res.Counters, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	for _, r := range []*LifetimeResult{tdb, iso} {
-		t.AddRow(r.Protocol, r.FirstDeathRound, r.TenPercentRound, r.UnusableRound, r.RoundsRun)
+	for _, lr := range results {
+		t.AddRow(lr.Protocol, lr.FirstDeathRound, lr.TenPercentRound, lr.UnusableRound, lr.RoundsRun)
 	}
 	return t, nil
 }
