@@ -1,0 +1,168 @@
+// Command benchreport measures the sink-side reconstruction hot paths —
+// Voronoi construction, full Reconstruct, and Map.Raster — at several
+// report counts k, against the retained naive reference implementations
+// (geom.VoronoiNaive, Map.RasterNaive), and writes the results as
+// machine-readable JSON. The emitted file starts the repository's perf
+// trajectory: future PRs regenerate it to show where the next hot path is
+// and that past wins did not regress.
+//
+// Usage:
+//
+//	benchreport [-out BENCH_RECON.json] [-maxk 2048]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// entry is one (benchmark, k) measurement. NaiveNs is present only where a
+// reference implementation exists; Speedup is naive/indexed.
+type entry struct {
+	Benchmark string  `json:"benchmark"`
+	K         int     `json:"k"`
+	IndexedNs float64 `json:"indexed_ns_per_op"`
+	NaiveNs   float64 `json:"naive_ns_per_op,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Generator  string  `json:"generator"`
+	Unit       string  `json:"unit"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	RasterRes  int     `json:"raster_res"`
+	Results    []entry `json:"results"`
+}
+
+// rasterRes matches sim.RasterRes, the resolution of the accuracy metric.
+const rasterRes = 100
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out  = flag.String("out", "BENCH_RECON.json", "output JSON path (- for stdout)")
+		maxK = flag.Int("maxk", 2048, "largest report count to measure")
+	)
+	flag.Parse()
+
+	bounds := geom.Rect(0, 0, 50, 50)
+	rep := report{
+		Generator:  "cmd/benchreport",
+		Unit:       "ns/op",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		RasterRes:  rasterRes,
+	}
+	for _, k := range []int{32, 128, 512, 2048} {
+		if k > *maxK {
+			break
+		}
+		sites := benchSites(k)
+		reports, levels := benchReports(k)
+		m := contour.Reconstruct(reports, levels, bounds, 9, contour.DefaultOptions())
+
+		voro := measure(func() { geom.Voronoi(sites, bounds) })
+		voroNaive := measure(func() { geom.VoronoiNaive(sites, bounds) })
+		rep.Results = append(rep.Results, withSpeedup(entry{
+			Benchmark: "Voronoi", K: k, IndexedNs: voro, NaiveNs: voroNaive,
+		}))
+
+		rep.Results = append(rep.Results, entry{
+			Benchmark: "Reconstruct", K: k,
+			IndexedNs: measure(func() {
+				contour.Reconstruct(reports, levels, bounds, 9, contour.DefaultOptions())
+			}),
+		})
+
+		raster := measure(func() { m.Raster(rasterRes, rasterRes) })
+		rasterNaive := measure(func() { m.RasterNaive(rasterRes, rasterRes) })
+		rep.Results = append(rep.Results, withSpeedup(entry{
+			Benchmark: "MapRaster", K: k, IndexedNs: raster, NaiveNs: rasterNaive,
+		}))
+		fmt.Fprintf(os.Stderr, "benchreport: k=%d done\n", k)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(*out, buf, 0o644)
+}
+
+// measure times fn with the testing benchmark harness.
+func measure(fn func()) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return float64(r.NsPerOp())
+}
+
+func withSpeedup(e entry) entry {
+	if e.IndexedNs > 0 {
+		e.Speedup = math.Round(e.NaiveNs/e.IndexedNs*100) / 100
+	}
+	return e
+}
+
+// benchSites mirrors the geom benchmark input: k sites uniform over the
+// 50x50 field, seeded by k.
+func benchSites(k int) []geom.Point {
+	rng := rand.New(rand.NewSource(int64(k)))
+	sites := make([]geom.Point, k)
+	for i := range sites {
+		sites[i] = geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+	}
+	return sites
+}
+
+// benchReports mirrors the contour benchmark input: k reports on the
+// lowest isolevel plus k/4 on the next.
+func benchReports(k int) ([]core.Report, field.Levels) {
+	levels := field.Levels{Low: 6, High: 12, Step: 2}
+	rng := rand.New(rand.NewSource(int64(k) * 7))
+	var reports []core.Report
+	for i := 0; i < k; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		reports = append(reports, core.Report{
+			Level:      6,
+			LevelIndex: 0,
+			Pos:        geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50},
+			Grad:       geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)},
+			Source:     -1,
+		})
+	}
+	for i := 0; i < k/4; i++ {
+		theta := rng.Float64() * 2 * math.Pi
+		reports = append(reports, core.Report{
+			Level:      8,
+			LevelIndex: 1,
+			Pos:        geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50},
+			Grad:       geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)},
+			Source:     -1,
+		})
+	}
+	return reports, levels
+}

@@ -10,6 +10,10 @@
 // jobs over a shared deployment cache, and the emitted tables are
 // byte-identical at any -parallel value.
 //
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is taken after the last table), so hot paths can be located with
+// `go tool pprof` without instrumenting the code.
+//
 // Figures: table1, fig7, fig9, fig10, fig11a, fig11b, fig12a, fig12b,
 // fig13a, fig13b, fig14a, fig14b, fig15a, fig15b, fig16, all.
 // Extensions: ext-noise, ext-scope, ext-loss, ext-monitor, ext-latency,
@@ -21,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"isomap/internal/sim"
 )
@@ -39,8 +45,35 @@ func run() error {
 		format   = flag.String("format", "text", "output format: text or csv")
 		outDir   = flag.String("out", "", "also write each table to <out>/<id>.<ext>")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool width (0 = GOMAXPROCS); output is identical at any width")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 	r := sim.NewRunner(*parallel)
 	emit := func(tb *sim.Table) error {
 		var body, ext string

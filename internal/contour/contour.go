@@ -20,6 +20,8 @@ package contour
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"isomap/internal/core"
 	"isomap/internal/field"
@@ -39,9 +41,32 @@ func DefaultOptions() Options { return Options{Regulate: true} }
 
 // patch is one regulation adjustment: membership flips for points inside
 // the triangle (the pinnacle removed by Rule 1 or the concavity filled by
-// Rule 2).
+// Rule 2). The bounding box (padded by Eps to cover Contains' boundary
+// band) lets the hot membership path reject most probes without the full
+// point-in-triangle test.
 type patch struct {
-	tri geom.Polygon
+	tri            geom.Polygon
+	x0, y0, x1, y1 float64
+}
+
+// newPatch precomputes the padded bounding box of a regulation triangle.
+func newPatch(tri geom.Polygon) patch {
+	x0, y0, x1, y1 := tri.BoundingBox()
+	return patch{
+		tri: tri,
+		x0:  x0 - geom.Eps, y0: y0 - geom.Eps,
+		x1: x1 + geom.Eps, y1: y1 + geom.Eps,
+	}
+}
+
+// contains reports whether p flips membership: a bbox reject followed by
+// the exact triangle test. Equivalent to pa.tri.Contains(p) because any
+// point within Eps of the triangle boundary lies inside the padded box.
+func (pa *patch) contains(p geom.Point) bool {
+	if p.X < pa.x0 || p.X > pa.x1 || p.Y < pa.y0 || p.Y > pa.y1 {
+		return false
+	}
+	return pa.tri.Contains(p)
 }
 
 // levelRecon holds the reconstruction state of one isolevel.
@@ -56,6 +81,9 @@ type levelRecon struct {
 	chords   []geom.Segment
 	hasChord []bool
 	patches  []patch
+	// nn answers nearest-site queries for this level; it is shared by
+	// the Voronoi construction, membership tests and the raster sweep.
+	nn *geom.NNIndex
 	// fallbackInner decides membership when the level received no reports
 	// at all: true means the whole field is above the level.
 	fallbackInner bool
@@ -101,7 +129,8 @@ func (lr *levelRecon) build(bounds geom.Polygon, opts Options) {
 	if len(lr.sites) == 0 {
 		return
 	}
-	diagram := geom.Voronoi(lr.sites, bounds)
+	lr.nn = geom.NewNNIndex(lr.sites, bounds)
+	diagram := geom.VoronoiWithIndex(lr.sites, bounds, lr.nn)
 	lr.chords = make([]geom.Segment, len(lr.sites))
 	lr.hasChord = make([]bool, len(lr.sites))
 	for i := range diagram.Cells {
@@ -203,7 +232,7 @@ func (lr *levelRecon) regulate(diagram *geom.VoronoiDiagram) {
 			if tri.Area() <= geom.Eps {
 				continue
 			}
-			lr.patches = append(lr.patches, patch{tri: tri})
+			lr.patches = append(lr.patches, newPatch(tri))
 			// Re-anchor the chord endpoints nearest the shared edge at q so
 			// the extracted boundary is continuous across the two cells.
 			lr.chords[i] = moveEndpointToward(lr.chords[i], ai, q)
@@ -225,19 +254,29 @@ func moveEndpointToward(s geom.Segment, anchor, q geom.Point) geom.Segment {
 // levelInner reports whether p belongs to the contour region of this level
 // in isolation (before nesting).
 func (lr *levelRecon) levelInner(p geom.Point) bool {
+	return lr.levelInnerHint(p, nil)
+}
+
+// levelInnerHint is levelInner with an optional warm-start cursor: *hint
+// holds the nearest site of the caller's previous (spatially adjacent)
+// probe and is updated in place. The answer is hint-independent — the
+// cursor only seeds the index's search radius — so warm and cold queries
+// agree exactly.
+func (lr *levelRecon) levelInnerHint(p geom.Point, hint *int) bool {
 	if len(lr.sites) == 0 {
 		return lr.fallbackInner
 	}
 	// Nearest site = Voronoi membership.
-	best, bestDist := 0, p.Dist2To(lr.sites[0])
-	for i := 1; i < len(lr.sites); i++ {
-		if d := p.Dist2To(lr.sites[i]); d < bestDist {
-			best, bestDist = i, d
-		}
+	var best int
+	if hint != nil {
+		best = lr.nn.NearestWarm(p, *hint)
+		*hint = best
+	} else {
+		best = lr.nn.Nearest(p)
 	}
 	inner := p.Sub(lr.sites[best]).Dot(lr.grads[best]) <= 0
-	for _, pa := range lr.patches {
-		if pa.tri.Contains(p) {
+	for i := range lr.patches {
+		if lr.patches[i].contains(p) {
 			inner = !inner
 		}
 	}
@@ -261,18 +300,70 @@ func (m *Map) ClassifyPoint(p geom.Point) int {
 
 // Raster classifies the cell centers of a rows x cols grid over the field
 // bounds, producing the estimated contour map raster compared against the
-// ground truth for the mapping-accuracy metric.
+// ground truth for the mapping-accuracy metric. The sweep runs on a
+// GOMAXPROCS-wide worker pool; see RasterWorkers.
 func (m *Map) Raster(rows, cols int) *field.Raster {
+	return m.RasterWorkers(rows, cols, 0)
+}
+
+// RasterWorkers is Raster with an explicit worker-pool width (workers < 1
+// selects GOMAXPROCS). Each row is one job on a bounded pool — the same
+// shape as sim.Runner's job fan-out — and scans its columns left to right
+// with warm-started nearest-site cursors, one per isolevel, so adjacent
+// probes reuse each other's search radius. Rows write disjoint slices and
+// every query is cursor-independent, so the output is byte-identical at
+// any width.
+func (m *Map) RasterWorkers(rows, cols, workers int) *field.Raster {
 	x0, y0, x1, y1 := m.Bounds.BoundingBox()
 	ra := field.NewRaster(rows, cols)
-	for r := 0; r < rows; r++ {
-		y := y0 + (y1-y0)*(float64(r)+0.5)/float64(rows)
-		for c := 0; c < cols; c++ {
-			x := x0 + (x1-x0)*(float64(c)+0.5)/float64(cols)
-			ra.Cells[r][c] = m.ClassifyPoint(geom.Point{X: x, Y: y})
-		}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		for r := 0; r < rows; r++ {
+			m.rasterRow(ra.Cells[r], r, rows, cols, x0, y0, x1, y1)
+		}
+		return ra
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < rows; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m.rasterRow(ra.Cells[r], r, rows, cols, x0, y0, x1, y1)
+		}(r)
+	}
+	wg.Wait()
 	return ra
+}
+
+// rasterRow classifies one scanline into row. Cursors start cold at the
+// row boundary and warm up along the columns; a level past the first
+// non-inner one keeps a stale cursor, which is still a valid seed.
+func (m *Map) rasterRow(row []int, r, rows, cols int, x0, y0, x1, y1 float64) {
+	y := y0 + (y1-y0)*(float64(r)+0.5)/float64(rows)
+	hints := make([]int, len(m.levels))
+	for i := range hints {
+		hints[i] = -1
+	}
+	for c := 0; c < cols; c++ {
+		x := x0 + (x1-x0)*(float64(c)+0.5)/float64(cols)
+		p := geom.Point{X: x, Y: y}
+		idx := 0
+		for li, lr := range m.levels {
+			if !lr.levelInnerHint(p, &hints[li]) {
+				break
+			}
+			idx++
+		}
+		row[c] = idx
+	}
 }
 
 // BoundarySegments returns the estimated isoline of one isolevel: the

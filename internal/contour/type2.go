@@ -18,7 +18,7 @@ func (lr *levelRecon) type2Segments(bounds geom.Polygon) []geom.Segment {
 	if len(lr.sites) == 0 {
 		return nil
 	}
-	diagram := geom.Voronoi(lr.sites, bounds)
+	diagram := geom.VoronoiWithIndex(lr.sites, bounds, lr.nn)
 	var out []geom.Segment
 	for i := range diagram.Cells {
 		cell := &diagram.Cells[i]

@@ -1,0 +1,259 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// NNIndex is a uniform-grid nearest-site index over a fixed point set: the
+// bounding box is cut into square buckets sized for ~1 site per bucket (the
+// same spatial-hash shape as the network neighbor graph), and queries walk
+// buckets outward from the probe in Chebyshev rings. All queries are exact:
+// they return the same argmin — with the same lowest-index tie-break — as a
+// linear scan over the sites, so callers can swap a brute-force scan for an
+// index lookup without changing a single output bit.
+//
+// The geometric invariant behind every pruning rule below: a probe p lies
+// inside its own (ring-0) bucket, so any site stored in a bucket at
+// Chebyshev ring r is at Euclidean distance >= (r-1)*cell from p.
+type NNIndex struct {
+	sites []Point
+	x0, y0 float64
+	cell   float64
+	nx, ny int
+	// CSR bucket layout: ids[start[b]:start[b+1]] are the indices of the
+	// sites in bucket b = by*nx + bx, each list in ascending site order.
+	start []int32
+	ids   []int32
+}
+
+// NewNNIndex builds the index for sites inside the given bounds polygon
+// (typically the field rectangle). Sites outside bounds are still indexed:
+// the grid covers the union of the bounds box and the site bounding box.
+func NewNNIndex(sites []Point, bounds Polygon) *NNIndex {
+	ix := &NNIndex{sites: sites, cell: 1, nx: 1, ny: 1}
+	if len(sites) == 0 {
+		ix.start = make([]int32, 2)
+		return ix
+	}
+	x0, y0, x1, y1 := bounds.BoundingBox()
+	if len(bounds) == 0 {
+		x0, y0 = sites[0].X, sites[0].Y
+		x1, y1 = x0, y0
+	}
+	for _, s := range sites {
+		x0, x1 = math.Min(x0, s.X), math.Max(x1, s.X)
+		y0, y1 = math.Min(y0, s.Y), math.Max(y1, s.Y)
+	}
+	w, h := x1-x0, y1-y0
+	cell := math.Sqrt(w * h / float64(len(sites)))
+	if !(cell > 0) {
+		// Degenerate box (collinear or coincident sites): fall back to a
+		// 1-D grid along the longer axis.
+		cell = math.Max(w, h) / float64(len(sites))
+	}
+	if !(cell > 0) {
+		cell = 1
+	}
+	ix.x0, ix.y0, ix.cell = x0, y0, cell
+	ix.nx = gridDim(w, cell)
+	ix.ny = gridDim(h, cell)
+
+	// Counting sort into the CSR arrays; iterating sites in ascending order
+	// keeps every bucket list ascending.
+	nb := ix.nx * ix.ny
+	ix.start = make([]int32, nb+1)
+	keys := make([]int32, len(sites))
+	for i, s := range sites {
+		b := int32(ix.clampBucket(s))
+		keys[i] = b
+		ix.start[b+1]++
+	}
+	for b := 0; b < nb; b++ {
+		ix.start[b+1] += ix.start[b]
+	}
+	ix.ids = make([]int32, len(sites))
+	fill := make([]int32, nb)
+	for i := range sites {
+		b := keys[i]
+		ix.ids[ix.start[b]+fill[b]] = int32(i)
+		fill[b]++
+	}
+	return ix
+}
+
+// gridDim returns the bucket count covering an extent of the given size.
+func gridDim(size, cell float64) int {
+	n := int(math.Ceil(size / cell))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Len returns the number of indexed sites.
+func (ix *NNIndex) Len() int { return len(ix.sites) }
+
+// Site returns the i-th indexed site.
+func (ix *NNIndex) Site(i int) Point { return ix.sites[i] }
+
+// bucketCoords returns the (possibly out-of-range) bucket coordinates of p;
+// queries outside the grid keep their true coordinates so ring lower bounds
+// stay valid.
+func (ix *NNIndex) bucketCoords(p Point) (bx, by int) {
+	return int(math.Floor((p.X - ix.x0) / ix.cell)),
+		int(math.Floor((p.Y - ix.y0) / ix.cell))
+}
+
+// clampBucket returns the storage bucket of a site, clamped into the grid.
+// A site on the far box edge lands exactly on the boundary of the clamped
+// bucket, so the ring distance invariant is preserved.
+func (ix *NNIndex) clampBucket(p Point) int {
+	bx, by := ix.bucketCoords(p)
+	bx = min(max(bx, 0), ix.nx-1)
+	by = min(max(by, 0), ix.ny-1)
+	return by*ix.nx + bx
+}
+
+// maxRing returns the largest ring around (qx, qy) that still intersects
+// the grid; scanning rings 0..maxRing visits every bucket.
+func (ix *NNIndex) maxRing(qx, qy int) int {
+	r := max(qx, ix.nx-1-qx)
+	return max(r, max(qy, ix.ny-1-qy))
+}
+
+// scanBucket calls f for every site in grid bucket (bx, by), in ascending
+// site order; out-of-grid buckets are empty.
+func (ix *NNIndex) scanBucket(bx, by int, f func(si int32)) {
+	if bx < 0 || bx >= ix.nx || by < 0 || by >= ix.ny {
+		return
+	}
+	b := by*ix.nx + bx
+	for _, si := range ix.ids[ix.start[b]:ix.start[b+1]] {
+		f(si)
+	}
+}
+
+// scanRing calls f for every site in the Chebyshev ring of radius r around
+// bucket (qx, qy).
+func (ix *NNIndex) scanRing(qx, qy, r int, f func(si int32)) {
+	if r == 0 {
+		ix.scanBucket(qx, qy, f)
+		return
+	}
+	for x := qx - r; x <= qx+r; x++ {
+		ix.scanBucket(x, qy-r, f)
+		ix.scanBucket(x, qy+r, f)
+	}
+	for y := qy - r + 1; y <= qy+r-1; y++ {
+		ix.scanBucket(qx-r, y, f)
+		ix.scanBucket(qx+r, y, f)
+	}
+}
+
+// Nearest returns the index of the site nearest to p (lowest index on exact
+// ties), or -1 for an empty index.
+func (ix *NNIndex) Nearest(p Point) int { return int(ix.nearestFrom(p, -1, -1)) }
+
+// NearestWarm is Nearest warm-started from a hint — typically the answer of
+// the previous, spatially adjacent query. The hint seeds the search radius,
+// so a coherent probe sequence (e.g. a raster scanline) touches O(1)
+// buckets per query; the returned index is identical to Nearest for every
+// hint value, valid or not.
+func (ix *NNIndex) NearestWarm(p Point, hint int) int {
+	h := int32(-1)
+	if hint >= 0 && hint < len(ix.sites) {
+		h = int32(hint)
+	}
+	return int(ix.nearestFrom(p, h, -1))
+}
+
+// NearestExcluding returns the nearest site to p whose index differs from
+// exclude, or -1 when no such site exists.
+func (ix *NNIndex) NearestExcluding(p Point, exclude int) int {
+	e := int32(-1)
+	if exclude >= 0 && exclude < len(ix.sites) {
+		e = int32(exclude)
+	}
+	return int(ix.nearestFrom(p, -1, e))
+}
+
+// nearestFrom is the shared ring search: best (when >= 0) seeds the upper
+// bound, exclude (when >= 0) is skipped. Rings expand until their distance
+// lower bound strictly exceeds the best distance, which keeps exact-tie
+// candidates reachable and makes the result hint-independent.
+func (ix *NNIndex) nearestFrom(p Point, best, exclude int32) int32 {
+	bestD2 := math.Inf(1)
+	if best >= 0 {
+		bestD2 = p.Dist2To(ix.sites[best])
+	}
+	qx, qy := ix.bucketCoords(p)
+	maxR := ix.maxRing(qx, qy)
+	for r := 0; r <= maxR; r++ {
+		if best >= 0 {
+			if lb := float64(r-1) * ix.cell; lb > 0 && lb*lb > bestD2 {
+				break
+			}
+		}
+		ix.scanRing(qx, qy, r, func(si int32) {
+			if si == exclude {
+				return
+			}
+			d2 := p.Dist2To(ix.sites[si])
+			if best < 0 || d2 < bestD2 || (d2 == bestD2 && si < best) {
+				best, bestD2 = si, d2
+			}
+		})
+	}
+	return best
+}
+
+// nnCand is one pending candidate of a VisitByDistance enumeration.
+type nnCand struct {
+	d2  float64
+	idx int32
+}
+
+// VisitByDistance calls visit for every site in nondecreasing distance from
+// p (exact ties in ascending index order), stopping early when visit
+// returns false. A site is only emitted once every strictly closer site has
+// been: after ring r completes, any unscanned site is at distance >= r*cell,
+// so the sorted pending candidates below that horizon are final.
+func (ix *NNIndex) VisitByDistance(p Point, visit func(i int, d2 float64) bool) {
+	if len(ix.sites) == 0 {
+		return
+	}
+	qx, qy := ix.bucketCoords(p)
+	maxR := ix.maxRing(qx, qy)
+	var pend []nnCand
+	head := 0
+	for r := 0; r <= maxR; r++ {
+		grew := false
+		ix.scanRing(qx, qy, r, func(si int32) {
+			pend = append(pend, nnCand{d2: p.Dist2To(ix.sites[si]), idx: si})
+			grew = true
+		})
+		if grew {
+			tail := pend[head:]
+			sort.Slice(tail, func(a, b int) bool {
+				if tail[a].d2 != tail[b].d2 {
+					return tail[a].d2 < tail[b].d2
+				}
+				return tail[a].idx < tail[b].idx
+			})
+		}
+		horizon := float64(r) * ix.cell
+		h2 := horizon * horizon
+		for head < len(pend) && pend[head].d2 < h2 {
+			if !visit(int(pend[head].idx), pend[head].d2) {
+				return
+			}
+			head++
+		}
+	}
+	for ; head < len(pend); head++ {
+		if !visit(int(pend[head].idx), pend[head].d2) {
+			return
+		}
+	}
+}

@@ -24,14 +24,46 @@ type VoronoiDiagram struct {
 	Bounds Polygon
 	// Cells holds one cell per input site, in input order.
 	Cells []VoronoiCell
+	// index, when set, answers nearest-site queries for CellContaining and
+	// adjacency without scanning all sites. Diagrams built by Voronoi carry
+	// one; zero-value and VoronoiNaive diagrams fall back to linear scans.
+	index *NNIndex
 }
 
 // Voronoi computes the Voronoi diagram of sites bounded by the convex
-// polygon bounds. Each cell is obtained by clipping bounds against the
-// perpendicular-bisector half-plane of every other site — O(k^2) work for k
-// sites, which is exact and fast for the O(sqrt n) isoline reports the sink
-// receives per isolevel.
+// polygon bounds. Each cell clips bounds against bisector half-planes in
+// increasing site distance, pruned by a grid index and a security-radius
+// early exit (see voronoiCell), so typical cells cost O(1) clips instead of
+// the O(k) of the naive construction.
 func Voronoi(sites []Point, bounds Polygon) *VoronoiDiagram {
+	return VoronoiWithIndex(sites, bounds, nil)
+}
+
+// VoronoiWithIndex is Voronoi reusing a prebuilt index over the same sites,
+// so callers that also run nearest-site queries (the contour reconstructor)
+// share one index per level. index == nil builds a fresh one.
+func VoronoiWithIndex(sites []Point, bounds Polygon, index *NNIndex) *VoronoiDiagram {
+	bounds = bounds.EnsureCCW()
+	if index == nil {
+		index = NewNNIndex(sites, bounds)
+	}
+	d := &VoronoiDiagram{
+		Bounds: bounds,
+		Cells:  make([]VoronoiCell, len(sites)),
+		index:  index,
+	}
+	for i, s := range sites {
+		d.Cells[i] = VoronoiCell{Site: s, Index: i, Region: voronoiCell(index, sites, i, bounds)}
+	}
+	d.computeAdjacency(sites)
+	return d
+}
+
+// VoronoiNaive is the reference O(k^2) construction: every cell is clipped
+// against the bisector of every other site in input order. It is retained
+// as the oracle for the indexed construction's equivalence property tests
+// and as the pre-index baseline in the benchmark report.
+func VoronoiNaive(sites []Point, bounds Polygon) *VoronoiDiagram {
 	bounds = bounds.EnsureCCW()
 	d := &VoronoiDiagram{
 		Bounds: bounds,
@@ -59,6 +91,61 @@ func Voronoi(sites []Point, bounds Polygon) *VoronoiDiagram {
 	}
 	d.computeAdjacency(sites)
 	return d
+}
+
+// voronoiCell computes the cell of site i by clipping bounds against
+// bisectors in increasing distance from the site. The early exit is the
+// security-radius argument: once the candidate distance d(s, t) reaches
+// twice the distance R from s to its farthest current region vertex, every
+// region point q satisfies d(q, t) >= d(s, t) - d(s, q) >= 2R - R >= d(q, s),
+// so neither t nor any farther site can cut the region.
+func voronoiCell(index *NNIndex, sites []Point, i int, bounds Polygon) Polygon {
+	s := sites[i]
+	region := bounds
+	r2 := farthestVertexDist2(region, s)
+	index.VisitByDistance(s, func(j int, d2 float64) bool {
+		if j == i {
+			return true
+		}
+		if len(region) < 3 {
+			// Degenerate bounds: the naive path nils such a region on its
+			// first clip (dedupe drops sub-triangle output).
+			region = nil
+			return false
+		}
+		if d2 >= 4*r2 {
+			return false
+		}
+		t := sites[j]
+		if s.NearlyEqual(t) {
+			// Duplicate sites split the plane ambiguously; assign the
+			// region to the lower-indexed site.
+			if j < i {
+				region = nil
+				return false
+			}
+			return true
+		}
+		region = region.ClipHalfPlane(bisectorHalfPlane(s, t))
+		if region == nil {
+			return false
+		}
+		r2 = farthestVertexDist2(region, s)
+		return true
+	})
+	return region
+}
+
+// farthestVertexDist2 returns the squared distance from s to the farthest
+// vertex of the (convex) polygon — the security radius of the clip loop.
+func farthestVertexDist2(pg Polygon, s Point) float64 {
+	var m float64
+	for _, v := range pg {
+		if d := s.Dist2To(v); d > m {
+			m = d
+		}
+	}
+	return m
 }
 
 // bisectorHalfPlane returns the half-plane of points at least as close to s
@@ -93,30 +180,52 @@ func (d *VoronoiDiagram) edgeNeighbor(sites []Point, i int, e Segment) (int, boo
 	const tol = 1e-6
 	m := e.Mid()
 	di := m.DistTo(sites[i])
-	best, bestDist := -1, di+tol
-	for j, s := range sites {
-		if j == i {
-			continue
-		}
-		if dj := m.DistTo(s); dj < bestDist {
-			best, bestDist = j, dj
+	best := -1
+	if d.index != nil {
+		best = d.index.NearestExcluding(m, i)
+	} else {
+		// Same ordering as NearestExcluding (squared distances, lowest
+		// index on ties) so indexed and naive diagrams agree exactly.
+		bestD2 := 0.0
+		for j, s := range sites {
+			if j == i {
+				continue
+			}
+			if d2 := m.Dist2To(s); best < 0 || d2 < bestD2 {
+				best, bestD2 = j, d2
+			}
 		}
 	}
 	if best < 0 {
 		return 0, false
 	}
 	// The shared edge midpoint is equidistant from both generating sites.
-	if bestDist < di-tol {
+	dj := m.DistTo(sites[best])
+	if dj >= di+tol || dj < di-tol {
 		return 0, false
 	}
 	return best, true
 }
 
-// CellContaining returns the index of the cell whose site is nearest to p,
-// or -1 for an empty diagram. Ties go to the lowest index.
+// CellContaining returns the index of the cell whose site is nearest to p
+// among cells with a non-nil Region, or -1 when no such cell exists (empty
+// diagram or degenerate bounds). Ties go to the lowest index. Degenerate
+// duplicate-site cells (Region == nil) are never returned, so callers may
+// walk the result's Region unconditionally.
 func (d *VoronoiDiagram) CellContaining(p Point) int {
+	if d.index != nil {
+		// The overall nearest site is also the nearest usable one whenever
+		// its region survived; the nil-region case (a duplicate site) falls
+		// through to the scan below.
+		if best := d.index.Nearest(p); best >= 0 && d.Cells[best].Region != nil {
+			return best
+		}
+	}
 	best, bestDist := -1, 0.0
 	for i := range d.Cells {
+		if d.Cells[i].Region == nil {
+			continue
+		}
 		dist := p.Dist2To(d.Cells[i].Site)
 		if best < 0 || dist < bestDist {
 			best, bestDist = i, dist

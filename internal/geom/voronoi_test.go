@@ -1,8 +1,10 @@
 package geom
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -217,5 +219,174 @@ func TestVoronoiSharedEdgeOnBisector(t *testing.T) {
 				t.Errorf("shared edge midpoint not equidistant: cell %d nbr %d (%v vs %v)", i, j, di, dj)
 			}
 		}
+	}
+}
+
+// voronoiSiteSets yields the configurations the indexed construction is
+// checked against the naive oracle on: uniform at several densities, a
+// tight cluster plus far outliers, a regular grid (exact ties) and
+// near-duplicate pairs.
+func voronoiSiteSets(rng *rand.Rand) [][]Point {
+	var sets [][]Point
+	for _, n := range []int{1, 2, 3, 8, 40, 150} {
+		sites := make([]Point, n)
+		for i := range sites {
+			sites[i] = Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		sets = append(sets, sites)
+	}
+	cluster := make([]Point, 30)
+	for i := range cluster {
+		cluster[i] = Point{X: 10 + rng.NormFloat64()*0.5, Y: 10 + rng.NormFloat64()*0.5}
+	}
+	cluster = append(cluster, Point{45, 45}, Point{45, 5}, Point{5, 45})
+	sets = append(sets, cluster)
+	var grid []Point
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			grid = append(grid, Point{X: 5 + float64(i)*10, Y: 5 + float64(j)*10})
+		}
+	}
+	sets = append(sets, grid)
+	dups := []Point{{3, 3}, {3, 3}, {20, 20}, {20.0000000005, 20}, {40, 8}}
+	sets = append(sets, dups)
+	return sets
+}
+
+// polygonsEquivalent reports whether two convex polygons describe the same
+// region within tol: equal areas and every vertex of each within tol of the
+// other's boundary.
+func polygonsEquivalent(a, b Polygon, tol float64) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if !almostEqual(a.Area(), b.Area(), tol) {
+		return false
+	}
+	onBoundary := func(p Point, pg Polygon) bool {
+		for _, e := range pg.Edges() {
+			if e.DistToPoint(p) <= tol {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range a {
+		if !onBoundary(v, b) {
+			return false
+		}
+	}
+	for _, v := range b {
+		if !onBoundary(v, a) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVoronoiIndexedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	bounds := Rect(0, 0, 50, 50)
+	for si, sites := range voronoiSiteSets(rng) {
+		indexed := Voronoi(sites, bounds)
+		naive := VoronoiNaive(sites, bounds)
+		if len(indexed.Cells) != len(naive.Cells) {
+			t.Fatalf("set %d: cell count %d vs %d", si, len(indexed.Cells), len(naive.Cells))
+		}
+		for i := range indexed.Cells {
+			ic, nc := &indexed.Cells[i], &naive.Cells[i]
+			if !polygonsEquivalent(ic.Region, nc.Region, 1e-6) {
+				t.Fatalf("set %d cell %d: regions differ:\nindexed %v\nnaive   %v", si, i, ic.Region, nc.Region)
+			}
+			in := append([]int(nil), ic.Neighbors...)
+			nn := append([]int(nil), nc.Neighbors...)
+			sort.Ints(in)
+			sort.Ints(nn)
+			if len(in) != len(nn) {
+				t.Fatalf("set %d cell %d: neighbors %v vs %v", si, i, in, nn)
+			}
+			for k := range in {
+				if in[k] != nn[k] {
+					t.Fatalf("set %d cell %d: neighbors %v vs %v", si, i, in, nn)
+				}
+			}
+		}
+		// Nearest-site lookups are exact, so they must agree bit-for-bit.
+		for probe := 0; probe < 400; probe++ {
+			p := Point{X: rng.Float64()*60 - 5, Y: rng.Float64()*60 - 5}
+			if gi, gn := indexed.CellContaining(p), naive.CellContaining(p); gi != gn {
+				t.Fatalf("set %d: CellContaining(%v) = %d indexed vs %d naive", si, p, gi, gn)
+			}
+		}
+	}
+}
+
+func TestCellContainingSkipsDegenerateDuplicateCell(t *testing.T) {
+	bounds := Rect(0, 0, 10, 10)
+	// sites[1] duplicates sites[0] within Eps but is strictly nearer to the
+	// probe; its cell is degenerate (nil Region) and must never be returned.
+	sites := []Point{{3, 3}, {3.0000000008, 3}, {7, 7}}
+	d := Voronoi(sites, bounds)
+	if d.Cells[1].Region != nil {
+		t.Fatalf("expected duplicate cell 1 to have nil region")
+	}
+	p := Point{X: 3.000000001, Y: 3}
+	got := d.CellContaining(p)
+	if got == 1 {
+		t.Fatalf("CellContaining returned the degenerate duplicate cell")
+	}
+	if got != 0 {
+		t.Fatalf("CellContaining = %d, want 0", got)
+	}
+	// The caller contract: the returned cell's Region is walkable.
+	if !d.Cells[got].Region.Contains(p) {
+		t.Errorf("returned cell's region does not contain the probe")
+	}
+	// Same guarantee on the naive construction (no index, scan fallback).
+	if got := VoronoiNaive(sites, bounds).CellContaining(p); got != 0 {
+		t.Fatalf("naive CellContaining = %d, want 0", got)
+	}
+}
+
+// benchSites places k sites uniformly over the 50x50 field (seeded).
+func benchSites(k int) []Point {
+	rng := rand.New(rand.NewSource(int64(k)))
+	sites := make([]Point, k)
+	for i := range sites {
+		sites[i] = Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+	}
+	return sites
+}
+
+func BenchmarkVoronoi(b *testing.B) {
+	bounds := Rect(0, 0, 50, 50)
+	for _, k := range []int{32, 128, 512, 2048} {
+		sites := benchSites(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := Voronoi(sites, bounds); len(d.Cells) != k {
+					b.Fatal("bad diagram")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVoronoiNaive(b *testing.B) {
+	bounds := Rect(0, 0, 50, 50)
+	for _, k := range []int{32, 128, 512} {
+		sites := benchSites(k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if d := VoronoiNaive(sites, bounds); len(d.Cells) != k {
+					b.Fatal("bad diagram")
+				}
+			}
+		})
 	}
 }

@@ -53,7 +53,7 @@ func (r *Runner) detectPolicyRow(n int, seed int64) ([]float64, error) {
 		m := contour.Reconstruct(delivered, env.Query.Levels,
 			field.BoundsRect(env.Field), sinkValue, contour.DefaultOptions())
 		return float64(len(generated)), float64(len(delivered)),
-			field.Agreement(truth, m.Raster(RasterRes, RasterRes))
+			field.Agreement(truth, env.estRaster(m))
 	}
 
 	g1, s1, a1 := evaluate(func() []core.Report {

@@ -42,7 +42,7 @@ func (r *Runner) ExtNoiseSweep(runs int) (*Table, error) {
 		}
 		m := contour.Reconstruct(res.Reports, env.Query.Levels,
 			field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
-		acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
+		acc := field.Agreement(env.truthRaster(), env.estRaster(m))
 		return []float64{float64(res.Generated), float64(len(res.Reports)), acc}, nil
 	})
 	if err != nil {

@@ -152,6 +152,6 @@ func (r *Runner) localizedAccuracy(anchors int, seed int64) ([]float64, error) {
 	}
 	m := contour.Reconstruct(reports, env.Query.Levels,
 		field.BoundsRect(env.Field), res.SinkValue, contour.DefaultOptions())
-	acc := field.Agreement(env.truthRaster(), m.Raster(RasterRes, RasterRes))
+	acc := field.Agreement(env.truthRaster(), env.estRaster(m))
 	return []float64{posErr, acc}, nil
 }

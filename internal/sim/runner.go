@@ -103,7 +103,12 @@ func (r *Runner) Build(s Scenario) (*Env, error) {
 	s = s.withDefaults()
 	if s.Trace != nil && !field.Cacheable(s.Trace) {
 		// A trace whose dynamic type cannot key a map is built directly.
-		return buildEnv(s, s.Trace, r.memo)
+		env, err := buildEnv(s, s.Trace, r.memo)
+		if err != nil {
+			return nil, err
+		}
+		env.rasterWorkers = r.rasterWorkers()
+		return env, nil
 	}
 	key := deployKey{
 		nodes:        s.Nodes,
@@ -134,7 +139,20 @@ func (r *Runner) Build(s Scenario) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Scenario: s, Field: e.dep.field, Network: nw, Tree: tree, Query: q, memo: r.memo}, nil
+	return &Env{
+		Scenario: s, Field: e.dep.field, Network: nw, Tree: tree, Query: q,
+		memo: r.memo, rasterWorkers: r.rasterWorkers(),
+	}, nil
+}
+
+// rasterWorkers returns the per-Env raster pool width: sequential inside a
+// parallel runner (the sweep already saturates the cores), unconstrained
+// otherwise.
+func (r *Runner) rasterWorkers() int {
+	if r.parallel > 1 {
+		return 1
+	}
+	return 0
 }
 
 // buildDeployment materializes the deployment side of a defaulted

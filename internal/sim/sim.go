@@ -137,6 +137,13 @@ type Env struct {
 	// memo, when set, caches ground-truth rasters and isoline samplings
 	// shared with every other Env holding the same field instance.
 	memo *field.Memo
+
+	// rasterWorkers bounds the estimated-map rasterizer's worker pool. A
+	// Runner with a multi-worker pool sets it to 1: the sweep jobs already
+	// saturate the cores, so nested raster parallelism would only add
+	// scheduling overhead. 0 lets the raster pick GOMAXPROCS. The raster
+	// output is byte-identical at any width.
+	rasterWorkers int
 }
 
 // seabedConfigFor returns the synthetic-surface config of a defaulted
@@ -241,6 +248,12 @@ func (e *Env) baseStats(name string, c *metrics.Counters) Stats {
 	}
 }
 
+// estRaster rasterizes an estimated contour map at the accuracy
+// resolution on the Env's raster worker budget (see rasterWorkers).
+func (e *Env) estRaster(m *contour.Map) *field.Raster {
+	return m.RasterWorkers(RasterRes, RasterRes, e.rasterWorkers)
+}
+
 // truthRaster rasterizes the ground-truth contour map of the scenario,
 // through the runner's truth memo when available. The result is shared:
 // callers must not modify it.
@@ -264,7 +277,7 @@ func (e *Env) RunIsoMap() (Stats, *contour.Map, error) {
 	opts := contour.Options{Regulate: e.Scenario.Regulate}
 	m := contour.Reconstruct(res.Reports, e.Query.Levels, field.BoundsRect(e.Field), res.SinkValue, opts)
 	st := e.baseStats("Iso-Map", res.Counters)
-	st.Accuracy = field.Agreement(e.truthRaster(), m.Raster(RasterRes, RasterRes))
+	st.Accuracy = field.Agreement(e.truthRaster(), e.estRaster(m))
 	st.MeanHausdorff = e.isoMapHausdorff(m)
 	return st, m, nil
 }
