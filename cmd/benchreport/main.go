@@ -1,14 +1,22 @@
-// Command benchreport measures the sink-side reconstruction hot paths —
-// Voronoi construction, full Reconstruct, and Map.Raster — at several
-// report counts k, against the retained naive reference implementations
-// (geom.VoronoiNaive, Map.RasterNaive), and writes the results as
-// machine-readable JSON. The emitted file starts the repository's perf
-// trajectory: future PRs regenerate it to show where the next hot path is
-// and that past wins did not regress.
+// Command benchreport writes machine-readable benchmark JSON files that
+// track the repository's quantitative trajectory across PRs.
+//
+// -kind recon (the default, emitting BENCH_RECON.json) measures the
+// sink-side reconstruction hot paths — Voronoi construction, full
+// Reconstruct, and Map.Raster — at several report counts k, against the
+// retained naive reference implementations (geom.VoronoiNaive,
+// Map.RasterNaive).
+//
+// -kind faults (emitting BENCH_FAULTS.json) runs the fault-injection
+// sweep (sim.ExtFaultSweepResults): Iso-Map's packet-level round under
+// lossy/bursty channels and mid-round node crashes, reporting delivery
+// ratio, retry/energy overhead and map fidelity against the fault-free
+// round. -smoke shrinks the sweep to a single cell and one seed for CI.
 //
 // Usage:
 //
-//	benchreport [-out BENCH_RECON.json] [-maxk 2048]
+//	benchreport [-kind recon|faults] [-out FILE] [-maxk 2048]
+//	            [-runs 3] [-smoke] [-parallel N]
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"isomap/internal/core"
 	"isomap/internal/field"
 	"isomap/internal/geom"
+	"isomap/internal/sim"
 )
 
 // entry is one (benchmark, k) measurement. NaiveNs is present only where a
@@ -57,11 +66,61 @@ func main() {
 
 func run() error {
 	var (
-		out  = flag.String("out", "BENCH_RECON.json", "output JSON path (- for stdout)")
-		maxK = flag.Int("maxk", 2048, "largest report count to measure")
+		out      = flag.String("out", "", "output JSON path (- for stdout; default BENCH_RECON.json or BENCH_FAULTS.json by kind)")
+		maxK     = flag.Int("maxk", 2048, "largest report count to measure (recon)")
+		kind     = flag.String("kind", "recon", "report kind: recon or faults")
+		runs     = flag.Int("runs", 3, "random-seed repetitions per sweep point (faults)")
+		smoke    = flag.Bool("smoke", false, "single-cell, single-seed fault sweep for CI (faults)")
+		parallel = flag.Int("parallel", 0, "sweep worker-pool width, 0 = GOMAXPROCS (faults); output is identical at any width")
 	)
 	flag.Parse()
 
+	switch *kind {
+	case "recon":
+		return runRecon(*out, *maxK)
+	case "faults":
+		return runFaults(*out, *runs, *smoke, *parallel)
+	default:
+		return fmt.Errorf("unknown -kind %q (want recon or faults)", *kind)
+	}
+}
+
+// faultsReport is the BENCH_FAULTS.json document.
+type faultsReport struct {
+	Generator string                 `json:"generator"`
+	Nodes     int                    `json:"nodes"`
+	FieldSide float64                `json:"fieldSide"`
+	Runs      int                    `json:"runs"`
+	Results   []sim.FaultPointResult `json:"results"`
+}
+
+func runFaults(out string, runs int, smoke bool, parallel int) error {
+	points := sim.DefaultFaultPoints()
+	if smoke {
+		points = sim.SmokeFaultPoints()
+		runs = 1
+	}
+	results, err := sim.NewRunner(parallel).ExtFaultSweepResults(runs, points)
+	if err != nil {
+		return err
+	}
+	rep := faultsReport{
+		Generator: "cmd/benchreport -kind faults",
+		Nodes:     400,
+		FieldSide: 20,
+		Runs:      runs,
+		Results:   results,
+	}
+	if out == "" {
+		out = "BENCH_FAULTS.json"
+	}
+	return writeJSON(out, rep)
+}
+
+func runRecon(out string, maxK int) error {
+	if out == "" {
+		out = "BENCH_RECON.json"
+	}
 	bounds := geom.Rect(0, 0, 50, 50)
 	rep := report{
 		Generator:  "cmd/benchreport",
@@ -70,7 +129,7 @@ func run() error {
 		RasterRes:  rasterRes,
 	}
 	for _, k := range []int{32, 128, 512, 2048} {
-		if k > *maxK {
+		if k > maxK {
 			break
 		}
 		sites := benchSites(k)
@@ -98,16 +157,21 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "benchreport: k=%d done\n", k)
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	return writeJSON(out, rep)
+}
+
+// writeJSON marshals doc with indentation to path, or stdout for "-".
+func writeJSON(path string, doc any) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if path == "-" {
 		_, err = os.Stdout.Write(buf)
 		return err
 	}
-	return os.WriteFile(*out, buf, 0o644)
+	return os.WriteFile(path, buf, 0o644)
 }
 
 // measure times fn with the testing benchmark harness.

@@ -17,7 +17,7 @@
 // Figures: table1, fig7, fig9, fig10, fig11a, fig11b, fig12a, fig12b,
 // fig13a, fig13b, fig14a, fig14b, fig15a, fig15b, fig16, all.
 // Extensions: ext-noise, ext-scope, ext-loss, ext-monitor, ext-latency,
-// ext-localize.
+// ext-localize, ext-mac, ext-lifetime, ext-detect, ext-codec, ext-faults.
 package main
 
 import (
@@ -124,6 +124,7 @@ func run() error {
 		"ext-lifetime": r.ExtLifetimeSweep,
 		"ext-detect":   func() (*sim.Table, error) { return r.ExtDetectPolicySweep(*runs) },
 		"ext-codec":    func() (*sim.Table, error) { return r.ExtCodecSweep(*runs) },
+		"ext-faults":   func() (*sim.Table, error) { return r.ExtFaultSweep(*runs) },
 	}
 
 	if *figure == "all" {

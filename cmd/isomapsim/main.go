@@ -9,11 +9,15 @@
 //	          [-sa 30] [-sd 4] [-eps 0.1] [-nofilter] [-res 60]
 //	          [-pgm out.pgm] [-trace depth.txt]
 //	          [-protocol isomap|tinydb|inlr|escan|suppress]
-//	          [-packet]
+//	          [-packet] [-loss 0.0] [-burst 0.0] [-crashfrac 0.0]
 //
 // With -packet the round additionally executes on the packet-level
 // CSMA/CA engine (query flood, neighborhood probes, filtered
 // convergecast), reporting real phase latencies and link-layer counts.
+// -loss, -burst and -crashfrac inject faults into that packet round: a
+// Bernoulli (or, with -burst > 0, Gilbert–Elliott) lossy channel and a
+// fraction of nodes crashing mid-round, with route repair around the
+// dead parents.
 package main
 
 import (
@@ -25,8 +29,10 @@ import (
 	"isomap/internal/contour"
 	"isomap/internal/core"
 	"isomap/internal/desim"
+	"isomap/internal/faults"
 	"isomap/internal/field"
 	"isomap/internal/geom"
+	"isomap/internal/network"
 	"isomap/internal/render"
 	"isomap/internal/sim"
 )
@@ -40,20 +46,23 @@ func main() {
 
 func run() error {
 	var (
-		nodes    = flag.Int("nodes", 2500, "number of sensor nodes")
-		side     = flag.Float64("side", 50, "field side length in normalized units")
-		seed     = flag.Int64("seed", 1, "deployment seed")
-		fail     = flag.Float64("fail", 0, "fraction of failed nodes")
-		grid     = flag.Bool("grid", false, "grid deployment instead of uniform random")
-		sa       = flag.Float64("sa", 30, "filter angular separation threshold (degrees)")
-		sd       = flag.Float64("sd", 4, "filter distance separation threshold (units)")
-		eps      = flag.Float64("eps", 0.1, "isoline border tolerance (value units)")
-		nofilter = flag.Bool("nofilter", false, "disable in-network filtering")
-		res      = flag.Int("res", 60, "ASCII render resolution (cells per side)")
-		pgmPath  = flag.String("pgm", "", "write the estimated map as a PGM image to this path")
-		trace    = flag.String("trace", "", "load the field from a depth-trace grid file (see cmd/tracegen)")
-		protocol = flag.String("protocol", "isomap", "protocol to run: isomap, tinydb, inlr, escan, suppress")
-		packet   = flag.Bool("packet", false, "also execute the round on the packet-level CSMA/CA engine")
+		nodes     = flag.Int("nodes", 2500, "number of sensor nodes")
+		side      = flag.Float64("side", 50, "field side length in normalized units")
+		seed      = flag.Int64("seed", 1, "deployment seed")
+		fail      = flag.Float64("fail", 0, "fraction of failed nodes")
+		grid      = flag.Bool("grid", false, "grid deployment instead of uniform random")
+		sa        = flag.Float64("sa", 30, "filter angular separation threshold (degrees)")
+		sd        = flag.Float64("sd", 4, "filter distance separation threshold (units)")
+		eps       = flag.Float64("eps", 0.1, "isoline border tolerance (value units)")
+		nofilter  = flag.Bool("nofilter", false, "disable in-network filtering")
+		res       = flag.Int("res", 60, "ASCII render resolution (cells per side)")
+		pgmPath   = flag.String("pgm", "", "write the estimated map as a PGM image to this path")
+		trace     = flag.String("trace", "", "load the field from a depth-trace grid file (see cmd/tracegen)")
+		protocol  = flag.String("protocol", "isomap", "protocol to run: isomap, tinydb, inlr, escan, suppress")
+		packet    = flag.Bool("packet", false, "also execute the round on the packet-level CSMA/CA engine")
+		loss      = flag.Float64("loss", 0, "packet round: channel loss rate in [0, 1)")
+		burst     = flag.Float64("burst", 0, "packet round: channel burstiness in [0, 1) (Gilbert–Elliott)")
+		crashfrac = flag.Float64("crashfrac", 0, "packet round: fraction of nodes crashing mid-round")
 	)
 	flag.Parse()
 
@@ -138,7 +147,29 @@ func run() error {
 	}
 
 	if *packet && *protocol == "isomap" {
-		pr, err := desim.RunFullRound(env.Tree, env.Field, env.Query, fc, desim.DefaultRadioConfig())
+		var plan *faults.Plan
+		rcfg := desim.DefaultRadioConfig()
+		if *loss > 0 || *crashfrac > 0 {
+			kind := faults.ChannelPerfect
+			switch {
+			case *loss > 0 && *burst > 0:
+				kind = faults.ChannelGilbertElliott
+			case *loss > 0:
+				kind = faults.ChannelBernoulli
+			}
+			plan, err = faults.New(faults.Config{
+				Seed: *seed, Channel: kind, LossRate: *loss, Burstiness: *burst,
+				CrashFraction: *crashfrac, CrashStart: 0.05, CrashEnd: 0.6,
+				Protect: []network.NodeID{env.Tree.Root()},
+			}, env.Network.Len())
+			if err != nil {
+				return err
+			}
+			// A deadline keeps frames stuck behind dead parents from
+			// riding out the full backoff tail before route repair.
+			rcfg.FrameDeadline = 1.5
+		}
+		pr, err := desim.RunFullRoundFaults(env.Tree, env.Field, env.Query, fc, rcfg, plan)
 		if err != nil {
 			return err
 		}
@@ -150,6 +181,12 @@ func run() error {
 			len(pr.Delivered), pr.CollectSeconds)
 		fmt.Printf("  round complete:  t=%.3fs (%d collisions, %d retries, %d drops)\n",
 			pr.TotalSeconds, pr.Radio.Collisions, pr.Radio.Retries, pr.Radio.Drops)
+		fmt.Printf("  drops by phase:  %d probe replies, %d report batches (re-queued once)\n",
+			pr.ReplyDrops, pr.ReportDrops)
+		if !plan.Empty() {
+			fmt.Printf("  faults:          %d channel losses, %d crashed, %d route repairs, %d severed\n",
+				pr.Radio.ChannelLosses, pr.Crashed, pr.Repairs, pr.Severed)
+		}
 	}
 	return nil
 }

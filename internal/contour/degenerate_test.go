@@ -1,0 +1,131 @@
+package contour
+
+import (
+	"math/rand"
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/faults"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// checkMapSane exercises every sink-side consumer of a reconstructed map
+// — rasterization, point classification, boundary sampling — and checks
+// the outputs stay in range. Its real assertion is implicit: none of it
+// may panic, however degenerate the input reports were.
+func checkMapSane(t *testing.T, m *Map, levels field.Levels) {
+	t.Helper()
+	ra := m.Raster(40, 40)
+	for _, row := range ra.Cells {
+		for _, v := range row {
+			if v < 0 || v > levels.Count() {
+				t.Fatalf("raster class %d out of range [0, %d]", v, levels.Count())
+			}
+		}
+	}
+	for i := 0; i < levels.Count(); i++ {
+		for _, p := range m.BoundaryPoints(i, 0.5) {
+			if p.X < -1 || p.X > 51 || p.Y < -1 || p.Y > 51 {
+				t.Fatalf("boundary point %v far outside bounds", p)
+			}
+		}
+	}
+	m.ClassifyPoint(geom.Point{X: 25, Y: 25})
+	m.ClassifyPoint(geom.Point{X: 0, Y: 0})
+}
+
+// TestDegenerateReportCounts drives the reconstruction with 0, 1 and 2
+// surviving reports per level — what a heavily faulted round delivers —
+// and expects an empty or partial map, never a panic.
+func TestDegenerateReportCounts(t *testing.T) {
+	bounds := geom.Rect(0, 0, 50, 50)
+	levels := levels682()
+	for k := 0; k <= 2; k++ {
+		var reports []core.Report
+		for li := 0; li < levels.Count(); li++ {
+			reports = append(reports, circleReports(geom.Point{X: 25, Y: 25}, 15-3*float64(li), k, li, levels.Values()[li])...)
+		}
+		m := Reconstruct(reports, levels, bounds, 5, DefaultOptions())
+		checkMapSane(t, m, levels)
+		if k == 0 && len(m.BoundaryPoints(0, 0.5)) != 0 {
+			t.Error("0 reports produced a non-empty boundary")
+		}
+	}
+	// Partial survival: a full ring on the first level, a single report
+	// on the second, nothing above. The map must still carve out the
+	// first level's region.
+	reports := circleReports(geom.Point{X: 25, Y: 25}, 15, 24, 0, 6)
+	reports = append(reports, core.Report{
+		Level: 8, LevelIndex: 1, Pos: geom.Point{X: 25, Y: 25}, Grad: geom.Vec{X: 1}, Source: -1,
+	})
+	m := Reconstruct(reports, levels, bounds, 9, DefaultOptions())
+	checkMapSane(t, m, levels)
+	if m.ClassifyPoint(geom.Point{X: 25, Y: 40}) < 1 {
+		t.Error("partial map lost the fully-reported first level")
+	}
+}
+
+// TestDegenerateCollinearAndCoincidentReports feeds the reconstruction
+// geometry its worst cases: all report sites on one line (degenerate
+// Voronoi), and exact duplicates of a single site.
+func TestDegenerateCollinearAndCoincidentReports(t *testing.T) {
+	bounds := geom.Rect(0, 0, 50, 50)
+	levels := levels682()
+	var collinear []core.Report
+	for i := 0; i < 8; i++ {
+		collinear = append(collinear, core.Report{
+			Level: 6, LevelIndex: 0,
+			Pos:    geom.Point{X: 5 + 5*float64(i), Y: 20},
+			Grad:   geom.Vec{Y: 1},
+			Source: -1,
+		})
+	}
+	checkMapSane(t, Reconstruct(collinear, levels, bounds, 5, DefaultOptions()), levels)
+
+	coincident := make([]core.Report, 6)
+	for i := range coincident {
+		coincident[i] = core.Report{
+			Level: 6, LevelIndex: 0,
+			Pos:    geom.Point{X: 25, Y: 25},
+			Grad:   geom.Vec{X: 1},
+			Source: -1,
+		}
+	}
+	checkMapSane(t, Reconstruct(coincident, levels, bounds, 5, DefaultOptions()), levels)
+}
+
+// TestReconstructSurvivesSeededFaultPlans is the property test of the
+// graceful-degradation satellite: for many seeded fault plans, subsample
+// the delivered reports (channel loss), corrupt and duplicate the rest
+// (sink mangling), and reconstruct — whatever survives, the sink must
+// produce a bounded map without panicking.
+func TestReconstructSurvivesSeededFaultPlans(t *testing.T) {
+	bounds := geom.Rect(0, 0, 50, 50)
+	levels := levels682()
+	var full []core.Report
+	for li := 0; li < levels.Count(); li++ {
+		full = append(full, circleReports(geom.Point{X: 25, Y: 25}, 18-4*float64(li), 16, li, levels.Values()[li])...)
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		plan, err := faults.New(faults.Config{
+			Seed: seed, CorruptRate: 0.3, DuplicateRate: 0.2,
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Seeded subsampling stands in for channel loss: keep each report
+		// with probability shrinking as the seed grows, down to nothing.
+		rng := rand.New(rand.NewSource(seed))
+		keepProb := 1 - float64(seed)/49
+		var survived []core.Report
+		for _, r := range full {
+			if rng.Float64() < keepProb {
+				survived = append(survived, r)
+			}
+		}
+		delivered := plan.MangleSinkReports(survived, bounds)
+		m := Reconstruct(delivered, levels, bounds, 5, DefaultOptions())
+		checkMapSane(t, m, levels)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"isomap/internal/core"
+	"isomap/internal/faults"
 	"isomap/internal/field"
 	"isomap/internal/geom"
+	"isomap/internal/metrics"
 	"isomap/internal/network"
 	"isomap/internal/routing"
 )
@@ -39,6 +41,22 @@ type RoundResult struct {
 	TotalSeconds   float64
 	// Radio exposes the link-layer statistics.
 	Radio RadioStats
+	// ReplyDrops and ReportDrops split Radio.Drops by phase: probe
+	// replies abandoned during measurement vs report batches abandoned
+	// during collection.
+	ReplyDrops  int
+	ReportDrops int
+	// Crashed counts nodes killed mid-round by the fault plan.
+	Crashed int
+	// Repairs counts successful re-parenting events: a node whose parent
+	// went silent re-attached to a surviving lower-level neighbor.
+	Repairs int
+	// Severed counts nodes left with no alive upward neighbor after
+	// their parent died — their queued reports are lost.
+	Severed int
+	// Counters holds the physical per-node tx/rx/ops charges of the
+	// round (retries and acks included).
+	Counters *metrics.Counters
 }
 
 // RunFullRound executes an entire Iso-Map round on the discrete-event
@@ -54,17 +72,44 @@ type RoundResult struct {
 // and flushes its report once its reply-collection window closes — as a
 // real deployment would, with no global clock.
 func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig) (*RoundResult, error) {
+	return RunFullRoundFaults(tree, f, q, fc, cfg, nil)
+}
+
+// RunFullRoundFaults is RunFullRound under an injected fault plan: the
+// plan's channel model erases receptions per link, its crash schedule
+// kills nodes mid-round, and its sink model corrupts/duplicates delivered
+// reports. The round degrades instead of wedging: a node whose parent
+// goes silent — detected when a report batch toward it exhausts its
+// retries or deadline — re-parents onto its best surviving lower-level
+// neighbor (routing.Tree.BestAliveParent) and re-queues the batch, so a
+// crashed relay black-holes nothing but its own queue. A nil or empty
+// plan leaves every code path untouched: the round is bit-identical to
+// RunFullRound. Plans are stateful; pass a fresh one per round.
+func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("desim: nil routing tree")
 	}
 	nw := tree.Network()
 	nw.Sense(f)
 	eng := NewEngine()
-	radio, err := NewRadio(eng, nw, cfg, nil)
+	counters := metrics.NewCounters(nw.Len())
+	radio, err := NewRadio(eng, nw, cfg, counters)
 	if err != nil {
 		return nil, err
 	}
-	res := &RoundResult{}
+	if plan.HasChannel() {
+		radio.SetChannel(plan.Lose)
+	}
+	res := &RoundResult{Counters: counters}
+	for _, c := range plan.Crashes() {
+		crash := c
+		eng.ScheduleAt(crash.Time, func() {
+			if nw.Alive(crash.Node) {
+				radio.Crash(crash.Node)
+				res.Crashed++
+			}
+		})
+	}
 
 	// Windows (in seconds) shaping the round: how long a node listens for
 	// probe replies before regressing, and the convergecast batching
@@ -118,13 +163,16 @@ func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.Filte
 		return fresh
 	}
 
-	forward := func(from network.NodeID, batch []core.Report) {}
-	forward = func(from network.NodeID, batch []core.Report) {
-		if len(batch) == 0 {
-			return
-		}
-		parent := tree.Parent(from)
-		if parent < 0 {
+	// parentOf is the round's mutable routing state, seeded from the BFS
+	// tree; route repair rewrites an entry when its parent goes silent.
+	parentOf := make([]network.NodeID, nw.Len())
+	for i := range parentOf {
+		parentOf[i] = tree.Parent(network.NodeID(i))
+	}
+	severed := make(map[network.NodeID]bool)
+
+	forward := func(from network.NodeID, batch []core.Report) {
+		if len(batch) == 0 || parentOf[from] < 0 {
 			return
 		}
 		outbox[from] = append(outbox[from], batch...)
@@ -137,21 +185,50 @@ func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.Filte
 			flushArmed[from] = false
 			pending := outbox[from]
 			delete(outbox, from)
-			if len(pending) == 0 {
+			if len(pending) == 0 || !nw.Alive(from) {
 				return
+			}
+			parent := parentOf[from]
+			if !nw.Alive(parent) {
+				// Route repair: re-attach to the best surviving
+				// lower-level neighbor instead of black-holing the
+				// subtree behind a dead parent.
+				np, ok := tree.BestAliveParent(from)
+				if !ok {
+					if !severed[from] {
+						severed[from] = true
+						res.Severed++
+					}
+					return
+				}
+				parentOf[from] = np
+				parent = np
+				res.Repairs++
 			}
 			_ = radio.Send(from, parent, core.ReportBytes*len(pending), pending)
 		})
 	}
 	radio.OnDrop(func(fr Frame) {
-		if batch, ok := fr.Payload.([]core.Report); ok {
+		switch batch := fr.Payload.(type) {
+		case []core.Report:
+			res.ReportDrops++
+			// Transport recovery: re-queue the batch exactly once per
+			// drop after a pause; the flush path re-parents when the
+			// silent parent turns out to be dead.
 			eng.Schedule(32*cfg.SlotTime, func() { forward(fr.From, batch) })
+		case replyPayload:
+			// Probe replies are not recovered: the asker regresses over
+			// whatever samples survive its reply window.
+			res.ReplyDrops++
 		}
 	})
 
 	// measure runs Definition 3.1 + regression once a node's reply window
 	// closes, then injects the reports into the convergecast.
 	measure := func(id network.NodeID) {
+		if !nw.Alive(id) {
+			return // crashed after probing
+		}
 		node := nw.Node(id)
 		levels := q.Levels.Values()
 		var matched []int
@@ -264,5 +341,6 @@ func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.Filte
 
 	res.TotalSeconds = eng.Run()
 	res.Radio = radio.Stats
+	res.Delivered = plan.MangleSinkReports(res.Delivered, field.BoundsRect(f))
 	return res, nil
 }

@@ -20,6 +20,12 @@ type RadioConfig struct {
 	SlotTime float64
 	// MaxRetries bounds retransmissions per frame before it is dropped.
 	MaxRetries int
+	// FrameDeadline, when positive, abandons a data frame once it has
+	// been pending longer than this many seconds — even with retries
+	// left — so sustained outages (a crashed parent, a long loss burst)
+	// surface as a bounded-latency drop the upper layer can react to
+	// instead of an open-ended retry tail. Zero disables the deadline.
+	FrameDeadline float64
 	// Seed drives the backoff jitter.
 	Seed int64
 }
@@ -46,6 +52,9 @@ type Frame struct {
 	isAck   bool
 	ackFor  int64
 	retries int
+	// deadline is the absolute time past which the frame is abandoned
+	// (0 = none); set from RadioConfig.FrameDeadline at Send time.
+	deadline float64
 }
 
 // RadioStats counts link-layer happenings.
@@ -56,8 +65,12 @@ type RadioStats struct {
 	Retries int
 	// Collisions counts receptions corrupted by overlap.
 	Collisions int
-	// Drops counts data frames abandoned after MaxRetries.
+	// Drops counts data frames abandoned after MaxRetries or past their
+	// frame deadline.
 	Drops int
+	// ChannelLosses counts receptions erased by the injected channel
+	// model (independent of collisions).
+	ChannelLosses int
 	// Delivered counts data frames handed to their destination exactly
 	// once (duplicates from lost acks are filtered).
 	Delivered int
@@ -83,9 +96,14 @@ type Radio struct {
 
 	// trace, when set, receives a line per link-layer event (tests only).
 	trace func(string)
-	// onDrop, when set, receives data frames abandoned after MaxRetries,
-	// so an upper layer can re-queue their payload.
+	// onDrop, when set, receives data frames abandoned after MaxRetries
+	// or past their deadline, so an upper layer can re-queue their
+	// payload.
 	onDrop func(Frame)
+	// channel, when set, decides per reception whether the channel
+	// erases the frame on the directed link from->to; losses are drawn
+	// before (and independently of) the collision model.
+	channel func(from, to network.NodeID) bool
 }
 
 type radioState struct {
@@ -134,9 +152,36 @@ func (r *Radio) OnReceive(id network.NodeID, fn func(Frame)) {
 }
 
 // OnDrop registers the upper-layer handler invoked when a data frame is
-// abandoned after exhausting its retries.
+// abandoned after exhausting its retries or its deadline.
 func (r *Radio) OnDrop(fn func(Frame)) {
 	r.onDrop = fn
+}
+
+// SetChannel installs a per-link loss model (e.g. faults.Plan.Lose): it
+// is consulted once per potential reception, and a true return erases the
+// frame on that link before it reaches the receiver — modeling channel
+// errors the CRC catches, independent of the collision model. Acks and
+// broadcasts traverse the channel too.
+func (r *Radio) SetChannel(ch func(from, to network.NodeID) bool) {
+	r.channel = ch
+}
+
+// Crash kills a node mid-simulation: its Failed mark is set, any ongoing
+// reception is voided, and every later transmit/receive path checks
+// liveness, so the node stops transmitting, receiving and forwarding
+// instantly. Data frames it still has pending are abandoned silently at
+// their next attempt (a dead node cannot re-queue), while frames other
+// nodes have pending toward it run out of retries and surface through
+// OnDrop — which is how upper layers detect the silence.
+func (r *Radio) Crash(id network.NodeID) {
+	if !r.nw.Alive(id) {
+		return
+	}
+	r.nw.Node(id).Failed = true
+	st := &r.states[id]
+	st.rxActive = false
+	st.rxCorrupted = false
+	st.txUntil = 0
 }
 
 // Broadcast queues an unacknowledged local broadcast: the frame is
@@ -183,6 +228,9 @@ func (r *Radio) Send(from, to network.NodeID, bytes int, payload any) error {
 	}
 	r.seq++
 	f := &Frame{From: from, To: to, Bytes: bytes, Payload: payload, seq: r.seq}
+	if r.cfg.FrameDeadline > 0 {
+		f.deadline = r.eng.Now() + r.cfg.FrameDeadline
+	}
 	r.pending[f.seq] = f
 	r.Stats.DataSent++
 	r.attempt(f)
@@ -215,6 +263,14 @@ func (r *Radio) attempt(f *Frame) {
 	if _, alive := r.pending[f.seq]; !alive {
 		return // acked while backing off
 	}
+	if !r.nw.Alive(f.From) {
+		delete(r.pending, f.seq) // sender crashed: the frame dies with it
+		return
+	}
+	if r.expired(f) {
+		r.drop(f)
+		return
+	}
 	if r.mediumBusy(f.From) {
 		r.backoff(f)
 		return
@@ -229,17 +285,27 @@ func (r *Radio) attempt(f *Frame) {
 			return // acked
 		}
 		pf.retries++
-		if pf.retries > r.cfg.MaxRetries {
-			delete(r.pending, seq)
-			r.Stats.Drops++
-			if r.onDrop != nil {
-				r.onDrop(*pf)
-			}
+		if pf.retries > r.cfg.MaxRetries || r.expired(pf) {
+			r.drop(pf)
 			return
 		}
 		r.Stats.Retries++
 		r.backoff(pf)
 	})
+}
+
+// expired reports whether a frame has outlived its per-frame deadline.
+func (r *Radio) expired(f *Frame) bool {
+	return f.deadline > 0 && r.eng.Now() >= f.deadline
+}
+
+// drop abandons a pending data frame and notifies the upper layer.
+func (r *Radio) drop(f *Frame) {
+	delete(r.pending, f.seq)
+	r.Stats.Drops++
+	if r.onDrop != nil {
+		r.onDrop(*f)
+	}
 }
 
 // backoff reschedules a frame after a binary-exponential random delay.
@@ -257,8 +323,12 @@ func minInt(a, b int) int {
 }
 
 // transmit puts a frame on the air: the sender is busy for the airtime and
-// the frame arrives at every alive neighbor, where it may collide.
+// the frame arrives at every alive neighbor — unless the injected channel
+// erases that reception — where it may collide.
 func (r *Radio) transmit(f Frame) {
+	if !r.nw.Alive(f.From) {
+		return // crashed between scheduling and airtime
+	}
 	now := r.eng.Now()
 	if r.trace != nil {
 		r.trace(fmtFrame("tx", f))
@@ -269,6 +339,10 @@ func (r *Radio) transmit(f Frame) {
 		r.counters.ChargeTx(f.From, f.Bytes)
 	}
 	for _, nb := range r.nw.AliveNeighbors(f.From) {
+		if r.channel != nil && r.channel(f.From, nb) {
+			r.Stats.ChannelLosses++
+			continue
+		}
 		r.arrive(nb, f, dur)
 	}
 }

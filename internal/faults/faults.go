@@ -1,0 +1,291 @@
+// Package faults is the deterministic fault-injection subsystem: a seeded
+// Plan composes per-link channel loss models (Bernoulli and bursty
+// Gilbert–Elliott), a mid-round node-crash schedule, and sink-side report
+// corruption/duplication. The paper assumes a perfect link layer
+// "through performance based routing dynamics and MAC layer
+// retransmissions" (Sec. 5); a Plan is the machinery to revoke that
+// assumption reproducibly and measure what it costs.
+//
+// Every draw a Plan makes comes from a stream derived purely from
+// (Config.Seed, consumer identity): each directed link hashes its own RNG
+// stream, the crash schedule is materialized at construction, and the
+// sink mangler has its own stream. Two Plans built from the same Config
+// therefore behave identically regardless of process, goroutine
+// interleaving or worker-pool width — a simulation replays bit for bit.
+//
+// A Plan's channel state advances as the simulation consumes it, so build
+// one Plan per simulated round; the zero value injects nothing and is
+// safe to share.
+package faults
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"isomap/internal/core"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+)
+
+// ChannelKind selects the per-link loss process.
+type ChannelKind int
+
+const (
+	// ChannelPerfect is the paper's assumption: no channel loss.
+	ChannelPerfect ChannelKind = iota
+	// ChannelBernoulli loses each reception independently with
+	// probability LossRate.
+	ChannelBernoulli
+	// ChannelGilbertElliott is the classic two-state burst-loss chain:
+	// receptions are lost while the link sits in its bad state. The chain
+	// is parameterized so the stationary loss probability is LossRate and
+	// Burstiness is the lag-one state correlation — at Burstiness 0 the
+	// state is redrawn independently every reception and the process is
+	// exactly Bernoulli(LossRate).
+	ChannelGilbertElliott
+)
+
+// Config describes a reproducible fault plan.
+type Config struct {
+	// Seed drives every stream of the plan.
+	Seed int64
+	// Channel selects the per-link loss model.
+	Channel ChannelKind
+	// LossRate is the stationary per-reception loss probability, in [0, 1).
+	LossRate float64
+	// Burstiness, in [0, 1), is the Gilbert–Elliott state persistence:
+	// the chain leaves its current state with probability scaled by
+	// (1 - Burstiness), so expected bad-state sojourns (loss bursts)
+	// stretch by 1/(1-Burstiness). Ignored by the other channel kinds.
+	Burstiness float64
+	// CrashFraction of the nodes die mid-round, at times drawn uniformly
+	// in [CrashStart, CrashEnd] (seconds of simulated time).
+	CrashFraction        float64
+	CrashStart, CrashEnd float64
+	// Protect lists nodes the crash schedule must never pick (the sink).
+	Protect []network.NodeID
+	// CorruptRate is the probability a report delivered to the sink is
+	// corrupted in place: its isoposition is replaced by a uniform point
+	// of the field and its gradient re-rotated, modeling payload damage
+	// that slipped past the frame check.
+	CorruptRate float64
+	// DuplicateRate is the probability a delivered report is duplicated
+	// at the sink, modeling transport-layer replays.
+	DuplicateRate float64
+}
+
+// Crash is one scheduled node death.
+type Crash struct {
+	Node network.NodeID
+	Time float64
+}
+
+// linkState is the channel state of one directed link.
+type linkState struct {
+	rng *rand.Rand
+	bad bool
+}
+
+// Plan is a materialized fault plan. The zero value injects no faults.
+type Plan struct {
+	cfg     Config
+	crashes []Crash
+	links   map[uint64]*linkState
+	sink    *rand.Rand
+}
+
+// New validates the config and materializes the plan (including the crash
+// schedule over a network of n nodes).
+func New(cfg Config, n int) (*Plan, error) {
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("faults: loss rate %g outside [0, 1)", cfg.LossRate)
+	}
+	if cfg.Burstiness < 0 || cfg.Burstiness >= 1 {
+		return nil, fmt.Errorf("faults: burstiness %g outside [0, 1)", cfg.Burstiness)
+	}
+	if cfg.CrashFraction < 0 || cfg.CrashFraction > 1 {
+		return nil, fmt.Errorf("faults: crash fraction %g outside [0, 1]", cfg.CrashFraction)
+	}
+	if cfg.CrashEnd < cfg.CrashStart {
+		return nil, fmt.Errorf("faults: crash window [%g, %g] inverted", cfg.CrashStart, cfg.CrashEnd)
+	}
+	if cfg.CorruptRate < 0 || cfg.CorruptRate > 1 || cfg.DuplicateRate < 0 || cfg.DuplicateRate > 1 {
+		return nil, fmt.Errorf("faults: sink rates (%g, %g) outside [0, 1]", cfg.CorruptRate, cfg.DuplicateRate)
+	}
+	p := &Plan{cfg: cfg}
+	if cfg.CrashFraction > 0 && n > 0 {
+		p.crashes = crashSchedule(cfg, n)
+	}
+	return p, nil
+}
+
+// crashSchedule picks round(fraction*n) unprotected nodes and a uniform
+// crash time per node, sorted by (time, node).
+func crashSchedule(cfg Config, n int) []Crash {
+	protected := make(map[network.NodeID]bool, len(cfg.Protect))
+	for _, id := range cfg.Protect {
+		protected[id] = true
+	}
+	target := int(math.Round(cfg.CrashFraction * float64(n)))
+	rng := rand.New(rand.NewSource(mix(uint64(cfg.Seed), 0x6372617368)))
+	var crashes []Crash
+	for _, i := range rng.Perm(n) {
+		if len(crashes) >= target {
+			break
+		}
+		if protected[network.NodeID(i)] {
+			continue
+		}
+		t := cfg.CrashStart + rng.Float64()*(cfg.CrashEnd-cfg.CrashStart)
+		crashes = append(crashes, Crash{Node: network.NodeID(i), Time: t})
+	}
+	sort.Slice(crashes, func(a, b int) bool {
+		if crashes[a].Time != crashes[b].Time {
+			return crashes[a].Time < crashes[b].Time
+		}
+		return crashes[a].Node < crashes[b].Node
+	})
+	return crashes
+}
+
+// Empty reports whether the plan injects nothing, so consumers can skip
+// installing hooks entirely and stay on the exact fault-free code path.
+func (p *Plan) Empty() bool {
+	return p == nil || (!p.HasChannel() && len(p.crashes) == 0 &&
+		p.cfg.CorruptRate == 0 && p.cfg.DuplicateRate == 0)
+}
+
+// HasChannel reports whether the plan carries a lossy channel model.
+func (p *Plan) HasChannel() bool {
+	return p != nil && p.cfg.Channel != ChannelPerfect && p.cfg.LossRate > 0
+}
+
+// Crashes returns the crash schedule, sorted by time.
+func (p *Plan) Crashes() []Crash {
+	if p == nil {
+		return nil
+	}
+	return p.crashes
+}
+
+// Lose draws the channel for one reception on the directed link from->to,
+// returning true when the frame is erased. Each link evolves its own
+// seeded stream, so the draw sequence depends only on the order of
+// receptions on that link.
+func (p *Plan) Lose(from, to network.NodeID) bool {
+	if !p.HasChannel() {
+		return false
+	}
+	st := p.linkStateFor(from, to)
+	switch p.cfg.Channel {
+	case ChannelBernoulli:
+		return st.rng.Float64() < p.cfg.LossRate
+	case ChannelGilbertElliott:
+		lost := st.bad
+		// Leave-state probabilities scaled by (1 - burstiness): at
+		// burstiness 0 the next state is stationary-independent of the
+		// current one, i.e. Bernoulli(LossRate).
+		if st.bad {
+			if st.rng.Float64() < (1-p.cfg.LossRate)*(1-p.cfg.Burstiness) {
+				st.bad = false
+			}
+		} else {
+			if st.rng.Float64() < p.cfg.LossRate*(1-p.cfg.Burstiness) {
+				st.bad = true
+			}
+		}
+		return lost
+	}
+	return false
+}
+
+// linkStateFor lazily creates the per-link stream; the Gilbert–Elliott
+// start state is drawn from the stationary distribution.
+func (p *Plan) linkStateFor(from, to network.NodeID) *linkState {
+	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	if st, ok := p.links[key]; ok {
+		return st
+	}
+	if p.links == nil {
+		p.links = make(map[uint64]*linkState)
+	}
+	st := &linkState{rng: rand.New(rand.NewSource(mix(uint64(p.cfg.Seed), key)))}
+	if p.cfg.Channel == ChannelGilbertElliott {
+		st.bad = st.rng.Float64() < p.cfg.LossRate
+	}
+	p.links[key] = st
+	return st
+}
+
+// MangleSinkReports applies the sink-side corruption and duplication model
+// to the round's delivered reports, in order. With both rates zero the
+// input slice is returned untouched. bounds is the field rectangle the
+// corrupted isopositions are drawn from.
+func (p *Plan) MangleSinkReports(reports []core.Report, bounds geom.Polygon) []core.Report {
+	if p == nil || (p.cfg.CorruptRate == 0 && p.cfg.DuplicateRate == 0) || len(reports) == 0 {
+		return reports
+	}
+	if p.sink == nil {
+		p.sink = rand.New(rand.NewSource(mix(uint64(p.cfg.Seed), 0x73696e6b)))
+	}
+	x0, y0, x1, y1 := bounds.BoundingBox()
+	out := make([]core.Report, 0, len(reports))
+	for _, r := range reports {
+		if p.cfg.CorruptRate > 0 && p.sink.Float64() < p.cfg.CorruptRate {
+			r.Pos = geom.Point{
+				X: x0 + p.sink.Float64()*(x1-x0),
+				Y: y0 + p.sink.Float64()*(y1-y0),
+			}
+			theta := p.sink.Float64() * 2 * math.Pi
+			r.Grad = geom.Vec{X: math.Cos(theta), Y: math.Sin(theta)}
+		}
+		out = append(out, r)
+		if p.cfg.DuplicateRate > 0 && p.sink.Float64() < p.cfg.DuplicateRate {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Signature serializes everything that determines the plan's behavior —
+// the config, the materialized crash schedule and the per-link stream
+// seeds are all pure functions of it — without consuming any stream
+// state. Plans built from equal configs have byte-identical signatures.
+func (p *Plan) Signature() []byte {
+	var b []byte
+	put := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	putF := func(v float64) { put(math.Float64bits(v)) }
+	if p == nil {
+		return []byte{0}
+	}
+	put(uint64(p.cfg.Seed))
+	put(uint64(p.cfg.Channel))
+	putF(p.cfg.LossRate)
+	putF(p.cfg.Burstiness)
+	putF(p.cfg.CrashFraction)
+	putF(p.cfg.CrashStart)
+	putF(p.cfg.CrashEnd)
+	putF(p.cfg.CorruptRate)
+	putF(p.cfg.DuplicateRate)
+	for _, id := range p.cfg.Protect {
+		put(uint64(uint32(id)))
+	}
+	for _, c := range p.crashes {
+		put(uint64(uint32(c.Node)))
+		putF(c.Time)
+	}
+	return b
+}
+
+// mix is splitmix64 over the xor of seed and salt: cheap, well-spread
+// stream separation for the per-consumer RNGs.
+func mix(seed, salt uint64) int64 {
+	z := seed ^ salt ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}

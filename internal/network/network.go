@@ -249,8 +249,24 @@ func (nw *Network) AverageDegree() float64 {
 // seed. Already-failed nodes count toward the target, so repeated calls
 // with growing fractions are monotone.
 func (nw *Network) FailFraction(fraction float64, seed int64) {
+	nw.FailFractionExcluding(fraction, seed)
+}
+
+// FailFractionExcluding is FailFraction with a protected set: the nodes
+// in keep are never failed, no matter what the permutation draws. The
+// target count and the permutation are identical to FailFraction's for
+// the same arguments, so protecting nodes the draw would not have hit
+// anyway changes nothing. Use it to kill relays while guaranteeing the
+// sink (or another essential node) survives, instead of un-failing it
+// after the fact — which would silently lower the failed fraction drawn
+// from the rest.
+func (nw *Network) FailFractionExcluding(fraction float64, seed int64, keep ...NodeID) {
 	if fraction <= 0 {
 		return
+	}
+	protected := make(map[NodeID]bool, len(keep))
+	for _, id := range keep {
+		protected[id] = true
 	}
 	target := int(math.Round(fraction * float64(len(nw.nodes))))
 	failed := 0
@@ -265,7 +281,7 @@ func (nw *Network) FailFraction(fraction float64, seed int64) {
 		if failed >= target {
 			break
 		}
-		if !nw.nodes[i].Failed {
+		if !nw.nodes[i].Failed && !protected[NodeID(i)] {
 			nw.nodes[i].Failed = true
 			failed++
 		}

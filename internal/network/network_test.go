@@ -216,6 +216,56 @@ func TestFailFraction(t *testing.T) {
 	nw.FailFraction(-1, 1)
 }
 
+func TestFailFractionExcluding(t *testing.T) {
+	f := testField()
+	// Find nodes the unprotected draw would kill, then protect them: the
+	// full failure count must still be reached, from other nodes.
+	nw, err := DeployUniform(1000, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.FailFraction(0.3, 99)
+	var keep []NodeID
+	for _, n := range nw.Nodes() {
+		if n.Failed {
+			keep = append(keep, n.ID)
+			if len(keep) == 5 {
+				break
+			}
+		}
+	}
+	nw2, err := DeployUniform(1000, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw2.FailFractionExcluding(0.3, 99, keep...)
+	failed := 0
+	for _, n := range nw2.Nodes() {
+		if n.Failed {
+			failed++
+		}
+	}
+	if failed != 300 {
+		t.Errorf("failed = %d, want 300 despite protected nodes", failed)
+	}
+	for _, id := range keep {
+		if nw2.Node(id).Failed {
+			t.Errorf("protected node %d failed", id)
+		}
+	}
+	// With no protected nodes the draw is identical to FailFraction's.
+	nw3, err := DeployUniform(1000, f, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw3.FailFractionExcluding(0.3, 99)
+	for i, n := range nw.Nodes() {
+		if n.Failed != nw3.Nodes()[i].Failed {
+			t.Fatalf("node %d: FailFractionExcluding with no keeps diverged from FailFraction", i)
+		}
+	}
+}
+
 func TestFailFractionDeterministic(t *testing.T) {
 	f := testField()
 	kill := func() map[int]bool {

@@ -31,10 +31,8 @@ func TestTreeRoutesAroundFailedRelays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Kill all the sink's current tree children except one... actually,
-	// kill a random 10% that excludes the sink.
-	nw.FailFraction(0.1, 3)
-	nw.Node(sink).Failed = false
+	// Kill a random 10% that excludes the sink.
+	nw.FailFractionExcluding(0.1, 3, sink)
 	after, err := NewTree(nw, sink)
 	if err != nil {
 		t.Fatal(err)

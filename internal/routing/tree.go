@@ -131,6 +131,34 @@ func (t *Tree) Children(id network.NodeID) []network.NodeID {
 // diameter in hops used by Figs. 14-16.
 func (t *Tree) MaxLevel() int { return t.maxLevel }
 
+// BestAliveParent returns the alive neighbor of id with the smallest BFS
+// level strictly below id's own (lowest ID on ties): the natural repair
+// parent when id's tree parent goes silent mid-round. Because the levels
+// are the hop distances frozen at NewTree, every repaired hop strictly
+// decreases the frozen level, so repair can never introduce a routing
+// cycle. ok is false when no alive upward neighbor survives — id's
+// subtree is severed from the sink.
+func (t *Tree) BestAliveParent(id network.NodeID) (network.NodeID, bool) {
+	if !t.Reachable(id) || t.level[id] <= 0 {
+		return -1, false
+	}
+	best := network.NodeID(-1)
+	bestLevel := t.level[id]
+	for _, nb := range t.nw.AliveNeighbors(id) {
+		l := t.level[nb]
+		if l < 0 || l >= t.level[id] {
+			continue
+		}
+		if best < 0 || l < bestLevel || (l == bestLevel && nb < best) {
+			best, bestLevel = nb, l
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	return best, true
+}
+
 // PathToSink returns the node sequence from id (inclusive) to the root
 // (inclusive), or nil when id is unreachable.
 func (t *Tree) PathToSink(id network.NodeID) []network.NodeID {
