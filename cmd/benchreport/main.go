@@ -13,9 +13,16 @@
 // ratio, retry/energy overhead and map fidelity against the fault-free
 // round. -smoke shrinks the sweep to a single cell and one seed for CI.
 //
+// -kind desim (emitting BENCH_DESIM.json) measures the discrete-event
+// core: full packet-level rounds at n = 1k/4k/16k on the production
+// typed-event Engine vs the EngineNaive closure-per-event reference
+// (throughput, events/sec, ns/event, allocs/op, peak queue depth), plus
+// the isolated scheduler push/pop microbenchmark. -smoke shrinks it to
+// the 1k cell for CI.
+//
 // Usage:
 //
-//	benchreport [-kind recon|faults] [-out FILE] [-maxk 2048]
+//	benchreport [-kind recon|faults|desim] [-out FILE] [-maxk 2048]
 //	            [-runs 3] [-smoke] [-parallel N]
 package main
 
@@ -31,8 +38,11 @@ import (
 
 	"isomap/internal/contour"
 	"isomap/internal/core"
+	"isomap/internal/desim"
 	"isomap/internal/field"
 	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/routing"
 	"isomap/internal/sim"
 )
 
@@ -80,8 +90,10 @@ func run() error {
 		return runRecon(*out, *maxK)
 	case "faults":
 		return runFaults(*out, *runs, *smoke, *parallel)
+	case "desim":
+		return runDesim(*out, *smoke)
 	default:
-		return fmt.Errorf("unknown -kind %q (want recon or faults)", *kind)
+		return fmt.Errorf("unknown -kind %q (want recon, faults or desim)", *kind)
 	}
 }
 
@@ -114,6 +126,127 @@ func runFaults(out string, runs int, smoke bool, parallel int) error {
 	if out == "" {
 		out = "BENCH_FAULTS.json"
 	}
+	return writeJSON(out, rep)
+}
+
+// desimEntry is one measurement of the discrete-event core. Naive fields
+// are present only where the EngineNaive reference was run on the same
+// workload; Speedup is naive/engine ns, AllocRatio naive/engine allocs.
+type desimEntry struct {
+	Benchmark      string  `json:"benchmark"`
+	N              int     `json:"n,omitempty"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	Events         int64   `json:"events,omitempty"`
+	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
+	NsPerEvent     float64 `json:"ns_per_event,omitempty"`
+	PeakQueueDepth int     `json:"peak_queue_depth,omitempty"`
+	NaiveNs        float64 `json:"naive_ns_per_op,omitempty"`
+	NaiveAllocs    int64   `json:"naive_allocs_per_op,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	AllocRatio     float64 `json:"alloc_ratio,omitempty"`
+}
+
+// desimReport is the BENCH_DESIM.json document.
+type desimReport struct {
+	Generator  string       `json:"generator"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []desimEntry `json:"results"`
+}
+
+func runDesim(out string, smoke bool) error {
+	if out == "" {
+		out = "BENCH_DESIM.json"
+	}
+	sizes := []int{1000, 4000, 16000}
+	naiveSizes := map[int]bool{1000: true, 4000: true}
+	if smoke {
+		sizes = []int{1000}
+	}
+	rep := desimReport{
+		Generator:  "cmd/benchreport -kind desim",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	fc := core.DefaultFilterConfig()
+	cfg := desim.DefaultRadioConfig()
+	for _, n := range sizes {
+		// Same deployment as BenchmarkFullRound: radio range scaled to keep
+		// the graph connected at any density, sink at the centroid.
+		nw, err := network.DeployUniform(n, f, 1.5*50/math.Sqrt(float64(n)), 4)
+		if err != nil {
+			return err
+		}
+		sink, err := nw.NearestNode(nw.Bounds().Centroid())
+		if err != nil {
+			return err
+		}
+		tree, err := routing.NewTree(nw, sink)
+		if err != nil {
+			return err
+		}
+		q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+		if err != nil {
+			return err
+		}
+
+		// One instrumented round for the event count and peak queue depth.
+		eng := desim.NewEngine()
+		probe, err := desim.RunFullRoundEngine(eng, tree, f, q, fc, cfg)
+		if err != nil {
+			return err
+		}
+		if len(probe.Delivered) == 0 {
+			return fmt.Errorf("desim bench: n=%d round delivered nothing", n)
+		}
+
+		e := desimEntry{
+			Benchmark:      "FullRound",
+			N:              n,
+			Events:         probe.Events,
+			PeakQueueDepth: eng.MaxQueueDepth(),
+		}
+		e.NsPerOp, e.AllocsPerOp = measureAllocs(func() {
+			if _, err := desim.RunFullRound(tree, f, q, fc, cfg); err != nil {
+				panic(err)
+			}
+		})
+		e.NsPerEvent = e.NsPerOp / float64(probe.Events)
+		e.EventsPerSec = float64(probe.Events) / (e.NsPerOp / 1e9)
+		if naiveSizes[n] {
+			e.NaiveNs, e.NaiveAllocs = measureAllocs(func() {
+				if _, err := desim.RunFullRoundEngine(desim.NewEngineNaive(), tree, f, q, fc, cfg); err != nil {
+					panic(err)
+				}
+			})
+			e.Speedup = math.Round(e.NaiveNs/e.NsPerOp*100) / 100
+			e.AllocRatio = math.Round(float64(e.NaiveAllocs)/float64(e.AllocsPerOp)*100) / 100
+		}
+		rep.Results = append(rep.Results, e)
+		fmt.Fprintf(os.Stderr, "benchreport: desim n=%d done\n", n)
+	}
+
+	// Isolated scheduler: bursts of 1024 typed events pushed with scattered
+	// timestamps and drained (the BenchmarkEngineSchedule workload).
+	sched := desimEntry{Benchmark: "EngineSchedule"}
+	{
+		eng := desim.NewEngine()
+		eng.SetHandler(func(desim.Event) {})
+		const burst = 1024
+		i := 0
+		sched.NsPerOp, sched.AllocsPerOp = measureAllocs(func() {
+			for j := 0; j < burst; j++ {
+				eng.ScheduleEvent(float64(i*509%burst)*1e-4, desim.Event{Seq: int64(i)})
+				i++
+			}
+			eng.Run()
+		})
+		sched.NsPerOp /= burst // per event, not per burst
+		sched.NsPerEvent = sched.NsPerOp
+		sched.EventsPerSec = 1e9 / sched.NsPerEvent
+	}
+	rep.Results = append(rep.Results, sched)
+
 	return writeJSON(out, rep)
 }
 
@@ -182,6 +315,17 @@ func measure(fn func()) float64 {
 		}
 	})
 	return float64(r.NsPerOp())
+}
+
+// measureAllocs times fn and reports its heap allocations per op.
+func measureAllocs(fn func()) (nsPerOp float64, allocsPerOp int64) {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return float64(r.NsPerOp()), r.AllocsPerOp()
 }
 
 func withSpeedup(e entry) entry {

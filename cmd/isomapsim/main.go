@@ -10,6 +10,12 @@
 //	          [-pgm out.pgm] [-trace depth.txt]
 //	          [-protocol isomap|tinydb|inlr|escan|suppress]
 //	          [-packet] [-loss 0.0] [-burst 0.0] [-crashfrac 0.0]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the heap
+// profile is captured at exit, after a final GC), so a single large round
+// — e.g. -nodes 16000 -packet — can be inspected with `go tool pprof`
+// without instrumenting the code.
 //
 // With -packet the round additionally executes on the packet-level
 // CSMA/CA engine (query flood, neighborhood probes, filtered
@@ -24,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"isomap/internal/baseline/tinydb"
 	"isomap/internal/contour"
@@ -63,8 +71,35 @@ func run() error {
 		loss      = flag.Float64("loss", 0, "packet round: channel loss rate in [0, 1)")
 		burst     = flag.Float64("burst", 0, "packet round: channel burstiness in [0, 1) (Gilbert–Elliott)")
 		crashfrac = flag.Float64("crashfrac", 0, "packet round: fraction of nodes crashing mid-round")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "isomapsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "isomapsim: memprofile:", err)
+			}
+		}()
+	}
 
 	var traceField field.Field
 	if *trace != "" {

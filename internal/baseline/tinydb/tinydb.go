@@ -123,7 +123,7 @@ func (res *Result) nearestKnown(r, c int) (float64, bool) {
 		count := 0
 		for dr := -radius; dr <= radius; dr++ {
 			for dc := -radius; dc <= radius; dc++ {
-				if maxAbs(dr, dc) != radius {
+				if max(abs(dr), abs(dc)) != radius {
 					continue
 				}
 				rr, cc := r+dr, c+dc
@@ -141,17 +141,11 @@ func (res *Result) nearestKnown(r, c int) (float64, bool) {
 	return 0, false
 }
 
-func maxAbs(a, b int) int {
+func abs(a int) int {
 	if a < 0 {
-		a = -a
+		return -a
 	}
-	if b < 0 {
-		b = -b
-	}
-	if a > b {
-		return a
-	}
-	return b
+	return a
 }
 
 // ValueAt returns the sink's estimate of the attribute value at p: the

@@ -20,9 +20,9 @@ func TestRadioChannelLossDropsAfterRetries(t *testing.T) {
 	}
 	r.SetChannel(func(from, to network.NodeID) bool { return from == 0 && to == 1 })
 	got, dropped := 0, 0
-	r.OnReceive(1, func(f Frame) { got++ })
+	r.OnReceive(1, func(network.NodeID, Frame) { got++ })
 	r.OnDrop(func(f Frame) { dropped++ })
-	if err := r.Send(0, 1, 16, nil); err != nil {
+	if err := r.Send(0, 1, 16); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -49,8 +49,8 @@ func TestRadioChannelLostAcksDeduplicated(t *testing.T) {
 	}
 	r.SetChannel(func(from, to network.NodeID) bool { return from == 1 && to == 0 })
 	got := 0
-	r.OnReceive(1, func(f Frame) { got++ })
-	if err := r.Send(0, 1, 16, nil); err != nil {
+	r.OnReceive(1, func(network.NodeID, Frame) { got++ })
+	if err := r.Send(0, 1, 16); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -75,7 +75,7 @@ func TestRadioFrameDeadlineBoundsRetryTail(t *testing.T) {
 	var dropAt float64
 	dropped := 0
 	r.OnDrop(func(f Frame) { dropped++; dropAt = eng.Now() })
-	if err := r.Send(0, 1, 16, nil); err != nil {
+	if err := r.Send(0, 1, 16); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -97,13 +97,13 @@ func TestRadioCrashStopsAllParticipation(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := 0
-	r.OnReceive(1, func(f Frame) { got++ })
+	r.OnReceive(1, func(network.NodeID, Frame) { got++ })
 	dropped := 0
 	r.OnDrop(func(f Frame) { dropped++ })
 	// The frame is queued while node 1 is alive; the crash lands while it
 	// is still on the air, so the reception aborts, the acks never come,
 	// and the sender's retries exhaust into a drop.
-	if err := r.Send(0, 1, 16, nil); err != nil {
+	if err := r.Send(0, 1, 16); err != nil {
 		t.Fatal(err)
 	}
 	eng.Schedule(1e-6, func() { r.Crash(1) })
@@ -118,10 +118,10 @@ func TestRadioCrashStopsAllParticipation(t *testing.T) {
 		t.Error("crashed node still alive")
 	}
 	// Once dead, the node is rejected at the Send API on both ends.
-	if err := r.Send(0, 1, 16, nil); err == nil {
+	if err := r.Send(0, 1, 16); err == nil {
 		t.Error("send toward a known-dead node should error")
 	}
-	if err := r.Send(1, 2, 16, nil); err == nil {
+	if err := r.Send(1, 2, 16); err == nil {
 		t.Error("send from a dead node should error")
 	}
 	// Crashing twice is a no-op.
@@ -151,13 +151,15 @@ func TestOnDropRequeueDeliversExactlyOnce(t *testing.T) {
 	})
 	batch := []core.Report{{Level: 6, Source: 0}}
 	got, requeues := 0, 0
-	r.OnReceive(1, func(f Frame) { got++ })
+	r.OnReceive(1, func(network.NodeID, Frame) { got++ })
 	r.OnDrop(func(f Frame) {
 		requeues++
-		payload := f.Payload
-		eng.Schedule(32*cfg.SlotTime, func() { _ = r.Send(f.From, f.To, f.Bytes, payload) })
+		// The dropped frame's batch is recycled when this handler
+		// returns: copy it before re-queueing.
+		cp := append([]core.Report(nil), f.Batch...)
+		eng.Schedule(32*cfg.SlotTime, func() { _ = r.SendReports(f.From, f.To, f.Bytes, cp) })
 	})
-	if err := r.Send(0, 1, core.ReportBytes, batch); err != nil {
+	if err := r.SendReports(0, 1, core.ReportBytes, batch); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()

@@ -12,17 +12,6 @@ import (
 	"isomap/internal/routing"
 )
 
-// queryPayload is the flooded contour query.
-type queryPayload struct{ q core.Query }
-
-// probePayload is an isoline node's neighborhood probe.
-type probePayload struct{ asker network.NodeID }
-
-// replyPayload is a neighbor's <value, position> answer to a probe.
-type replyPayload struct {
-	sample core.Sample
-}
-
 // RoundResult is the outcome of a full packet-level Iso-Map round.
 type RoundResult struct {
 	// QueryReached counts nodes that received the flooded query.
@@ -57,6 +46,8 @@ type RoundResult struct {
 	// Counters holds the physical per-node tx/rx/ops charges of the
 	// round (retries and acks included).
 	Counters *metrics.Counters
+	// Events is the number of simulator events executed.
+	Events int64
 }
 
 // RunFullRound executes an entire Iso-Map round on the discrete-event
@@ -86,12 +77,24 @@ func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.Filte
 // plan leaves every code path untouched: the round is bit-identical to
 // RunFullRound. Plans are stateful; pass a fresh one per round.
 func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
+	return RunFullRoundFaultsEngine(NewEngine(), tree, f, q, fc, cfg, plan)
+}
+
+// RunFullRoundEngine is RunFullRound on a caller-supplied scheduler.
+func RunFullRoundEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig) (*RoundResult, error) {
+	return RunFullRoundFaultsEngine(eng, tree, f, q, fc, cfg, nil)
+}
+
+// RunFullRoundFaultsEngine is RunFullRoundFaults on a caller-supplied
+// scheduler: the production Engine or the EngineNaive reference oracle.
+// Both execute the identical event sequence — the equivalence property
+// tests pin that.
+func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("desim: nil routing tree")
 	}
 	nw := tree.Network()
 	nw.Sense(f)
-	eng := NewEngine()
 	counters := metrics.NewCounters(nw.Len())
 	radio, err := NewRadio(eng, nw, cfg, counters)
 	if err != nil {
@@ -101,14 +104,9 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 		radio.SetChannel(plan.Lose)
 	}
 	res := &RoundResult{Counters: counters}
-	for _, c := range plan.Crashes() {
-		crash := c
-		eng.ScheduleAt(crash.Time, func() {
-			if nw.Alive(crash.Node) {
-				radio.Crash(crash.Node)
-				res.Crashed++
-			}
-		})
+	crashes := plan.Crashes()
+	for i := range crashes {
+		eng.ScheduleEventAt(crashes[i].Time, Event{Kind: evCrash, Arg: int32(i)})
 	}
 
 	// Windows (in seconds) shaping the round: how long a node listens for
@@ -128,18 +126,28 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 		return float64(1+h%uint64(spreadSlots)) * cfg.SlotTime
 	}
 
-	queryHeard := make([]bool, nw.Len())
-	samples := make(map[network.NodeID][]core.Sample)
-	kept := make(map[network.NodeID][]core.Report)
-	seenReports := make(map[network.NodeID]map[core.Report]bool)
-	outbox := make(map[network.NodeID][]core.Report)
-	flushArmed := make(map[network.NodeID]bool)
+	n := nw.Len()
+	queryHeard := make([]bool, n)
+	samples := make([][]core.Sample, n)
+	kept := make([][]core.Report, n)
+	seenReports := make([]map[core.Report]bool, n)
+	outbox := make([][]core.Report, n)
+	flushArmed := make([]bool, n)
+
+	// Scratch buffers reused across frames and measurements; their
+	// contents are consumed before the next call that fills them.
+	var (
+		freshScratch  []core.Report
+		matchScratch  []int
+		sampleScratch []core.Sample
+		reportScratch []core.Report
+	)
 
 	accept := func(at network.NodeID, incoming []core.Report) []core.Report {
 		if seenReports[at] == nil {
 			seenReports[at] = make(map[core.Report]bool)
 		}
-		var fresh []core.Report
+		fresh := freshScratch[:0]
 		for _, r := range incoming {
 			if seenReports[at][r] {
 				continue
@@ -160,16 +168,17 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 			kept[at] = append(kept[at], r)
 			fresh = append(fresh, r)
 		}
+		freshScratch = fresh
 		return fresh
 	}
 
 	// parentOf is the round's mutable routing state, seeded from the BFS
 	// tree; route repair rewrites an entry when its parent goes silent.
-	parentOf := make([]network.NodeID, nw.Len())
+	parentOf := make([]network.NodeID, n)
 	for i := range parentOf {
 		parentOf[i] = tree.Parent(network.NodeID(i))
 	}
-	severed := make(map[network.NodeID]bool)
+	severed := make([]bool, n)
 
 	forward := func(from network.NodeID, batch []core.Report) {
 		if len(batch) == 0 || parentOf[from] < 0 {
@@ -181,47 +190,60 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 		}
 		flushArmed[from] = true
 		delay := float64(6+int(from)%5) * cfg.SlotTime
-		eng.Schedule(delay, func() {
-			flushArmed[from] = false
-			pending := outbox[from]
-			delete(outbox, from)
-			if len(pending) == 0 || !nw.Alive(from) {
+		eng.ScheduleEvent(delay, Event{Kind: evFlush, Node: from})
+	}
+
+	// flush empties a node's outbox into one frame toward its (possibly
+	// repaired) parent; the frame rides a pooled batch copy so the outbox
+	// keeps its capacity across flushes.
+	flush := func(from network.NodeID) {
+		flushArmed[from] = false
+		pending := outbox[from]
+		outbox[from] = pending[:0]
+		if len(pending) == 0 || !nw.Alive(from) {
+			return
+		}
+		parent := parentOf[from]
+		if !nw.Alive(parent) {
+			// Route repair: re-attach to the best surviving lower-level
+			// neighbor instead of black-holing the subtree behind a dead
+			// parent.
+			np, ok := tree.BestAliveParent(from)
+			if !ok {
+				if !severed[from] {
+					severed[from] = true
+					res.Severed++
+				}
 				return
 			}
-			parent := parentOf[from]
-			if !nw.Alive(parent) {
-				// Route repair: re-attach to the best surviving
-				// lower-level neighbor instead of black-holing the
-				// subtree behind a dead parent.
-				np, ok := tree.BestAliveParent(from)
-				if !ok {
-					if !severed[from] {
-						severed[from] = true
-						res.Severed++
-					}
-					return
-				}
-				parentOf[from] = np
-				parent = np
-				res.Repairs++
-			}
-			_ = radio.Send(from, parent, core.ReportBytes*len(pending), pending)
-		})
+			parentOf[from] = np
+			parent = np
+			res.Repairs++
+		}
+		batch := append(radio.pool.get(), pending...)
+		_ = radio.SendReports(from, parent, core.ReportBytes*len(pending), batch)
 	}
+
+	var parked parkedBatches
 	radio.OnDrop(func(fr Frame) {
-		switch batch := fr.Payload.(type) {
-		case []core.Report:
+		switch fr.Kind {
+		case FrameReports:
 			res.ReportDrops++
 			// Transport recovery: re-queue the batch exactly once per
 			// drop after a pause; the flush path re-parents when the
-			// silent parent turns out to be dead.
-			eng.Schedule(32*cfg.SlotTime, func() { forward(fr.From, batch) })
-		case replyPayload:
+			// silent parent turns out to be dead. The frame's batch is
+			// recycled when this handler returns, so park a pooled copy
+			// until the re-queue event fires.
+			slot := parked.park(&radio.pool, fr.Batch)
+			eng.ScheduleEvent(32*cfg.SlotTime, Event{Kind: evRequeue, Node: fr.From, Arg: slot})
+		case FrameReply:
 			// Probe replies are not recovered: the asker regresses over
 			// whatever samples survive its reply window.
 			res.ReplyDrops++
 		}
 	})
+
+	root := tree.Root()
 
 	// measure runs Definition 3.1 + regression once a node's reply window
 	// closes, then injects the reports into the convergecast.
@@ -231,7 +253,7 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 		}
 		node := nw.Node(id)
 		levels := q.Levels.Values()
-		var matched []int
+		matched := matchScratch[:0]
 		for _, li := range q.CandidateLevels(node.Value) {
 			lambda := levels[li]
 			for _, s := range samples[id] {
@@ -241,16 +263,19 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 				}
 			}
 		}
+		matchScratch = matched
 		if len(matched) == 0 {
 			return
 		}
-		all := append([]core.Sample{{Pos: node.Pos, Value: node.Value}}, samples[id]...)
+		all := append(sampleScratch[:0], core.Sample{Pos: node.Pos, Value: node.Value})
+		all = append(all, samples[id]...)
+		sampleScratch = all
 		grad, err := core.GradientByRegression(all)
 		if err != nil || grad.Norm() <= geom.Eps {
 			return
 		}
 		res.IsolineNodes++
-		var reports []core.Report
+		reports := reportScratch[:0]
 		for _, li := range matched {
 			reports = append(reports, core.Report{
 				Level:      levels[li],
@@ -260,87 +285,104 @@ func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core
 				Source:     id,
 			})
 		}
+		reportScratch = reports
 		res.Generated += len(reports)
 		if t := eng.Now(); t > res.MeasureSeconds {
 			res.MeasureSeconds = t
 		}
 		fresh := accept(id, reports)
-		if id == tree.Root() {
+		if id == root {
 			res.Delivered = append(res.Delivered, fresh...)
 			return
 		}
 		forward(id, fresh)
 	}
 
-	// Receive handler: query flood, probes, replies and report batches.
-	for i := 0; i < nw.Len(); i++ {
-		id := network.NodeID(i)
-		if !nw.Alive(id) {
-			continue
-		}
-		nodeID := id
-		radio.OnReceive(nodeID, func(fr Frame) {
-			switch p := fr.Payload.(type) {
-			case queryPayload:
-				if queryHeard[nodeID] {
-					return
-				}
-				queryHeard[nodeID] = true
-				res.QueryReached++
-				if t := eng.Now(); t > res.QuerySeconds {
-					res.QuerySeconds = t
-				}
-				// Rebroadcast the flood once.
-				eng.Schedule(jitterFor(nodeID, 64), func() {
-					_ = radio.Broadcast(nodeID, core.QueryBytes, p)
-				})
-				// Border-region candidates probe their neighborhood.
-				if len(q.CandidateLevels(nw.Node(nodeID).Value)) == 0 {
-					return
-				}
-				eng.Schedule(probeDelay+jitterFor(nodeID+1000, 128), func() {
-					_ = radio.Broadcast(nodeID, core.ProbeBytes, probePayload{asker: nodeID})
-					eng.Schedule(replyWindow, func() { measure(nodeID) })
-				})
-			case probePayload:
-				n := nw.Node(nodeID)
-				reply := replyPayload{sample: core.Sample{Pos: n.Pos, Value: n.Value}}
-				eng.Schedule(jitterFor(nodeID+2000, 32), func() {
-					_ = radio.Send(nodeID, p.asker, core.ProbeReplyBytes, reply)
-				})
-			case replyPayload:
-				samples[nodeID] = append(samples[nodeID], p.sample)
-			case []core.Report:
-				fresh := accept(nodeID, p)
-				if nodeID == tree.Root() {
-					res.Delivered = append(res.Delivered, fresh...)
-					if len(fresh) > 0 && eng.Now() > res.CollectSeconds {
-						res.CollectSeconds = eng.Now()
-					}
-					return
-				}
-				forward(nodeID, fresh)
+	// onFrame is the receive handler every alive node shares: query
+	// flood, probes, replies and report batches.
+	onFrame := func(at network.NodeID, fr Frame) {
+		switch fr.Kind {
+		case FrameQuery:
+			if queryHeard[at] {
+				return
 			}
-		})
+			queryHeard[at] = true
+			res.QueryReached++
+			if t := eng.Now(); t > res.QuerySeconds {
+				res.QuerySeconds = t
+			}
+			// Rebroadcast the flood once.
+			eng.ScheduleEvent(jitterFor(at, 64), Event{Kind: evRebroadcast, Node: at})
+			// Border-region candidates probe their neighborhood.
+			if len(q.CandidateLevels(nw.Node(at).Value)) == 0 {
+				return
+			}
+			eng.ScheduleEvent(probeDelay+jitterFor(at+1000, 128), Event{Kind: evProbeStart, Node: at})
+		case FrameProbe:
+			eng.ScheduleEvent(jitterFor(at+2000, 32), Event{Kind: evReplySend, Node: at, Seq: int64(fr.Asker)})
+		case FrameReply:
+			samples[at] = append(samples[at], fr.Sample)
+		case FrameReports:
+			fresh := accept(at, fr.Batch)
+			if at == root {
+				res.Delivered = append(res.Delivered, fresh...)
+				if len(fresh) > 0 && eng.Now() > res.CollectSeconds {
+					res.CollectSeconds = eng.Now()
+				}
+				return
+			}
+			forward(at, fresh)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if id := network.NodeID(i); nw.Alive(id) {
+			radio.OnReceive(id, onFrame)
+		}
 	}
 
+	radio.OnEvent(func(ev Event) {
+		switch ev.Kind {
+		case evFlush:
+			flush(ev.Node)
+		case evRequeue:
+			b := parked.take(ev.Arg)
+			forward(ev.Node, b)
+			radio.pool.put(b)
+		case evRebroadcast:
+			_ = radio.BroadcastQuery(ev.Node, core.QueryBytes)
+		case evProbeStart:
+			_ = radio.BroadcastProbe(ev.Node, core.ProbeBytes, ev.Node)
+			eng.ScheduleEvent(replyWindow, Event{Kind: evMeasure, Node: ev.Node})
+		case evMeasure:
+			measure(ev.Node)
+		case evReplySend:
+			node := nw.Node(ev.Node)
+			_ = radio.SendReply(ev.Node, network.NodeID(ev.Seq), core.ProbeReplyBytes,
+				core.Sample{Pos: node.Pos, Value: node.Value})
+		case evCrash:
+			c := crashes[ev.Arg]
+			if nw.Alive(c.Node) {
+				radio.Crash(c.Node)
+				res.Crashed++
+			}
+		}
+	})
+
 	// The sink originates the query.
-	sink := tree.Root()
+	sink := root
 	queryHeard[sink] = true
 	res.QueryReached++
 	eng.Schedule(0, func() {
-		_ = radio.Broadcast(sink, core.QueryBytes, queryPayload{q: q})
+		_ = radio.BroadcastQuery(sink, core.QueryBytes)
 	})
 	// The sink itself may be an isoline node: give it the same probe path.
 	if len(q.CandidateLevels(nw.Node(sink).Value)) > 0 {
-		eng.Schedule(probeDelay, func() {
-			_ = radio.Broadcast(sink, core.ProbeBytes, probePayload{asker: sink})
-			eng.Schedule(replyWindow, func() { measure(sink) })
-		})
+		eng.ScheduleEvent(probeDelay, Event{Kind: evProbeStart, Node: sink})
 	}
 
 	res.TotalSeconds = eng.Run()
 	res.Radio = radio.Stats
+	res.Events = eng.Steps()
 	res.Delivered = plan.MangleSinkReports(res.Delivered, field.BoundsRect(f))
 	return res, nil
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"strconv"
+	"strings"
 
+	"isomap/internal/core"
 	"isomap/internal/energy"
 	"isomap/internal/metrics"
 	"isomap/internal/network"
@@ -42,16 +44,53 @@ func DefaultRadioConfig() RadioConfig {
 	}
 }
 
+// FrameKind tags the concrete payload representation a frame carries,
+// replacing the former `Payload any` box: every payload the protocols
+// exchange has a dedicated field, so handing a frame around allocates
+// nothing.
+type FrameKind uint8
+
+const (
+	// FrameRaw carries no payload semantics (link-layer tests).
+	FrameRaw FrameKind = iota
+	// FrameReports carries a report batch in Frame.Batch.
+	FrameReports
+	// FrameQuery is the flooded contour query.
+	FrameQuery
+	// FrameProbe is an isoline candidate's neighborhood probe; the
+	// probing node is Frame.Asker.
+	FrameProbe
+	// FrameReply is a neighbor's <value, position> answer to a probe in
+	// Frame.Sample.
+	FrameReply
+)
+
 // Frame is one link-layer data unit.
 type Frame struct {
-	From    network.NodeID
-	To      network.NodeID
-	Bytes   int
-	Payload any
-	seq     int64
-	isAck   bool
-	ackFor  int64
-	retries int
+	From  network.NodeID
+	To    network.NodeID
+	Bytes int
+	// Kind selects which payload field below is meaningful.
+	Kind FrameKind
+	// Batch is the report batch of FrameReports frames. The slice is
+	// owned by the radio from Send until the frame is acknowledged or
+	// dropped, then recycled into an internal pool: senders must not
+	// retain or reuse it, and OnDrop handlers that want to keep the
+	// batch past the callback must copy it.
+	Batch []core.Report
+	// Sample is the probe-reply payload of FrameReply frames.
+	Sample core.Sample
+	// Asker is the probing node of FrameProbe frames.
+	Asker network.NodeID
+
+	seq int64
+	// slot is the frame's own arena slot; receivers echo it in the ack so
+	// the sender's pending frame is found without a seq-to-slot lookup.
+	slot       int32
+	isAck      bool
+	ackFor     int64
+	ackForSlot int32
+	retries    int
 	// deadline is the absolute time past which the frame is abandoned
 	// (0 = none); set from RadioConfig.FrameDeadline at Send time.
 	deadline float64
@@ -76,20 +115,64 @@ type RadioStats struct {
 	Delivered int
 }
 
+// batchPool recycles the report-batch slices that ride FrameReports
+// frames. Batches are acquired empty at flush time, travel with the frame
+// through retransmissions, and return to the pool when the link layer is
+// done with the frame (acked, dropped, or died with a crashed sender), so
+// a steady-state convergecast reuses a small working set of slices
+// instead of allocating one per hop.
+type batchPool struct {
+	free [][]core.Report
+}
+
+// get returns an empty batch, reusing pooled capacity when available.
+func (p *batchPool) get() []core.Report {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return nil
+}
+
+// put recycles a batch's capacity. Zero-capacity slices are not worth
+// keeping.
+func (p *batchPool) put(b []core.Report) {
+	if cap(b) == 0 {
+		return
+	}
+	p.free = append(p.free, b[:0])
+}
+
 // Radio executes frame exchanges over the network's connectivity graph
 // with carrier sensing, receiver-side collisions, acknowledgements and
-// bounded retransmission.
+// bounded retransmission. In-flight frames live in an index-addressed
+// arena with a free-list, pending data frames are tracked by sequence
+// number, and all timers are typed engine events — so the steady-state
+// link layer runs without heap allocation.
 type Radio struct {
-	eng      *Engine
+	eng      EngineAPI
 	nw       *network.Network
 	cfg      RadioConfig
 	rng      *rand.Rand
 	states   []radioState
-	handlers []func(Frame)
+	handlers []func(network.NodeID, Frame)
 	seq      int64
-	pending  map[int64]*Frame // unacked data frames by seq
-	seen     []map[int64]bool // per-node delivered seqs (dedup)
+
+	// frames is the in-flight frame arena; freeSlots recycles it. A data
+	// frame owns its slot from Send until it is acked, dropped, or dies
+	// with a crashed sender; broadcast and ack frames own theirs until
+	// their single transmit event fires. Events reach a frame by slot and
+	// validate the frame's unique seq, so a recycled slot can never be
+	// acted on by a stale event.
+	frames    []Frame
+	freeSlots []int32
+	// seen holds per-node delivered seqs (dedup), allocated lazily.
+	seen     []map[int64]bool
 	counters *metrics.Counters
+	// pool recycles report batches; upper layers acquire flush batches
+	// from it and the radio returns them when frames finish.
+	pool batchPool
 
 	// Stats accumulates link-layer counts.
 	Stats RadioStats
@@ -98,8 +181,10 @@ type Radio struct {
 	trace func(string)
 	// onDrop, when set, receives data frames abandoned after MaxRetries
 	// or past their deadline, so an upper layer can re-queue their
-	// payload.
+	// payload. The frame's Batch is recycled when the handler returns.
 	onDrop func(Frame)
+	// upper receives non-link-layer typed events (see OnEvent).
+	upper func(Event)
 	// channel, when set, decides per reception whether the channel
 	// erases the frame on the directed link from->to; losses are drawn
 	// before (and independently of) the collision model.
@@ -117,8 +202,10 @@ type radioState struct {
 // NewRadio builds a radio over the network. counters may be nil; when
 // given, every physical transmission and reception (including retries and
 // acks) is charged to it, which is what separates the measured link-layer
-// energy from the structural model's perfect-link charge.
-func NewRadio(eng *Engine, nw *network.Network, cfg RadioConfig, counters *metrics.Counters) (*Radio, error) {
+// energy from the structural model's perfect-link charge. The radio
+// installs itself as the engine's typed-event handler; upper layers
+// register for their own event kinds with OnEvent.
+func NewRadio(eng EngineAPI, nw *network.Network, cfg RadioConfig, counters *metrics.Counters) (*Radio, error) {
 	if eng == nil || nw == nil {
 		return nil, fmt.Errorf("desim: nil engine or network")
 	}
@@ -134,25 +221,51 @@ func NewRadio(eng *Engine, nw *network.Network, cfg RadioConfig, counters *metri
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		states:   make([]radioState, nw.Len()),
-		handlers: make([]func(Frame), nw.Len()),
-		pending:  make(map[int64]*Frame),
+		handlers: make([]func(network.NodeID, Frame), nw.Len()),
 		seen:     make([]map[int64]bool, nw.Len()),
 		counters: counters,
 	}
-	for i := range r.seen {
-		r.seen[i] = make(map[int64]bool)
-	}
+	eng.SetHandler(r.handleEvent)
 	return r, nil
 }
 
+// handleEvent dispatches typed events: link-layer kinds are executed
+// here, everything else goes to the upper layer.
+func (r *Radio) handleEvent(ev Event) {
+	switch ev.Kind {
+	case evBroadcastAttempt:
+		r.broadcastAttempt(int32(ev.Seq), int(ev.Arg))
+	case evAttempt:
+		r.attempt(ev.Seq, ev.Arg)
+	case evAckTimeout:
+		r.ackTimeout(ev.Seq, ev.Arg)
+	case evFinishRx:
+		r.finishRx(ev.Node)
+	case evAckSend:
+		r.ackSend(int32(ev.Seq))
+	case evAckRetry:
+		r.ackRetry(int32(ev.Seq))
+	default:
+		if r.upper != nil {
+			r.upper(ev)
+		}
+	}
+}
+
+// OnEvent registers the upper-layer dispatcher for typed events the radio
+// does not consume (flushes, probes, measurements, crashes, ...).
+func (r *Radio) OnEvent(fn func(Event)) { r.upper = fn }
+
 // OnReceive registers the upper-layer handler invoked when a data frame is
-// delivered to id.
-func (r *Radio) OnReceive(id network.NodeID, fn func(Frame)) {
+// delivered to id. The handler receives the delivering node, so one
+// function value can serve every node without per-node closures.
+func (r *Radio) OnReceive(id network.NodeID, fn func(network.NodeID, Frame)) {
 	r.handlers[id] = fn
 }
 
 // OnDrop registers the upper-layer handler invoked when a data frame is
-// abandoned after exhausting its retries or its deadline.
+// abandoned after exhausting its retries or its deadline. The frame's
+// Batch is recycled after the handler returns; copy it to keep it.
 func (r *Radio) OnDrop(fn func(Frame)) {
 	r.onDrop = fn
 }
@@ -184,21 +297,63 @@ func (r *Radio) Crash(id network.NodeID) {
 	st.txUntil = 0
 }
 
+// allocFrame returns an arena slot, recycling freed ones first.
+func (r *Radio) allocFrame() int32 {
+	if n := len(r.freeSlots); n > 0 {
+		s := r.freeSlots[n-1]
+		r.freeSlots = r.freeSlots[:n-1]
+		return s
+	}
+	r.frames = append(r.frames, Frame{})
+	return int32(len(r.frames) - 1)
+}
+
+// releaseFrame clears a slot and returns it to the free-list.
+func (r *Radio) releaseFrame(slot int32) {
+	r.frames[slot] = Frame{}
+	r.freeSlots = append(r.freeSlots, slot)
+}
+
+// recycleFrame releases a data frame's slot, returning its batch to the
+// pool first.
+func (r *Radio) recycleFrame(slot int32) {
+	if b := r.frames[slot].Batch; b != nil {
+		r.pool.put(b)
+	}
+	r.releaseFrame(slot)
+}
+
 // Broadcast queues an unacknowledged local broadcast: the frame is
 // transmitted once (after carrier sensing with bounded backoff) and every
-// neighbor that receives it intact gets it delivered with To == from's
-// neighbors individually. Lost receptions are not recovered — flooding
-// protocols tolerate that through redundancy.
-func (r *Radio) Broadcast(from network.NodeID, bytes int, payload any) error {
-	if !r.nw.Alive(from) {
-		return fmt.Errorf("desim: broadcast from dead node %d", from)
+// neighbor that receives it intact gets it delivered. Lost receptions are
+// not recovered — flooding protocols tolerate that through redundancy.
+func (r *Radio) Broadcast(from network.NodeID, bytes int) error {
+	return r.broadcast(Frame{From: from, Bytes: bytes, Kind: FrameRaw})
+}
+
+// BroadcastQuery broadcasts the flooded contour query.
+func (r *Radio) BroadcastQuery(from network.NodeID, bytes int) error {
+	return r.broadcast(Frame{From: from, Bytes: bytes, Kind: FrameQuery})
+}
+
+// BroadcastProbe broadcasts an isoline candidate's neighborhood probe.
+func (r *Radio) BroadcastProbe(from network.NodeID, bytes int, asker network.NodeID) error {
+	return r.broadcast(Frame{From: from, Bytes: bytes, Kind: FrameProbe, Asker: asker})
+}
+
+func (r *Radio) broadcast(f Frame) error {
+	if !r.nw.Alive(f.From) {
+		return fmt.Errorf("desim: broadcast from dead node %d", f.From)
 	}
-	if bytes <= 0 {
-		return fmt.Errorf("desim: frame size must be positive, got %d", bytes)
+	if f.Bytes <= 0 {
+		return fmt.Errorf("desim: frame size must be positive, got %d", f.Bytes)
 	}
 	r.seq++
-	f := Frame{From: from, To: broadcastAddr, Bytes: bytes, Payload: payload, seq: r.seq}
-	r.broadcastAttempt(f, 0)
+	f.To = broadcastAddr
+	f.seq = r.seq
+	slot := r.allocFrame()
+	r.frames[slot] = f
+	r.broadcastAttempt(slot, 0)
 	return nil
 }
 
@@ -206,34 +361,55 @@ func (r *Radio) Broadcast(from network.NodeID, bytes int, payload any) error {
 const broadcastAddr network.NodeID = -2
 
 // broadcastAttempt carrier-senses and transmits a broadcast frame, backing
-// off a bounded number of times.
-func (r *Radio) broadcastAttempt(f Frame, tries int) {
+// off a bounded number of times. The frame stays parked in its arena slot
+// across backoffs; the slot is released at transmission.
+func (r *Radio) broadcastAttempt(slot int32, tries int) {
+	f := &r.frames[slot]
 	if r.mediumBusy(f.From) && tries < 16 {
-		window := float64(int(1) << uint(minInt(tries+1, 6)))
+		window := float64(int(1) << uint(min(tries+1, 6)))
 		delay := (1 + r.rng.Float64()*window) * r.cfg.SlotTime
-		r.eng.Schedule(delay, func() { r.broadcastAttempt(f, tries+1) })
+		r.eng.ScheduleEvent(delay, Event{Kind: evBroadcastAttempt, Seq: int64(slot), Arg: int32(tries + 1)})
 		return
 	}
-	r.transmit(f)
+	r.transmit(*f)
+	r.releaseFrame(slot)
 }
 
-// Send queues a data frame for transmission; delivery is attempted with
-// CSMA/CA and acknowledged retransmission.
-func (r *Radio) Send(from, to network.NodeID, bytes int, payload any) error {
-	if !r.nw.Alive(from) || !r.nw.Alive(to) {
-		return fmt.Errorf("desim: send between dead nodes %d -> %d", from, to)
+// Send queues a raw data frame for transmission; delivery is attempted
+// with CSMA/CA and acknowledged retransmission.
+func (r *Radio) Send(from, to network.NodeID, bytes int) error {
+	return r.send(Frame{From: from, To: to, Bytes: bytes, Kind: FrameRaw})
+}
+
+// SendReports queues a data frame carrying a report batch. The batch is
+// owned by the radio until the frame is acknowledged or dropped and is
+// then recycled into the radio's pool: callers must not retain it.
+func (r *Radio) SendReports(from, to network.NodeID, bytes int, batch []core.Report) error {
+	return r.send(Frame{From: from, To: to, Bytes: bytes, Kind: FrameReports, Batch: batch})
+}
+
+// SendReply queues a probe-reply data frame.
+func (r *Radio) SendReply(from, to network.NodeID, bytes int, s core.Sample) error {
+	return r.send(Frame{From: from, To: to, Bytes: bytes, Kind: FrameReply, Sample: s})
+}
+
+func (r *Radio) send(f Frame) error {
+	if !r.nw.Alive(f.From) || !r.nw.Alive(f.To) {
+		return fmt.Errorf("desim: send between dead nodes %d -> %d", f.From, f.To)
 	}
-	if bytes <= 0 {
-		return fmt.Errorf("desim: frame size must be positive, got %d", bytes)
+	if f.Bytes <= 0 {
+		return fmt.Errorf("desim: frame size must be positive, got %d", f.Bytes)
 	}
 	r.seq++
-	f := &Frame{From: from, To: to, Bytes: bytes, Payload: payload, seq: r.seq}
+	f.seq = r.seq
 	if r.cfg.FrameDeadline > 0 {
 		f.deadline = r.eng.Now() + r.cfg.FrameDeadline
 	}
-	r.pending[f.seq] = f
+	slot := r.allocFrame()
+	f.slot = slot
+	r.frames[slot] = f
 	r.Stats.DataSent++
-	r.attempt(f)
+	r.attempt(f.seq, slot)
 	return nil
 }
 
@@ -243,32 +419,35 @@ func (r *Radio) airtime(bytes int) float64 {
 }
 
 // mediumBusy reports whether id senses an ongoing transmission (its own or
-// a neighbor's).
+// an alive neighbor's). Neighbors are scanned in place — the former
+// AliveNeighbors call built a fresh slice per carrier-sense, which was the
+// single largest allocator in the engine.
 func (r *Radio) mediumBusy(id network.NodeID) bool {
 	now := r.eng.Now()
 	if r.states[id].txUntil > now {
 		return true
 	}
-	for _, nb := range r.nw.AliveNeighbors(id) {
-		if r.states[nb].txUntil > now {
+	for _, nb := range r.nw.Neighbors(id) {
+		if r.states[nb].txUntil > now && r.nw.Alive(nb) {
 			return true
 		}
 	}
 	return false
 }
 
-// attempt runs one CSMA round for a data frame: sense, back off if busy,
-// otherwise transmit and arm the ack timeout.
-func (r *Radio) attempt(f *Frame) {
-	if _, alive := r.pending[f.seq]; !alive {
-		return // acked while backing off
+// attempt runs one CSMA round for a pending data frame: sense, back off if
+// busy, otherwise transmit and arm the ack timeout.
+func (r *Radio) attempt(seq int64, slot int32) {
+	f := &r.frames[slot]
+	if f.seq != seq {
+		return // acked while backing off; the slot may have been reused
 	}
 	if !r.nw.Alive(f.From) {
-		delete(r.pending, f.seq) // sender crashed: the frame dies with it
+		r.recycleFrame(slot) // sender crashed: the frame dies with it
 		return
 	}
 	if r.expired(f) {
-		r.drop(f)
+		r.drop(slot)
 		return
 	}
 	if r.mediumBusy(f.From) {
@@ -278,20 +457,22 @@ func (r *Radio) attempt(f *Frame) {
 	r.transmit(*f)
 	// Ack timeout: data airtime + ack airtime + turnaround guard.
 	timeout := r.airtime(f.Bytes) + r.airtime(r.cfg.AckBytes) + 4*r.cfg.SlotTime
-	seq := f.seq
-	r.eng.Schedule(timeout, func() {
-		pf, alive := r.pending[seq]
-		if !alive {
-			return // acked
-		}
-		pf.retries++
-		if pf.retries > r.cfg.MaxRetries || r.expired(pf) {
-			r.drop(pf)
-			return
-		}
-		r.Stats.Retries++
-		r.backoff(pf)
-	})
+	r.eng.ScheduleEvent(timeout, Event{Kind: evAckTimeout, Seq: seq, Arg: slot})
+}
+
+// ackTimeout handles an expired ack wait: retry with backoff or give up.
+func (r *Radio) ackTimeout(seq int64, slot int32) {
+	f := &r.frames[slot]
+	if f.seq != seq {
+		return // acked
+	}
+	f.retries++
+	if f.retries > r.cfg.MaxRetries || r.expired(f) {
+		r.drop(slot)
+		return
+	}
+	r.Stats.Retries++
+	r.backoff(f)
 }
 
 // expired reports whether a frame has outlived its per-frame deadline.
@@ -299,27 +480,22 @@ func (r *Radio) expired(f *Frame) bool {
 	return f.deadline > 0 && r.eng.Now() >= f.deadline
 }
 
-// drop abandons a pending data frame and notifies the upper layer.
-func (r *Radio) drop(f *Frame) {
-	delete(r.pending, f.seq)
+// drop abandons a pending data frame, notifies the upper layer, and
+// recycles the frame's slot (and batch) afterwards.
+func (r *Radio) drop(slot int32) {
+	f := r.frames[slot]
 	r.Stats.Drops++
 	if r.onDrop != nil {
-		r.onDrop(*f)
+		r.onDrop(f)
 	}
+	r.recycleFrame(slot)
 }
 
 // backoff reschedules a frame after a binary-exponential random delay.
 func (r *Radio) backoff(f *Frame) {
-	window := 1 << uint(minInt(f.retries+1, 6))
+	window := 1 << uint(min(f.retries+1, 6))
 	delay := (1 + r.rng.Float64()*float64(window)) * r.cfg.SlotTime
-	r.eng.Schedule(delay, func() { r.attempt(f) })
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	r.eng.ScheduleEvent(delay, Event{Kind: evAttempt, Seq: f.seq, Arg: f.slot})
 }
 
 // transmit puts a frame on the air: the sender is busy for the airtime and
@@ -338,7 +514,10 @@ func (r *Radio) transmit(f Frame) {
 	if r.counters != nil {
 		r.counters.ChargeTx(f.From, f.Bytes)
 	}
-	for _, nb := range r.nw.AliveNeighbors(f.From) {
+	for _, nb := range r.nw.Neighbors(f.From) {
+		if !r.nw.Alive(nb) {
+			continue
+		}
 		if r.channel != nil && r.channel(f.From, nb) {
 			r.Stats.ChannelLosses++
 			continue
@@ -367,7 +546,7 @@ func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
 		// old deadline no-ops, so arm one at the new deadline.
 		if now+dur > st.rxUntil {
 			st.rxUntil = now + dur
-			r.eng.ScheduleAt(st.rxUntil, func() { r.finishRx(id) })
+			r.eng.ScheduleEventAt(st.rxUntil, Event{Kind: evFinishRx, Node: id})
 		}
 		return
 	}
@@ -375,7 +554,15 @@ func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
 	st.rxUntil = now + dur
 	st.rxCorrupted = false
 	st.rxFrame = f
-	r.eng.ScheduleAt(st.rxUntil, func() { r.finishRx(id) })
+	r.eng.ScheduleEventAt(st.rxUntil, Event{Kind: evFinishRx, Node: id})
+}
+
+// seenAt returns id's dedup set, allocating it on first use.
+func (r *Radio) seenAt(id network.NodeID) map[int64]bool {
+	if r.seen[id] == nil {
+		r.seen[id] = make(map[int64]bool)
+	}
+	return r.seen[id]
 }
 
 // finishRx completes a reception at id, delivering intact frames addressed
@@ -390,7 +577,7 @@ func (r *Radio) finishRx(id network.NodeID) {
 	st.rxActive = false
 	st.rxCorrupted = false
 	if r.trace != nil {
-		r.trace(fmtFrame("rxEnd", f) + map[bool]string{true: " CORRUPT", false: ""}[corrupted] + " at " + itoa(int(id)))
+		r.trace(fmtRxEnd(f, corrupted, id))
 	}
 	if corrupted || (f.To != id && f.To != broadcastAddr) {
 		return
@@ -400,51 +587,79 @@ func (r *Radio) finishRx(id network.NodeID) {
 	}
 	if f.To == broadcastAddr {
 		// Broadcast: deliver once per node, no ack.
-		if r.seen[id][f.seq] {
+		seen := r.seenAt(id)
+		if seen[f.seq] {
 			return
 		}
-		r.seen[id][f.seq] = true
+		seen[f.seq] = true
 		if h := r.handlers[id]; h != nil {
-			h(f)
+			h(id, f)
 		}
 		return
 	}
 	if f.isAck {
-		if _, alive := r.pending[f.ackFor]; alive {
-			delete(r.pending, f.ackFor)
+		if r.frames[f.ackForSlot].seq == f.ackFor {
+			r.recycleFrame(f.ackForSlot) // still pending: acked now
 		}
 		return
 	}
-	// Ack the data frame (even duplicates, whose first ack was lost).
+	// Ack the data frame (even duplicates, whose first ack was lost). The
+	// ack waits in its arena slot until its send event transmits it.
 	r.seq++
-	ack := Frame{From: id, To: f.From, Bytes: r.cfg.AckBytes, seq: r.seq, isAck: true, ackFor: f.seq}
-	r.eng.Schedule(r.cfg.SlotTime, func() {
-		if r.mediumBusy(ack.From) {
-			// One brief retry for the ack; a lost ack only costs a
-			// duplicate retransmission.
-			r.eng.Schedule(r.cfg.SlotTime*2, func() { r.transmit(ack) })
-			return
-		}
-		r.transmit(ack)
-	})
-	if r.seen[id][f.seq] {
+	ackSlot := r.allocFrame()
+	r.frames[ackSlot] = Frame{From: id, To: f.From, Bytes: r.cfg.AckBytes, seq: r.seq, isAck: true, ackFor: f.seq, ackForSlot: f.slot}
+	r.eng.ScheduleEvent(r.cfg.SlotTime, Event{Kind: evAckSend, Seq: int64(ackSlot)})
+	seen := r.seenAt(id)
+	if seen[f.seq] {
 		return // duplicate data frame
 	}
-	r.seen[id][f.seq] = true
+	seen[f.seq] = true
 	r.Stats.Delivered++
 	if h := r.handlers[id]; h != nil {
-		h(f)
+		h(id, f)
 	}
+}
+
+// ackSend transmits a queued ack, retrying once briefly when the medium
+// is busy; a lost ack only costs a duplicate retransmission.
+func (r *Radio) ackSend(slot int32) {
+	if r.mediumBusy(r.frames[slot].From) {
+		r.eng.ScheduleEvent(r.cfg.SlotTime*2, Event{Kind: evAckRetry, Seq: int64(slot)})
+		return
+	}
+	r.transmit(r.frames[slot])
+	r.releaseFrame(slot)
+}
+
+// ackRetry is the single deferred ack retransmission.
+func (r *Radio) ackRetry(slot int32) {
+	r.transmit(r.frames[slot])
+	r.releaseFrame(slot)
 }
 
 func fmtFrame(kind string, f Frame) string {
-	label := "data"
+	var b strings.Builder
+	b.WriteString(kind)
 	if f.isAck {
-		label = "ack"
+		b.WriteString(" ack seq=")
+	} else {
+		b.WriteString(" data seq=")
 	}
-	return kind + " " + label + " seq=" + itoa(int(f.seq)) + " " + itoa(int(f.From)) + "->" + itoa(int(f.To))
+	b.WriteString(strconv.Itoa(int(f.seq)))
+	b.WriteByte(' ')
+	b.WriteString(strconv.Itoa(int(f.From)))
+	b.WriteString("->")
+	b.WriteString(strconv.Itoa(int(f.To)))
+	return b.String()
 }
 
-func itoa(v int) string {
-	return strconv.Itoa(v)
+func fmtRxEnd(f Frame, corrupted bool, at network.NodeID) string {
+	var b strings.Builder
+	b.WriteString(fmtFrame("rxEnd", f))
+	if corrupted {
+		b.WriteString(" CORRUPT")
+	}
+	b.WriteString(" at ")
+	b.WriteString(strconv.Itoa(int(at)))
+	return b.String()
 }

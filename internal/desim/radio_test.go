@@ -42,15 +42,15 @@ func TestRadioDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []Frame
-	r.OnReceive(1, func(f Frame) { got = append(got, f) })
-	if err := r.Send(0, 1, 10, "hello"); err != nil {
+	r.OnReceive(1, func(_ network.NodeID, f Frame) { got = append(got, f) })
+	if err := r.Send(0, 1, 10); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
 	if len(got) != 1 {
 		t.Fatalf("delivered %d frames, want 1", len(got))
 	}
-	if got[0].Payload != "hello" || got[0].From != 0 {
+	if got[0].From != 0 || got[0].To != 1 {
 		t.Errorf("frame = %+v", got[0])
 	}
 	if r.Stats.Delivered != 1 || r.Stats.DataSent != 1 {
@@ -76,11 +76,11 @@ func TestRadioSendValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Send(0, 1, 0, nil); err == nil {
+	if err := r.Send(0, 1, 0); err == nil {
 		t.Error("want error for empty frame")
 	}
 	nw.Node(1).Failed = true
-	if err := r.Send(0, 1, 10, nil); err == nil {
+	if err := r.Send(0, 1, 10); err == nil {
 		t.Error("want error for dead receiver")
 	}
 	if _, err := NewRadio(nil, nw, DefaultRadioConfig(), nil); err == nil {
@@ -103,9 +103,9 @@ func TestRadioConcurrentSendersEventuallyDeliver(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := 0
-	r.OnReceive(0, func(f Frame) { got++ })
+	r.OnReceive(0, func(network.NodeID, Frame) { got++ })
 	for _, src := range []network.NodeID{1, 2, 3} {
-		if err := r.Send(src, 0, 20, nil); err != nil {
+		if err := r.Send(src, 0, 20); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,13 +124,13 @@ func TestRadioManyFramesUnderContention(t *testing.T) {
 	}
 	const perSender = 10
 	got := 0
-	r.OnReceive(0, func(f Frame) { got++ })
+	r.OnReceive(0, func(network.NodeID, Frame) { got++ })
 	for k := 0; k < perSender; k++ {
 		for _, src := range []network.NodeID{1, 2, 3} {
 			k := k
 			src := src
 			eng.Schedule(float64(k)*0.002, func() {
-				if err := r.Send(src, 0, 12, nil); err != nil {
+				if err := r.Send(src, 0, 12); err != nil {
 					t.Error(err)
 				}
 			})
@@ -157,26 +157,25 @@ func TestRadioNoDuplicateDeliveries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := make(map[any]int)
+	seen := make(map[int64]int)
 	for _, dst := range []network.NodeID{0, 1} {
 		dst := dst
-		r.OnReceive(dst, func(f Frame) { seen[f.Payload]++ })
+		r.OnReceive(dst, func(_ network.NodeID, f Frame) { seen[f.seq]++ })
 	}
 	id := 0
 	for k := 0; k < 8; k++ {
 		for _, pair := range [][2]network.NodeID{{2, 0}, {3, 1}, {1, 0}} {
 			id++
-			payload := id
 			src, dst := pair[0], pair[1]
 			eng.Schedule(float64(k)*0.001, func() {
-				_ = r.Send(src, dst, 16, payload)
+				_ = r.Send(src, dst, 16)
 			})
 		}
 	}
 	eng.Run()
-	for payload, count := range seen {
+	for seq, count := range seen {
 		if count > 1 {
-			t.Fatalf("payload %v delivered %d times", payload, count)
+			t.Fatalf("frame seq %d delivered %d times", seq, count)
 		}
 	}
 }
@@ -192,11 +191,11 @@ func TestRadioHiddenTerminalCollides(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := 0
-	r.OnReceive(0, func(f Frame) { got++ })
-	if err := r.Send(1, 0, 20, nil); err != nil {
+	r.OnReceive(0, func(network.NodeID, Frame) { got++ })
+	if err := r.Send(1, 0, 20); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Send(2, 0, 20, nil); err != nil {
+	if err := r.Send(2, 0, 20); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -218,8 +217,8 @@ func TestRadioOutOfRangeNeverDelivers(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := 0
-	r.OnReceive(3, func(f Frame) { got++ })
-	if err := r.Send(0, 3, 20, nil); err != nil {
+	r.OnReceive(3, func(network.NodeID, Frame) { got++ })
+	if err := r.Send(0, 3, 20); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -245,7 +244,7 @@ func TestRadioConservationProperty(t *testing.T) {
 		}
 		delivered := 0
 		for id := network.NodeID(0); id < 4; id++ {
-			r.OnReceive(id, func(f Frame) { delivered++ })
+			r.OnReceive(id, func(network.NodeID, Frame) { delivered++ })
 		}
 		sent := 0
 		rngState := seed
@@ -266,7 +265,7 @@ func TestRadioConservationProperty(t *testing.T) {
 			sent++
 			at := float64(next(40)) * cfg.SlotTime
 			s, d := src, dst
-			eng.Schedule(at, func() { _ = r.Send(s, d, 8+int(next(20)), nil) })
+			eng.Schedule(at, func() { _ = r.Send(s, d, 8+int(next(20))) })
 		}
 		eng.Run()
 		if delivered+r.Stats.Drops != sent {
@@ -289,9 +288,9 @@ func TestBroadcastReachesIntactNeighbors(t *testing.T) {
 	heard := make(map[network.NodeID]int)
 	for id := network.NodeID(0); id < 4; id++ {
 		id := id
-		r.OnReceive(id, func(f Frame) { heard[id]++ })
+		r.OnReceive(id, func(at network.NodeID, _ Frame) { heard[at]++ })
 	}
-	if err := r.Broadcast(0, 8, "flood"); err != nil {
+	if err := r.Broadcast(0, 8); err != nil {
 		t.Fatal(err)
 	}
 	eng.Run()
@@ -306,11 +305,11 @@ func TestBroadcastReachesIntactNeighbors(t *testing.T) {
 		t.Errorf("sender heard its own broadcast %d times", heard[0])
 	}
 	// Validation errors.
-	if err := r.Broadcast(0, 0, nil); err == nil {
+	if err := r.Broadcast(0, 0); err == nil {
 		t.Error("want error for empty broadcast")
 	}
 	nw.Node(2).Failed = true
-	if err := r.Broadcast(2, 8, nil); err == nil {
+	if err := r.Broadcast(2, 8); err == nil {
 		t.Error("want error for dead broadcaster")
 	}
 }

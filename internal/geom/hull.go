@@ -41,7 +41,7 @@ func ConvexHull(points []Point) Polygon {
 	hull = append(hull, lower[:len(lower)-1]...)
 	hull = append(hull, upper[:len(upper)-1]...)
 	if len(hull) < 3 {
-		return Polygon(pts[:minInt(len(pts), 2)])
+		return Polygon(pts[:min(len(pts), 2)])
 	}
 	return hull
 }
@@ -61,11 +61,4 @@ func dedupePoints(points []Point) []Point {
 		}
 	}
 	return out
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

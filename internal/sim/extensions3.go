@@ -57,7 +57,7 @@ func (r *Runner) ExtMACSweep() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio := float64(res.Counters.TotalTxBytes()) / float64(maxInt64(structuralBytes, 1))
+		ratio := float64(res.Counters.TotalTxBytes()) / float64(max(structuralBytes, 1))
 		return []any{n, label,
 			intPair(len(res.Delivered), len(structural)),
 			res.CompletionSeconds,
@@ -83,13 +83,6 @@ func sideForNodes(n int) float64 {
 	default:
 		return 50
 	}
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func intPair(a, b int) string {

@@ -183,8 +183,8 @@ func (r *Runner) faultCell(p FaultPoint, point int, seed int64, base *faultBasel
 	if base.delivered > 0 {
 		delivery = float64(len(res.Delivered)) / float64(base.delivered)
 	}
-	retries := float64(res.Radio.Retries) / float64(maxInt(res.Radio.DataSent, 1))
-	energy := float64(res.Counters.TotalTxBytes()) / float64(maxInt64(base.txBytes, 1))
+	retries := float64(res.Radio.Retries) / float64(max(res.Radio.DataSent, 1))
+	energy := float64(res.Counters.TotalTxBytes()) / float64(max(base.txBytes, 1))
 	misclass := 1 - field.Agreement(base.raster, env.estRaster(m))
 	var hSum float64
 	hCount := 0
@@ -290,11 +290,4 @@ func (r *Runner) ExtFaultSweep(runs int) (*Table, error) {
 			res.Severed, res.EnergyFactor, res.Misclassification, res.MeanHausdorff)
 	}
 	return t, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
