@@ -20,9 +20,19 @@
 // the isolated scheduler push/pop microbenchmark. -smoke shrinks it to
 // the 1k cell for CI.
 //
+// -kind trace (emitting BENCH_TRACE.json) runs fully traced packet-level
+// rounds — fault-free and under fault injection — and aggregates the
+// event stream into per-phase breakdowns (tx/rx counts and bytes, drops
+// by cause, phase energy through the Mica2 model) plus sink-side
+// reconstruction stage timings. The trace invariant checker runs on
+// every recorded round; a violation fails the report. -smoke shrinks it
+// to a single small fault-free round for CI.
+//
+// Unknown -kind values exit non-zero listing the valid kinds.
+//
 // Usage:
 //
-//	benchreport [-kind recon|faults|desim] [-out FILE] [-maxk 2048]
+//	benchreport [-kind recon|faults|desim|trace] [-out FILE] [-maxk 2048]
 //	            [-runs 3] [-smoke] [-parallel N]
 package main
 
@@ -34,16 +44,19 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"isomap/internal/contour"
 	"isomap/internal/core"
 	"isomap/internal/desim"
+	"isomap/internal/faults"
 	"isomap/internal/field"
 	"isomap/internal/geom"
 	"isomap/internal/network"
 	"isomap/internal/routing"
 	"isomap/internal/sim"
+	"isomap/internal/trace"
 )
 
 // entry is one (benchmark, k) measurement. NaiveNs is present only where a
@@ -74,27 +87,66 @@ func main() {
 	}
 }
 
+// options carries the parsed flag values into a kind runner.
+type options struct {
+	out      string
+	maxK     int
+	runs     int
+	smoke    bool
+	parallel int
+}
+
+// kindSpec registers one report kind. The registry is the single source
+// of truth: dispatch, the usage string and the unknown-kind error all
+// derive from it.
+type kindSpec struct {
+	name string
+	doc  string
+	run  func(o options) error
+}
+
+var kinds = []kindSpec{
+	{"recon", "sink-side reconstruction hot paths vs naive references (BENCH_RECON.json)",
+		func(o options) error { return runRecon(o.out, o.maxK) }},
+	{"faults", "fault-injection sweep: delivery, overhead, map fidelity (BENCH_FAULTS.json)",
+		func(o options) error { return runFaults(o.out, o.runs, o.smoke, o.parallel) }},
+	{"desim", "discrete-event core throughput vs EngineNaive (BENCH_DESIM.json)",
+		func(o options) error { return runDesim(o.out, o.smoke) }},
+	{"trace", "traced packet rounds: per-phase breakdowns, stage timings (BENCH_TRACE.json)",
+		func(o options) error { return runTrace(o.out, o.smoke) }},
+}
+
+// kindNames returns the registered kind names in registration order.
+func kindNames() []string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.name
+	}
+	return names
+}
+
+// dispatch resolves and runs one report kind; unknown names produce a
+// non-nil error listing every valid kind.
+func dispatch(kind string, o options) error {
+	for _, k := range kinds {
+		if k.name == kind {
+			return k.run(o)
+		}
+	}
+	return fmt.Errorf("unknown -kind %q (valid kinds: %s)", kind, strings.Join(kindNames(), ", "))
+}
+
 func run() error {
 	var (
-		out      = flag.String("out", "", "output JSON path (- for stdout; default BENCH_RECON.json or BENCH_FAULTS.json by kind)")
+		out      = flag.String("out", "", "output JSON path (- for stdout; default BENCH_<KIND>.json)")
 		maxK     = flag.Int("maxk", 2048, "largest report count to measure (recon)")
-		kind     = flag.String("kind", "recon", "report kind: recon or faults")
+		kind     = flag.String("kind", "recon", "report kind: "+strings.Join(kindNames(), ", "))
 		runs     = flag.Int("runs", 3, "random-seed repetitions per sweep point (faults)")
-		smoke    = flag.Bool("smoke", false, "single-cell, single-seed fault sweep for CI (faults)")
+		smoke    = flag.Bool("smoke", false, "shrunken run for CI (faults, desim, trace)")
 		parallel = flag.Int("parallel", 0, "sweep worker-pool width, 0 = GOMAXPROCS (faults); output is identical at any width")
 	)
 	flag.Parse()
-
-	switch *kind {
-	case "recon":
-		return runRecon(*out, *maxK)
-	case "faults":
-		return runFaults(*out, *runs, *smoke, *parallel)
-	case "desim":
-		return runDesim(*out, *smoke)
-	default:
-		return fmt.Errorf("unknown -kind %q (want recon, faults or desim)", *kind)
-	}
+	return dispatch(*kind, options{out: *out, maxK: *maxK, runs: *runs, smoke: *smoke, parallel: *parallel})
 }
 
 // faultsReport is the BENCH_FAULTS.json document.
@@ -248,6 +300,123 @@ func runDesim(out string, smoke bool) error {
 	rep.Results = append(rep.Results, sched)
 
 	return writeJSON(out, rep)
+}
+
+// traceEntry is one traced round: its aggregated per-phase breakdown
+// plus the headline round stats for quick diffing across PRs.
+type traceEntry struct {
+	Scenario     string        `json:"scenario"`
+	Nodes        int           `json:"nodes"`
+	LossRate     float64       `json:"lossRate,omitempty"`
+	CrashFrac    float64       `json:"crashFraction,omitempty"`
+	SinkReports  int           `json:"sinkReports"`
+	RoundSeconds float64       `json:"roundSeconds"`
+	Summary      trace.Summary `json:"summary"`
+}
+
+// traceReport is the BENCH_TRACE.json document.
+type traceReport struct {
+	Generator  string       `json:"generator"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []traceEntry `json:"results"`
+}
+
+// traceScenario is one (n, faults) cell of the trace report.
+type traceScenario struct {
+	name      string
+	nodes     int
+	lossRate  float64
+	crashFrac float64
+}
+
+func runTrace(out string, smoke bool) error {
+	if out == "" {
+		out = "BENCH_TRACE.json"
+	}
+	scenarios := []traceScenario{
+		{name: "fault-free", nodes: 1000},
+		{name: "faulted", nodes: 1000, lossRate: 0.05, crashFrac: 0.02},
+	}
+	if smoke {
+		scenarios = []traceScenario{{name: "fault-free", nodes: 400}}
+	}
+	rep := traceReport{
+		Generator:  "cmd/benchreport -kind trace",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, sc := range scenarios {
+		e, err := runTraceScenario(sc)
+		if err != nil {
+			return fmt.Errorf("trace scenario %s: %w", sc.name, err)
+		}
+		rep.Results = append(rep.Results, e)
+		fmt.Fprintf(os.Stderr, "benchreport: trace %s (n=%d) done\n", sc.name, sc.nodes)
+	}
+	return writeJSON(out, rep)
+}
+
+// runTraceScenario executes one fully traced packet round — network and
+// sink reconstruction — verifies every trace invariant, and aggregates.
+func runTraceScenario(sc traceScenario) (traceEntry, error) {
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	fc := core.DefaultFilterConfig()
+	cfg := desim.DefaultRadioConfig()
+	nw, err := network.DeployUniform(sc.nodes, f, 1.5*50/math.Sqrt(float64(sc.nodes)), 4)
+	if err != nil {
+		return traceEntry{}, err
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		return traceEntry{}, err
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		return traceEntry{}, err
+	}
+	q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		return traceEntry{}, err
+	}
+	var plan *faults.Plan
+	if sc.lossRate > 0 || sc.crashFrac > 0 {
+		plan, err = faults.New(faults.Config{
+			Seed: 1, Channel: faults.ChannelBernoulli, LossRate: sc.lossRate,
+			CrashFraction: sc.crashFrac, CrashStart: 0.05, CrashEnd: 0.6,
+			Protect: []network.NodeID{tree.Root()},
+		}, nw.Len())
+		if err != nil {
+			return traceEntry{}, err
+		}
+		cfg.FrameDeadline = 1.5
+	}
+	rec := trace.NewRecorder(sc.nodes * 1024)
+	pr, err := desim.RunFullRoundFaultsTraced(tree, f, q, fc, cfg, plan, rec)
+	if err != nil {
+		return traceEntry{}, err
+	}
+	// Trace the sink side too: reconstruct and raster what was delivered.
+	m := contour.Reconstruct(pr.Delivered, q.Levels, field.BoundsRect(f),
+		nw.Node(sink).Value, contour.Options{Regulate: true, Trace: rec})
+	m.Raster(rasterRes, rasterRes)
+
+	if v := rec.Check(trace.CheckConfig{MaxRetries: cfg.MaxRetries}); len(v) > 0 {
+		return traceEntry{}, fmt.Errorf("trace invariants violated: %v (+%d more)", v[0], len(v)-1)
+	}
+	if v := trace.CheckCounters(rec.Events(), nw.Len(),
+		func(n int32) int64 { return pr.Counters.TxBytes(network.NodeID(n)) },
+		func(n int32) int64 { return pr.Counters.RxBytes(network.NodeID(n)) }); len(v) > 0 {
+		return traceEntry{}, fmt.Errorf("trace/counters mismatch: %v (+%d more)", v[0], len(v)-1)
+	}
+	s := rec.Summarize()
+	return traceEntry{
+		Scenario:     sc.name,
+		Nodes:        sc.nodes,
+		LossRate:     sc.lossRate,
+		CrashFrac:    sc.crashFrac,
+		SinkReports:  len(pr.Delivered),
+		RoundSeconds: pr.TotalSeconds,
+		Summary:      s,
+	}, nil
 }
 
 func runRecon(out string, maxK int) error {

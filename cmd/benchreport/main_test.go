@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDispatchUnknownKindLists(t *testing.T) {
+	err := dispatch("bogus", options{})
+	if err == nil {
+		t.Fatal("dispatch(bogus) = nil error, want unknown-kind error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q does not name the offending kind", msg)
+	}
+	for _, name := range kindNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list valid kind %q", msg, name)
+		}
+	}
+}
+
+func TestKindRegistryComplete(t *testing.T) {
+	want := []string{"recon", "faults", "desim", "trace"}
+	got := kindNames()
+	if len(got) != len(want) {
+		t.Fatalf("kindNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kind %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, k := range kinds {
+		if k.run == nil {
+			t.Errorf("kind %q has no runner", k.name)
+		}
+		if k.doc == "" {
+			t.Errorf("kind %q has no doc line", k.name)
+		}
+	}
+}
+
+func TestTraceScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full traced round")
+	}
+	e, err := runTraceScenario(traceScenario{name: "fault-free", nodes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SinkReports == 0 {
+		t.Error("traced round delivered no reports to the sink")
+	}
+	if e.Summary.Events == 0 || e.Summary.DroppedEvents != 0 {
+		t.Errorf("summary events=%d dropped=%d, want >0 and 0", e.Summary.Events, e.Summary.DroppedEvents)
+	}
+	if len(e.Summary.SinkStages) == 0 {
+		t.Error("no sink reconstruction stage timings recorded")
+	}
+}

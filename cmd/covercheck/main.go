@@ -1,0 +1,245 @@
+// Command covercheck enforces the repository's test-coverage floor.
+//
+// It parses one or more `go test -coverprofile` files, computes the
+// statement coverage of every package, and compares each against the
+// committed floors in COVERAGE_BASELINE.json. A package below its floor
+// fails the check (non-zero exit), so coverage can only ratchet up:
+// raising a floor is a deliberate edit, losing coverage is a CI failure.
+//
+// Usage:
+//
+//	covercheck [-baseline COVERAGE_BASELINE.json] [-margin 2.0] \
+//	           [-write] coverage.out [more.out...]
+//
+// -write regenerates the baseline from the measured coverage (floors are
+// set margin points below the measurement to absorb run-to-run noise in
+// concurrency-dependent paths). Packages measured but absent from the
+// baseline are reported but do not fail — add them with -write.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	baselinePath := "COVERAGE_BASELINE.json"
+	margin := 2.0
+	write := false
+	var profiles []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-baseline":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-baseline needs a path")
+			}
+			baselinePath = args[i]
+		case "-margin":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-margin needs a value")
+			}
+			m, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return fmt.Errorf("-margin: %w", err)
+			}
+			margin = m
+		case "-write":
+			write = true
+		default:
+			if strings.HasPrefix(a, "-") {
+				return fmt.Errorf("unknown flag %q", a)
+			}
+			profiles = append(profiles, a)
+		}
+	}
+	if len(profiles) == 0 {
+		return fmt.Errorf("no coverage profiles given")
+	}
+
+	got, err := coverageByPackage(profiles)
+	if err != nil {
+		return err
+	}
+	if write {
+		return writeBaseline(baselinePath, got, margin)
+	}
+	return check(baselinePath, got)
+}
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	stmts   int64
+	covered int64
+}
+
+func (p pkgCover) percent() float64 {
+	if p.stmts == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.stmts)
+}
+
+// coverageByPackage parses coverprofile lines of the form
+//
+//	module/pkg/file.go:12.34,56.7 numStmts hitCount
+//
+// and folds them into per-package statement coverage. Blocks repeated
+// across profiles are counted once, covered if any profile covered them.
+func coverageByPackage(profiles []string) (map[string]pkgCover, error) {
+	type block struct {
+		stmts int64
+		hit   bool
+	}
+	blocks := make(map[string]block) // "pkg file:range" -> state
+	pkgOf := make(map[string]string)
+	for _, path := range profiles {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "mode:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: malformed coverage line %q", path, lineNo, line)
+			}
+			loc := fields[0] // file.go:L.C,L.C
+			colon := strings.LastIndex(loc, ":")
+			if colon < 0 {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: malformed location %q", path, lineNo, loc)
+			}
+			file := loc[:colon]
+			slash := strings.LastIndex(file, "/")
+			if slash < 0 {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: location %q has no package path", path, lineNo, loc)
+			}
+			pkg := file[:slash]
+			stmts, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: statement count: %w", path, lineNo, err)
+			}
+			count, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s:%d: hit count: %w", path, lineNo, err)
+			}
+			b := blocks[loc]
+			b.stmts = stmts
+			b.hit = b.hit || count > 0
+			blocks[loc] = b
+			pkgOf[loc] = pkg
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		f.Close()
+	}
+	out := make(map[string]pkgCover)
+	for loc, b := range blocks {
+		p := out[pkgOf[loc]]
+		p.stmts += b.stmts
+		if b.hit {
+			p.covered += b.stmts
+		}
+		out[pkgOf[loc]] = p
+	}
+	return out, nil
+}
+
+// baseline is the COVERAGE_BASELINE.json document: per-package floors in
+// percent statement coverage.
+type baseline struct {
+	Comment string             `json:"comment"`
+	Floors  map[string]float64 `json:"floors"`
+}
+
+func writeBaseline(path string, got map[string]pkgCover, margin float64) error {
+	b := baseline{
+		Comment: "Per-package statement-coverage floors (percent). CI fails any package measured below its floor; regenerate with covercheck -write after deliberately raising or extending coverage.",
+		Floors:  make(map[string]float64, len(got)),
+	}
+	for pkg, pc := range got {
+		floor := pc.percent() - margin
+		if floor < 0 {
+			floor = 0
+		}
+		b.Floors[pkg] = float64(int(floor*10)) / 10 // one decimal
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("covercheck: wrote %s with %d package floors\n", path, len(b.Floors))
+	return nil
+}
+
+func check(path string, got map[string]pkgCover) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w (run covercheck -write to create it)", err)
+	}
+	var b baseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	pkgs := make([]string, 0, len(got))
+	for pkg := range got {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	var failures []string
+	for _, pkg := range pkgs {
+		pct := got[pkg].percent()
+		floor, ok := b.Floors[pkg]
+		switch {
+		case !ok:
+			fmt.Printf("covercheck: %-40s %6.1f%% (no floor; add with -write)\n", pkg, pct)
+		case pct < floor:
+			fmt.Printf("covercheck: %-40s %6.1f%% BELOW floor %.1f%%\n", pkg, pct, floor)
+			failures = append(failures, pkg)
+		default:
+			fmt.Printf("covercheck: %-40s %6.1f%% (floor %.1f%%)\n", pkg, pct, floor)
+		}
+	}
+	for pkg := range b.Floors {
+		if _, ok := got[pkg]; !ok {
+			fmt.Printf("covercheck: %-40s not measured (floor %.1f%%)\n", pkg, b.Floors[pkg])
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d package(s) below their coverage floor: %s",
+			len(failures), strings.Join(failures, ", "))
+	}
+	fmt.Printf("covercheck: %d packages at or above their floors\n", len(pkgs))
+	return nil
+}

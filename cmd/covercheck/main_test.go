@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const profileA = `mode: atomic
+isomap/internal/stats/stats.go:12.34,14.2 2 5
+isomap/internal/stats/stats.go:16.2,18.3 3 0
+isomap/internal/trace/trace.go:10.1,12.2 4 1
+`
+
+// profileB re-covers the stats block profileA missed: merged coverage
+// counts a block covered if any profile covered it.
+const profileB = `mode: atomic
+isomap/internal/stats/stats.go:16.2,18.3 3 7
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCoverageByPackageMergesProfiles(t *testing.T) {
+	a := writeTemp(t, "a.out", profileA)
+	b := writeTemp(t, "b.out", profileB)
+
+	got, err := coverageByPackage([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := got["isomap/internal/stats"]
+	if stats.stmts != 5 || stats.covered != 2 {
+		t.Errorf("single profile: stats %d/%d covered, want 2/5", stats.covered, stats.stmts)
+	}
+	if tr := got["isomap/internal/trace"]; tr.stmts != 4 || tr.covered != 4 {
+		t.Errorf("trace %d/%d covered, want 4/4", tr.covered, tr.stmts)
+	}
+
+	got, err = coverageByPackage([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats = got["isomap/internal/stats"]
+	if stats.stmts != 5 || stats.covered != 5 {
+		t.Errorf("merged profiles: stats %d/%d covered, want 5/5", stats.covered, stats.stmts)
+	}
+}
+
+func TestCheckFailsBelowFloor(t *testing.T) {
+	prof := writeTemp(t, "cov.out", profileA)
+	base := writeTemp(t, "base.json", `{"floors":{"isomap/internal/stats":90,"isomap/internal/trace":50}}`)
+	got, err := coverageByPackage([]string{prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = check(base, got)
+	if err == nil {
+		t.Fatal("stats at 40% passed a 90% floor")
+	}
+	if !strings.Contains(err.Error(), "isomap/internal/stats") {
+		t.Errorf("error %q does not name the failing package", err)
+	}
+}
+
+func TestCheckPassesAtFloor(t *testing.T) {
+	prof := writeTemp(t, "cov.out", profileA)
+	base := writeTemp(t, "base.json", `{"floors":{"isomap/internal/stats":40,"isomap/internal/trace":100}}`)
+	got, err := coverageByPackage([]string{prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check(base, got); err != nil {
+		t.Fatalf("coverage at floors failed: %v", err)
+	}
+}
+
+func TestCheckIgnoresUnlistedPackage(t *testing.T) {
+	prof := writeTemp(t, "cov.out", profileA)
+	base := writeTemp(t, "base.json", `{"floors":{"isomap/internal/stats":40}}`)
+	got, err := coverageByPackage([]string{prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check(base, got); err != nil {
+		t.Fatalf("unlisted package failed the check: %v", err)
+	}
+}
+
+func TestWriteBaselineRoundTrip(t *testing.T) {
+	prof := writeTemp(t, "cov.out", profileA)
+	base := filepath.Join(t.TempDir(), "base.json")
+	got, err := coverageByPackage([]string{prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBaseline(base, got, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately re-checking against a freshly written baseline must
+	// pass: floors sit margin points below the measurement.
+	if err := check(base, got); err != nil {
+		t.Fatalf("fresh baseline failed its own measurement: %v", err)
+	}
+}
+
+func TestMalformedProfile(t *testing.T) {
+	prof := writeTemp(t, "bad.out", "mode: set\nnot a coverage line\n")
+	if _, err := coverageByPackage([]string{prof}); err == nil {
+		t.Fatal("malformed profile parsed without error")
+	}
+}

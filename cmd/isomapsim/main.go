@@ -11,11 +11,23 @@
 //	          [-protocol isomap|tinydb|inlr|escan|suppress]
 //	          [-packet] [-loss 0.0] [-burst 0.0] [-crashfrac 0.0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-roundtrace events.jsonl] [-expvar vars.json] [-diag DIR]
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the heap
 // profile is captured at exit, after a final GC), so a single large round
 // — e.g. -nodes 16000 -packet — can be inspected with `go tool pprof`
 // without instrumenting the code.
+//
+// -roundtrace records the packet-level round as a structured event trace
+// (one canonical JSON object per line; "-" writes to stdout) covering
+// every frame send/tx/rx/ack/drop, backoff, crash, route repair, sink
+// report arrival and the sink-side reconstruction stage timings. It
+// implies -packet and runs the trace invariant checker, reporting any
+// violation on stderr. -expvar dumps the process expvar variables —
+// including the per-phase round counters published after a traced round —
+// as JSON. -diag DIR is the one-flag diagnosis bundle: it fills DIR with
+// cpu.pprof, heap.pprof, events.jsonl and expvar.json (any of the
+// corresponding flags given explicitly keep their own paths).
 //
 // With -packet the round additionally executes on the packet-level
 // CSMA/CA engine (query flood, neighborhood probes, filtered
@@ -27,11 +39,15 @@
 package main
 
 import (
+	"bytes"
+	"expvar"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"isomap/internal/baseline/tinydb"
 	"isomap/internal/contour"
@@ -43,6 +59,7 @@ import (
 	"isomap/internal/network"
 	"isomap/internal/render"
 	"isomap/internal/sim"
+	rtrace "isomap/internal/trace"
 )
 
 func main() {
@@ -73,8 +90,34 @@ func run() error {
 		crashfrac = flag.Float64("crashfrac", 0, "packet round: fraction of nodes crashing mid-round")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+		roundtr   = flag.String("roundtrace", "", "write the packet round as a JSONL event trace to this file (\"-\" for stdout; implies -packet)")
+		expvarOut = flag.String("expvar", "", "dump expvar variables (incl. traced round counters) as JSON to this file")
+		diagDir   = flag.String("diag", "", "diagnosis bundle: write cpu.pprof, heap.pprof, events.jsonl and expvar.json into this directory")
 	)
 	flag.Parse()
+	if *diagDir != "" {
+		if err := os.MkdirAll(*diagDir, 0o755); err != nil {
+			return fmt.Errorf("diag: %w", err)
+		}
+		if *cpuprof == "" {
+			*cpuprof = filepath.Join(*diagDir, "cpu.pprof")
+		}
+		if *memprof == "" {
+			*memprof = filepath.Join(*diagDir, "heap.pprof")
+		}
+		if *roundtr == "" {
+			*roundtr = filepath.Join(*diagDir, "events.jsonl")
+		}
+		if *expvarOut == "" {
+			*expvarOut = filepath.Join(*diagDir, "expvar.json")
+		}
+	}
+	if *roundtr != "" {
+		if *protocol != "isomap" {
+			return fmt.Errorf("-roundtrace traces the packet-level Iso-Map round; protocol %q has none", *protocol)
+		}
+		*packet = true
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -204,7 +247,11 @@ func run() error {
 			// riding out the full backoff tail before route repair.
 			rcfg.FrameDeadline = 1.5
 		}
-		pr, err := desim.RunFullRoundFaults(env.Tree, env.Field, env.Query, fc, rcfg, plan)
+		var rec *rtrace.Recorder
+		if *roundtr != "" {
+			rec = rtrace.NewRecorder(traceCapacity(*nodes))
+		}
+		pr, err := desim.RunFullRoundFaultsTraced(env.Tree, env.Field, env.Query, fc, rcfg, plan, rec)
 		if err != nil {
 			return err
 		}
@@ -222,6 +269,110 @@ func run() error {
 			fmt.Printf("  faults:          %d channel losses, %d crashed, %d route repairs, %d severed\n",
 				pr.Radio.ChannelLosses, pr.Crashed, pr.Repairs, pr.Severed)
 		}
+		if rec != nil {
+			// Reconstruct the sink map from what the packet round actually
+			// delivered, with stage tracing on, so the trace covers the
+			// sink side of the round as well.
+			sinkValue := env.Network.Node(env.Tree.Root()).Value
+			tm := contour.Reconstruct(pr.Delivered, env.Query.Levels, field.BoundsRect(env.Field),
+				sinkValue, contour.Options{Regulate: true, Trace: rec})
+			tm.Raster(*res, *res)
+			if err := emitRoundTrace(rec, *roundtr, rcfg.MaxRetries); err != nil {
+				return err
+			}
+		}
+	}
+	if *expvarOut != "" {
+		if err := writeExpvar(*expvarOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *expvarOut)
+	}
+	return nil
+}
+
+// traceCapacity sizes the event ring for one packet round: per-node event
+// volume is bounded in practice by a few hundred events even under heavy
+// fault injection, so 1k events/node with a generous floor keeps the ring
+// from overwriting (Check refuses truncated traces).
+func traceCapacity(nodes int) int {
+	c := nodes * 1024
+	if c < rtrace.DefaultCapacity {
+		c = rtrace.DefaultCapacity
+	}
+	return c
+}
+
+// emitRoundTrace writes the canonical JSONL trace, runs the invariant
+// checker, and publishes the per-phase summary as expvar variables.
+func emitRoundTrace(rec *rtrace.Recorder, path string, maxRetries int) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("roundtrace: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteJSONL(w); err != nil {
+		return fmt.Errorf("roundtrace: %w", err)
+	}
+	if path != "-" {
+		fmt.Printf("wrote %s (%d events)\n", path, rec.Len())
+	}
+	violations := rec.Check(rtrace.CheckConfig{MaxRetries: maxRetries})
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "isomapsim: trace invariant violated:", v)
+	}
+	if len(violations) == 0 {
+		fmt.Println("trace invariants:  all passed")
+	}
+	publishSummary(rec.Summarize())
+	return nil
+}
+
+// publishSummary exposes the traced round's totals through expvar so a
+// -expvar dump (or an embedding process serving /debug/vars) sees them.
+func publishSummary(s rtrace.Summary) {
+	m := new(expvar.Map)
+	put := func(k string, v int64) { i := new(expvar.Int); i.Set(v); m.Set(k, i) }
+	put("events", s.Events)
+	put("sends", s.Sends)
+	put("delivered", s.Delivered)
+	put("acked", s.Acked)
+	put("drops", s.Drops)
+	put("crashes", s.Crashes)
+	put("reparents", s.Reparents)
+	put("sinkReports", s.SinkReports)
+	rs := new(expvar.Float)
+	rs.Set(s.RoundSeconds)
+	m.Set("roundSeconds", rs)
+	for _, pb := range s.Phases {
+		txb := new(expvar.Int)
+		txb.Set(pb.TxBytes)
+		m.Set("txBytes_"+pb.Phase, txb)
+	}
+	expvar.Publish("isomap_round", m)
+}
+
+// writeExpvar dumps every published expvar variable as one JSON object.
+func writeExpvar(path string) error {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Quote(kv.Key))
+		b.WriteByte(':')
+		b.WriteString(kv.Value.String())
+	})
+	b.WriteString("}\n")
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("expvar: %w", err)
 	}
 	return nil
 }

@@ -22,10 +22,12 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"isomap/internal/core"
 	"isomap/internal/field"
 	"isomap/internal/geom"
+	"isomap/internal/trace"
 )
 
 // Options configures the reconstruction.
@@ -34,6 +36,11 @@ type Options struct {
 	// algorithm always regulates; disabling is exposed for the ablation
 	// benchmark.
 	Regulate bool
+	// Trace, when non-nil, receives per-stage wall-clock timings
+	// (KindSinkStage events) for the Voronoi, chord, regulation and
+	// raster stages. Nil keeps the reconstruction byte-identical to an
+	// untraced run.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the paper's configuration (regulation on).
@@ -96,6 +103,18 @@ type Map struct {
 	// Bounds is the field rectangle.
 	Bounds geom.Polygon
 	levels []*levelRecon
+	// tr carries Options.Trace into the raster stage.
+	tr *trace.Recorder
+}
+
+// recordStage emits one sink-stage timing event; level is the isolevel
+// index or -1 for whole-map stages.
+func recordStage(tr *trace.Recorder, stage trace.Stage, level int, start time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.Record(trace.Event{Kind: trace.KindSinkStage, Node: -1, Peer: -1,
+		Seq: int64(level), Arg: int32(stage), DurNs: time.Since(start).Nanoseconds()})
 }
 
 // Reconstruct builds the contour map from the sink's received reports.
@@ -104,7 +123,7 @@ type Map struct {
 // whole field or none of it, and the sink's own reading discriminates.
 func Reconstruct(reports []core.Report, levels field.Levels, bounds geom.Polygon, sinkValue float64, opts Options) *Map {
 	bounds = bounds.EnsureCCW()
-	m := &Map{Levels: levels, Bounds: bounds}
+	m := &Map{Levels: levels, Bounds: bounds, tr: opts.Trace}
 	values := levels.Values()
 	byLevel := make([][]core.Report, len(values))
 	for _, r := range reports {
@@ -129,8 +148,11 @@ func (lr *levelRecon) build(bounds geom.Polygon, opts Options) {
 	if len(lr.sites) == 0 {
 		return
 	}
+	start := time.Now()
 	lr.nn = geom.NewNNIndex(lr.sites, bounds)
 	diagram := geom.VoronoiWithIndex(lr.sites, bounds, lr.nn)
+	recordStage(opts.Trace, trace.StageVoronoi, lr.index, start)
+	start = time.Now()
 	lr.chords = make([]geom.Segment, len(lr.sites))
 	lr.hasChord = make([]bool, len(lr.sites))
 	for i := range diagram.Cells {
@@ -142,8 +164,11 @@ func (lr *levelRecon) build(bounds geom.Polygon, opts Options) {
 		lr.chords[i] = chord
 		lr.hasChord[i] = ok
 	}
+	recordStage(opts.Trace, trace.StageChords, lr.index, start)
 	if opts.Regulate {
+		start = time.Now()
 		lr.regulate(diagram)
+		recordStage(opts.Trace, trace.StageRegulate, lr.index, start)
 	}
 }
 
@@ -314,6 +339,8 @@ func (m *Map) Raster(rows, cols int) *field.Raster {
 // every query is cursor-independent, so the output is byte-identical at
 // any width.
 func (m *Map) RasterWorkers(rows, cols, workers int) *field.Raster {
+	start := time.Now()
+	defer recordStage(m.tr, trace.StageRaster, -1, start)
 	x0, y0, x1, y1 := m.Bounds.BoundingBox()
 	ra := field.NewRaster(rows, cols)
 	if workers < 1 {

@@ -9,6 +9,7 @@ import (
 	"isomap/internal/field"
 	"isomap/internal/network"
 	"isomap/internal/routing"
+	"isomap/internal/trace"
 )
 
 // benchRoundSetup deploys an n-node network over the synthetic seabed with
@@ -80,6 +81,33 @@ func BenchmarkFullRound(b *testing.B) {
 		n := n
 		b.Run(kLabel(n), func(b *testing.B) {
 			benchFullRound(b, n, func() EngineAPI { return NewEngine() })
+		})
+	}
+}
+
+// BenchmarkFullRoundTraced is BenchmarkFullRound with a recorder
+// attached: the delta against the untraced run is the whole cost of the
+// observability layer (one ring store per event, no allocations).
+func BenchmarkFullRoundTraced(b *testing.B) {
+	for _, n := range []int{1000, 4000} {
+		n := n
+		b.Run(kLabel(n), func(b *testing.B) {
+			tree, f, q := benchRoundSetup(b, n)
+			fc := core.DefaultFilterConfig()
+			cfg := DefaultRadioConfig()
+			rec := trace.NewRecorder(n * 1024)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Reset()
+				res, err := RunFullRoundFaultsEngineTraced(NewEngine(), tree, f, q, fc, cfg, nil, rec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Delivered) == 0 || rec.Total() == 0 {
+					b.Fatal("round delivered nothing or recorded nothing")
+				}
+			}
 		})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"isomap/internal/metrics"
 	"isomap/internal/network"
 	"isomap/internal/routing"
+	"isomap/internal/trace"
 )
 
 // RoundResult is the outcome of a full packet-level Iso-Map round.
@@ -85,11 +86,35 @@ func RunFullRoundEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core
 	return RunFullRoundFaultsEngine(eng, tree, f, q, fc, cfg, nil)
 }
 
+// RunFullRoundTraced is RunFullRound recording structured events into
+// rec (see internal/trace). A nil recorder reduces to RunFullRound
+// exactly.
+func RunFullRoundTraced(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, rec *trace.Recorder) (*RoundResult, error) {
+	return RunFullRoundFaultsEngineTraced(NewEngine(), tree, f, q, fc, cfg, nil, rec)
+}
+
+// RunFullRoundFaultsTraced is RunFullRoundFaults recording structured
+// events into rec.
+func RunFullRoundFaultsTraced(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, rec *trace.Recorder) (*RoundResult, error) {
+	return RunFullRoundFaultsEngineTraced(NewEngine(), tree, f, q, fc, cfg, plan, rec)
+}
+
 // RunFullRoundFaultsEngine is RunFullRoundFaults on a caller-supplied
 // scheduler: the production Engine or the EngineNaive reference oracle.
 // Both execute the identical event sequence — the equivalence property
 // tests pin that.
 func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
+	return RunFullRoundFaultsEngineTraced(eng, tree, f, q, fc, cfg, plan, nil)
+}
+
+// RunFullRoundFaultsEngineTraced is the fully general round: any
+// scheduler, any fault plan, and an optional trace recorder. Tracing
+// records the round's internal happenings — frame lifecycles with phase
+// and drop cause, re-parenting with BFS levels, crash times, sink
+// report arrivals, the round-end tally — without perturbing it: a nil
+// recorder leaves every code path and every output byte identical, and
+// an attached recorder draws no randomness and schedules nothing.
+func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, rec *trace.Recorder) (*RoundResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("desim: nil routing tree")
 	}
@@ -100,6 +125,7 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 	if err != nil {
 		return nil, err
 	}
+	radio.SetTrace(rec)
 	if plan.HasChannel() {
 		radio.SetChannel(plan.Lose)
 	}
@@ -213,8 +239,17 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 				if !severed[from] {
 					severed[from] = true
 					res.Severed++
+					if rec != nil {
+						rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSevered,
+							Node: int32(from), Peer: int32(parent)})
+					}
 				}
 				return
+			}
+			if rec != nil {
+				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindReparent,
+					Node: int32(from), Peer: int32(np), Seq: int64(parent),
+					Arg: trace.PackLevels(tree.Level(from), tree.Level(np))})
 			}
 			parentOf[from] = np
 			parent = np
@@ -287,12 +322,20 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 		}
 		reportScratch = reports
 		res.Generated += len(reports)
+		if rec != nil {
+			rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindGenerate,
+				Node: int32(id), Peer: -1, Arg: int32(len(reports))})
+		}
 		if t := eng.Now(); t > res.MeasureSeconds {
 			res.MeasureSeconds = t
 		}
 		fresh := accept(id, reports)
 		if id == root {
 			res.Delivered = append(res.Delivered, fresh...)
+			if rec != nil {
+				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSinkReport,
+					Node: int32(root), Peer: -1, Arg: int32(len(fresh))})
+			}
 			return
 		}
 		forward(id, fresh)
@@ -308,6 +351,10 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 			}
 			queryHeard[at] = true
 			res.QueryReached++
+			if rec != nil {
+				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindQueryHeard,
+					Phase: trace.PhaseQuery, Node: int32(at), Peer: int32(fr.From)})
+			}
 			if t := eng.Now(); t > res.QuerySeconds {
 				res.QuerySeconds = t
 			}
@@ -326,6 +373,10 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 			fresh := accept(at, fr.Batch)
 			if at == root {
 				res.Delivered = append(res.Delivered, fresh...)
+				if rec != nil {
+					rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSinkReport,
+						Phase: trace.PhaseCollect, Node: int32(root), Peer: int32(fr.From), Arg: int32(len(fresh))})
+				}
 				if len(fresh) > 0 && eng.Now() > res.CollectSeconds {
 					res.CollectSeconds = eng.Now()
 				}
@@ -346,6 +397,10 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 			flush(ev.Node)
 		case evRequeue:
 			b := parked.take(ev.Arg)
+			if rec != nil {
+				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindRequeue,
+					Phase: trace.PhaseCollect, Node: int32(ev.Node), Peer: -1, Arg: int32(len(b))})
+			}
 			forward(ev.Node, b)
 			radio.pool.put(b)
 		case evRebroadcast:
@@ -372,6 +427,10 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 	sink := root
 	queryHeard[sink] = true
 	res.QueryReached++
+	if rec != nil {
+		rec.Record(trace.Event{Kind: trace.KindQueryHeard, Phase: trace.PhaseQuery,
+			Node: int32(sink), Peer: int32(sink)})
+	}
 	eng.Schedule(0, func() {
 		_ = radio.BroadcastQuery(sink, core.QueryBytes)
 	})
@@ -383,6 +442,12 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 	res.TotalSeconds = eng.Run()
 	res.Radio = radio.Stats
 	res.Events = eng.Steps()
+	if rec != nil {
+		// Recorded before sink mangling: the trace accounts for what the
+		// network delivered, not what fault injection corrupted after.
+		rec.Record(trace.Event{T: res.TotalSeconds, Kind: trace.KindRoundEnd,
+			Node: int32(sink), Peer: -1, Seq: int64(len(res.Delivered))})
+	}
 	res.Delivered = plan.MangleSinkReports(res.Delivered, field.BoundsRect(f))
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"isomap/internal/energy"
 	"isomap/internal/metrics"
 	"isomap/internal/network"
+	"isomap/internal/trace"
 )
 
 // RadioConfig parameterizes the CSMA/CA link layer.
@@ -179,6 +180,10 @@ type Radio struct {
 
 	// trace, when set, receives a line per link-layer event (tests only).
 	trace func(string)
+	// tr, when set, records structured link-layer events. Every emission
+	// is behind this nil check and recording draws no randomness, so an
+	// untraced radio is byte-identical to today's.
+	tr *trace.Recorder
 	// onDrop, when set, receives data frames abandoned after MaxRetries
 	// or past their deadline, so an upper layer can re-queue their
 	// payload. The frame's Batch is recycled when the handler returns.
@@ -270,6 +275,33 @@ func (r *Radio) OnDrop(fn func(Frame)) {
 	r.onDrop = fn
 }
 
+// SetTrace installs a structured event recorder: every link-layer
+// happening — transmissions, receptions, deliveries, acks, backoffs,
+// retries, drops with cause, collisions, channel erasures, crashes — is
+// recorded as a typed trace.Event at the same points the energy model
+// charges, so the trace reconciles exactly with the round's counters
+// (trace.CheckCounters). A nil recorder disables tracing; the radio's
+// behavior is identical either way.
+func (r *Radio) SetTrace(rec *trace.Recorder) { r.tr = rec }
+
+// phaseOfFrame classifies a frame into the protocol phase its traffic
+// belongs to: the query flood, the probe/measure exchange, the report
+// convergecast, or pure link machinery (acks).
+func phaseOfFrame(f *Frame) trace.Phase {
+	if f.isAck {
+		return trace.PhaseLink
+	}
+	switch f.Kind {
+	case FrameQuery:
+		return trace.PhaseQuery
+	case FrameProbe, FrameReply:
+		return trace.PhaseMeasure
+	case FrameReports:
+		return trace.PhaseCollect
+	}
+	return trace.PhaseNone
+}
+
 // SetChannel installs a per-link loss model (e.g. faults.Plan.Lose): it
 // is consulted once per potential reception, and a true return erases the
 // frame on that link before it reaches the receiver — modeling channel
@@ -289,6 +321,9 @@ func (r *Radio) SetChannel(ch func(from, to network.NodeID) bool) {
 func (r *Radio) Crash(id network.NodeID) {
 	if !r.nw.Alive(id) {
 		return
+	}
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindCrash, Node: int32(id), Peer: -1})
 	}
 	r.nw.Node(id).Failed = true
 	st := &r.states[id]
@@ -366,6 +401,10 @@ const broadcastAddr network.NodeID = -2
 func (r *Radio) broadcastAttempt(slot int32, tries int) {
 	f := &r.frames[slot]
 	if r.mediumBusy(f.From) && tries < 16 {
+		if r.tr != nil {
+			r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindBackoff, Phase: phaseOfFrame(f),
+				Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: int32(tries), FrameKind: uint8(f.Kind)})
+		}
 		window := float64(int(1) << uint(min(tries+1, 6)))
 		delay := (1 + r.rng.Float64()*window) * r.cfg.SlotTime
 		r.eng.ScheduleEvent(delay, Event{Kind: evBroadcastAttempt, Seq: int64(slot), Arg: int32(tries + 1)})
@@ -409,6 +448,10 @@ func (r *Radio) send(f Frame) error {
 	f.slot = slot
 	r.frames[slot] = f
 	r.Stats.DataSent++
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindSend, Phase: phaseOfFrame(&f),
+			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+	}
 	r.attempt(f.seq, slot)
 	return nil
 }
@@ -443,11 +486,15 @@ func (r *Radio) attempt(seq int64, slot int32) {
 		return // acked while backing off; the slot may have been reused
 	}
 	if !r.nw.Alive(f.From) {
+		if r.tr != nil {
+			r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDead, Phase: phaseOfFrame(f), Cause: trace.CauseSenderDead,
+				Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+		}
 		r.recycleFrame(slot) // sender crashed: the frame dies with it
 		return
 	}
 	if r.expired(f) {
-		r.drop(slot)
+		r.drop(slot, trace.CauseDeadline)
 		return
 	}
 	if r.mediumBusy(f.From) {
@@ -468,10 +515,18 @@ func (r *Radio) ackTimeout(seq int64, slot int32) {
 	}
 	f.retries++
 	if f.retries > r.cfg.MaxRetries || r.expired(f) {
-		r.drop(slot)
+		cause := trace.CauseRetries
+		if f.retries <= r.cfg.MaxRetries {
+			cause = trace.CauseDeadline
+		}
+		r.drop(slot, cause)
 		return
 	}
 	r.Stats.Retries++
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindRetry, Phase: phaseOfFrame(f),
+			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: int32(f.retries), FrameKind: uint8(f.Kind)})
+	}
 	r.backoff(f)
 }
 
@@ -481,10 +536,15 @@ func (r *Radio) expired(f *Frame) bool {
 }
 
 // drop abandons a pending data frame, notifies the upper layer, and
-// recycles the frame's slot (and batch) afterwards.
-func (r *Radio) drop(slot int32) {
+// recycles the frame's slot (and batch) afterwards. cause records why
+// (retries exhausted or deadline passed) in the trace.
+func (r *Radio) drop(slot int32, cause trace.Cause) {
 	f := r.frames[slot]
 	r.Stats.Drops++
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDrop, Phase: phaseOfFrame(&f), Cause: cause,
+			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), Arg: int32(f.retries), FrameKind: uint8(f.Kind)})
+	}
 	if r.onDrop != nil {
 		r.onDrop(f)
 	}
@@ -493,6 +553,10 @@ func (r *Radio) drop(slot int32) {
 
 // backoff reschedules a frame after a binary-exponential random delay.
 func (r *Radio) backoff(f *Frame) {
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindBackoff, Phase: phaseOfFrame(f),
+			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: int32(f.retries), FrameKind: uint8(f.Kind)})
+	}
 	window := 1 << uint(min(f.retries+1, 6))
 	delay := (1 + r.rng.Float64()*float64(window)) * r.cfg.SlotTime
 	r.eng.ScheduleEvent(delay, Event{Kind: evAttempt, Seq: f.seq, Arg: f.slot})
@@ -509,6 +573,10 @@ func (r *Radio) transmit(f Frame) {
 	if r.trace != nil {
 		r.trace(fmtFrame("tx", f))
 	}
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: now, Kind: trace.KindTx, Phase: phaseOfFrame(&f),
+			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+	}
 	dur := r.airtime(f.Bytes)
 	r.states[f.From].txUntil = now + dur
 	if r.counters != nil {
@@ -520,6 +588,10 @@ func (r *Radio) transmit(f Frame) {
 		}
 		if r.channel != nil && r.channel(f.From, nb) {
 			r.Stats.ChannelLosses++
+			if r.tr != nil {
+				r.tr.Record(trace.Event{T: now, Kind: trace.KindChanLoss, Phase: phaseOfFrame(&f),
+					Node: int32(f.From), Peer: int32(nb), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+			}
 			continue
 		}
 		r.arrive(nb, f, dur)
@@ -540,8 +612,16 @@ func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
 		if !st.rxCorrupted {
 			st.rxCorrupted = true
 			r.Stats.Collisions++
+			if r.tr != nil {
+				r.tr.Record(trace.Event{T: now, Kind: trace.KindCollision, Phase: phaseOfFrame(&st.rxFrame),
+					Node: int32(id), Peer: int32(st.rxFrame.From), Seq: st.rxFrame.seq, Bytes: int32(st.rxFrame.Bytes), FrameKind: uint8(st.rxFrame.Kind)})
+			}
 		}
 		r.Stats.Collisions++
+		if r.tr != nil {
+			r.tr.Record(trace.Event{T: now, Kind: trace.KindCollision, Phase: phaseOfFrame(&f),
+				Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+		}
 		// Extend the busy window to cover the interferer; finishRx at the
 		// old deadline no-ops, so arm one at the new deadline.
 		if now+dur > st.rxUntil {
@@ -585,6 +665,10 @@ func (r *Radio) finishRx(id network.NodeID) {
 	if r.counters != nil {
 		r.counters.ChargeRx(id, f.Bytes)
 	}
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindRx, Phase: phaseOfFrame(&f),
+			Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+	}
 	if f.To == broadcastAddr {
 		// Broadcast: deliver once per node, no ack.
 		seen := r.seenAt(id)
@@ -592,13 +676,21 @@ func (r *Radio) finishRx(id network.NodeID) {
 			return
 		}
 		seen[f.seq] = true
+		if r.tr != nil {
+			r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDeliver, Phase: phaseOfFrame(&f),
+				Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+		}
 		if h := r.handlers[id]; h != nil {
 			h(id, f)
 		}
 		return
 	}
 	if f.isAck {
-		if r.frames[f.ackForSlot].seq == f.ackFor {
+		if pending := &r.frames[f.ackForSlot]; pending.seq == f.ackFor {
+			if r.tr != nil {
+				r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindAck, Phase: phaseOfFrame(pending),
+					Node: int32(id), Peer: int32(pending.To), Seq: pending.seq, Bytes: int32(pending.Bytes), FrameKind: uint8(pending.Kind)})
+			}
 			r.recycleFrame(f.ackForSlot) // still pending: acked now
 		}
 		return
@@ -615,6 +707,10 @@ func (r *Radio) finishRx(id network.NodeID) {
 	}
 	seen[f.seq] = true
 	r.Stats.Delivered++
+	if r.tr != nil {
+		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDeliver, Phase: phaseOfFrame(&f),
+			Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
+	}
 	if h := r.handlers[id]; h != nil {
 		h(id, f)
 	}

@@ -30,6 +30,54 @@ func FuzzParseGrid(f *testing.F) {
 	})
 }
 
+// FuzzGridFieldParse drives the text-grid loader end to end: parse
+// arbitrary bytes over an arbitrary extent, then probe any surviving
+// field at adversarial coordinates (NaN, infinities, far outside the
+// extent). Parsing must reject malformed input with an error — never a
+// panic — and an accepted field must answer every probe with a value.
+//
+// This target found two real crashes, both fixed in grid.go: a NaN probe
+// coordinate fell through the min/max clamp into an out-of-range index,
+// and a NaN extent survived NewGridField's emptiness check.
+func FuzzGridFieldParse(f *testing.F) {
+	// Seed corpus: well-formed, comments, ragged, too small, non-finite
+	// samples, short rows, huge exponents, and hostile extents.
+	f.Add("1 2\n3 4\n", 0.0, 0.0, 10.0, 10.0, 5.0, 5.0)
+	f.Add("# sonar trace\n1.5 -2e3\n4 5\n", -1.0, -1.0, 1.0, 1.0, 0.0, 0.0)
+	f.Add("", 0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add("1 2 3\n4 5\n", 0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add("nan inf\n-inf 0\n", 0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add("1\n2\n", 0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add("9e308 1\n1 1\n", 0.0, 0.0, 1.0, 1.0, 2.0, -3.0)
+	f.Add("1 2\n3 4\n", math.NaN(), 0.0, 10.0, 10.0, 5.0, 5.0)
+	f.Add("1 2\n3 4\n", 0.0, 0.0, math.Inf(1), 10.0, 5.0, 5.0)
+	f.Add("1 2\n3 4\n", 10.0, 10.0, 0.0, 0.0, 5.0, 5.0)
+	f.Fuzz(func(t *testing.T, src string, x0, y0, x1, y1, px, py float64) {
+		g, err := ParseGrid(strings.NewReader(src), x0, y0, x1, y1)
+		if err != nil {
+			return
+		}
+		if g.Rows() < 2 || g.Cols() < 2 {
+			t.Fatalf("accepted grid with shape %dx%d", g.Rows(), g.Cols())
+		}
+		bx0, by0, bx1, by1 := g.Bounds()
+		if bx1 <= bx0 || by1 <= by0 {
+			t.Fatalf("accepted empty extent [%g,%g]x[%g,%g]", bx0, bx1, by0, by1)
+		}
+		// No probe may panic, whatever the coordinates.
+		for _, p := range [][2]float64{
+			{px, py},
+			{math.NaN(), py},
+			{px, math.NaN()},
+			{math.Inf(1), math.Inf(-1)},
+			{bx0 - 1e9, by1 + 1e9},
+		} {
+			_ = g.Value(p[0], p[1])
+			_ = g.GradientAt(p[0], p[1])
+		}
+	})
+}
+
 // FuzzLevelsClassify checks the classification invariants under arbitrary
 // scheme parameters and values.
 func FuzzLevelsClassify(f *testing.F) {

@@ -37,6 +37,13 @@ func NewGridField(values [][]float64, x0, y0, x1, y1 float64) (*GridField, error
 			return nil, fmt.Errorf("grid field: ragged row %d (%d cols, want %d)", r, len(row), cols)
 		}
 	}
+	// Non-finite extents slip through the <= comparison (NaN compares
+	// false against everything) and poison every later cell lookup.
+	for _, e := range [...]float64{x0, y0, x1, y1} {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("grid field: non-finite extent [%g,%g]x[%g,%g]", x0, x1, y0, y1)
+		}
+	}
 	if x1 <= x0 || y1 <= y0 {
 		return nil, fmt.Errorf("grid field: empty extent [%g,%g]x[%g,%g]", x0, x1, y0, y1)
 	}
@@ -102,6 +109,14 @@ func (g *GridField) cell(x, y float64) (fx, fy float64) {
 	nx, ny := float64(g.Cols()-1), float64(g.Rows()-1)
 	fx = (x - g.x0) / (g.x1 - g.x0) * nx
 	fy = (y - g.y0) / (g.y1 - g.y0) * ny
+	// A NaN coordinate falls through both clamps — math.Max(0, NaN) is
+	// NaN — and int(NaN) indexes out of range. Pin it to the origin cell.
+	if math.IsNaN(fx) {
+		fx = 0
+	}
+	if math.IsNaN(fy) {
+		fy = 0
+	}
 	fx = math.Max(0, math.Min(nx, fx))
 	fy = math.Max(0, math.Min(ny, fy))
 	return fx, fy

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sample draws a bounded, finite random sample from the generator's rand
+// source. testing/quick's default float64 generator produces values up to
+// ±math.MaxFloat64 whose sums overflow; bounded magnitudes keep the
+// properties about the statistics, not about float overflow.
+type sample []float64
+
+func (sample) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	xs := make(sample, n)
+	for i := range xs {
+		xs[i] = (r.Float64() - 0.5) * 2e6
+	}
+	return reflect.ValueOf(xs)
+}
+
+// TestPercentileWithinBounds: for any sample and any p, the nearest-rank
+// percentile is an element of the sample (hence within [min, max]).
+func TestPercentileWithinBounds(t *testing.T) {
+	property := func(xs sample, p float64) bool {
+		if len(xs) == 0 {
+			return Percentile(xs, p) == 0
+		}
+		p = math.Mod(math.Abs(p), 150) // cover in-range and clamped p
+		v := Percentile(xs, p)
+		found := false
+		for _, x := range xs {
+			if x == v {
+				found = true
+				break
+			}
+		}
+		min, max := MinMax(xs)
+		return found && v >= min && v <= max
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileMonotoneInQ: raising the requested percentile never
+// lowers the answer.
+func TestPercentileMonotoneInQ(t *testing.T) {
+	property := func(xs sample, a, b float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a = math.Mod(math.Abs(a), 100)
+		b = math.Mod(math.Abs(b), 100)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeanStdPermutationInvariant: Mean and StdDev are functions of the
+// multiset, not the order. Reversal and a deterministic shuffle must
+// reproduce them exactly — both are computed by a fixed left-to-right
+// summation, so this pins the implementation to per-permutation
+// determinism only up to float association; we compare within one ULP
+// scaled tolerance.
+func TestMeanStdPermutationInvariant(t *testing.T) {
+	property := func(xs sample, seed int64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		perm := make(sample, len(xs))
+		copy(perm, xs)
+		rand.New(rand.NewSource(seed)).Shuffle(len(perm), func(i, j int) {
+			perm[i], perm[j] = perm[j], perm[i]
+		})
+		close := func(a, b float64) bool {
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+		}
+		return close(Mean(xs), Mean(perm)) && close(StdDev(xs), StdDev(perm))
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSummarizeConsistent: the bundled Summary agrees with its parts,
+// P50 <= P95, and Min <= Mean <= Max for any sample.
+func TestSummarizeConsistent(t *testing.T) {
+	property := func(xs sample) bool {
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if len(xs) == 0 {
+			return s == Summary{}
+		}
+		sorted := make(sample, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.P50 <= s.P95 && s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.StdDev >= 0
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}

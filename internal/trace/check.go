@@ -1,0 +1,201 @@
+package trace
+
+import "fmt"
+
+// Violation is one invariant breach found by Check.
+type Violation struct {
+	// Invariant names the broken property (e.g. "frame-conservation").
+	Invariant string
+	// Seq and Node locate the offending frame/node where applicable.
+	Seq  int64
+	Node int32
+	// Msg explains the breach.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: seq=%d node=%d: %s", v.Invariant, v.Seq, v.Node, v.Msg)
+}
+
+// CheckConfig tunes the invariant pass.
+type CheckConfig struct {
+	// MaxRetries, when positive, bounds per-frame KindRetry events (set
+	// it to RadioConfig.MaxRetries).
+	MaxRetries int
+}
+
+// Check runs the invariant pass over the recorder's held events,
+// refusing truncated rings (a partial trace cannot prove conservation).
+func (r *Recorder) Check(cfg CheckConfig) []Violation {
+	if r.Dropped() > 0 {
+		return []Violation{{Invariant: "complete-trace",
+			Msg: fmt.Sprintf("ring overwrote %d events; conservation is unprovable on a truncated trace", r.Dropped())}}
+	}
+	return Check(r.Events(), cfg)
+}
+
+// Check verifies the round-internal invariants of a complete recorded
+// trace and returns every breach found (nil when the trace is sound):
+//
+//   - time-order: simulated timestamps never decrease (sink-stage
+//     events, recorded after the round, are exempt);
+//   - frame-conservation: every unicast data send reaches exactly one
+//     sender-terminal outcome — acked, dropped, or dead with a crashed
+//     sender — by round end (traces without a KindRoundEnd marker may
+//     leave frames in flight); no terminal or delivery precedes its
+//     send, and no frame is delivered twice to the same node;
+//   - retry-bound: no frame retries more than cfg.MaxRetries times;
+//   - reparent-downhill: every re-parent target sits at a strictly
+//     lower frozen BFS level than the re-parenting node;
+//   - crash-finality: a crashed node transmits, receives and delivers
+//     nothing afterwards;
+//   - sink-accounting: the fresh-report counts accepted at the sink sum
+//     to the round's delivered total (KindRoundEnd.Seq).
+//
+// Together these turn the trace into a test oracle: properties that
+// previously required printf archaeology become assertions.
+func Check(events []Event, cfg CheckConfig) []Violation {
+	var out []Violation
+	type frameState struct {
+		sent      bool
+		terminals int
+		retries   int
+		delivered map[int32]bool
+	}
+	frames := make(map[int64]*frameState)
+	frameAt := func(seq int64) *frameState {
+		fs := frames[seq]
+		if fs == nil {
+			fs = &frameState{}
+			frames[seq] = fs
+		}
+		return fs
+	}
+	crashedAt := make(map[int32]float64)
+	var (
+		lastT        float64
+		sawRoundEnd  bool
+		sinkAccepted int64
+		sinkTotal    int64
+	)
+	for i, ev := range events {
+		if ev.Kind == KindSinkStage {
+			continue
+		}
+		if ev.T < lastT {
+			out = append(out, Violation{Invariant: "time-order", Seq: ev.Seq, Node: ev.Node,
+				Msg: fmt.Sprintf("event %d (%s) at t=%g after t=%g", i, ev.Kind, ev.T, lastT)})
+		}
+		lastT = ev.T
+
+		if t, ok := crashedAt[ev.Node]; ok && ev.T > t {
+			switch ev.Kind {
+			case KindTx, KindRx, KindDeliver:
+				out = append(out, Violation{Invariant: "crash-finality", Seq: ev.Seq, Node: ev.Node,
+					Msg: fmt.Sprintf("%s at t=%g after crash at t=%g", ev.Kind, ev.T, t)})
+			}
+		}
+
+		switch ev.Kind {
+		case KindSend:
+			fs := frameAt(ev.Seq)
+			if fs.sent {
+				out = append(out, Violation{Invariant: "frame-conservation", Seq: ev.Seq, Node: ev.Node,
+					Msg: "duplicate send for one sequence number"})
+			}
+			fs.sent = true
+		case KindAck, KindDrop, KindDead:
+			fs := frameAt(ev.Seq)
+			if !fs.sent {
+				out = append(out, Violation{Invariant: "frame-conservation", Seq: ev.Seq, Node: ev.Node,
+					Msg: fmt.Sprintf("%s without a preceding send", ev.Kind)})
+			}
+			fs.terminals++
+			if fs.terminals > 1 {
+				out = append(out, Violation{Invariant: "frame-conservation", Seq: ev.Seq, Node: ev.Node,
+					Msg: fmt.Sprintf("%s is terminal outcome #%d", ev.Kind, fs.terminals)})
+			}
+		case KindDeliver:
+			// Broadcast frames are delivered per node without a send
+			// event; conservation binds deliveries only for unicast
+			// frames (those with a send).
+			if fs := frames[ev.Seq]; fs != nil {
+				if fs.delivered == nil {
+					fs.delivered = make(map[int32]bool)
+				}
+				if fs.delivered[ev.Node] {
+					out = append(out, Violation{Invariant: "frame-conservation", Seq: ev.Seq, Node: ev.Node,
+						Msg: "frame delivered twice to the same node"})
+				}
+				fs.delivered[ev.Node] = true
+			}
+		case KindRetry:
+			fs := frameAt(ev.Seq)
+			fs.retries++
+			if cfg.MaxRetries > 0 && fs.retries > cfg.MaxRetries {
+				out = append(out, Violation{Invariant: "retry-bound", Seq: ev.Seq, Node: ev.Node,
+					Msg: fmt.Sprintf("retry %d exceeds MaxRetries %d", fs.retries, cfg.MaxRetries)})
+			}
+		case KindCrash:
+			crashedAt[ev.Node] = ev.T
+		case KindReparent:
+			child, parent := UnpackLevels(ev.Arg)
+			if parent >= child {
+				out = append(out, Violation{Invariant: "reparent-downhill", Seq: ev.Seq, Node: ev.Node,
+					Msg: fmt.Sprintf("new parent %d at level %d, node at level %d: repair must go strictly downhill", ev.Peer, parent, child)})
+			}
+		case KindSinkReport:
+			sinkAccepted += int64(ev.Arg)
+		case KindRoundEnd:
+			sawRoundEnd = true
+			sinkTotal = ev.Seq
+		}
+	}
+	if sawRoundEnd {
+		for seq, fs := range frames {
+			if fs.sent && fs.terminals == 0 {
+				out = append(out, Violation{Invariant: "frame-conservation", Seq: seq,
+					Msg: "frame still pending at round end: never acked, dropped or dead"})
+			}
+		}
+		if sinkAccepted != sinkTotal {
+			out = append(out, Violation{Invariant: "sink-accounting",
+				Msg: fmt.Sprintf("sink accepted %d fresh reports but the round delivered %d", sinkAccepted, sinkTotal)})
+		}
+	}
+	return out
+}
+
+// CheckCounters cross-checks the trace's per-node transmitted and
+// received byte totals against an independent accounting (the round's
+// metrics.Counters, passed as accessors to keep this package
+// dependency-light). The two paths — trace emission and energy charging
+// — share emission sites in the radio, so any divergence means an event
+// stream went missing.
+func CheckCounters(events []Event, nodes int, txBytes, rxBytes func(node int32) int64) []Violation {
+	tx := make([]int64, nodes)
+	rx := make([]int64, nodes)
+	for _, ev := range events {
+		if ev.Node < 0 || int(ev.Node) >= nodes {
+			continue
+		}
+		switch ev.Kind {
+		case KindTx:
+			tx[ev.Node] += int64(ev.Bytes)
+		case KindRx:
+			rx[ev.Node] += int64(ev.Bytes)
+		}
+	}
+	var out []Violation
+	for i := 0; i < nodes; i++ {
+		if got, want := tx[i], txBytes(int32(i)); got != want {
+			out = append(out, Violation{Invariant: "energy-accounting", Node: int32(i),
+				Msg: fmt.Sprintf("trace tx bytes %d, counters charged %d", got, want)})
+		}
+		if got, want := rx[i], rxBytes(int32(i)); got != want {
+			out = append(out, Violation{Invariant: "energy-accounting", Node: int32(i),
+				Msg: fmt.Sprintf("trace rx bytes %d, counters charged %d", got, want)})
+		}
+	}
+	return out
+}

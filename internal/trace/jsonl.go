@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// AppendJSONL appends the canonical one-line JSON form of ev to b. The
+// encoding is deterministic: fixed key order, shortest round-trip float
+// formatting, and optional keys (cause, durns) present exactly when
+// nonzero — so byte-level comparison of two traces is event-level
+// comparison.
+func AppendJSONL(b []byte, ev Event) []byte {
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.T, 'g', -1, 64)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, `","phase":"`...)
+	b = append(b, ev.Phase.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(ev.Node), 10)
+	b = append(b, `,"peer":`...)
+	b = strconv.AppendInt(b, int64(ev.Peer), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, ev.Seq, 10)
+	b = append(b, `,"bytes":`...)
+	b = strconv.AppendInt(b, int64(ev.Bytes), 10)
+	b = append(b, `,"arg":`...)
+	b = strconv.AppendInt(b, int64(ev.Arg), 10)
+	b = append(b, `,"fk":`...)
+	b = strconv.AppendInt(b, int64(ev.FrameKind), 10)
+	if ev.Cause != CauseNone {
+		b = append(b, `,"cause":"`...)
+		b = append(b, ev.Cause.String()...)
+		b = append(b, '"')
+	}
+	if ev.DurNs != 0 {
+		b = append(b, `,"durns":`...)
+		b = strconv.AppendInt(b, ev.DurNs, 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// WriteJSONL writes the recorder's held events as canonical JSONL, one
+// event per line, in recording order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
+}
+
+// WriteJSONL writes events as canonical JSONL, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	for _, ev := range events {
+		line = AppendJSONL(line[:0], ev)
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

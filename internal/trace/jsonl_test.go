@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAppendJSONLCanonical(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{
+			Event{T: 0.5, Kind: KindTx, Phase: PhaseQuery, Node: 3, Peer: -2, Seq: 9, Bytes: 8, FrameKind: 2},
+			`{"t":0.5,"kind":"tx","phase":"query","node":3,"peer":-2,"seq":9,"bytes":8,"arg":0,"fk":2}`,
+		},
+		{
+			Event{T: 1.25, Kind: KindDrop, Phase: PhaseCollect, Node: 4, Peer: 1, Seq: 77, Bytes: 36, Arg: 5, Cause: CauseRetries},
+			`{"t":1.25,"kind":"drop","phase":"collect","node":4,"peer":1,"seq":77,"bytes":36,"arg":5,"fk":0,"cause":"retries"}`,
+		},
+		{
+			Event{Kind: KindSinkStage, Node: -1, Peer: -1, Seq: 2, Arg: int32(StageRaster), DurNs: 12345},
+			`{"t":0,"kind":"sinkstage","phase":"none","node":-1,"peer":-1,"seq":2,"bytes":0,"arg":3,"fk":0,"durns":12345}`,
+		},
+	}
+	for _, tc := range cases {
+		got := string(AppendJSONL(nil, tc.ev))
+		if got != tc.want+"\n" {
+			t.Errorf("AppendJSONL:\n got %q\nwant %q", got, tc.want+"\n")
+		}
+		// Every line must also be valid JSON.
+		var m map[string]any
+		if err := json.Unmarshal([]byte(tc.want), &m); err != nil {
+			t.Errorf("line is not valid JSON: %v", err)
+		}
+	}
+}
+
+// TestJSONLShortestFloat pins the float encoding: shortest round-trip
+// form, so equal times encode to equal bytes on every platform.
+func TestJSONLShortestFloat(t *testing.T) {
+	line := string(AppendJSONL(nil, Event{T: 0.8951663000550267, Kind: KindRoundEnd}))
+	if !strings.HasPrefix(line, `{"t":0.8951663000550267,`) {
+		t.Errorf("float not shortest-round-trip encoded: %s", line)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{T: 0, Kind: KindSend, Seq: 1})
+	r.Record(Event{T: 1, Kind: KindAck, Seq: 1})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"send"`) || !strings.Contains(lines[1], `"kind":"ack"`) {
+		t.Errorf("lines out of order or mis-encoded: %v", lines)
+	}
+}

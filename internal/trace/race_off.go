@@ -1,0 +1,7 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-regression tests skip under it because instrumentation allocates.
+const raceEnabled = false

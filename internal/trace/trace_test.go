@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsValid(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: KindTx}) // must not panic
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 || r.Capacity() != 0 {
+		t.Error("nil recorder reports nonzero state")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder returned events")
+	}
+	if s := r.Summarize(); s.Events != 0 {
+		t.Error("nil recorder summarized events")
+	}
+	if v := r.Check(CheckConfig{}); v != nil {
+		t.Errorf("nil recorder reported violations: %v", v)
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Seq: int64(i)})
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d, want 4/10/6", r.Len(), r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Seq != want {
+			t.Errorf("event %d has seq %d, want %d (oldest survivors, in order)", i, ev.Seq, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("reset did not empty the recorder")
+	}
+	if r.Capacity() != 4 {
+		t.Error("reset dropped the ring storage")
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	if got := NewRecorder(0).Capacity(); got != DefaultCapacity {
+		t.Errorf("NewRecorder(0) capacity = %d, want DefaultCapacity %d", got, DefaultCapacity)
+	}
+}
+
+// TestRecordZeroAllocs pins the hot-path contract from the package doc:
+// recording an event into the preallocated ring performs zero heap
+// allocations, wrap or no wrap.
+func TestRecordZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	r := NewRecorder(1024)
+	ev := Event{T: 1.5, Kind: KindTx, Phase: PhaseCollect, Node: 7, Peer: 9, Seq: 42, Bytes: 36}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 4096; i++ { // wraps the ring 4x per run
+			r.Record(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocated %.2f allocs per 4096-event burst, want 0", allocs)
+	}
+}
+
+func TestPackLevelsRoundTrip(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {1, 0}, {12, 11}, {200, 199}, {0xffff, 0}} {
+		c, p := UnpackLevels(PackLevels(tc[0], tc[1]))
+		if c != tc[0] || p != tc[1] {
+			t.Errorf("PackLevels(%d, %d) round-tripped to (%d, %d)", tc[0], tc[1], c, p)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for k := KindNone; k < kindCount; k++ {
+		if s := k.String(); s == "" || s == "unknown" {
+			t.Errorf("Kind %d has no name", k)
+		}
+	}
+	for p := PhaseNone; p < phaseCount; p++ {
+		if s := p.String(); s == "" || s == "unknown" {
+			t.Errorf("Phase %d has no name", p)
+		}
+	}
+	for s := StageVoronoi; s < stageCount; s++ {
+		if n := s.String(); n == "" || n == "unknown" {
+			t.Errorf("Stage %d has no name", s)
+		}
+	}
+	// Cause zero value serializes empty (JSONL omits it); the rest named.
+	if CauseNone.String() != "" {
+		t.Error("CauseNone must serialize empty")
+	}
+	for c := CauseRetries; c <= CauseSenderDead; c++ {
+		if s := c.String(); s == "" || s == "unknown" {
+			t.Errorf("Cause %d has no name", c)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "unknown") {
+		t.Error("out-of-range Kind must print unknown")
+	}
+}
