@@ -114,6 +114,8 @@ var kinds = []kindSpec{
 		func(o options) error { return runDesim(o.out, o.smoke) }},
 	{"trace", "traced packet rounds: per-phase breakdowns, stage timings (BENCH_TRACE.json)",
 		func(o options) error { return runTrace(o.out, o.smoke) }},
+	{"serve", "contour server under churn: incremental vs full rebuild, sustained query latency (BENCH_SERVE.json)",
+		func(o options) error { return runServe(o.out, o.smoke) }},
 }
 
 // kindNames returns the registered kind names in registration order.

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDispatchUnknownKindLists(t *testing.T) {
@@ -22,7 +23,7 @@ func TestDispatchUnknownKindLists(t *testing.T) {
 }
 
 func TestKindRegistryComplete(t *testing.T) {
-	want := []string{"recon", "faults", "desim", "trace"}
+	want := []string{"recon", "faults", "desim", "trace", "serve"}
 	got := kindNames()
 	if len(got) != len(want) {
 		t.Fatalf("kindNames() = %v, want %v", got, want)
@@ -58,5 +59,37 @@ func TestTraceScenarioSmoke(t *testing.T) {
 	}
 	if len(e.Summary.SinkStages) == 0 {
 		t.Error("no sink reconstruction stage timings recorded")
+	}
+}
+
+func TestServeEngineMeasurement(t *testing.T) {
+	e, err := measureServeEngine(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.K != 64 || e.Rounds != 3 {
+		t.Fatalf("entry shape: %+v", e)
+	}
+	if e.IncrementalNs <= 0 || e.FullNs <= 0 || e.Speedup <= 0 {
+		t.Fatalf("degenerate timings: %+v", e)
+	}
+	if e.CellsReusedPct <= 0 {
+		t.Errorf("3%% churn reused no cells: %+v", e)
+	}
+}
+
+func TestServeLoadMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live HTTP server")
+	}
+	l, err := measureServeLoad(1, 250*time.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Requests == 0 || l.QueriesPerSec <= 0 {
+		t.Fatalf("no load measured: %+v", l)
+	}
+	if l.P99Micros < l.P50Micros {
+		t.Fatalf("p99 %v < p50 %v", l.P99Micros, l.P50Micros)
 	}
 }

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/geom"
+	"isomap/internal/serve"
+	"isomap/internal/stats"
+)
+
+// serveEngineEntry compares per-round reconstruction cost under churn:
+// the incremental engine against the from-scratch rebuild it must match
+// byte for byte. Times are means over the churn rounds.
+type serveEngineEntry struct {
+	K              int     `json:"k"`
+	Rounds         int     `json:"rounds"`
+	ChurnFraction  float64 `json:"churn_fraction"`
+	IncrementalNs  float64 `json:"incremental_ns_per_round"`
+	FullNs         float64 `json:"full_ns_per_round"`
+	Speedup        float64 `json:"speedup"`
+	CellsReusedPct float64 `json:"cells_reused_pct"`
+	RasterRes      int     `json:"raster_res"`
+}
+
+// serveLoadEntry is the sustained HTTP serving measurement: concurrent
+// clients querying a live deployment while an ingester advances churn
+// rounds through it.
+type serveLoadEntry struct {
+	Clients         int     `json:"clients"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	Rounds          int     `json:"rounds_ingested"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+	P50Micros       float64 `json:"p50_us"`
+	P99Micros       float64 `json:"p99_us"`
+	NotModifiedPct  float64 `json:"not_modified_pct"`
+}
+
+// serveReport is the BENCH_SERVE.json document.
+type serveReport struct {
+	Generator  string             `json:"generator"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Engine     []serveEngineEntry `json:"engine"`
+	Load       serveLoadEntry     `json:"load"`
+}
+
+func runServe(out string, smoke bool) error {
+	if out == "" {
+		out = "BENCH_SERVE.json"
+	}
+	rep := serveReport{
+		Generator:  "cmd/benchreport -kind serve",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ks := []int{128, 512}
+	rounds := 20
+	loadFor := 3 * time.Second
+	clients := 4
+	if smoke {
+		ks = []int{128}
+		rounds = 8
+		loadFor = 600 * time.Millisecond
+		clients = 2
+	}
+	for _, k := range ks {
+		e, err := measureServeEngine(k, rounds)
+		if err != nil {
+			return err
+		}
+		rep.Engine = append(rep.Engine, e)
+	}
+	load, err := measureServeLoad(clients, loadFor, smoke)
+	if err != nil {
+		return err
+	}
+	rep.Load = load
+	return writeJSON(out, rep)
+}
+
+// churnBenchReports moves a small fraction of the reports, mimicking a
+// slowly advancing contour between monitoring rounds.
+func churnBenchReports(rng *rand.Rand, reports []core.Report, frac float64) []core.Report {
+	out := append([]core.Report(nil), reports...)
+	for i := range out {
+		if rng.Float64() < frac {
+			out[i].Pos.X += rng.NormFloat64() * 0.3
+			out[i].Pos.Y += rng.NormFloat64() * 0.3
+		}
+	}
+	return out
+}
+
+func measureServeEngine(k, rounds int) (serveEngineEntry, error) {
+	const res = 100
+	const churn = 0.03
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports, levels := benchReports(k)
+	rng := rand.New(rand.NewSource(int64(k) * 31))
+
+	inc := contour.NewIncremental(levels, bounds, contour.DefaultOptions())
+	inc.Update(reports, 9)
+	inc.Raster(res, res)
+
+	var incNs, fullNs float64
+	for round := 0; round < rounds; round++ {
+		reports = churnBenchReports(rng, reports, churn)
+
+		start := time.Now()
+		m := inc.Update(reports, 9)
+		inc.Raster(res, res)
+		incNs += float64(time.Since(start).Nanoseconds())
+
+		arranged := inc.Arranged()
+		start = time.Now()
+		full := contour.Reconstruct(arranged, levels, bounds, 9, contour.DefaultOptions())
+		full.RasterWorkers(res, res, 1)
+		fullNs += float64(time.Since(start).Nanoseconds())
+
+		// The speedup only counts if the outputs are the same bytes.
+		if err := contour.Equivalent(m, full, 0, 0); err != nil {
+			return serveEngineEntry{}, fmt.Errorf("serve bench k=%d round %d: %w", k, round, err)
+		}
+	}
+	st := inc.Stats()
+	reusedPct := 0.0
+	if tot := st.CellsReused + st.CellsRecomputed; tot > 0 {
+		reusedPct = math.Round(float64(st.CellsReused)/float64(tot)*1000) / 10
+	}
+	return serveEngineEntry{
+		K:              k,
+		Rounds:         rounds,
+		ChurnFraction:  churn,
+		IncrementalNs:  math.Round(incNs / float64(rounds)),
+		FullNs:         math.Round(fullNs / float64(rounds)),
+		Speedup:        math.Round(fullNs/incNs*100) / 100,
+		CellsReusedPct: reusedPct,
+		RasterRes:      res,
+	}, nil
+}
+
+// measureServeLoad boots a real isomapd server on loopback and hammers it:
+// clients cycle classify, polyline, meta (conditional) and range queries
+// while one ingester advances churn rounds, so the measured tail includes
+// snapshot swaps.
+func measureServeLoad(clients int, dur time.Duration, smoke bool) (serveLoadEntry, error) {
+	nodes := 400
+	if smoke {
+		nodes = 250
+	}
+	srv, err := serve.NewServer(serve.Config{Deployments: 1, Nodes: nodes, Seed: 17, FaultEvery: 4})
+	if err != nil {
+		return serveLoadEntry{}, err
+	}
+	if err := srv.AdvanceAll(); err != nil {
+		return serveLoadEntry{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveLoadEntry{}, err
+	}
+	defer ln.Close()
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	paths := []string{
+		"/v1/deployments/d0/classify?x=25&y=25",
+		"/v1/deployments/d0/levels/0/polyline",
+		"/v1/deployments/d0",
+		"/v1/deployments/d0/range?x0=10&y0=10&x1=40&y1=40&rows=4&cols=4",
+	}
+	stop := time.Now().Add(dur)
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		latencies   []float64
+		notModified int
+		roundsDone  int
+		firstErr    error
+	)
+	// Ingester: keeps churn flowing beneath the query load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(stop) {
+			resp, err := http.Post(base+"/v1/deployments/d0/rounds", "application/json", nil)
+			if err == nil {
+				resp.Body.Close()
+			}
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			roundsDone++
+			mu.Unlock()
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			etag := ""
+			local := make([]float64, 0, 4096)
+			local304 := 0
+			for i := 0; time.Now().Before(stop); i++ {
+				path := paths[i%len(paths)]
+				req, err := http.NewRequest("GET", base+path, nil)
+				if err != nil {
+					continue
+				}
+				if path == "/v1/deployments/d0" && etag != "" {
+					req.Header.Set("If-None-Match", etag)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := float64(time.Since(t0).Microseconds())
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if resp.StatusCode == http.StatusNotModified {
+					local304++
+				}
+				if e := resp.Header.Get("ETag"); e != "" {
+					etag = e
+				}
+				_ = resp.Body.Close()
+				local = append(local, lat)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			notModified += local304
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return serveLoadEntry{}, firstErr
+	}
+	if len(latencies) == 0 {
+		return serveLoadEntry{}, fmt.Errorf("serve load produced no samples")
+	}
+	return serveLoadEntry{
+		Clients:         clients,
+		DurationSeconds: dur.Seconds(),
+		Requests:        len(latencies),
+		Rounds:          roundsDone,
+		QueriesPerSec:   math.Round(float64(len(latencies)) / dur.Seconds()),
+		P50Micros:       math.Round(stats.Percentile(latencies, 50)*10) / 10,
+		P99Micros:       math.Round(stats.Percentile(latencies, 99)*10) / 10,
+		NotModifiedPct:  math.Round(float64(notModified)/float64(len(latencies))*1000) / 10,
+	}, nil
+}

@@ -1,0 +1,197 @@
+// Command isomapd is the long-lived contour-map server: it owns N
+// concurrent simulated deployments, advances each through churn rounds
+// (silting field, optional periodic fault injection) and serves contour
+// queries — level-set polylines, point and range classification, raster
+// tiles — from versioned snapshots with strong ETags. Reconstruction is
+// incremental (internal/contour.Incremental); -oracle cross-checks every
+// update against a from-scratch rebuild before publishing it.
+//
+// Usage:
+//
+//	isomapd [-addr :8080] [-deployments 2] [-nodes 600] [-seed 1]
+//	        [-faultevery 0] [-oracle] [-interval 0] [-smoke]
+//
+// -interval N advances every deployment one round each N seconds;
+// 0 leaves advancement to POST /v1/deployments/{id}/rounds. -smoke boots
+// the server on a loopback port, replays a three-round churn sequence
+// (the third crash-faulted when -faultevery 3, as the CI smoke uses),
+// checks ETag rotation, 304 handling and the incremental-vs-oracle
+// contract, then exits; non-zero on any failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"isomap/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		deployments = flag.Int("deployments", 2, "number of concurrent deployments")
+		nodes       = flag.Int("nodes", 600, "nodes per deployment")
+		seed        = flag.Int64("seed", 1, "base deployment seed (deployment i uses seed+i)")
+		faultEvery  = flag.Int("faultevery", 0, "inject faults every Nth round (0 = never)")
+		oracle      = flag.Bool("oracle", false, "verify every incremental update against a full rebuild")
+		interval    = flag.Duration("interval", 0, "auto-advance rounds at this period (0 = only on POST)")
+		smoke       = flag.Bool("smoke", false, "run the loopback smoke sequence and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "isomapd: smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("isomapd: smoke ok")
+		return
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		Deployments: *deployments,
+		Nodes:       *nodes,
+		Seed:        *seed,
+		FaultEvery:  *faultEvery,
+		Oracle:      *oracle,
+	})
+	if err != nil {
+		log.Fatalf("isomapd: %v", err)
+	}
+	if *interval > 0 {
+		go func() {
+			for range time.Tick(*interval) {
+				if err := srv.AdvanceAll(); err != nil {
+					log.Printf("isomapd: round failed: %v", err)
+				}
+			}
+		}()
+	}
+	log.Printf("isomapd: %d deployments of %d nodes on %s", *deployments, *nodes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// runSmoke is the self-contained health sequence the CI serve-smoke step
+// runs: a real TCP listener, three churn rounds with the third faulted,
+// oracle verification on every update, and the caching contract probed
+// from the client side.
+func runSmoke() error {
+	srv, err := serve.NewServer(serve.Config{
+		Deployments: 1,
+		Nodes:       400,
+		Seed:        11,
+		FaultEvery:  3,
+		Oracle:      true,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var etags []string
+	for round := 1; round <= 3; round++ {
+		resp, err := http.Post(base+"/v1/deployments/d0/rounds", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		var out struct {
+			ETag    string `json:"etag"`
+			Faulted bool   `json:"faulted"`
+			Reports int    `json:"reports"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("round %d: status %d (oracle divergence fails here)", round, resp.StatusCode)
+		}
+		if out.Reports == 0 {
+			return fmt.Errorf("round %d delivered no reports", round)
+		}
+		if round == 3 && !out.Faulted {
+			return fmt.Errorf("round 3 was not fault-injected")
+		}
+		etags = append(etags, out.ETag)
+	}
+	for i := 1; i < len(etags); i++ {
+		if etags[i] == etags[i-1] {
+			return fmt.Errorf("etag did not rotate between rounds: %q", etags[i])
+		}
+	}
+
+	// Caching contract: a conditional GET with the live ETag is a 304; a
+	// stale ETag gets a full 200 with the new tag.
+	req, err := http.NewRequest("GET", base+"/v1/deployments/d0/levels/0/polyline", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("If-None-Match", etags[2])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("conditional polyline: status %d, want 304", resp.StatusCode)
+	}
+	req.Header.Set("If-None-Match", etags[0])
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stale conditional polyline: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != etags[2] {
+		return fmt.Errorf("stale conditional served ETag %q, want %q", got, etags[2])
+	}
+
+	// The query surface answers, and the invariant raster renders.
+	for _, path := range []string{
+		"/healthz",
+		"/v1/deployments",
+		"/v1/deployments/d0",
+		"/v1/deployments/d0/classify?x=25&y=25",
+		"/v1/deployments/d0/range?x0=10&y0=10&x1=40&y1=40&rows=6&cols=6",
+		"/v1/deployments/d0/raster?rows=32&cols=32",
+		"/debug/vars",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err = http.Get(base + "/v1/deployments/d0/raster?rows=16&cols=16&format=pgm")
+	if err != nil {
+		return err
+	}
+	head := make([]byte, 10)
+	n, _ := resp.Body.Read(head)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(head[:n]), "P2\n16 16\n") {
+		return fmt.Errorf("pgm tile header = %q", string(head[:n]))
+	}
+	return nil
+}

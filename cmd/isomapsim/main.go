@@ -26,8 +26,12 @@
 // violation on stderr. -expvar dumps the process expvar variables —
 // including the per-phase round counters published after a traced round —
 // as JSON. -diag DIR is the one-flag diagnosis bundle: it fills DIR with
-// cpu.pprof, heap.pprof, events.jsonl and expvar.json (any of the
-// corresponding flags given explicitly keep their own paths).
+// cpu.pprof, heap.pprof, events.jsonl and expvar.json. Any of the
+// corresponding flags given explicitly on the command line keeps its own
+// value — including an explicit empty value, which disables that output
+// (set-ness decides, not the value). With a non-isomap -protocol the
+// bundle skips events.jsonl (those protocols have no packet round) with a
+// note on stderr. An uncreatable DIR is a hard error.
 //
 // With -packet the round additionally executes on the packet-level
 // CSMA/CA engine (query flood, neighborhood probes, filtered
@@ -95,20 +99,32 @@ func run() error {
 		diagDir   = flag.String("diag", "", "diagnosis bundle: write cpu.pprof, heap.pprof, events.jsonl and expvar.json into this directory")
 	)
 	flag.Parse()
+	// explicitly set flags, by name: -diag only fills outputs the user did
+	// not set themselves. Checking values instead of flag.Visit would
+	// silently re-route an explicit `-cpuprofile ""` (profile disabled)
+	// or any other flag explicitly set to its default into the diag dir.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *diagDir != "" {
 		if err := os.MkdirAll(*diagDir, 0o755); err != nil {
 			return fmt.Errorf("diag: %w", err)
 		}
-		if *cpuprof == "" {
+		if !explicit["cpuprofile"] {
 			*cpuprof = filepath.Join(*diagDir, "cpu.pprof")
 		}
-		if *memprof == "" {
+		if !explicit["memprofile"] {
 			*memprof = filepath.Join(*diagDir, "heap.pprof")
 		}
-		if *roundtr == "" {
-			*roundtr = filepath.Join(*diagDir, "events.jsonl")
+		if !explicit["roundtrace"] {
+			if *protocol == "isomap" {
+				*roundtr = filepath.Join(*diagDir, "events.jsonl")
+			} else {
+				// The bundle stays useful for other protocols; only the
+				// packet-round trace has nothing to record.
+				fmt.Fprintf(os.Stderr, "isomapsim: diag: skipping events.jsonl (protocol %q has no packet round)\n", *protocol)
+			}
 		}
-		if *expvarOut == "" {
+		if !explicit["expvar"] {
 			*expvarOut = filepath.Join(*diagDir, "expvar.json")
 		}
 	}

@@ -87,7 +87,15 @@ type levelRecon struct {
 	// hasChord[i] marks cells where the chord degenerated.
 	chords   []geom.Segment
 	hasChord []bool
-	patches  []patch
+	// baseChords[i] is the pre-regulation chord of cell i. regulate edits
+	// chords in place in an order-dependent sweep, so the incremental
+	// engine re-runs it from these retained bases instead of trying to
+	// patch regulated chords.
+	baseChords []geom.Segment
+	patches    []patch
+	// diagram is the level's bounded Voronoi diagram, retained so the
+	// incremental engine can diff site sets and reuse unchanged cells.
+	diagram *geom.VoronoiDiagram
 	// nn answers nearest-site queries for this level; it is shared by
 	// the Voronoi construction, membership tests and the raster sweep.
 	nn *geom.NNIndex
@@ -150,24 +158,25 @@ func (lr *levelRecon) build(bounds geom.Polygon, opts Options) {
 	}
 	start := time.Now()
 	lr.nn = geom.NewNNIndex(lr.sites, bounds)
-	diagram := geom.VoronoiWithIndex(lr.sites, bounds, lr.nn)
+	lr.diagram = geom.VoronoiWithIndex(lr.sites, bounds, lr.nn)
 	recordStage(opts.Trace, trace.StageVoronoi, lr.index, start)
 	start = time.Now()
-	lr.chords = make([]geom.Segment, len(lr.sites))
+	lr.baseChords = make([]geom.Segment, len(lr.sites))
 	lr.hasChord = make([]bool, len(lr.sites))
-	for i := range diagram.Cells {
-		cell := &diagram.Cells[i]
+	for i := range lr.diagram.Cells {
+		cell := &lr.diagram.Cells[i]
 		if cell.Region == nil {
 			continue
 		}
 		chord, ok := chordInCell(cell.Region, lr.sites[i], lr.grads[i])
-		lr.chords[i] = chord
+		lr.baseChords[i] = chord
 		lr.hasChord[i] = ok
 	}
+	lr.chords = append([]geom.Segment(nil), lr.baseChords...)
 	recordStage(opts.Trace, trace.StageChords, lr.index, start)
 	if opts.Regulate {
 		start = time.Now()
-		lr.regulate(diagram)
+		lr.regulate(lr.diagram)
 		recordStage(opts.Trace, trace.StageRegulate, lr.index, start)
 	}
 }
@@ -338,11 +347,25 @@ func (m *Map) Raster(rows, cols int) *field.Raster {
 // probes reuse each other's search radius. Rows write disjoint slices and
 // every query is cursor-independent, so the output is byte-identical at
 // any width.
+//
+// Degenerate dimensions are defined: negative rows/cols clamp to zero and
+// any empty dimension returns an empty raster through the sequential path,
+// byte-identical (trivially) to what a sequential sweep of zero cells
+// produces. Worker counts above the row count clamp to one worker per row.
 func (m *Map) RasterWorkers(rows, cols, workers int) *field.Raster {
 	start := time.Now()
 	defer recordStage(m.tr, trace.StageRaster, -1, start)
-	x0, y0, x1, y1 := m.Bounds.BoundingBox()
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
 	ra := field.NewRaster(rows, cols)
+	if rows == 0 || cols == 0 {
+		return ra
+	}
+	x0, y0, x1, y1 := m.Bounds.BoundingBox()
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -226,3 +226,44 @@ func BenchmarkMapRasterNaive(b *testing.B) {
 		})
 	}
 }
+
+// TestRasterWorkersDegenerateDims pins the edge cases of the worker-pool
+// sweep: negative or zero dimensions yield an empty raster of clamped
+// shape, worker counts at or below zero and far above the row count all
+// degrade to the sequential result byte for byte.
+func TestRasterWorkersDegenerateDims(t *testing.T) {
+	maps := reconMaps(t)
+	dims := [][2]int{{0, 10}, {10, 0}, {0, 0}, {-3, 7}, {7, -3}, {-1, -1}, {1, 1}, {3, 48}, {48, 3}}
+	workers := []int{-5, -1, 0, 1, 2, 49, 1000}
+	for mi, m := range maps {
+		for _, d := range dims {
+			rows, cols := d[0], d[1]
+			wantRows, wantCols := rows, cols
+			if wantRows < 0 {
+				wantRows = 0
+			}
+			if wantCols < 0 {
+				wantCols = 0
+			}
+			seq := m.RasterWorkers(rows, cols, 1)
+			if seq.Rows != wantRows || seq.Cols != wantCols {
+				t.Fatalf("map %d dims %v: got %dx%d, want clamp to %dx%d",
+					mi, d, seq.Rows, seq.Cols, wantRows, wantCols)
+			}
+			if len(seq.Cells) != wantRows {
+				t.Fatalf("map %d dims %v: %d cell rows, want %d", mi, d, len(seq.Cells), wantRows)
+			}
+			for _, w := range workers {
+				got := m.RasterWorkers(rows, cols, w)
+				if !rastersEqual(seq, got) {
+					t.Fatalf("map %d dims %v workers %d: differs from sequential", mi, d, w)
+				}
+			}
+			if wantRows > 0 && wantCols > 0 {
+				if !rastersEqual(seq, m.RasterNaive(rows, cols)) {
+					t.Fatalf("map %d dims %v: differs from naive reference", mi, d)
+				}
+			}
+		}
+	}
+}

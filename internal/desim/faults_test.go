@@ -301,3 +301,47 @@ func assertUniqueReports(t *testing.T, reports []core.Report) {
 		seen[r] = true
 	}
 }
+
+// TestCrashRestoredAfterRound pins the env-reuse contract for faulted
+// rounds: a crash is round-scoped, so the alive set must be fully restored
+// once the round returns, and a fault-free round on the same network
+// afterwards must match one on a never-faulted twin exactly.
+func TestCrashRestoredAfterRound(t *testing.T) {
+	tree, f, q := fullRoundSetup(t, 400)
+	n := tree.Network().Len()
+	plan, err := faults.New(faults.Config{
+		Seed: 5, CrashFraction: 0.2, CrashStart: 0.05, CrashEnd: 0.6,
+		Protect: []network.NodeID{tree.Root()},
+	}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFullRoundFaults(tree, f, q, core.DefaultFilterConfig(), DefaultRadioConfig(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed == 0 {
+		t.Fatal("no node crashed at fraction 0.2")
+	}
+	for id := 0; id < n; id++ {
+		if !tree.Network().Alive(network.NodeID(id)) {
+			t.Fatalf("node %d still Failed after the round returned", id)
+		}
+	}
+
+	// A fault-free round on the post-crash network must equal one on a
+	// never-faulted twin: no residue of the crashes may leak forward.
+	after, err := RunFullRound(tree, f, q, core.DefaultFilterConfig(), DefaultRadioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2, f2, q2 := fullRoundSetup(t, 400)
+	fresh, err := RunFullRound(tree2, f2, q2, core.DefaultFilterConfig(), DefaultRadioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after.Counters, fresh.Counters = nil, nil
+	if !reflect.DeepEqual(after, fresh) {
+		t.Errorf("fault-free round after a crash round diverges from a never-faulted twin:\n after: %+v\n fresh: %+v", after, fresh)
+	}
+}

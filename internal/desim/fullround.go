@@ -131,6 +131,14 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 	}
 	res := &RoundResult{Counters: counters}
 	crashes := plan.Crashes()
+	// crashed records the nodes this round kills so their Failed marks can
+	// be lifted once the round is tallied. A crash is a round-scoped radio
+	// event, not a permanent topology edit: callers reuse the network (and
+	// trees bound to it) across rounds under the contract that nothing a
+	// round does survives it except node values, and a lingering Failed
+	// mark silently shrinks every later round — including fault-free ones
+	// on clones sharing the seed — breaking same-seed determinism.
+	var crashed []network.NodeID
 	for i := range crashes {
 		eng.ScheduleEventAt(crashes[i].Time, Event{Kind: evCrash, Arg: int32(i)})
 	}
@@ -418,6 +426,7 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 			c := crashes[ev.Arg]
 			if nw.Alive(c.Node) {
 				radio.Crash(c.Node)
+				crashed = append(crashed, c.Node)
 				res.Crashed++
 			}
 		}
@@ -449,5 +458,8 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 			Node: int32(sink), Peer: -1, Seq: int64(len(res.Delivered))})
 	}
 	res.Delivered = plan.MangleSinkReports(res.Delivered, field.BoundsRect(f))
+	for _, id := range crashed {
+		nw.Node(id).Failed = false
+	}
 	return res, nil
 }

@@ -1,5 +1,7 @@
 package geom
 
+import "math"
+
 // VoronoiCell is one cell of a bounded Voronoi diagram: the convex region of
 // the bounding polygon closer to Site than to any other site.
 type VoronoiCell struct {
@@ -16,6 +18,14 @@ type VoronoiCell struct {
 	// SharedEdges[i] is the (clipped) bisector edge shared with
 	// Neighbors[i].
 	SharedEdges []Segment
+	// horizonD2 is the squared site distance at which the pruned
+	// construction stopped scanning candidates for this cell (+Inf when
+	// the scan exhausted every site, as VoronoiNaive's cells always do).
+	// Every site the clip loop applied lies strictly below it, so a site
+	// set that only changes beyond the horizon provably replays the
+	// identical clip sequence — the fact DiffSites uses to prove cells
+	// reusable across rounds.
+	horizonD2 float64
 }
 
 // VoronoiDiagram is a bounded Voronoi diagram over a convex boundary.
@@ -53,7 +63,8 @@ func VoronoiWithIndex(sites []Point, bounds Polygon, index *NNIndex) *VoronoiDia
 		index:  index,
 	}
 	for i, s := range sites {
-		d.Cells[i] = VoronoiCell{Site: s, Index: i, Region: voronoiCell(index, sites, i, bounds)}
+		region, horizon := voronoiCell(index, sites, i, bounds)
+		d.Cells[i] = VoronoiCell{Site: s, Index: i, Region: region, horizonD2: horizon}
 	}
 	d.computeAdjacency(sites)
 	return d
@@ -70,7 +81,7 @@ func VoronoiNaive(sites []Point, bounds Polygon) *VoronoiDiagram {
 		Cells:  make([]VoronoiCell, len(sites)),
 	}
 	for i, s := range sites {
-		cell := VoronoiCell{Site: s, Index: i}
+		cell := VoronoiCell{Site: s, Index: i, horizonD2: math.Inf(1)}
 		region := bounds
 		for j, t := range sites {
 			if j == i || region == nil {
@@ -99,10 +110,17 @@ func VoronoiNaive(sites []Point, bounds Polygon) *VoronoiDiagram {
 // twice the distance R from s to its farthest current region vertex, every
 // region point q satisfies d(q, t) >= d(s, t) - d(s, q) >= 2R - R >= d(q, s),
 // so neither t nor any farther site can cut the region.
-func voronoiCell(index *NNIndex, sites []Point, i int, bounds Polygon) Polygon {
+//
+// The second return is the cell's scan horizon: the squared distance of
+// the candidate that stopped the scan, or +Inf when every site was
+// visited. Sites at or beyond the horizon were never applied, so the
+// region (and its exact float vertices) depends only on the sites
+// strictly inside it.
+func voronoiCell(index *NNIndex, sites []Point, i int, bounds Polygon) (Polygon, float64) {
 	s := sites[i]
 	region := bounds
 	r2 := farthestVertexDist2(region, s)
+	horizon := math.Inf(1)
 	index.VisitByDistance(s, func(j int, d2 float64) bool {
 		if j == i {
 			return true
@@ -111,9 +129,11 @@ func voronoiCell(index *NNIndex, sites []Point, i int, bounds Polygon) Polygon {
 			// Degenerate bounds: the naive path nils such a region on its
 			// first clip (dedupe drops sub-triangle output).
 			region = nil
+			horizon = d2
 			return false
 		}
 		if d2 >= 4*r2 {
+			horizon = d2
 			return false
 		}
 		t := sites[j]
@@ -122,18 +142,20 @@ func voronoiCell(index *NNIndex, sites []Point, i int, bounds Polygon) Polygon {
 			// region to the lower-indexed site.
 			if j < i {
 				region = nil
+				horizon = d2
 				return false
 			}
 			return true
 		}
 		region = region.ClipHalfPlane(bisectorHalfPlane(s, t))
 		if region == nil {
+			horizon = d2
 			return false
 		}
 		r2 = farthestVertexDist2(region, s)
 		return true
 	})
-	return region
+	return region, horizon
 }
 
 // farthestVertexDist2 returns the squared distance from s to the farthest
@@ -158,26 +180,37 @@ func bisectorHalfPlane(s, t Point) HalfPlane {
 // it shares a bisector edge, recording the shared edge segments.
 func (d *VoronoiDiagram) computeAdjacency(sites []Point) {
 	for i := range d.Cells {
-		ci := &d.Cells[i]
-		if ci.Region == nil {
-			continue
-		}
-		for _, e := range ci.Region.Edges() {
-			j, ok := d.edgeNeighbor(sites, i, e)
-			if !ok {
-				continue
-			}
-			ci.Neighbors = append(ci.Neighbors, j)
-			ci.SharedEdges = append(ci.SharedEdges, e)
-		}
+		d.cellAdjacency(sites, i)
 	}
 }
+
+// cellAdjacency fills Neighbors/SharedEdges of one cell; the cell's lists
+// must be empty on entry (freshly built cells are).
+func (d *VoronoiDiagram) cellAdjacency(sites []Point, i int) {
+	ci := &d.Cells[i]
+	if ci.Region == nil {
+		return
+	}
+	for _, e := range ci.Region.Edges() {
+		j, ok := d.edgeNeighbor(sites, i, e)
+		if !ok {
+			continue
+		}
+		ci.Neighbors = append(ci.Neighbors, j)
+		ci.SharedEdges = append(ci.SharedEdges, e)
+	}
+}
+
+// adjacencyTol is edgeNeighbor's equidistance band. DiffSites widens its
+// dirtiness horizon by the same amount so a site change that could flip
+// an adjacency verdict without clipping the region still dirties the cell.
+const adjacencyTol = 1e-6
 
 // edgeNeighbor identifies which other site (if any) generates edge e of cell
 // i: the edge midpoint must be (within tolerance) equidistant from both
 // sites and the edge must lie on their bisector.
 func (d *VoronoiDiagram) edgeNeighbor(sites []Point, i int, e Segment) (int, bool) {
-	const tol = 1e-6
+	const tol = adjacencyTol
 	m := e.Mid()
 	di := m.DistTo(sites[i])
 	best := -1

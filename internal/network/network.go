@@ -293,7 +293,17 @@ func (nw *Network) FailFractionExcluding(fraction float64, seed int64, keep ...N
 // original. Sensing and failure injection on the clone never affect the
 // original, so one deployed network can back many concurrent protocol
 // runs — the sim runner's deployment cache hands out one clone per
-// experiment job. The shared adjacency lists must not be mutated.
+// experiment job, and isomapd one per deployment.
+//
+// Sharing audit (nothing else is shared mutable): radio is a value copy;
+// bounds and the per-node neighbor slices are written only during
+// NewNetwork/buildAdjacency and read-only ever after — no exported or
+// internal caller appends to or reassigns them. The per-round mutable
+// state is exactly the Node structs (Value, Failed), which the clone
+// owns. Round-scoped mutations must also stay round-scoped: a protocol
+// round that marks nodes Failed (crash faults) must restore them before
+// returning, or same-seed clones diverge on later rounds (see
+// desim.RunFullRoundFaultsEngineTraced's crash restore).
 func (nw *Network) Clone() *Network {
 	nodes := make([]Node, len(nw.nodes))
 	copy(nodes, nw.nodes)

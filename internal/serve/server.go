@@ -1,0 +1,477 @@
+// Package serve implements the long-lived contour-map server behind
+// cmd/isomapd: N concurrent deployments, each fed rounds by a
+// sim.RoundSource (or by pushed report batches) and reconstructed
+// incrementally by contour.Incremental, serving level-set polylines,
+// point/range classification and raster tiles over HTTP from versioned
+// snapshots.
+//
+// Consistency model: every Update produces an immutable snapshot carrying
+// a strong ETag "<id>-v<version>". Query responses set the ETag and
+// honor If-None-Match with 304s, so pollers pay nothing while a
+// deployment is quiet. Snapshots swap atomically; in-flight queries keep
+// serving the map they started with. In oracle mode the server verifies
+// each incremental update byte-for-byte against a from-scratch rebuild
+// before publishing it, failing the ingest request on divergence — the
+// serving twin of the engine's property tests.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+	"isomap/internal/sim"
+)
+
+// vars aggregates server counters across all deployments under the
+// process expvar page (shared with the PR 5 round instrumentation).
+// Published once: tests boot many servers in one process.
+var (
+	varsOnce sync.Once
+	vars     *expvar.Map
+)
+
+func serveVars() *expvar.Map {
+	varsOnce.Do(func() { vars = expvar.NewMap("isomapd") })
+	return vars
+}
+
+// Config parameterizes NewServer.
+type Config struct {
+	// Deployments is the number of concurrent deployments to own.
+	Deployments int
+	// Nodes and Seed shape each deployment's scenario; deployment i uses
+	// Seed+i so deployments differ but replays reproduce.
+	Nodes int
+	Seed  int64
+	// FaultEvery, when positive, injects faults every FaultEvery-th round
+	// of each deployment (see sim.RoundSource).
+	FaultEvery int
+	// Oracle verifies every incremental update against a full rebuild
+	// before publishing (expensive; for tests, smoke and CI).
+	Oracle bool
+	// OracleRes is the raster resolution of oracle comparisons; zero
+	// selects 64.
+	OracleRes int
+}
+
+// snapshot is one published reconstruction; immutable once stored.
+type snapshot struct {
+	version   int
+	round     int
+	etag      string
+	m         *contour.Map
+	sinkValue float64
+	reports   int
+	faulted   bool
+}
+
+// deployment is one monitored network: a round source feeding an
+// incremental engine. mu serializes ingest and raster access (the engine
+// is single-writer); published snapshots are read lock-free.
+type deployment struct {
+	id     string
+	levels field.Levels
+	bounds geom.Polygon
+	src    *sim.RoundSource
+	inc    *contour.Incremental
+
+	mu   sync.Mutex
+	snap atomic.Pointer[snapshot]
+}
+
+// Server owns the deployments and implements http.Handler.
+type Server struct {
+	cfg  Config
+	deps map[string]*deployment
+	ids  []string
+	mux  *http.ServeMux
+}
+
+// NewServer builds the deployments and their HTTP surface. Building
+// materializes each deployment's network (a few hundred ms for large
+// node counts) but runs no round: deployments start at version 0 with no
+// snapshot, and return 503 for map queries until the first round lands.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Deployments <= 0 {
+		cfg.Deployments = 1
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 600
+	}
+	if cfg.OracleRes <= 0 {
+		cfg.OracleRes = 64
+	}
+	s := &Server{cfg: cfg, deps: make(map[string]*deployment)}
+	runner := sim.NewRunner(1)
+	for i := 0; i < cfg.Deployments; i++ {
+		sc := sim.Scenario{Nodes: cfg.Nodes, Seed: cfg.Seed + int64(i)}
+		env, err := runner.Build(sc)
+		if err != nil {
+			return nil, fmt.Errorf("serve: deployment %d: %w", i, err)
+		}
+		id := fmt.Sprintf("d%d", i)
+		bounds := field.BoundsRect(env.Field)
+		d := &deployment{
+			id:     id,
+			levels: env.Scenario.Levels,
+			bounds: bounds,
+			src:    &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery},
+			inc:    contour.NewIncremental(env.Scenario.Levels, bounds, contour.DefaultOptions()),
+		}
+		s.deps[id] = d
+		s.ids = append(s.ids, id)
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "deployments": len(s.ids)})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /v1/deployments", s.handleList)
+	mux.HandleFunc("GET /v1/deployments/{id}", s.withDep(s.handleMeta))
+	mux.HandleFunc("POST /v1/deployments/{id}/rounds", s.withDep(s.handleRound))
+	mux.HandleFunc("GET /v1/deployments/{id}/levels/{idx}/polyline", s.withDep(s.handlePolyline))
+	mux.HandleFunc("GET /v1/deployments/{id}/classify", s.withDep(s.handleClassify))
+	mux.HandleFunc("GET /v1/deployments/{id}/range", s.withDep(s.handleRange))
+	mux.HandleFunc("GET /v1/deployments/{id}/raster", s.withDep(s.handleRaster))
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AdvanceAll runs one churn round on every deployment (startup warming
+// and the smoke harness).
+func (s *Server) AdvanceAll() error {
+	for _, id := range s.ids {
+		if _, err := s.advance(s.deps[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) withDep(h func(http.ResponseWriter, *http.Request, *deployment)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d, ok := s.deps[r.PathValue("id")]
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown deployment %q", r.PathValue("id"))
+			return
+		}
+		h(w, r, d)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type item struct {
+		ID      string `json:"id"`
+		Version int    `json:"version"`
+		Round   int    `json:"round"`
+		ETag    string `json:"etag,omitempty"`
+	}
+	out := make([]item, 0, len(s.ids))
+	for _, id := range s.ids {
+		d := s.deps[id]
+		it := item{ID: id}
+		if sn := d.snap.Load(); sn != nil {
+			it.Version, it.Round, it.ETag = sn.version, sn.round, sn.etag
+		}
+		out = append(out, it)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, d *deployment) {
+	sn, ok := current(w, r, d)
+	if !ok {
+		return
+	}
+	st := func() contour.IncrementalStats {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return d.inc.Stats()
+	}()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":        d.id,
+		"version":   sn.version,
+		"round":     sn.round,
+		"etag":      sn.etag,
+		"reports":   sn.reports,
+		"sinkValue": sn.sinkValue,
+		"faulted":   sn.faulted,
+		"levels":    d.levels.Values(),
+		"stats":     st,
+	})
+}
+
+// ingestBody is the optional POST /rounds payload: pushed reports instead
+// of an internally simulated round.
+type ingestBody struct {
+	Reports   []core.Report `json:"reports"`
+	SinkValue float64       `json:"sinkValue"`
+}
+
+func (s *Server) handleRound(w http.ResponseWriter, r *http.Request, d *deployment) {
+	var body ingestBody
+	pushed := false
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad round body: %v", err)
+			return
+		}
+		pushed = true
+	}
+	var (
+		sn  *snapshot
+		err error
+	)
+	if pushed {
+		sn, err = s.ingest(d, body.Reports, body.SinkValue, 0, false)
+	} else {
+		sn, err = s.advance(d)
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "round failed: %v", err)
+		return
+	}
+	serveVars().Add("rounds", 1)
+	w.Header().Set("ETag", sn.etag)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version, "round": sn.round, "etag": sn.etag,
+		"reports": sn.reports, "faulted": sn.faulted,
+	})
+}
+
+// advance runs one simulated churn round through the deployment.
+func (s *Server) advance(d *deployment) (*snapshot, error) {
+	d.mu.Lock()
+	rd, err := d.src.Next()
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.ingest(d, rd.Reports, rd.SinkValue, rd.Round, rd.Faulted)
+}
+
+// ingest feeds one round of reports into the incremental engine and
+// publishes the resulting snapshot (after the oracle check, if enabled).
+func (s *Server) ingest(d *deployment, reports []core.Report, sinkValue float64, round int, faulted bool) (*snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.inc.Update(reports, sinkValue)
+	if s.cfg.Oracle {
+		full := contour.Reconstruct(d.inc.Arranged(), d.levels, d.bounds, sinkValue, contour.DefaultOptions())
+		if err := contour.Equivalent(m, full, s.cfg.OracleRes, s.cfg.OracleRes); err != nil {
+			return nil, fmt.Errorf("oracle divergence at version %d: %w", d.inc.Version(), err)
+		}
+		if err := contour.EquivalentRaster(d.inc.Raster(s.cfg.OracleRes, s.cfg.OracleRes),
+			full.RasterWorkers(s.cfg.OracleRes, s.cfg.OracleRes, 1)); err != nil {
+			return nil, fmt.Errorf("oracle raster divergence at version %d: %w", d.inc.Version(), err)
+		}
+	}
+	if round == 0 {
+		round = d.inc.Version()
+	}
+	sn := &snapshot{
+		version:   d.inc.Version(),
+		round:     round,
+		etag:      fmt.Sprintf("%q", fmt.Sprintf("%s-v%d", d.id, d.inc.Version())),
+		m:         m,
+		sinkValue: sinkValue,
+		reports:   len(reports),
+		faulted:   faulted,
+	}
+	d.snap.Store(sn)
+	serveVars().Add("updates", 1)
+	return sn, nil
+}
+
+// current loads the deployment's snapshot, answering 503 before the first
+// round and 304 when the client's If-None-Match already names it. The
+// bool reports whether the caller should proceed to build a body.
+func current(w http.ResponseWriter, r *http.Request, d *deployment) (*snapshot, bool) {
+	sn := d.snap.Load()
+	if sn == nil {
+		writeErr(w, http.StatusServiceUnavailable, "deployment %s has no rounds yet", d.id)
+		return nil, false
+	}
+	w.Header().Set("ETag", sn.etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if inm == "*" || strings.Contains(inm, sn.etag) {
+			serveVars().Add("not_modified", 1)
+			w.WriteHeader(http.StatusNotModified)
+			return nil, false
+		}
+	}
+	serveVars().Add("queries", 1)
+	return sn, true
+}
+
+func (s *Server) handlePolyline(w http.ResponseWriter, r *http.Request, d *deployment) {
+	idx, err := strconv.Atoi(r.PathValue("idx"))
+	if err != nil || idx < 0 || idx >= d.levels.Count() {
+		writeErr(w, http.StatusBadRequest, "level index %q outside [0,%d)", r.PathValue("idx"), d.levels.Count())
+		return
+	}
+	sn, ok := current(w, r, d)
+	if !ok {
+		return
+	}
+	segs := sn.m.BoundarySegments(idx)
+	out := make([][4]float64, 0, len(segs))
+	for _, sg := range segs {
+		out = append(out, [4]float64{sg.A.X, sg.A.Y, sg.B.X, sg.B.Y})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version, "level": d.levels.Values()[idx], "segments": out,
+	})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, d *deployment) {
+	x, errX := strconv.ParseFloat(r.URL.Query().Get("x"), 64)
+	y, errY := strconv.ParseFloat(r.URL.Query().Get("y"), 64)
+	if errX != nil || errY != nil {
+		writeErr(w, http.StatusBadRequest, "classify needs float x and y")
+		return
+	}
+	sn, ok := current(w, r, d)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version": sn.version, "x": x, "y": y,
+		"class": sn.m.ClassifyPoint(geom.Point{X: x, Y: y}),
+	})
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *deployment) {
+	q := r.URL.Query()
+	parse := func(key string) (float64, error) { return strconv.ParseFloat(q.Get(key), 64) }
+	x0, e1 := parse("x0")
+	y0, e2 := parse("y0")
+	x1, e3 := parse("x1")
+	y1, e4 := parse("y1")
+	if e1 != nil || e2 != nil || e3 != nil || e4 != nil || x1 < x0 || y1 < y0 {
+		writeErr(w, http.StatusBadRequest, "range needs x0<=x1, y0<=y1 floats")
+		return
+	}
+	rows, cols := intOr(q.Get("rows"), 8), intOr(q.Get("cols"), 8)
+	if rows < 1 || cols < 1 || rows*cols > 1<<20 {
+		writeErr(w, http.StatusBadRequest, "range grid must be 1..1M cells")
+		return
+	}
+	sn, ok := current(w, r, d)
+	if !ok {
+		return
+	}
+	// Classes of the range's rows x cols cell centers, row-major — the
+	// same center convention as the full raster.
+	cells := make([][]int, rows)
+	for i := 0; i < rows; i++ {
+		cells[i] = make([]int, cols)
+		y := y0 + (y1-y0)*(float64(i)+0.5)/float64(rows)
+		for j := 0; j < cols; j++ {
+			x := x0 + (x1-x0)*(float64(j)+0.5)/float64(cols)
+			cells[i][j] = sn.m.ClassifyPoint(geom.Point{X: x, Y: y})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": sn.version, "cells": cells})
+}
+
+func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request, d *deployment) {
+	q := r.URL.Query()
+	rows, cols := intOr(q.Get("rows"), 100), intOr(q.Get("cols"), 100)
+	if rows < 1 || cols < 1 || rows*cols > 1<<22 {
+		writeErr(w, http.StatusBadRequest, "raster must be 1..4M cells")
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "pgm" {
+		writeErr(w, http.StatusBadRequest, "format must be json or pgm")
+		return
+	}
+	sn, ok := current(w, r, d)
+	if !ok {
+		return
+	}
+	// The engine's raster cache makes repeat resolutions cheap; the lock
+	// serializes it against ingest.
+	d.mu.Lock()
+	ra := d.inc.Raster(rows, cols)
+	stale := d.inc.Map() != sn.m
+	d.mu.Unlock()
+	if stale {
+		// An ingest swapped the snapshot between our ETag check and the
+		// raster read; the client retries against the new version.
+		writeErr(w, http.StatusConflict, "snapshot superseded during render; retry")
+		return
+	}
+	if format == "pgm" {
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		writePGM(w, ra, d.levels.Count())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"version": sn.version, "rows": rows, "cols": cols, "cells": ra.Cells})
+}
+
+// writePGM renders the class raster as a plain-text PGM tile, darkest at
+// the innermost class.
+func writePGM(w http.ResponseWriter, ra *field.Raster, classes int) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", ra.Cols, ra.Rows)
+	if classes < 1 {
+		classes = 1
+	}
+	for _, row := range ra.Cells {
+		for j, c := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			g := 255 - (255*c)/classes
+			if g < 0 {
+				g = 0
+			}
+			fmt.Fprintf(&b, "%d", g)
+		}
+		b.WriteByte('\n')
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func intOr(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+
+	"isomap/internal/core"
+	"isomap/internal/desim"
+	"isomap/internal/faults"
+	"isomap/internal/field"
+	"isomap/internal/network"
+)
+
+// RoundSource drives one deployment through successive monitoring rounds
+// over a time-varying field: each Next() advances time by Dt, senses the
+// field snapshot into the network, runs one protocol round and returns
+// the sink's view of it. It is the report feed behind a long-lived
+// contour server (cmd/isomapd) and the churn generator of the serve
+// benchmark.
+//
+// Rounds are deterministic given (Env seed, Dt, fault knobs): normal
+// rounds run the analytic core protocol, and every FaultEvery-th round
+// runs the full discrete-event radio with a fresh fault plan seeded by
+// the round number, so replays reproduce byte-identical report streams.
+// A RoundSource is not safe for concurrent use.
+type RoundSource struct {
+	// Env is the deployment the rounds run on; its network is mutated
+	// (sensing) by every round, so an Env must not back two sources.
+	Env *Env
+	// Dyn is the evolving field; nil selects DefaultSilting over the
+	// Env's field.
+	Dyn field.DynamicField
+	// Dt is the time advanced per round; zero selects 0.5.
+	Dt float64
+	// FaultEvery, when positive, runs every FaultEvery-th round (1-based)
+	// under fault injection: lossy channel plus mid-round crashes.
+	FaultEvery int
+	// FaultLoss is the faulted rounds' uniform loss rate; zero selects
+	// 0.05.
+	FaultLoss float64
+	// FaultCrashFrac is the faulted rounds' crashing node fraction; zero
+	// selects 0.05.
+	FaultCrashFrac float64
+
+	round int
+}
+
+// RoundData is one round's sink-side outcome.
+type RoundData struct {
+	// Round is the 1-based round number.
+	Round int
+	// T is the field time the round sensed.
+	T float64
+	// Reports are the reports delivered to the sink.
+	Reports []core.Report
+	// SinkValue is the value sensed at the sink node.
+	SinkValue float64
+	// Faulted marks rounds run under fault injection.
+	Faulted bool
+	// Crashed is the number of nodes that crashed mid-round (faulted
+	// rounds only; crashes are round-scoped and restored afterwards).
+	Crashed int
+}
+
+// Next runs one round and returns its sink-side data.
+func (rs *RoundSource) Next() (*RoundData, error) {
+	if rs.Dyn == nil {
+		rs.Dyn = field.DefaultSilting(rs.Env.Field)
+	}
+	if rs.Dt <= 0 {
+		rs.Dt = 0.5
+	}
+	rs.round++
+	t := float64(rs.round) * rs.Dt
+	f := rs.Dyn.At(t)
+	rd := &RoundData{Round: rs.round, T: t}
+
+	if rs.FaultEvery > 0 && rs.round%rs.FaultEvery == 0 {
+		loss := rs.FaultLoss
+		if loss == 0 {
+			loss = 0.05
+		}
+		crash := rs.FaultCrashFrac
+		if crash == 0 {
+			crash = 0.05
+		}
+		// A fresh plan per round: plans are stateful (channel chains,
+		// crash schedules), and per-round seeding keeps replays exact.
+		plan, err := faults.New(faults.Config{
+			Seed:          rs.Env.Scenario.Seed + int64(rs.round),
+			Channel:       faults.ChannelBernoulli,
+			LossRate:      loss,
+			CrashFraction: crash,
+			CrashStart:    0.05,
+			CrashEnd:      0.6,
+			Protect:       []network.NodeID{rs.Env.Tree.Root()},
+		}, rs.Env.Network.Len())
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d fault plan: %w", rs.round, err)
+		}
+		cfg := desim.DefaultRadioConfig()
+		cfg.FrameDeadline = 1.5
+		res, err := desim.RunFullRoundFaults(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan)
+		if err != nil {
+			return nil, fmt.Errorf("sim: round %d faulted: %w", rs.round, err)
+		}
+		rd.Reports = res.Delivered
+		rd.SinkValue = rs.Env.Network.Node(rs.Env.Tree.Root()).Value
+		rd.Faulted = true
+		rd.Crashed = res.Crashed
+		return rd, nil
+	}
+
+	res, err := core.Run(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("sim: round %d: %w", rs.round, err)
+	}
+	rd.Reports = res.Reports
+	rd.SinkValue = res.SinkValue
+	return rd, nil
+}

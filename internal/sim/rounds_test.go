@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"isomap/internal/contour"
+	"isomap/internal/core"
+	"isomap/internal/field"
+)
+
+func roundScenario(seed int64) Scenario {
+	return Scenario{Nodes: 500, FieldSide: 50, Seed: seed}
+}
+
+func newRoundSource(t *testing.T, r *Runner, seed int64, faultEvery int) *RoundSource {
+	t.Helper()
+	env, err := r.Build(roundScenario(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &RoundSource{Env: env, FaultEvery: faultEvery}
+}
+
+// TestRoundSourceDeterministic: two sources over same-seed deployments
+// must emit byte-identical round streams, faulted rounds included.
+func TestRoundSourceDeterministic(t *testing.T) {
+	r := NewRunner(1)
+	a := newRoundSource(t, r, 3, 3)
+	b := newRoundSource(t, r, 3, 3)
+	sawFault := false
+	for round := 0; round < 6; round++ {
+		ra, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("round %d diverged between same-seed sources (faulted=%v)", round+1, ra.Faulted)
+		}
+		if ra.Faulted {
+			sawFault = true
+			if ra.Crashed == 0 {
+				t.Errorf("faulted round %d crashed no nodes", ra.Round)
+			}
+		}
+		if len(ra.Reports) == 0 {
+			t.Fatalf("round %d delivered nothing", ra.Round)
+		}
+	}
+	if !sawFault {
+		t.Fatal("FaultEvery=3 produced no faulted round in 6")
+	}
+}
+
+// TestConcurrentClonesSameSeedDeterminism pins the Network.Clone sharing
+// contract under the race detector: many goroutines running interleaved
+// rounds (fault-free and crash-faulted) on clones of one cached
+// deployment must all produce the same report stream. Shared-structure
+// mutation — or crash-induced Failed marks leaking past a round — breaks
+// this.
+func TestConcurrentClonesSameSeedDeterminism(t *testing.T) {
+	r := NewRunner(1)
+	const workers, rounds = 4, 5
+	streams := make([][][]core.Report, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := &RoundSource{}
+			env, err := r.Build(roundScenario(9))
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			src.Env = env
+			src.FaultEvery = 2
+			for round := 0; round < rounds; round++ {
+				rd, err := src.Next()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				streams[w] = append(streams[w], rd.Reports)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(streams[0], streams[w]) {
+			t.Fatalf("worker %d's round stream diverged from worker 0's", w)
+		}
+	}
+}
+
+// TestRoundSourceFeedsIncremental: the serving pipeline end to end at the
+// engine level — churn rounds (including a crash-faulted one) streamed
+// into contour.Incremental must stay byte-identical to the full-rebuild
+// oracle over the engine's arranged report order.
+func TestRoundSourceFeedsIncremental(t *testing.T) {
+	r := NewRunner(1)
+	src := newRoundSource(t, r, 7, 3)
+	env := src.Env
+	inc := contour.NewIncremental(env.Scenario.Levels, field.BoundsRect(env.Field), contour.DefaultOptions())
+	sawFault := false
+	for round := 0; round < 4; round++ {
+		rd, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawFault = sawFault || rd.Faulted
+		m := inc.Update(rd.Reports, rd.SinkValue)
+		full := contour.Reconstruct(inc.Arranged(), env.Scenario.Levels, field.BoundsRect(env.Field), rd.SinkValue, contour.DefaultOptions())
+		if err := contour.Equivalent(m, full, 64, 64); err != nil {
+			t.Fatalf("round %d (faulted=%v): %v", rd.Round, rd.Faulted, err)
+		}
+		if err := contour.EquivalentRaster(inc.Raster(64, 64), full.RasterWorkers(64, 64, 1)); err != nil {
+			t.Fatalf("round %d (faulted=%v) raster: %v", rd.Round, rd.Faulted, err)
+		}
+	}
+	if !sawFault {
+		t.Fatal("no faulted round reached the engine")
+	}
+	if inc.Stats().CellsReused == 0 {
+		t.Error("protocol churn reused no Voronoi cells")
+	}
+}
