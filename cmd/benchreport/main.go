@@ -14,11 +14,13 @@
 // round. -smoke shrinks the sweep to a single cell and one seed for CI.
 //
 // -kind desim (emitting BENCH_DESIM.json) measures the discrete-event
-// core: full packet-level rounds at n = 1k/4k/16k on the production
+// core: full packet-level rounds at n = 1k..256k on the production
 // typed-event Engine vs the EngineNaive closure-per-event reference
-// (throughput, events/sec, ns/event, allocs/op, peak queue depth), plus
-// the isolated scheduler push/pop microbenchmark. -smoke shrinks it to
-// the 1k cell for CI.
+// (throughput, events/sec, ns/event, allocs/op, peak queue depth), the
+// isolated scheduler push/pop microbenchmark, and the sharded engine's
+// strong-scaling table over a GOMAXPROCS x shards grid at n = 256k.
+// -smoke shrinks it to the 1k cell plus a small scaling grid at 16k for
+// CI.
 //
 // -kind trace (emitting BENCH_TRACE.json) runs fully traced packet-level
 // rounds — fault-free and under fault injection — and aggregates the
@@ -46,6 +48,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"isomap/internal/contour"
 	"isomap/internal/core"
@@ -183,36 +186,81 @@ func runFaults(out string, runs int, smoke bool, parallel int) error {
 	return writeJSON(out, rep)
 }
 
-// desimEntry is one measurement of the discrete-event core. Naive fields
-// are present only where the EngineNaive reference was run on the same
-// workload; Speedup is naive/engine ns, AllocRatio naive/engine allocs.
+// desimEntry is one measurement of the discrete-event core. Every field
+// appears in every row: a null marks a measurement the row deliberately
+// skips (the EngineNaive reference above its size cutoff, the deployment
+// size on the scheduler microbenchmark), never an accident of encoding.
+// Speedup is naive/engine ns, AllocRatio naive/engine allocs.
 type desimEntry struct {
-	Benchmark      string  `json:"benchmark"`
-	N              int     `json:"n,omitempty"`
-	NsPerOp        float64 `json:"ns_per_op"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	Events         int64   `json:"events,omitempty"`
-	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
-	NsPerEvent     float64 `json:"ns_per_event,omitempty"`
-	PeakQueueDepth int     `json:"peak_queue_depth,omitempty"`
-	NaiveNs        float64 `json:"naive_ns_per_op,omitempty"`
-	NaiveAllocs    int64   `json:"naive_allocs_per_op,omitempty"`
-	Speedup        float64 `json:"speedup,omitempty"`
-	AllocRatio     float64 `json:"alloc_ratio,omitempty"`
+	Benchmark      string   `json:"benchmark"`
+	N              *int     `json:"n"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	AllocsPerOp    int64    `json:"allocs_per_op"`
+	Events         *int64   `json:"events"`
+	EventsPerSec   *float64 `json:"events_per_sec"`
+	NsPerEvent     *float64 `json:"ns_per_event"`
+	PeakQueueDepth *int     `json:"peak_queue_depth"`
+	NaiveNs        *float64 `json:"naive_ns_per_op"`
+	NaiveAllocs    *int64   `json:"naive_allocs_per_op"`
+	Speedup        *float64 `json:"speedup"`
+	AllocRatio     *float64 `json:"alloc_ratio"`
 }
 
-// desimReport is the BENCH_DESIM.json document.
+// scalingEntry is one cell of the sharded strong-scaling table: a full
+// round at n nodes on shards grid cells with GOMAXPROCS=procs. The
+// (1, 1) cell runs the sequential Engine and anchors Speedup.
+type scalingEntry struct {
+	N          int     `json:"n"`
+	Shards     int     `json:"shards"`
+	Procs      int     `json:"gomaxprocs"`
+	MsPerRound float64 `json:"ms_per_round"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
+// desimReport is the BENCH_DESIM.json document. See EXPERIMENTS.md for
+// the field-by-field schema.
 type desimReport struct {
-	Generator  string       `json:"generator"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Results    []desimEntry `json:"results"`
+	Generator    string         `json:"generator"`
+	GoMaxProcs   int            `json:"gomaxprocs"`
+	Cores        int            `json:"cores"`
+	HardwareNote string         `json:"hardware_note"`
+	Results      []desimEntry   `json:"results"`
+	Scaling      []scalingEntry `json:"scaling"`
+}
+
+func iptr(v int) *int          { return &v }
+func i64ptr(v int64) *int64    { return &v }
+func fptr(v float64) *float64  { return &v }
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// desimDeploy builds the benchmark deployment used by every desim cell:
+// radio range scaled to keep the graph connected at any density, sink at
+// the centroid (the BenchmarkFullRound layout).
+func desimDeploy(n int, f field.Field) (*routing.Tree, core.Query, error) {
+	nw, err := network.DeployUniform(n, f, 1.5*50/math.Sqrt(float64(n)), 4)
+	if err != nil {
+		return nil, core.Query{}, err
+	}
+	sink, err := nw.NearestNode(nw.Bounds().Centroid())
+	if err != nil {
+		return nil, core.Query{}, err
+	}
+	tree, err := routing.NewTree(nw, sink)
+	if err != nil {
+		return nil, core.Query{}, err
+	}
+	q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+	if err != nil {
+		return nil, core.Query{}, err
+	}
+	return tree, q, nil
 }
 
 func runDesim(out string, smoke bool) error {
 	if out == "" {
 		out = "BENCH_DESIM.json"
 	}
-	sizes := []int{1000, 4000, 16000}
+	sizes := []int{1000, 4000, 16000, 64000, 256000}
 	naiveSizes := map[int]bool{1000: true, 4000: true}
 	if smoke {
 		sizes = []int{1000}
@@ -220,26 +268,16 @@ func runDesim(out string, smoke bool) error {
 	rep := desimReport{
 		Generator:  "cmd/benchreport -kind desim",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Cores:      runtime.NumCPU(),
+	}
+	if rep.Cores < 8 {
+		rep.HardwareNote = fmt.Sprintf("measured on %d core(s): GOMAXPROCS above the core count timeslices instead of parallelizing, so the scaling table bounds overhead rather than demonstrating speedup", rep.Cores)
 	}
 	f := field.NewSeabed(field.DefaultSeabedConfig())
 	fc := core.DefaultFilterConfig()
 	cfg := desim.DefaultRadioConfig()
 	for _, n := range sizes {
-		// Same deployment as BenchmarkFullRound: radio range scaled to keep
-		// the graph connected at any density, sink at the centroid.
-		nw, err := network.DeployUniform(n, f, 1.5*50/math.Sqrt(float64(n)), 4)
-		if err != nil {
-			return err
-		}
-		sink, err := nw.NearestNode(nw.Bounds().Centroid())
-		if err != nil {
-			return err
-		}
-		tree, err := routing.NewTree(nw, sink)
-		if err != nil {
-			return err
-		}
-		q, err := core.NewQuery(field.Levels{Low: 6, High: 12, Step: 2})
+		tree, q, err := desimDeploy(n, f)
 		if err != nil {
 			return err
 		}
@@ -256,50 +294,116 @@ func runDesim(out string, smoke bool) error {
 
 		e := desimEntry{
 			Benchmark:      "FullRound",
-			N:              n,
-			Events:         probe.Events,
-			PeakQueueDepth: eng.MaxQueueDepth(),
+			N:              iptr(n),
+			Events:         i64ptr(probe.Events),
+			PeakQueueDepth: iptr(eng.MaxQueueDepth()),
 		}
 		e.NsPerOp, e.AllocsPerOp = measureAllocs(func() {
 			if _, err := desim.RunFullRound(tree, f, q, fc, cfg); err != nil {
 				panic(err)
 			}
 		})
-		e.NsPerEvent = e.NsPerOp / float64(probe.Events)
-		e.EventsPerSec = float64(probe.Events) / (e.NsPerOp / 1e9)
+		e.NsPerEvent = fptr(e.NsPerOp / float64(probe.Events))
+		e.EventsPerSec = fptr(float64(probe.Events) / (e.NsPerOp / 1e9))
 		if naiveSizes[n] {
-			e.NaiveNs, e.NaiveAllocs = measureAllocs(func() {
+			naiveNs, naiveAllocs := measureAllocs(func() {
 				if _, err := desim.RunFullRoundEngine(desim.NewEngineNaive(), tree, f, q, fc, cfg); err != nil {
 					panic(err)
 				}
 			})
-			e.Speedup = math.Round(e.NaiveNs/e.NsPerOp*100) / 100
-			e.AllocRatio = math.Round(float64(e.NaiveAllocs)/float64(e.AllocsPerOp)*100) / 100
+			e.NaiveNs = fptr(naiveNs)
+			e.NaiveAllocs = i64ptr(naiveAllocs)
+			e.Speedup = fptr(round2(naiveNs / e.NsPerOp))
+			e.AllocRatio = fptr(round2(float64(naiveAllocs) / float64(e.AllocsPerOp)))
 		}
 		rep.Results = append(rep.Results, e)
 		fmt.Fprintf(os.Stderr, "benchreport: desim n=%d done\n", n)
 	}
 
 	// Isolated scheduler: bursts of 1024 typed events pushed with scattered
-	// timestamps and drained (the BenchmarkEngineSchedule workload).
-	sched := desimEntry{Benchmark: "EngineSchedule"}
-	{
-		eng := desim.NewEngine()
+	// timestamps and drained (the BenchmarkEngineSchedule workload), on
+	// both engines so every column is populated.
+	const burst = 1024
+	schedWorkload := func(eng desim.EngineAPI) (nsPerEvent float64, allocs int64) {
 		eng.SetHandler(func(desim.Event) {})
-		const burst = 1024
 		i := 0
-		sched.NsPerOp, sched.AllocsPerOp = measureAllocs(func() {
+		ns, allocs := measureAllocs(func() {
 			for j := 0; j < burst; j++ {
 				eng.ScheduleEvent(float64(i*509%burst)*1e-4, desim.Event{Seq: int64(i)})
 				i++
 			}
 			eng.Run()
 		})
-		sched.NsPerOp /= burst // per event, not per burst
-		sched.NsPerEvent = sched.NsPerOp
-		sched.EventsPerSec = 1e9 / sched.NsPerEvent
+		return ns / burst, allocs
+	}
+	sched := desimEntry{Benchmark: "EngineSchedule", Events: i64ptr(burst)}
+	{
+		eng := desim.NewEngine()
+		sched.NsPerOp, sched.AllocsPerOp = schedWorkload(eng)
+		sched.PeakQueueDepth = iptr(eng.MaxQueueDepth())
+		sched.NsPerEvent = fptr(sched.NsPerOp)
+		sched.EventsPerSec = fptr(1e9 / sched.NsPerOp)
+		naiveNs, naiveAllocs := schedWorkload(desim.NewEngineNaive())
+		sched.NaiveNs = fptr(naiveNs)
+		sched.NaiveAllocs = i64ptr(naiveAllocs)
+		sched.Speedup = fptr(round2(naiveNs / sched.NsPerOp))
+		if sched.AllocsPerOp > 0 {
+			sched.AllocRatio = fptr(round2(float64(naiveAllocs) / float64(sched.AllocsPerOp)))
+		}
 	}
 	rep.Results = append(rep.Results, sched)
+
+	// Strong scaling: the full round on the sharded engine over a
+	// GOMAXPROCS x shards grid. Every cell is byte-identical output-wise
+	// (the equivalence tests pin that); only wall time varies.
+	scalingSizes := []int{256000}
+	shardCounts := []int{1, 4, 16, 64}
+	procCounts := []int{1, 2, 4, 8}
+	if smoke {
+		scalingSizes = []int{16000}
+		shardCounts = []int{1, 4}
+		procCounts = []int{1, 2}
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, n := range scalingSizes {
+		tree, q, err := desimDeploy(n, f)
+		if err != nil {
+			return err
+		}
+		baseline := 0.0
+		for _, shards := range shardCounts {
+			part := network.NewGridPartition(tree.Network(), shards)
+			for _, procs := range procCounts {
+				runtime.GOMAXPROCS(procs)
+				best := math.Inf(1)
+				for attempt := 0; attempt < 2; attempt++ {
+					var eng desim.EngineAPI = desim.NewEngine()
+					if shards > 1 || procs > 1 {
+						eng = desim.NewShardedEngine(part, procs)
+					}
+					start := time.Now()
+					if _, err := desim.RunFullRoundEngine(eng, tree, f, q, fc, cfg); err != nil {
+						return err
+					}
+					if s := time.Since(start).Seconds(); s < best {
+						best = s
+					}
+				}
+				if shards == 1 && procs == 1 {
+					baseline = best
+				}
+				rep.Scaling = append(rep.Scaling, scalingEntry{
+					N: n, Shards: shards, Procs: procs,
+					MsPerRound: round2(best * 1000),
+					Speedup:    round2(baseline / best),
+				})
+				fmt.Fprintf(os.Stderr, "benchreport: desim scaling n=%d shards=%d procs=%d: %.0f ms\n",
+					n, shards, procs, best*1000)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prevProcs)
 
 	return writeJSON(out, rep)
 }

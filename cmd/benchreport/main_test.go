@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -91,5 +94,87 @@ func TestServeLoadMeasurement(t *testing.T) {
 	}
 	if l.P99Micros < l.P50Micros {
 		t.Fatalf("p99 %v < p50 %v", l.P99Micros, l.P50Micros)
+	}
+}
+
+// TestDesimSmokeSchema runs the desim smoke report end to end and pins
+// the schema contract: every field of every row is present in the JSON
+// (nulls are deliberate skips, absences are bugs), the scaling table has
+// its sequential anchor cell, and derived rates are consistent.
+func TestDesimSmokeSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark cells")
+	}
+	path := t.TempDir() + "/desim.json"
+	if err := runDesim(path, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"generator", "gomaxprocs", "cores", "hardware_note", "results", "scaling"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("top-level key %q missing", key)
+		}
+	}
+	var results []map[string]json.RawMessage
+	if err := json.Unmarshal(doc["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("%d result rows, want the 1k round and the scheduler microbenchmark", len(results))
+	}
+	rowKeys := []string{"benchmark", "n", "ns_per_op", "allocs_per_op", "events",
+		"events_per_sec", "ns_per_event", "peak_queue_depth",
+		"naive_ns_per_op", "naive_allocs_per_op", "speedup", "alloc_ratio"}
+	for i, row := range results {
+		for _, key := range rowKeys {
+			if _, ok := row[key]; !ok {
+				t.Errorf("results[%d] missing key %q", i, key)
+			}
+		}
+	}
+	var parsed desimReport
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range parsed.Results {
+		if e.Benchmark == "EngineSchedule" && e.N != nil {
+			t.Error("scheduler microbenchmark has a deployment size")
+		}
+		if e.Benchmark == "FullRound" {
+			if e.N == nil || e.Events == nil || e.NsPerEvent == nil {
+				t.Fatalf("FullRound row skips core fields: %+v", e)
+			}
+			if *e.NsPerEvent <= 0 || e.NsPerOp <= 0 {
+				t.Errorf("non-positive timing in %+v", e)
+			}
+		}
+	}
+	if len(parsed.Scaling) == 0 {
+		t.Fatal("smoke report has no scaling cells")
+	}
+	anchor := false
+	for _, s := range parsed.Scaling {
+		if s.MsPerRound <= 0 || s.Speedup <= 0 {
+			t.Errorf("degenerate scaling cell %+v", s)
+		}
+		if s.Shards == 1 && s.Procs == 1 {
+			anchor = true
+			if s.Speedup != 1 {
+				t.Errorf("sequential anchor cell speedup %v, want 1", s.Speedup)
+			}
+		}
+	}
+	if !anchor {
+		t.Error("scaling table lacks the shards=1, procs=1 anchor cell")
+	}
+	if got := runtime.GOMAXPROCS(0); got != parsed.GoMaxProcs {
+		t.Errorf("GOMAXPROCS left at %d after the scaling sweep, want restored to %d", got, parsed.GoMaxProcs)
 	}
 }

@@ -10,6 +10,7 @@
 //	          [-pgm out.pgm] [-trace depth.txt]
 //	          [-protocol isomap|tinydb|inlr|escan|suppress]
 //	          [-packet] [-loss 0.0] [-burst 0.0] [-crashfrac 0.0]
+//	          [-shards 1] [-workers 0]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	          [-roundtrace events.jsonl] [-expvar vars.json] [-diag DIR]
 //
@@ -36,6 +37,10 @@
 // With -packet the round additionally executes on the packet-level
 // CSMA/CA engine (query flood, neighborhood probes, filtered
 // convergecast), reporting real phase latencies and link-layer counts.
+// -shards above 1 runs that round on the sharded parallel engine (grid
+// partition, conservative radio-range lookahead) with -workers
+// goroutines per window (0 selects GOMAXPROCS); results and traces are
+// byte-identical to the sequential engine at any shard count.
 // -loss, -burst and -crashfrac inject faults into that packet round: a
 // Bernoulli (or, with -burst > 0, Gilbert–Elliott) lossy channel and a
 // fraction of nodes crashing mid-round, with route repair around the
@@ -92,6 +97,8 @@ func run() error {
 		loss      = flag.Float64("loss", 0, "packet round: channel loss rate in [0, 1)")
 		burst     = flag.Float64("burst", 0, "packet round: channel burstiness in [0, 1) (Gilbert–Elliott)")
 		crashfrac = flag.Float64("crashfrac", 0, "packet round: fraction of nodes crashing mid-round")
+		shards    = flag.Int("shards", 1, "packet round: run on the sharded engine with this many spatial shards")
+		workers   = flag.Int("workers", 0, "packet round: sharded engine worker goroutines per window (0 = GOMAXPROCS)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 		roundtr   = flag.String("roundtrace", "", "write the packet round as a JSONL event trace to this file (\"-\" for stdout; implies -packet)")
@@ -267,7 +274,12 @@ func run() error {
 		if *roundtr != "" {
 			rec = rtrace.NewRecorder(traceCapacity(*nodes))
 		}
-		pr, err := desim.RunFullRoundFaultsTraced(env.Tree, env.Field, env.Query, fc, rcfg, plan, rec)
+		var pr *desim.RoundResult
+		if *shards > 1 {
+			pr, err = desim.RunFullRoundShardedTraced(env.Tree, env.Field, env.Query, fc, rcfg, plan, *shards, *workers, rec)
+		} else {
+			pr, err = desim.RunFullRoundFaultsTraced(env.Tree, env.Field, env.Query, fc, rcfg, plan, rec)
+		}
 		if err != nil {
 			return err
 		}

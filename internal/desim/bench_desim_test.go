@@ -112,6 +112,43 @@ func BenchmarkFullRoundTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkFullRoundSharded runs the round on the sharded parallel
+// engine over a grid partition, sweeping shard counts at a size where
+// the per-window barrier cost is amortized. On a single-core host this
+// measures the sharding overhead (windowing, mailbox barriers, trace
+// merge) rather than speedup; the strong-scaling table in
+// BENCH_DESIM.json is the multi-core view.
+func BenchmarkFullRoundSharded(b *testing.B) {
+	const n = 16000
+	for _, shards := range []int{4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("%s/shards=%d", kLabel(n), shards), func(b *testing.B) {
+			tree, f, q := benchRoundSetup(b, n)
+			fc := core.DefaultFilterConfig()
+			cfg := DefaultRadioConfig()
+			part := network.NewGridPartition(tree.Network(), shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunFullRoundEngine(NewShardedEngine(part, 0), tree, f, q, fc, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Delivered) == 0 {
+					b.Fatal("round delivered nothing")
+				}
+				events += res.Events
+			}
+			b.StopTimer()
+			if events > 0 {
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			}
+		})
+	}
+}
+
 // BenchmarkFullRoundNaive is the same round on the EngineNaive reference
 // oracle — the pre-rewrite closure-per-event implementation — so the
 // speedup and allocation ratios stay measurable in one `go test -bench`

@@ -34,12 +34,18 @@ const (
 	// frame arena by slot (Arg) and validate against the frame's unique
 	// sequence number (Seq): a recycled slot fails the check, so stale
 	// events are ignored without a seq-to-slot lookup.
-	evBroadcastAttempt // Seq: frame arena slot, Arg: carrier-sense tries
-	evAttempt          // Seq: data frame sequence number, Arg: arena slot
-	evAckTimeout       // Seq: data frame sequence number, Arg: arena slot
+	// Every link-layer event also carries the owning node in Node and the
+	// frame's globally unique sequence number in Seq: the (kind, node,
+	// seq) triple is partition-invariant, which the intrinsic tie-break
+	// (see less) relies on — arena slot numbers ride in Arg, where the
+	// comparator provably never reaches them (seqs are unique).
+	evBroadcastAttempt // Node: sender, Seq: frame seq, Arg: arena slot
+	evAttempt          // Node: sender, Seq: frame seq, Arg: arena slot
+	evAckTimeout       // Node: sender, Seq: frame seq, Arg: arena slot
 	evFinishRx         // Node: receiving node
-	evAckSend          // Seq: ack frame arena slot
-	evAckRetry         // Seq: ack frame arena slot
+	evAckSend          // Node: acker, Seq: ack frame seq, Arg: arena slot
+	evAckRetry         // Node: acker, Seq: ack frame seq, Arg: arena slot
+	evPropagate        // Node: sender, Seq: frame seq, Arg: slot (>=0 local, -(slot+1) import)
 
 	// Upper-layer events, handled by the convergecast / full round.
 	evFlush      // Node: node whose outbox flushes toward its parent
@@ -103,9 +109,9 @@ var (
 // exported kinds so upper layers can extend the EventKind space freely.
 const evClosure EventKind = 0xff
 
-// heapEnt is one heap entry: the ordering key (time, then insertion
-// sequence — the FIFO tiebreak among equal timestamps) followed by the
-// typed event payload inlined field by field. Keeping the whole event in
+// heapEnt is one heap entry: the ordering key (time, then the intrinsic
+// event key — see less) followed by the typed event payload inlined
+// field by field. Keeping the whole event in
 // the 40-byte entry makes the queue a single pointer-free array: pushes
 // and pops of typed events touch no side storage, emit no write barriers,
 // and the sift comparisons stay within contiguous memory. The node is
@@ -126,7 +132,9 @@ type fnRec struct {
 }
 
 // Engine is a deterministic discrete-event scheduler. Events execute in
-// (time, insertion order); the queue is a 4-ary heap of self-contained
+// the intrinsic (time, kind, node, seq, arg) order pinned by less — an
+// insertion-order-independent total order among typed events, required
+// by sharded execution; the queue is a 4-ary heap of self-contained
 // 40-byte entries, so steady-state scheduling of typed events performs
 // zero heap allocations and the queue is invisible to the garbage
 // collector. Closure events (the cold path) park their func in a
@@ -223,11 +231,35 @@ func (e *Engine) push(t float64, fn func(), ev Event) {
 	}
 }
 
-// less orders entries by (time, insertion sequence) — a total order, so
-// any correct heap pops the exact same event sequence.
+// less orders entries by the intrinsic event key: (time, kind, node,
+// event seq, arg), falling back to insertion sequence only for full-key
+// ties. This is the engine's tie-breaking contract: events scheduled at
+// identical timestamps pop in a deterministic order that does NOT depend
+// on insertion order, which is what lets sharded execution merge
+// per-shard heaps — the same event set pops identically whether it was
+// enqueued by one engine or by many, in any interleaving. Closure events
+// (evClosure = 0xff) sort after every typed kind and among themselves by
+// insertion sequence (their arg is an arena index, which is not stable
+// across engines); typed events with byte-identical keys are required to
+// be order-insensitive (handler-idempotent). EngineNaive implements the
+// identical order, and the tie-break property tests pin both.
 func less(a, b *heapEnt) bool {
 	if a.t != b.t {
 		return a.t < b.t
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.kind != evClosure {
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.evSeq != b.evSeq {
+			return a.evSeq < b.evSeq
+		}
+		if a.arg != b.arg {
+			return a.arg < b.arg
+		}
 	}
 	return a.seq < b.seq
 }
@@ -291,6 +323,26 @@ func (e *Engine) RunUntil(deadline float64) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// RunBefore executes events with timestamps strictly before deadline and
+// leaves the clock at the last executed event (it does NOT advance now to
+// the deadline — a later window may still schedule work inside the gap).
+// This is the sharded window step: each shard drains its heap up to the
+// conservative lookahead horizon.
+func (e *Engine) RunBefore(deadline float64) {
+	for len(e.heap) > 0 && e.heap[0].t < deadline {
+		e.step()
+	}
+}
+
+// NextTime reports the timestamp of the earliest queued event, or false
+// when the queue is empty.
+func (e *Engine) NextTime() (float64, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].t, true
 }
 
 // step pops the minimum event and dispatches: closure events run their fn

@@ -10,9 +10,9 @@ import "container/heap"
 // engine against the code this package shipped with; typed events are
 // adapted onto the closure path, costing the same closure + interface box
 // the original code paid at every call site. Event ordering is the same
-// total (time, insertion-sequence) order the production Engine uses, so
-// both engines execute byte-identical schedules — the equivalence property
-// tests pin that.
+// intrinsic total order the production Engine uses (see less in
+// engine.go), so both engines execute byte-identical schedules — the
+// equivalence property tests pin that.
 type EngineNaive struct {
 	now      float64
 	seq      int64
@@ -23,19 +23,42 @@ type EngineNaive struct {
 }
 
 type naiveEvent struct {
-	t   float64
-	seq int64
-	fn  func()
+	t     float64
+	seq   int64
+	evSeq int64
+	node  int32
+	arg   int32
+	kind  EventKind
+	fn    func()
 }
 
 type naiveEventHeap []naiveEvent
 
 func (h naiveEventHeap) Len() int { return len(h) }
+
+// Less mirrors the production engine's intrinsic tie-break (see less in
+// engine.go): (time, kind, node, event seq, arg), insertion sequence only
+// for full-key ties and among closures.
 func (h naiveEventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+	a, b := &h[i], &h[j]
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.kind != evClosure {
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.evSeq != b.evSeq {
+			return a.evSeq < b.evSeq
+		}
+		if a.arg != b.arg {
+			return a.arg < b.arg
+		}
+	}
+	return a.seq < b.seq
 }
 func (h naiveEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *naiveEventHeap) Push(x any)  { *h = append(*h, x.(naiveEvent)) }
@@ -80,7 +103,7 @@ func (e *EngineNaive) ScheduleAt(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, naiveEvent{t: t, seq: e.seq, fn: fn})
+	heap.Push(&e.queue, naiveEvent{t: t, seq: e.seq, kind: evClosure, fn: fn})
 	if len(e.queue) > e.maxDepth {
 		e.maxDepth = len(e.queue)
 	}
@@ -88,14 +111,30 @@ func (e *EngineNaive) ScheduleAt(t float64, fn func()) {
 
 // ScheduleEvent adapts a typed event onto the closure path: the event is
 // captured in a closure that dispatches it to the handler, paying the
-// per-event allocation the production Engine eliminates.
+// per-event allocation the production Engine eliminates. The event's key
+// fields are stored alongside so the heap orders it exactly as the
+// production engine would.
 func (e *EngineNaive) ScheduleEvent(delay float64, ev Event) {
-	e.Schedule(delay, func() { e.handler(ev) })
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleEventAt(e.now+delay, ev)
 }
 
 // ScheduleEventAt is ScheduleEvent at an absolute time.
 func (e *EngineNaive) ScheduleEventAt(t float64, ev Event) {
-	e.ScheduleAt(t, func() { e.handler(ev) })
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, naiveEvent{
+		t: t, seq: e.seq,
+		evSeq: ev.Seq, node: int32(ev.Node), arg: ev.Arg, kind: ev.Kind,
+		fn: func() { e.handler(ev) },
+	})
+	if len(e.queue) > e.maxDepth {
+		e.maxDepth = len(e.queue)
+	}
 }
 
 // Run executes events until the queue drains, returning the final time.

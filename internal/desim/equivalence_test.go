@@ -19,7 +19,8 @@ type recordedEvent struct {
 // the EngineNaive reference through identical randomized schedules —
 // typed events, closures, nested re-scheduling, duplicate timestamps —
 // and requires the dispatch traces to match event for event. This is the
-// oracle property the whole rewrite rests on: (time, insertion seq) is a
+// oracle property the whole rewrite rests on: the intrinsic event key
+// (time, kind, node, seq, arg; insertion order last — see less) is a
 // total order, so both heaps must pop the exact same sequence.
 func TestEngineEquivalenceRandomWorkload(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
@@ -41,7 +42,7 @@ func TestEngineEquivalenceRandomWorkload(t *testing.T) {
 				n := int(next()%8) + 1
 				for i := 0; i < n; i++ {
 					// Coarse delays force timestamp collisions, exercising
-					// the FIFO tiebreak.
+					// the intrinsic tiebreak.
 					delay := float64(next()%5) * 0.25
 					ev := Event{
 						Kind: EventKind(next()%16) + 1,

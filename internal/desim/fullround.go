@@ -73,10 +73,11 @@ func RunFullRound(tree *routing.Tree, f field.Field, q core.Query, fc core.Filte
 // reports. The round degrades instead of wedging: a node whose parent
 // goes silent — detected when a report batch toward it exhausts its
 // retries or deadline — re-parents onto its best surviving lower-level
-// neighbor (routing.Tree.BestAliveParent) and re-queues the batch, so a
-// crashed relay black-holes nothing but its own queue. A nil or empty
-// plan leaves every code path untouched: the round is bit-identical to
-// RunFullRound. Plans are stateful; pass a fresh one per round.
+// neighbor (routing.Tree.BestAliveParentFunc under the radio's delayed
+// liveness view) and re-queues the batch, so a crashed relay black-holes
+// nothing but its own queue. A nil or empty plan leaves every code path
+// untouched: the round is bit-identical to RunFullRound. Plans are
+// stateful; pass a fresh one per round.
 func RunFullRoundFaults(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
 	return RunFullRoundFaultsEngine(NewEngine(), tree, f, q, fc, cfg, plan)
 }
@@ -99,10 +100,357 @@ func RunFullRoundFaultsTraced(tree *routing.Tree, f field.Field, q core.Query, f
 	return RunFullRoundFaultsEngineTraced(NewEngine(), tree, f, q, fc, cfg, plan, rec)
 }
 
+// RunFullRoundSharded is RunFullRound on a ShardedEngine over a grid
+// partition of the deployment into shards spatial cells, executing
+// windows with up to workers goroutines (0 selects GOMAXPROCS). The
+// result is byte-identical to RunFullRound at any shard and worker
+// count.
+func RunFullRoundSharded(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, shards, workers int) (*RoundResult, error) {
+	return RunFullRoundShardedTraced(tree, f, q, fc, cfg, nil, shards, workers, nil)
+}
+
+// RunFullRoundShardedTraced is the sharded round with fault injection and
+// tracing. Each shard records into its own recorder (sized to rec's
+// capacity) and the per-shard traces are merged canonically — sorted by
+// (timestamp, serialized line) — into rec after the run, so the merged
+// trace depends only on what happened, not on shard interleaving.
+func RunFullRoundShardedTraced(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, shards, workers int, rec *trace.Recorder) (*RoundResult, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("desim: nil routing tree")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("desim: shard count %d < 1", shards)
+	}
+	part := network.NewGridPartition(tree.Network(), shards)
+	return RunFullRoundFaultsEngineTraced(NewShardedEngine(part, workers), tree, f, q, fc, cfg, plan, rec)
+}
+
+// Windows (in seconds) shaping the round: how long a node listens for
+// probe replies before regressing, and the convergecast batching delay.
+const (
+	probeDelay  = 0.05 // after hearing the query
+	replyWindow = 0.25 // reply collection span
+)
+
+// roundState is the cross-shard state of one full round. The per-node
+// slices are shared by all shards but every index is only ever touched
+// from the shard owning that node (receive handlers, flushes and
+// measurements all run on the owner), so no locking is needed.
+type roundState struct {
+	nw      *network.Network
+	tree    *routing.Tree
+	q       core.Query
+	fc      core.FilterConfig
+	cfg     RadioConfig
+	plan    *faults.Plan
+	crashes []faults.Crash
+	root    network.NodeID
+
+	queryHeard  []bool
+	samples     [][]core.Sample
+	kept        [][]core.Report
+	seenReports []map[core.Report]bool
+	outbox      [][]core.Report
+	flushArmed  []bool
+	// parentOf is the round's mutable routing state, seeded from the BFS
+	// tree; route repair rewrites an entry when its parent goes silent.
+	parentOf []network.NodeID
+	severed  []bool
+
+	shards []*roundShard
+}
+
+// roundShard is the shard-bound half: one scheduler, one radio, one
+// trace recorder and one partial tally per shard. A sequential round is
+// the one-shard special case. Partial results merge by summation (maxima
+// for the phase times) after the run.
+type roundShard struct {
+	rs    *roundState
+	eng   EngineAPI
+	radio *Radio
+	rec   *trace.Recorder
+	res   RoundResult
+	// crashed records the nodes this shard killed so their Failed marks
+	// can be lifted once the round is tallied. A crash is a round-scoped
+	// radio event, not a permanent topology edit: callers reuse the
+	// network (and trees bound to it) across rounds under the contract
+	// that nothing a round does survives it except node values, and a
+	// lingering Failed mark silently shrinks every later round.
+	crashed []network.NodeID
+	parked  parkedBatches
+
+	// Scratch buffers reused across frames and measurements; their
+	// contents are consumed before the next call that fills them.
+	freshScratch  []core.Report
+	matchScratch  []int
+	sampleScratch []core.Sample
+	reportScratch []core.Report
+}
+
+// jitterFor spreads per-node delays quasi-uniformly over a window of
+// slots, deterministically: synchronized rebroadcasts are what kill
+// unacknowledged floods.
+func (rs *roundState) jitterFor(id network.NodeID, spreadSlots int) float64 {
+	h := uint64(id)*2654435761 + 97
+	h ^= h >> 13
+	return float64(1+h%uint64(spreadSlots)) * rs.cfg.SlotTime
+}
+
+func (sh *roundShard) accept(at network.NodeID, incoming []core.Report) []core.Report {
+	rs := sh.rs
+	if rs.seenReports[at] == nil {
+		rs.seenReports[at] = make(map[core.Report]bool)
+	}
+	fresh := sh.freshScratch[:0]
+	for _, r := range incoming {
+		if rs.seenReports[at][r] {
+			continue
+		}
+		rs.seenReports[at][r] = true
+		if rs.fc.Enabled {
+			dup := false
+			for _, k := range rs.kept[at] {
+				if rs.fc.Redundant(k, r) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		rs.kept[at] = append(rs.kept[at], r)
+		fresh = append(fresh, r)
+	}
+	sh.freshScratch = fresh
+	return fresh
+}
+
+func (sh *roundShard) forward(from network.NodeID, batch []core.Report) {
+	rs := sh.rs
+	if len(batch) == 0 || rs.parentOf[from] < 0 {
+		return
+	}
+	rs.outbox[from] = append(rs.outbox[from], batch...)
+	if rs.flushArmed[from] {
+		return
+	}
+	rs.flushArmed[from] = true
+	delay := float64(6+int(from)%5) * rs.cfg.SlotTime
+	sh.eng.ScheduleEvent(delay, Event{Kind: evFlush, Node: from})
+}
+
+// flush empties a node's outbox into one frame toward its (possibly
+// repaired) parent; the frame rides a pooled batch copy so the outbox
+// keeps its capacity across flushes. Parent liveness is judged through
+// the radio's propagation-delayed view — the same information a real
+// node has — which is also what keeps sharded runs identical: a remote
+// parent's crash becomes visible everywhere at the same simulated time.
+func (sh *roundShard) flush(from network.NodeID) {
+	rs := sh.rs
+	rs.flushArmed[from] = false
+	pending := rs.outbox[from]
+	rs.outbox[from] = pending[:0]
+	if len(pending) == 0 || !rs.nw.Alive(from) {
+		return
+	}
+	parent := rs.parentOf[from]
+	if !sh.radio.visibleAlive(parent) {
+		// Route repair: re-attach to the best surviving lower-level
+		// neighbor instead of black-holing the subtree behind a dead
+		// parent.
+		np, ok := rs.tree.BestAliveParentFunc(from, sh.radio.visibleAlive)
+		if !ok {
+			if !rs.severed[from] {
+				rs.severed[from] = true
+				sh.res.Severed++
+				if sh.rec != nil {
+					sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindSevered,
+						Node: int32(from), Peer: int32(parent)})
+				}
+			}
+			return
+		}
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindReparent,
+				Node: int32(from), Peer: int32(np), Seq: int64(parent),
+				Arg: trace.PackLevels(rs.tree.Level(from), rs.tree.Level(np))})
+		}
+		rs.parentOf[from] = np
+		parent = np
+		sh.res.Repairs++
+	}
+	batch := append(sh.radio.pool.get(), pending...)
+	_ = sh.radio.SendReports(from, parent, core.ReportBytes*len(pending), batch)
+}
+
+func (sh *roundShard) handleDrop(fr Frame) {
+	switch fr.Kind {
+	case FrameReports:
+		sh.res.ReportDrops++
+		// Transport recovery: re-queue the batch exactly once per drop
+		// after a pause; the flush path re-parents when the silent parent
+		// turns out to be dead. The frame's batch is recycled when this
+		// handler returns, so park a pooled copy until the re-queue event
+		// fires. The event carries the frame seq so same-time requeues
+		// order identically at any shard count (park slots are
+		// shard-local and would not).
+		slot := sh.parked.park(&sh.radio.pool, fr.Batch)
+		sh.eng.ScheduleEvent(32*sh.rs.cfg.SlotTime, Event{Kind: evRequeue, Node: fr.From, Seq: fr.seq, Arg: slot})
+	case FrameReply:
+		// Probe replies are not recovered: the asker regresses over
+		// whatever samples survive its reply window.
+		sh.res.ReplyDrops++
+	}
+}
+
+// measure runs Definition 3.1 + regression once a node's reply window
+// closes, then injects the reports into the convergecast.
+func (sh *roundShard) measure(id network.NodeID) {
+	rs := sh.rs
+	if !rs.nw.Alive(id) {
+		return // crashed after probing
+	}
+	node := rs.nw.Node(id)
+	levels := rs.q.Levels.Values()
+	matched := sh.matchScratch[:0]
+	for _, li := range rs.q.CandidateLevels(node.Value) {
+		lambda := levels[li]
+		for _, s := range rs.samples[id] {
+			if (node.Value < lambda && lambda < s.Value) || (s.Value < lambda && lambda < node.Value) {
+				matched = append(matched, li)
+				break
+			}
+		}
+	}
+	sh.matchScratch = matched
+	if len(matched) == 0 {
+		return
+	}
+	all := append(sh.sampleScratch[:0], core.Sample{Pos: node.Pos, Value: node.Value})
+	all = append(all, rs.samples[id]...)
+	sh.sampleScratch = all
+	grad, err := core.GradientByRegression(all)
+	if err != nil || grad.Norm() <= geom.Eps {
+		return
+	}
+	sh.res.IsolineNodes++
+	reports := sh.reportScratch[:0]
+	for _, li := range matched {
+		reports = append(reports, core.Report{
+			Level:      levels[li],
+			LevelIndex: li,
+			Pos:        node.Pos,
+			Grad:       grad,
+			Source:     id,
+		})
+	}
+	sh.reportScratch = reports
+	sh.res.Generated += len(reports)
+	if sh.rec != nil {
+		sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindGenerate,
+			Node: int32(id), Peer: -1, Arg: int32(len(reports))})
+	}
+	if t := sh.eng.Now(); t > sh.res.MeasureSeconds {
+		sh.res.MeasureSeconds = t
+	}
+	fresh := sh.accept(id, reports)
+	if id == rs.root {
+		sh.res.Delivered = append(sh.res.Delivered, fresh...)
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindSinkReport,
+				Node: int32(rs.root), Peer: -1, Arg: int32(len(fresh))})
+		}
+		return
+	}
+	sh.forward(id, fresh)
+}
+
+// onFrame is the receive handler every alive node shares: query flood,
+// probes, replies and report batches. It always runs on the shard owning
+// the receiving node.
+func (sh *roundShard) onFrame(at network.NodeID, fr Frame) {
+	rs := sh.rs
+	switch fr.Kind {
+	case FrameQuery:
+		if rs.queryHeard[at] {
+			return
+		}
+		rs.queryHeard[at] = true
+		sh.res.QueryReached++
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindQueryHeard,
+				Phase: trace.PhaseQuery, Node: int32(at), Peer: int32(fr.From)})
+		}
+		if t := sh.eng.Now(); t > sh.res.QuerySeconds {
+			sh.res.QuerySeconds = t
+		}
+		// Rebroadcast the flood once.
+		sh.eng.ScheduleEvent(rs.jitterFor(at, 64), Event{Kind: evRebroadcast, Node: at})
+		// Border-region candidates probe their neighborhood.
+		if len(rs.q.CandidateLevels(rs.nw.Node(at).Value)) == 0 {
+			return
+		}
+		sh.eng.ScheduleEvent(probeDelay+rs.jitterFor(at+1000, 128), Event{Kind: evProbeStart, Node: at})
+	case FrameProbe:
+		sh.eng.ScheduleEvent(rs.jitterFor(at+2000, 32), Event{Kind: evReplySend, Node: at, Seq: int64(fr.Asker)})
+	case FrameReply:
+		rs.samples[at] = append(rs.samples[at], fr.Sample)
+	case FrameReports:
+		fresh := sh.accept(at, fr.Batch)
+		if at == rs.root {
+			sh.res.Delivered = append(sh.res.Delivered, fresh...)
+			if sh.rec != nil {
+				sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindSinkReport,
+					Phase: trace.PhaseCollect, Node: int32(rs.root), Peer: int32(fr.From), Arg: int32(len(fresh))})
+			}
+			if len(fresh) > 0 && sh.eng.Now() > sh.res.CollectSeconds {
+				sh.res.CollectSeconds = sh.eng.Now()
+			}
+			return
+		}
+		sh.forward(at, fresh)
+	}
+}
+
+func (sh *roundShard) onEvent(ev Event) {
+	rs := sh.rs
+	switch ev.Kind {
+	case evFlush:
+		sh.flush(ev.Node)
+	case evRequeue:
+		b := sh.parked.take(ev.Arg)
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindRequeue,
+				Phase: trace.PhaseCollect, Node: int32(ev.Node), Peer: -1, Arg: int32(len(b))})
+		}
+		sh.forward(ev.Node, b)
+		sh.radio.pool.put(b)
+	case evRebroadcast:
+		_ = sh.radio.BroadcastQuery(ev.Node, core.QueryBytes)
+	case evProbeStart:
+		_ = sh.radio.BroadcastProbe(ev.Node, core.ProbeBytes, ev.Node)
+		sh.eng.ScheduleEvent(replyWindow, Event{Kind: evMeasure, Node: ev.Node})
+	case evMeasure:
+		sh.measure(ev.Node)
+	case evReplySend:
+		node := rs.nw.Node(ev.Node)
+		_ = sh.radio.SendReply(ev.Node, network.NodeID(ev.Seq), core.ProbeReplyBytes,
+			core.Sample{Pos: node.Pos, Value: node.Value})
+	case evCrash:
+		c := rs.crashes[ev.Arg]
+		if rs.nw.Alive(c.Node) {
+			sh.radio.Crash(c.Node)
+			sh.crashed = append(sh.crashed, c.Node)
+			sh.res.Crashed++
+		}
+	}
+}
+
 // RunFullRoundFaultsEngine is RunFullRoundFaults on a caller-supplied
-// scheduler: the production Engine or the EngineNaive reference oracle.
-// Both execute the identical event sequence — the equivalence property
-// tests pin that.
+// scheduler: the production Engine, the EngineNaive reference oracle, or
+// a ShardedEngine. All execute the identical event sequence — the
+// equivalence property tests pin that.
 func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan) (*RoundResult, error) {
 	return RunFullRoundFaultsEngineTraced(eng, tree, f, q, fc, cfg, plan, nil)
 }
@@ -114,6 +462,12 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 // report arrivals, the round-end tally — without perturbing it: a nil
 // recorder leaves every code path and every output byte identical, and
 // an attached recorder draws no randomness and schedules nothing.
+//
+// When eng is a *ShardedEngine the round runs one protocol instance per
+// shard: each shard's engine executes its own nodes' events, radios
+// exchange cross-shard frames through the group mailboxes, and the
+// partial tallies merge after the run. Per-node protocol state lives in
+// shared slices touched only by the owning shard.
 func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, rec *trace.Recorder) (*RoundResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("desim: nil routing tree")
@@ -121,345 +475,149 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 	nw := tree.Network()
 	nw.Sense(f)
 	counters := metrics.NewCounters(nw.Len())
-	radio, err := NewRadio(eng, nw, cfg, counters)
-	if err != nil {
-		return nil, err
-	}
-	radio.SetTrace(rec)
-	if plan.HasChannel() {
-		radio.SetChannel(plan.Lose)
-	}
-	res := &RoundResult{Counters: counters}
-	crashes := plan.Crashes()
-	// crashed records the nodes this round kills so their Failed marks can
-	// be lifted once the round is tallied. A crash is a round-scoped radio
-	// event, not a permanent topology edit: callers reuse the network (and
-	// trees bound to it) across rounds under the contract that nothing a
-	// round does survives it except node values, and a lingering Failed
-	// mark silently shrinks every later round — including fault-free ones
-	// on clones sharing the seed — breaking same-seed determinism.
-	var crashed []network.NodeID
-	for i := range crashes {
-		eng.ScheduleEventAt(crashes[i].Time, Event{Kind: evCrash, Arg: int32(i)})
-	}
 
-	// Windows (in seconds) shaping the round: how long a node listens for
-	// probe replies before regressing, and the convergecast batching
-	// delay.
-	const (
-		probeDelay  = 0.05 // after hearing the query
-		replyWindow = 0.25 // reply collection span
-	)
-
-	// jitterFor spreads per-node delays quasi-uniformly over a window of
-	// slots, deterministically: synchronized rebroadcasts are what kill
-	// unacknowledged floods.
-	jitterFor := func(id network.NodeID, spreadSlots int) float64 {
-		h := uint64(id)*2654435761 + 97
-		h ^= h >> 13
-		return float64(1+h%uint64(spreadSlots)) * cfg.SlotTime
+	se, sharded := eng.(*ShardedEngine)
+	var radios []*Radio
+	if sharded {
+		var err error
+		radios, err = newShardedRadios(se, nw, cfg, counters)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		r, err := NewRadio(eng, nw, cfg, counters)
+		if err != nil {
+			return nil, err
+		}
+		radios = []*Radio{r}
 	}
 
 	n := nw.Len()
-	queryHeard := make([]bool, n)
-	samples := make([][]core.Sample, n)
-	kept := make([][]core.Report, n)
-	seenReports := make([]map[core.Report]bool, n)
-	outbox := make([][]core.Report, n)
-	flushArmed := make([]bool, n)
-
-	// Scratch buffers reused across frames and measurements; their
-	// contents are consumed before the next call that fills them.
-	var (
-		freshScratch  []core.Report
-		matchScratch  []int
-		sampleScratch []core.Sample
-		reportScratch []core.Report
-	)
-
-	accept := func(at network.NodeID, incoming []core.Report) []core.Report {
-		if seenReports[at] == nil {
-			seenReports[at] = make(map[core.Report]bool)
-		}
-		fresh := freshScratch[:0]
-		for _, r := range incoming {
-			if seenReports[at][r] {
-				continue
-			}
-			seenReports[at][r] = true
-			if fc.Enabled {
-				dup := false
-				for _, k := range kept[at] {
-					if fc.Redundant(k, r) {
-						dup = true
-						break
-					}
-				}
-				if dup {
-					continue
-				}
-			}
-			kept[at] = append(kept[at], r)
-			fresh = append(fresh, r)
-		}
-		freshScratch = fresh
-		return fresh
+	rs := &roundState{
+		nw:          nw,
+		tree:        tree,
+		q:           q,
+		fc:          fc,
+		cfg:         cfg,
+		plan:        plan,
+		crashes:     plan.Crashes(),
+		root:        tree.Root(),
+		queryHeard:  make([]bool, n),
+		samples:     make([][]core.Sample, n),
+		kept:        make([][]core.Report, n),
+		seenReports: make([]map[core.Report]bool, n),
+		outbox:      make([][]core.Report, n),
+		flushArmed:  make([]bool, n),
+		parentOf:    make([]network.NodeID, n),
+		severed:     make([]bool, n),
+		shards:      make([]*roundShard, len(radios)),
+	}
+	for i := range rs.parentOf {
+		rs.parentOf[i] = tree.Parent(network.NodeID(i))
 	}
 
-	// parentOf is the round's mutable routing state, seeded from the BFS
-	// tree; route repair rewrites an entry when its parent goes silent.
-	parentOf := make([]network.NodeID, n)
-	for i := range parentOf {
-		parentOf[i] = tree.Parent(network.NodeID(i))
+	for i, r := range radios {
+		shEng := eng
+		if sharded {
+			shEng = se.Shard(i)
+		}
+		shRec := rec
+		if sharded && rec != nil {
+			shRec = trace.NewRecorder(rec.Capacity())
+		}
+		r.SetTrace(shRec)
+		if plan.HasChannel() {
+			r.SetChannel(plan.Lose)
+		}
+		sh := &roundShard{rs: rs, eng: shEng, radio: r, rec: shRec}
+		rs.shards[i] = sh
+		r.OnDrop(sh.handleDrop)
+		r.OnEvent(sh.onEvent)
 	}
-	severed := make([]bool, n)
-
-	forward := func(from network.NodeID, batch []core.Report) {
-		if len(batch) == 0 || parentOf[from] < 0 {
-			return
+	shardFor := func(id network.NodeID) *roundShard {
+		if sharded {
+			return rs.shards[se.ShardOf(id)]
 		}
-		outbox[from] = append(outbox[from], batch...)
-		if flushArmed[from] {
-			return
-		}
-		flushArmed[from] = true
-		delay := float64(6+int(from)%5) * cfg.SlotTime
-		eng.ScheduleEvent(delay, Event{Kind: evFlush, Node: from})
-	}
-
-	// flush empties a node's outbox into one frame toward its (possibly
-	// repaired) parent; the frame rides a pooled batch copy so the outbox
-	// keeps its capacity across flushes.
-	flush := func(from network.NodeID) {
-		flushArmed[from] = false
-		pending := outbox[from]
-		outbox[from] = pending[:0]
-		if len(pending) == 0 || !nw.Alive(from) {
-			return
-		}
-		parent := parentOf[from]
-		if !nw.Alive(parent) {
-			// Route repair: re-attach to the best surviving lower-level
-			// neighbor instead of black-holing the subtree behind a dead
-			// parent.
-			np, ok := tree.BestAliveParent(from)
-			if !ok {
-				if !severed[from] {
-					severed[from] = true
-					res.Severed++
-					if rec != nil {
-						rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSevered,
-							Node: int32(from), Peer: int32(parent)})
-					}
-				}
-				return
-			}
-			if rec != nil {
-				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindReparent,
-					Node: int32(from), Peer: int32(np), Seq: int64(parent),
-					Arg: trace.PackLevels(tree.Level(from), tree.Level(np))})
-			}
-			parentOf[from] = np
-			parent = np
-			res.Repairs++
-		}
-		batch := append(radio.pool.get(), pending...)
-		_ = radio.SendReports(from, parent, core.ReportBytes*len(pending), batch)
-	}
-
-	var parked parkedBatches
-	radio.OnDrop(func(fr Frame) {
-		switch fr.Kind {
-		case FrameReports:
-			res.ReportDrops++
-			// Transport recovery: re-queue the batch exactly once per
-			// drop after a pause; the flush path re-parents when the
-			// silent parent turns out to be dead. The frame's batch is
-			// recycled when this handler returns, so park a pooled copy
-			// until the re-queue event fires.
-			slot := parked.park(&radio.pool, fr.Batch)
-			eng.ScheduleEvent(32*cfg.SlotTime, Event{Kind: evRequeue, Node: fr.From, Arg: slot})
-		case FrameReply:
-			// Probe replies are not recovered: the asker regresses over
-			// whatever samples survive its reply window.
-			res.ReplyDrops++
-		}
-	})
-
-	root := tree.Root()
-
-	// measure runs Definition 3.1 + regression once a node's reply window
-	// closes, then injects the reports into the convergecast.
-	measure := func(id network.NodeID) {
-		if !nw.Alive(id) {
-			return // crashed after probing
-		}
-		node := nw.Node(id)
-		levels := q.Levels.Values()
-		matched := matchScratch[:0]
-		for _, li := range q.CandidateLevels(node.Value) {
-			lambda := levels[li]
-			for _, s := range samples[id] {
-				if (node.Value < lambda && lambda < s.Value) || (s.Value < lambda && lambda < node.Value) {
-					matched = append(matched, li)
-					break
-				}
-			}
-		}
-		matchScratch = matched
-		if len(matched) == 0 {
-			return
-		}
-		all := append(sampleScratch[:0], core.Sample{Pos: node.Pos, Value: node.Value})
-		all = append(all, samples[id]...)
-		sampleScratch = all
-		grad, err := core.GradientByRegression(all)
-		if err != nil || grad.Norm() <= geom.Eps {
-			return
-		}
-		res.IsolineNodes++
-		reports := reportScratch[:0]
-		for _, li := range matched {
-			reports = append(reports, core.Report{
-				Level:      levels[li],
-				LevelIndex: li,
-				Pos:        node.Pos,
-				Grad:       grad,
-				Source:     id,
-			})
-		}
-		reportScratch = reports
-		res.Generated += len(reports)
-		if rec != nil {
-			rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindGenerate,
-				Node: int32(id), Peer: -1, Arg: int32(len(reports))})
-		}
-		if t := eng.Now(); t > res.MeasureSeconds {
-			res.MeasureSeconds = t
-		}
-		fresh := accept(id, reports)
-		if id == root {
-			res.Delivered = append(res.Delivered, fresh...)
-			if rec != nil {
-				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSinkReport,
-					Node: int32(root), Peer: -1, Arg: int32(len(fresh))})
-			}
-			return
-		}
-		forward(id, fresh)
-	}
-
-	// onFrame is the receive handler every alive node shares: query
-	// flood, probes, replies and report batches.
-	onFrame := func(at network.NodeID, fr Frame) {
-		switch fr.Kind {
-		case FrameQuery:
-			if queryHeard[at] {
-				return
-			}
-			queryHeard[at] = true
-			res.QueryReached++
-			if rec != nil {
-				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindQueryHeard,
-					Phase: trace.PhaseQuery, Node: int32(at), Peer: int32(fr.From)})
-			}
-			if t := eng.Now(); t > res.QuerySeconds {
-				res.QuerySeconds = t
-			}
-			// Rebroadcast the flood once.
-			eng.ScheduleEvent(jitterFor(at, 64), Event{Kind: evRebroadcast, Node: at})
-			// Border-region candidates probe their neighborhood.
-			if len(q.CandidateLevels(nw.Node(at).Value)) == 0 {
-				return
-			}
-			eng.ScheduleEvent(probeDelay+jitterFor(at+1000, 128), Event{Kind: evProbeStart, Node: at})
-		case FrameProbe:
-			eng.ScheduleEvent(jitterFor(at+2000, 32), Event{Kind: evReplySend, Node: at, Seq: int64(fr.Asker)})
-		case FrameReply:
-			samples[at] = append(samples[at], fr.Sample)
-		case FrameReports:
-			fresh := accept(at, fr.Batch)
-			if at == root {
-				res.Delivered = append(res.Delivered, fresh...)
-				if rec != nil {
-					rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindSinkReport,
-						Phase: trace.PhaseCollect, Node: int32(root), Peer: int32(fr.From), Arg: int32(len(fresh))})
-				}
-				if len(fresh) > 0 && eng.Now() > res.CollectSeconds {
-					res.CollectSeconds = eng.Now()
-				}
-				return
-			}
-			forward(at, fresh)
-		}
+		return rs.shards[0]
 	}
 	for i := 0; i < n; i++ {
 		if id := network.NodeID(i); nw.Alive(id) {
-			radio.OnReceive(id, onFrame)
+			sh := shardFor(id)
+			sh.radio.OnReceive(id, sh.onFrame)
 		}
 	}
-
-	radio.OnEvent(func(ev Event) {
-		switch ev.Kind {
-		case evFlush:
-			flush(ev.Node)
-		case evRequeue:
-			b := parked.take(ev.Arg)
-			if rec != nil {
-				rec.Record(trace.Event{T: eng.Now(), Kind: trace.KindRequeue,
-					Phase: trace.PhaseCollect, Node: int32(ev.Node), Peer: -1, Arg: int32(len(b))})
-			}
-			forward(ev.Node, b)
-			radio.pool.put(b)
-		case evRebroadcast:
-			_ = radio.BroadcastQuery(ev.Node, core.QueryBytes)
-		case evProbeStart:
-			_ = radio.BroadcastProbe(ev.Node, core.ProbeBytes, ev.Node)
-			eng.ScheduleEvent(replyWindow, Event{Kind: evMeasure, Node: ev.Node})
-		case evMeasure:
-			measure(ev.Node)
-		case evReplySend:
-			node := nw.Node(ev.Node)
-			_ = radio.SendReply(ev.Node, network.NodeID(ev.Seq), core.ProbeReplyBytes,
-				core.Sample{Pos: node.Pos, Value: node.Value})
-		case evCrash:
-			c := crashes[ev.Arg]
-			if nw.Alive(c.Node) {
-				radio.Crash(c.Node)
-				crashed = append(crashed, c.Node)
-				res.Crashed++
-			}
-		}
-	})
-
-	// The sink originates the query.
-	sink := root
-	queryHeard[sink] = true
-	res.QueryReached++
-	if rec != nil {
-		rec.Record(trace.Event{Kind: trace.KindQueryHeard, Phase: trace.PhaseQuery,
-			Node: int32(sink), Peer: int32(sink)})
+	for i := range rs.crashes {
+		// The facade routes the crash to the owning node's shard.
+		eng.ScheduleEventAt(rs.crashes[i].Time, Event{Kind: evCrash, Node: rs.crashes[i].Node, Arg: int32(i)})
 	}
-	eng.Schedule(0, func() {
-		_ = radio.BroadcastQuery(sink, core.QueryBytes)
+
+	// The sink originates the query, on its own shard's scheduler — the
+	// bootstrap closure is the round's only untyped event, alone at t=0,
+	// so its execution slot is identical at every shard count.
+	rootSh := shardFor(rs.root)
+	rs.queryHeard[rs.root] = true
+	rootSh.res.QueryReached++
+	if rootSh.rec != nil {
+		rootSh.rec.Record(trace.Event{Kind: trace.KindQueryHeard, Phase: trace.PhaseQuery,
+			Node: int32(rs.root), Peer: int32(rs.root)})
+	}
+	rootSh.eng.Schedule(0, func() {
+		_ = rootSh.radio.BroadcastQuery(rs.root, core.QueryBytes)
 	})
 	// The sink itself may be an isoline node: give it the same probe path.
-	if len(q.CandidateLevels(nw.Node(sink).Value)) > 0 {
-		eng.ScheduleEvent(probeDelay, Event{Kind: evProbeStart, Node: sink})
+	if len(q.CandidateLevels(nw.Node(rs.root).Value)) > 0 {
+		rootSh.eng.ScheduleEvent(probeDelay, Event{Kind: evProbeStart, Node: rs.root})
 	}
 
-	res.TotalSeconds = eng.Run()
-	res.Radio = radio.Stats
+	total := eng.Run()
+
+	res := &RoundResult{Counters: counters}
+	for _, sh := range rs.shards {
+		res.QueryReached += sh.res.QueryReached
+		res.IsolineNodes += sh.res.IsolineNodes
+		res.Generated += sh.res.Generated
+		res.ReplyDrops += sh.res.ReplyDrops
+		res.ReportDrops += sh.res.ReportDrops
+		res.Crashed += sh.res.Crashed
+		res.Repairs += sh.res.Repairs
+		res.Severed += sh.res.Severed
+		if sh.res.QuerySeconds > res.QuerySeconds {
+			res.QuerySeconds = sh.res.QuerySeconds
+		}
+		if sh.res.MeasureSeconds > res.MeasureSeconds {
+			res.MeasureSeconds = sh.res.MeasureSeconds
+		}
+		if sh.res.CollectSeconds > res.CollectSeconds {
+			res.CollectSeconds = sh.res.CollectSeconds
+		}
+		res.Radio.add(sh.radio.Stats)
+	}
+	// All sink deliveries happen on the root's shard, in its intrinsic
+	// event order — the same order a single engine pops them in.
+	res.Delivered = rootSh.res.Delivered
+	res.TotalSeconds = total
 	res.Events = eng.Steps()
-	if rec != nil {
+	if rootSh.rec != nil {
 		// Recorded before sink mangling: the trace accounts for what the
 		// network delivered, not what fault injection corrupted after.
-		rec.Record(trace.Event{T: res.TotalSeconds, Kind: trace.KindRoundEnd,
-			Node: int32(sink), Peer: -1, Seq: int64(len(res.Delivered))})
+		rootSh.rec.Record(trace.Event{T: res.TotalSeconds, Kind: trace.KindRoundEnd,
+			Node: int32(rs.root), Peer: -1, Seq: int64(len(res.Delivered))})
+	}
+	if sharded && rec != nil {
+		var all []trace.Event
+		for _, sh := range rs.shards {
+			all = append(all, sh.rec.Events()...)
+		}
+		trace.SortCanonical(all)
+		for _, e := range all {
+			rec.Record(e)
+		}
 	}
 	res.Delivered = plan.MangleSinkReports(res.Delivered, field.BoundsRect(f))
-	for _, id := range crashed {
-		nw.Node(id).Failed = false
+	for _, sh := range rs.shards {
+		for _, id := range sh.crashed {
+			nw.Node(id).Failed = false
+		}
 	}
 	return res, nil
 }

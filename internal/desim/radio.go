@@ -2,7 +2,7 @@ package desim
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"strconv"
 	"strings"
 
@@ -29,12 +29,20 @@ type RadioConfig struct {
 	// surface as a bounded-latency drop the upper layer can react to
 	// instead of an open-ended retry tail. Zero disables the deadline.
 	FrameDeadline float64
+	// PropagationDelay is the latency between the start of a transmission
+	// and its effect at receivers: carrier becomes sensable, receptions
+	// begin, and a node's death becomes observable to its neighbors only
+	// PropagationDelay seconds after the fact. It is the physical
+	// lookahead sharded execution synchronizes on — a frame sent in one
+	// shard cannot touch another shard sooner than this — so it must be
+	// positive; zero or negative selects SlotTime.
+	PropagationDelay float64
 	// Seed drives the backoff jitter.
 	Seed int64
 }
 
 // DefaultRadioConfig returns a CC1000-like configuration: 38.4 kbps, 2-byte
-// acks, ~1 ms backoff slots, 12 retries.
+// acks, ~1 ms backoff slots, 12 retries, a one-slot propagation delay.
 func DefaultRadioConfig() RadioConfig {
 	return RadioConfig{
 		BitsPerSecond: energy.RadioBitsPerSecond,
@@ -43,6 +51,14 @@ func DefaultRadioConfig() RadioConfig {
 		MaxRetries:    12,
 		Seed:          1,
 	}
+}
+
+// normalized resolves defaulted fields.
+func (cfg RadioConfig) normalized() RadioConfig {
+	if cfg.PropagationDelay <= 0 {
+		cfg.PropagationDelay = cfg.SlotTime
+	}
+	return cfg
 }
 
 // FrameKind tags the concrete payload representation a frame carries,
@@ -92,9 +108,20 @@ type Frame struct {
 	ackFor     int64
 	ackForSlot int32
 	retries    int
+	// tries counts backoff draws this frame has consumed (carrier-sense
+	// and retry backoffs alike); it indexes the frame's hashed jitter
+	// stream, so the draws are a function of the frame alone — identical
+	// under any partition of the deployment.
+	tries int32
 	// deadline is the absolute time past which the frame is abandoned
 	// (0 = none); set from RadioConfig.FrameDeadline at Send time.
 	deadline float64
+	// delivered flags a pending data frame whose destination has in fact
+	// received it (set by the receiver, through the barrier mailbox when
+	// the receiver is remote). With a nonzero propagation delay a frame
+	// can deliver while every ack is lost; the flag keeps such a give-up
+	// out of Stats.Drops so delivery accounting stays exact.
+	delivered bool
 }
 
 // RadioStats counts link-layer happenings.
@@ -106,7 +133,10 @@ type RadioStats struct {
 	// Collisions counts receptions corrupted by overlap.
 	Collisions int
 	// Drops counts data frames abandoned after MaxRetries or past their
-	// frame deadline.
+	// frame deadline without ever having been delivered. A frame whose
+	// receptions succeeded but whose acks were all lost is counted
+	// delivered, not dropped, even though the sender gave up — so
+	// Delivered + Drops always equals DataSent (crashed senders aside).
 	Drops int
 	// ChannelLosses counts receptions erased by the injected channel
 	// model (independent of collisions).
@@ -114,6 +144,16 @@ type RadioStats struct {
 	// Delivered counts data frames handed to their destination exactly
 	// once (duplicates from lost acks are filtered).
 	Delivered int
+}
+
+// add accumulates another radio's stats (shard merge).
+func (s *RadioStats) add(o RadioStats) {
+	s.DataSent += o.DataSent
+	s.Retries += o.Retries
+	s.Collisions += o.Collisions
+	s.Drops += o.Drops
+	s.ChannelLosses += o.ChannelLosses
+	s.Delivered += o.Delivered
 }
 
 // batchPool recycles the report-batch slices that ride FrameReports
@@ -145,37 +185,136 @@ func (p *batchPool) put(b []core.Report) {
 	p.free = append(p.free, b[:0])
 }
 
+// txSpan is one on-air interval of a node: carrier is sensable at its
+// neighbors from s+PropagationDelay to e+PropagationDelay.
+type txSpan struct {
+	s, e float64
+}
+
+// mailEntry is one cross-shard transmission awaiting delivery: the
+// frame's propagate event fires in the destination shard at time t (the
+// transmit time plus the propagation delay, always inside the next
+// synchronization window).
+type mailEntry struct {
+	t  float64
+	fr Frame
+}
+
+// deliveredMark is a cross-shard delivery notification: the receiver
+// shard flags the sender's pending frame (identified by arena slot,
+// validated by seq) as delivered at the next barrier. A sender can only
+// give up on a frame at least one propagation delay after any delivery,
+// so the mark always crosses a barrier before the drop could fire —
+// identical accounting at every shard count.
+type deliveredMark struct {
+	seq  int64
+	slot int32
+}
+
+// radioGroup is the state shared by the radios of one deployment — a
+// single radio in sequential runs, one per shard in sharded runs. All
+// per-node slices are written exclusively by the shard that owns the
+// node (every event addressing a node executes in its own shard), so
+// parallel windows never race; cross-shard reads go through the
+// barrier-published view copies (busyView/crashView) instead of the live
+// arrays.
+type radioGroup struct {
+	radios   []*Radio
+	states   []radioState
+	handlers []func(network.NodeID, Frame)
+	// seen holds per-node delivered seqs (dedup), allocated lazily.
+	seen []map[int64]bool
+	// seqs derives per-node frame sequence numbers: node id's frames get
+	// (id+1)<<24 | counter, globally unique and — unlike a shared
+	// counter — independent of how other nodes' sends interleave.
+	seqs []int64
+	// busy holds each node's recent on-air spans; dead spans (past every
+	// possible reader's visibility) are pruned in place at the next
+	// transmit, so the list stays a handful of entries.
+	busy [][]txSpan
+	// crashT is each node's mid-round crash time, +Inf while alive.
+	// Neighbors treat a crashed node as alive until crashT +
+	// PropagationDelay — the silence takes one propagation to be heard.
+	crashT []float64
+
+	// Sharded-run state; nil/zero in sequential runs.
+	shardOf []int32   // node -> shard (nil = sequential)
+	border  []bool    // node has cross-shard neighbors
+	remote  [][]int32 // node -> remote shards in radio range
+	failed0 []bool    // nodes already failed when the round started
+	se      *ShardedEngine
+	k       int
+	// busyView/crashView are the barrier-published snapshots remote
+	// shards read; dirty lists (per owning shard, stamp-deduplicated per
+	// epoch) name the border nodes to republish at the next barrier.
+	busyView   [][]txSpan
+	crashView  []float64
+	dirtyBusy  [][]int32
+	dirtyCrash [][]int32
+	busyStamp  []int64
+	crashStamp []int64
+	epoch      int64
+	// mail[src*k+dst] queues cross-shard transmissions, drained
+	// single-threaded at every barrier into import-arena propagates.
+	mail [][]mailEntry
+	// marks[src*k+dst] queues cross-shard delivery notifications for
+	// dst's pending frames, drained at the same barriers.
+	marks [][]deliveredMark
+}
+
+func newRadioGroup(n int) *radioGroup {
+	g := &radioGroup{
+		states:   make([]radioState, n),
+		handlers: make([]func(network.NodeID, Frame), n),
+		seen:     make([]map[int64]bool, n),
+		seqs:     make([]int64, n),
+		busy:     make([][]txSpan, n),
+		crashT:   make([]float64, n),
+	}
+	for i := range g.crashT {
+		g.crashT[i] = math.Inf(1)
+	}
+	return g
+}
+
 // Radio executes frame exchanges over the network's connectivity graph
 // with carrier sensing, receiver-side collisions, acknowledgements and
 // bounded retransmission. In-flight frames live in an index-addressed
 // arena with a free-list, pending data frames are tracked by sequence
 // number, and all timers are typed engine events — so the steady-state
 // link layer runs without heap allocation.
+//
+// Every physical effect crosses the medium with a PropagationDelay
+// latency: a transmission becomes sensable (and receivable) one delay
+// after it starts, and a crash becomes observable to neighbors one delay
+// after it happens. That delay is what gives sharded execution its
+// conservative lookahead; sequential runs use the identical physics, so
+// the two are byte-equivalent.
 type Radio struct {
-	eng      EngineAPI
-	nw       *network.Network
-	cfg      RadioConfig
-	rng      *rand.Rand
-	states   []radioState
-	handlers []func(network.NodeID, Frame)
-	seq      int64
+	eng   EngineAPI
+	nw    *network.Network
+	cfg   RadioConfig
+	grp   *radioGroup
+	shard int32
 
 	// frames is the in-flight frame arena; freeSlots recycles it. A data
 	// frame owns its slot from Send until it is acked, dropped, or dies
 	// with a crashed sender; broadcast and ack frames own theirs until
-	// their single transmit event fires. Events reach a frame by slot and
+	// their propagate event fires. Events reach a frame by slot and
 	// validate the frame's unique seq, so a recycled slot can never be
 	// acted on by a stale event.
 	frames    []Frame
 	freeSlots []int32
-	// seen holds per-node delivered seqs (dedup), allocated lazily.
-	seen     []map[int64]bool
-	counters *metrics.Counters
+	// imports holds frames mailed in from other shards, parked from the
+	// barrier drain until their propagate event fires.
+	imports    []Frame
+	importFree []int32
+	counters   *metrics.Counters
 	// pool recycles report batches; upper layers acquire flush batches
 	// from it and the radio returns them when frames finish.
 	pool batchPool
 
-	// Stats accumulates link-layer counts.
+	// Stats accumulates link-layer counts (this shard's share).
 	Stats RadioStats
 
 	// trace, when set, receives a line per link-layer event (tests only).
@@ -204,6 +343,31 @@ type radioState struct {
 	rxFrame     Frame
 }
 
+// validateRadioConfig is the shared construction check.
+func validateRadioConfig(cfg RadioConfig) error {
+	if cfg.BitsPerSecond <= 0 {
+		return fmt.Errorf("desim: bitrate must be positive, got %g", cfg.BitsPerSecond)
+	}
+	if cfg.SlotTime <= 0 {
+		return fmt.Errorf("desim: slot time must be positive, got %g", cfg.SlotTime)
+	}
+	return nil
+}
+
+// newShardRadio builds one radio onto the group.
+func (g *radioGroup) newShardRadio(shard int32, eng EngineAPI, nw *network.Network, cfg RadioConfig, counters *metrics.Counters) *Radio {
+	r := &Radio{
+		eng:      eng,
+		nw:       nw,
+		cfg:      cfg,
+		grp:      g,
+		shard:    shard,
+		counters: counters,
+	}
+	g.radios = append(g.radios, r)
+	return r
+}
+
 // NewRadio builds a radio over the network. counters may be nil; when
 // given, every physical transmission and reception (including retries and
 // acks) is charged to it, which is what separates the measured link-layer
@@ -214,24 +378,141 @@ func NewRadio(eng EngineAPI, nw *network.Network, cfg RadioConfig, counters *met
 	if eng == nil || nw == nil {
 		return nil, fmt.Errorf("desim: nil engine or network")
 	}
-	if cfg.BitsPerSecond <= 0 {
-		return nil, fmt.Errorf("desim: bitrate must be positive, got %g", cfg.BitsPerSecond)
+	if err := validateRadioConfig(cfg); err != nil {
+		return nil, err
 	}
-	if cfg.SlotTime <= 0 {
-		return nil, fmt.Errorf("desim: slot time must be positive, got %g", cfg.SlotTime)
-	}
-	r := &Radio{
-		eng:      eng,
-		nw:       nw,
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		states:   make([]radioState, nw.Len()),
-		handlers: make([]func(network.NodeID, Frame), nw.Len()),
-		seen:     make([]map[int64]bool, nw.Len()),
-		counters: counters,
-	}
+	g := newRadioGroup(nw.Len())
+	r := g.newShardRadio(0, eng, nw, cfg.normalized(), counters)
 	eng.SetHandler(r.handleEvent)
 	return r, nil
+}
+
+// newShardedRadios builds one radio per shard of the engine's partition,
+// all sharing one radioGroup, and wires the engine's barrier hook: mail
+// drain plus border-state publication. It also derives the engine's
+// synchronization window from the propagation delay.
+func newShardedRadios(se *ShardedEngine, nw *network.Network, cfg RadioConfig, counters *metrics.Counters) ([]*Radio, error) {
+	if se == nil || nw == nil {
+		return nil, fmt.Errorf("desim: nil engine or network")
+	}
+	if err := validateRadioConfig(cfg); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	part := se.part
+	if len(part.Shard) != nw.Len() {
+		return nil, fmt.Errorf("desim: partition over %d nodes, network has %d", len(part.Shard), nw.Len())
+	}
+	n := nw.Len()
+	k := part.K
+	g := newRadioGroup(n)
+	g.shardOf = part.Shard
+	g.border = part.Border
+	g.remote = part.Remote
+	g.se = se
+	g.k = k
+	g.failed0 = make([]bool, n)
+	for i := 0; i < n; i++ {
+		g.failed0[i] = !nw.Alive(network.NodeID(i))
+	}
+	g.busyView = make([][]txSpan, n)
+	g.crashView = make([]float64, n)
+	for i := range g.crashView {
+		g.crashView[i] = math.Inf(1)
+	}
+	g.dirtyBusy = make([][]int32, k)
+	g.dirtyCrash = make([][]int32, k)
+	g.busyStamp = make([]int64, n)
+	g.crashStamp = make([]int64, n)
+	g.epoch = 1
+	g.mail = make([][]mailEntry, k*k)
+	g.marks = make([][]deliveredMark, k*k)
+	radios := make([]*Radio, k)
+	for s := 0; s < k; s++ {
+		eng := se.Shard(s)
+		radios[s] = g.newShardRadio(int32(s), eng, nw, cfg, counters)
+		eng.SetHandler(radios[s].handleEvent)
+	}
+	se.setWindow(cfg.PropagationDelay)
+	se.OnBarrier(g.barrier)
+	return radios, nil
+}
+
+// barrier runs single-threaded between windows: publish the border state
+// remote shards will read during the next window, then drain the
+// cross-shard mailboxes into import-arena propagate events. Every mailed
+// delivery time is at least the next window's start (transmit time +
+// PropagationDelay with the window equal to that delay), so nothing
+// lands in a shard's past — the conservative-lookahead invariant.
+func (g *radioGroup) barrier() {
+	for s := range g.dirtyBusy {
+		for _, id := range g.dirtyBusy[s] {
+			g.busyView[id] = append(g.busyView[id][:0], g.busy[id]...)
+		}
+		g.dirtyBusy[s] = g.dirtyBusy[s][:0]
+		for _, id := range g.dirtyCrash[s] {
+			g.crashView[id] = g.crashT[id]
+		}
+		g.dirtyCrash[s] = g.dirtyCrash[s][:0]
+	}
+	g.epoch++
+	k := g.k
+	for d := 0; d < k; d++ {
+		rd := g.radios[d]
+		for s := 0; s < k; s++ {
+			mbox := &g.marks[s*k+d]
+			for _, m := range *mbox {
+				if p := &rd.frames[m.slot]; p.seq == m.seq {
+					p.delivered = true
+				}
+			}
+			*mbox = (*mbox)[:0]
+			box := &g.mail[s*k+d]
+			for i := range *box {
+				m := &(*box)[i]
+				fr := m.fr
+				if fr.Batch != nil {
+					// The mailed frame aliases the sender's pooled batch;
+					// give the import its own copy (plain allocation: the
+					// receiver's rxFrame may alias it past the import slot's
+					// release, so it must not return to a pool).
+					fr.Batch = append([]core.Report(nil), fr.Batch...)
+				}
+				slot := rd.allocImport()
+				rd.imports[slot] = fr
+				g.se.scheduleMailed(int32(d), m.t, Event{Kind: evPropagate, Node: fr.From, Seq: fr.seq, Arg: -(slot + 1)})
+			}
+			*box = (*box)[:0]
+		}
+	}
+}
+
+// localShard reports whether id's events run on this radio's engine.
+func (r *Radio) localShard(id network.NodeID) bool {
+	return r.grp.shardOf == nil || r.grp.shardOf[id] == r.shard
+}
+
+// visibleAlive reports whether id looks alive from this shard right now:
+// a node's death becomes observable one PropagationDelay after it
+// happens (its last transmission is still on the air). For local nodes
+// the check is exact against the live crash time; for remote nodes it
+// reads the barrier-published crash view — equivalent, because a crash
+// inside the current window cannot become visible before the window
+// ends. Nodes already failed at round start are dead immediately: they
+// never transmitted.
+func (r *Radio) visibleAlive(id network.NodeID) bool {
+	g := r.grp
+	if r.localShard(id) {
+		if r.nw.Alive(id) {
+			return true
+		}
+		tc := g.crashT[id]
+		return !math.IsInf(tc, 1) && r.eng.Now() < tc+r.cfg.PropagationDelay
+	}
+	if g.failed0[id] {
+		return false
+	}
+	return r.eng.Now() < g.crashView[id]+r.cfg.PropagationDelay
 }
 
 // handleEvent dispatches typed events: link-layer kinds are executed
@@ -239,7 +520,9 @@ func NewRadio(eng EngineAPI, nw *network.Network, cfg RadioConfig, counters *met
 func (r *Radio) handleEvent(ev Event) {
 	switch ev.Kind {
 	case evBroadcastAttempt:
-		r.broadcastAttempt(int32(ev.Seq), int(ev.Arg))
+		if slot := ev.Arg; r.frames[slot].seq == ev.Seq {
+			r.broadcastAttempt(slot)
+		}
 	case evAttempt:
 		r.attempt(ev.Seq, ev.Arg)
 	case evAckTimeout:
@@ -247,9 +530,15 @@ func (r *Radio) handleEvent(ev Event) {
 	case evFinishRx:
 		r.finishRx(ev.Node)
 	case evAckSend:
-		r.ackSend(int32(ev.Seq))
+		if slot := ev.Arg; r.frames[slot].seq == ev.Seq {
+			r.ackSend(slot)
+		}
 	case evAckRetry:
-		r.ackRetry(int32(ev.Seq))
+		if slot := ev.Arg; r.frames[slot].seq == ev.Seq {
+			r.ackRetry(slot)
+		}
+	case evPropagate:
+		r.propagate(ev)
 	default:
 		if r.upper != nil {
 			r.upper(ev)
@@ -265,7 +554,7 @@ func (r *Radio) OnEvent(fn func(Event)) { r.upper = fn }
 // delivered to id. The handler receives the delivering node, so one
 // function value can serve every node without per-node closures.
 func (r *Radio) OnReceive(id network.NodeID, fn func(network.NodeID, Frame)) {
-	r.handlers[id] = fn
+	r.grp.handlers[id] = fn
 }
 
 // OnDrop registers the upper-layer handler invoked when a data frame is
@@ -306,18 +595,21 @@ func phaseOfFrame(f *Frame) trace.Phase {
 // is consulted once per potential reception, and a true return erases the
 // frame on that link before it reaches the receiver — modeling channel
 // errors the CRC catches, independent of the collision model. Acks and
-// broadcasts traverse the channel too.
+// broadcasts traverse the channel too. Draws happen at arrival time in
+// the receiving node's shard, so each directed link consumes its loss
+// stream in arrival order regardless of partitioning.
 func (r *Radio) SetChannel(ch func(from, to network.NodeID) bool) {
 	r.channel = ch
 }
 
 // Crash kills a node mid-simulation: its Failed mark is set, any ongoing
-// reception is voided, and every later transmit/receive path checks
-// liveness, so the node stops transmitting, receiving and forwarding
-// instantly. Data frames it still has pending are abandoned silently at
-// their next attempt (a dead node cannot re-queue), while frames other
-// nodes have pending toward it run out of retries and surface through
-// OnDrop — which is how upper layers detect the silence.
+// reception is voided, and its on-air spans are truncated at the crash
+// instant. The node stops transmitting, receiving and forwarding
+// immediately — but its neighbors only observe the death one
+// PropagationDelay later (visibleAlive): until then frames toward it are
+// still sent and die by retry exhaustion, which is how upper layers
+// detect the silence. Data frames it still has pending are abandoned
+// silently at their next attempt (a dead node cannot re-queue).
 func (r *Radio) Crash(id network.NodeID) {
 	if !r.nw.Alive(id) {
 		return
@@ -326,10 +618,37 @@ func (r *Radio) Crash(id network.NodeID) {
 		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindCrash, Node: int32(id), Peer: -1})
 	}
 	r.nw.Node(id).Failed = true
-	st := &r.states[id]
+	now := r.eng.Now()
+	g := r.grp
+	g.crashT[id] = now
+	b := g.busy[id]
+	for i := range b {
+		if b[i].e > now {
+			b[i].e = now
+		}
+	}
+	st := &g.states[id]
 	st.rxActive = false
 	st.rxCorrupted = false
 	st.txUntil = 0
+	if g.shardOf != nil && g.border[id] {
+		r.markBusyDirty(id)
+		if g.crashStamp[id] != g.epoch {
+			g.crashStamp[id] = g.epoch
+			g.dirtyCrash[r.shard] = append(g.dirtyCrash[r.shard], int32(id))
+		}
+	}
+}
+
+// markBusyDirty queues a border node's span list for publication at the
+// next barrier (at most once per window).
+func (r *Radio) markBusyDirty(id network.NodeID) {
+	g := r.grp
+	if g.busyStamp[id] == g.epoch {
+		return
+	}
+	g.busyStamp[id] = g.epoch
+	g.dirtyBusy[r.shard] = append(g.dirtyBusy[r.shard], int32(id))
 }
 
 // allocFrame returns an arena slot, recycling freed ones first.
@@ -358,6 +677,47 @@ func (r *Radio) recycleFrame(slot int32) {
 	r.releaseFrame(slot)
 }
 
+// allocImport returns an import-arena slot.
+func (r *Radio) allocImport() int32 {
+	if n := len(r.importFree); n > 0 {
+		s := r.importFree[n-1]
+		r.importFree = r.importFree[:n-1]
+		return s
+	}
+	r.imports = append(r.imports, Frame{})
+	return int32(len(r.imports) - 1)
+}
+
+// releaseImport clears an import slot. The frame's batch is deliberately
+// not pooled: an in-progress reception may still alias it.
+func (r *Radio) releaseImport(slot int32) {
+	r.imports[slot] = Frame{}
+	r.importFree = append(r.importFree, slot)
+}
+
+// nextSeq issues node id's next frame sequence number: globally unique
+// and a function of the node's own send count alone, so frame identities
+// are identical under any partition.
+func (r *Radio) nextSeq(id network.NodeID) int64 {
+	r.grp.seqs[id]++
+	return (int64(id)+1)<<24 | r.grp.seqs[id]
+}
+
+// backoffUnit returns the try-th uniform [0,1) jitter draw of the frame
+// with the given seq, as a splitmix-style hash of (seed, seq, try): the
+// stream a frame consumes depends on the frame alone, not on which other
+// frames draw when — the partition invariance sharded execution needs (a
+// shared rand.Rand would interleave differently per shard).
+func backoffUnit(seed, seq int64, try int32) float64 {
+	z := uint64(seed)*0xD1B54A32D192ED03 ^ uint64(seq)*0x9E3779B97F4A7C15 ^ uint64(try)<<56
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
 // Broadcast queues an unacknowledged local broadcast: the frame is
 // transmitted once (after carrier sensing with bounded backoff) and every
 // neighbor that receives it intact gets it delivered. Lost receptions are
@@ -383,12 +743,12 @@ func (r *Radio) broadcast(f Frame) error {
 	if f.Bytes <= 0 {
 		return fmt.Errorf("desim: frame size must be positive, got %d", f.Bytes)
 	}
-	r.seq++
 	f.To = broadcastAddr
-	f.seq = r.seq
+	f.seq = r.nextSeq(f.From)
 	slot := r.allocFrame()
+	f.slot = slot
 	r.frames[slot] = f
-	r.broadcastAttempt(slot, 0)
+	r.broadcastAttempt(slot)
 	return nil
 }
 
@@ -397,21 +757,21 @@ const broadcastAddr network.NodeID = -2
 
 // broadcastAttempt carrier-senses and transmits a broadcast frame, backing
 // off a bounded number of times. The frame stays parked in its arena slot
-// across backoffs; the slot is released at transmission.
-func (r *Radio) broadcastAttempt(slot int32, tries int) {
+// across backoffs; the slot is released when its propagate event fires.
+func (r *Radio) broadcastAttempt(slot int32) {
 	f := &r.frames[slot]
-	if r.mediumBusy(f.From) && tries < 16 {
+	if r.mediumBusy(f.From) && f.tries < 16 {
 		if r.tr != nil {
 			r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindBackoff, Phase: phaseOfFrame(f),
-				Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: int32(tries), FrameKind: uint8(f.Kind)})
+				Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: f.tries, FrameKind: uint8(f.Kind)})
 		}
-		window := float64(int(1) << uint(min(tries+1, 6)))
-		delay := (1 + r.rng.Float64()*window) * r.cfg.SlotTime
-		r.eng.ScheduleEvent(delay, Event{Kind: evBroadcastAttempt, Seq: int64(slot), Arg: int32(tries + 1)})
+		window := float64(int(1) << uint(min(int(f.tries)+1, 6)))
+		delay := (1 + backoffUnit(r.cfg.Seed, f.seq, f.tries)*window) * r.cfg.SlotTime
+		f.tries++
+		r.eng.ScheduleEvent(delay, Event{Kind: evBroadcastAttempt, Node: f.From, Seq: f.seq, Arg: slot})
 		return
 	}
-	r.transmit(*f)
-	r.releaseFrame(slot)
+	r.transmit(slot)
 }
 
 // Send queues a raw data frame for transmission; delivery is attempted
@@ -433,14 +793,13 @@ func (r *Radio) SendReply(from, to network.NodeID, bytes int, s core.Sample) err
 }
 
 func (r *Radio) send(f Frame) error {
-	if !r.nw.Alive(f.From) || !r.nw.Alive(f.To) {
+	if !r.nw.Alive(f.From) || !r.visibleAlive(f.To) {
 		return fmt.Errorf("desim: send between dead nodes %d -> %d", f.From, f.To)
 	}
 	if f.Bytes <= 0 {
 		return fmt.Errorf("desim: frame size must be positive, got %d", f.Bytes)
 	}
-	r.seq++
-	f.seq = r.seq
+	f.seq = r.nextSeq(f.From)
 	if r.cfg.FrameDeadline > 0 {
 		f.deadline = r.eng.Now() + r.cfg.FrameDeadline
 	}
@@ -461,18 +820,29 @@ func (r *Radio) airtime(bytes int) float64 {
 	return float64(bytes) * 8 / r.cfg.BitsPerSecond
 }
 
-// mediumBusy reports whether id senses an ongoing transmission (its own or
-// an alive neighbor's). Neighbors are scanned in place — the former
-// AliveNeighbors call built a fresh slice per carrier-sense, which was the
-// single largest allocator in the engine.
+// mediumBusy reports whether id senses an ongoing transmission: its own
+// immediately (it knows what it transmits), a neighbor's once the
+// carrier has propagated — a span (s, e) is sensable during
+// [s+PropagationDelay, e+PropagationDelay). Same-shard neighbors are
+// read live; remote neighbors through the barrier-published view, which
+// is equivalent: a span started inside the current window is invisible
+// either way (its start plus the delay lands beyond the window's end).
 func (r *Radio) mediumBusy(id network.NodeID) bool {
 	now := r.eng.Now()
-	if r.states[id].txUntil > now {
+	g := r.grp
+	if g.states[id].txUntil > now {
 		return true
 	}
+	d := r.cfg.PropagationDelay
 	for _, nb := range r.nw.Neighbors(id) {
-		if r.states[nb].txUntil > now && r.nw.Alive(nb) {
-			return true
+		spans := g.busy[nb]
+		if g.shardOf != nil && g.shardOf[nb] != r.shard {
+			spans = g.busyView[nb]
+		}
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].s+d <= now && now < spans[i].e+d {
+				return true
+			}
 		}
 	}
 	return false
@@ -501,10 +871,11 @@ func (r *Radio) attempt(seq int64, slot int32) {
 		r.backoff(f)
 		return
 	}
-	r.transmit(*f)
-	// Ack timeout: data airtime + ack airtime + turnaround guard.
-	timeout := r.airtime(f.Bytes) + r.airtime(r.cfg.AckBytes) + 4*r.cfg.SlotTime
-	r.eng.ScheduleEvent(timeout, Event{Kind: evAckTimeout, Seq: seq, Arg: slot})
+	r.transmit(slot)
+	// Ack timeout: data airtime + ack airtime + two propagations +
+	// turnaround guard.
+	timeout := r.airtime(f.Bytes) + r.airtime(r.cfg.AckBytes) + 2*r.cfg.PropagationDelay + 4*r.cfg.SlotTime
+	r.eng.ScheduleEvent(timeout, Event{Kind: evAckTimeout, Node: f.From, Seq: seq, Arg: slot})
 }
 
 // ackTimeout handles an expired ack wait: retry with backoff or give up.
@@ -540,7 +911,9 @@ func (r *Radio) expired(f *Frame) bool {
 // (retries exhausted or deadline passed) in the trace.
 func (r *Radio) drop(slot int32, cause trace.Cause) {
 	f := r.frames[slot]
-	r.Stats.Drops++
+	if !f.delivered {
+		r.Stats.Drops++
+	}
 	if r.tr != nil {
 		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDrop, Phase: phaseOfFrame(&f), Cause: cause,
 			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), Arg: int32(f.retries), FrameKind: uint8(f.Kind)})
@@ -551,50 +924,115 @@ func (r *Radio) drop(slot int32, cause trace.Cause) {
 	r.recycleFrame(slot)
 }
 
-// backoff reschedules a frame after a binary-exponential random delay.
+// backoff reschedules a frame after a binary-exponential hashed delay.
 func (r *Radio) backoff(f *Frame) {
 	if r.tr != nil {
 		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindBackoff, Phase: phaseOfFrame(f),
 			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Arg: int32(f.retries), FrameKind: uint8(f.Kind)})
 	}
 	window := 1 << uint(min(f.retries+1, 6))
-	delay := (1 + r.rng.Float64()*float64(window)) * r.cfg.SlotTime
-	r.eng.ScheduleEvent(delay, Event{Kind: evAttempt, Seq: f.seq, Arg: f.slot})
+	delay := (1 + backoffUnit(r.cfg.Seed, f.seq, f.tries)*float64(window)) * r.cfg.SlotTime
+	f.tries++
+	r.eng.ScheduleEvent(delay, Event{Kind: evAttempt, Node: f.From, Seq: f.seq, Arg: f.slot})
 }
 
-// transmit puts a frame on the air: the sender is busy for the airtime and
-// the frame arrives at every alive neighbor — unless the injected channel
-// erases that reception — where it may collide.
-func (r *Radio) transmit(f Frame) {
+// transmit puts a frame on the air: the sender is busy for the airtime,
+// the span is recorded for delayed carrier sensing, and one propagate
+// event per reachable shard is scheduled at now + PropagationDelay —
+// locally through the engine, remotely through the mailbox — where the
+// frame arrives at that shard's neighbors.
+func (r *Radio) transmit(slot int32) {
+	f := &r.frames[slot]
 	if !r.nw.Alive(f.From) {
-		return // crashed between scheduling and airtime
+		// Crashed between scheduling and airtime. Broadcast and ack slots
+		// are owned by their transmit path, so release them here; data
+		// frames die at their next attempt.
+		if f.isAck || f.To == broadcastAddr {
+			r.releaseFrame(slot)
+		}
+		return
 	}
 	now := r.eng.Now()
 	if r.trace != nil {
-		r.trace(fmtFrame("tx", f))
+		r.trace(fmtFrame("tx", *f))
 	}
 	if r.tr != nil {
-		r.tr.Record(trace.Event{T: now, Kind: trace.KindTx, Phase: phaseOfFrame(&f),
+		r.tr.Record(trace.Event{T: now, Kind: trace.KindTx, Phase: phaseOfFrame(f),
 			Node: int32(f.From), Peer: int32(f.To), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
 	}
 	dur := r.airtime(f.Bytes)
-	r.states[f.From].txUntil = now + dur
+	g := r.grp
+	g.states[f.From].txUntil = now + dur
+	d := r.cfg.PropagationDelay
+	// Record the on-air span, pruning spans no reader can see anymore
+	// (every possible read happens at a simulated time >= now, so a span
+	// whose sensable window ended by now is dead).
+	b := g.busy[f.From]
+	kept := 0
+	for i := range b {
+		if b[i].e+d > now {
+			b[kept] = b[i]
+			kept++
+		}
+	}
+	b = b[:kept]
+	g.busy[f.From] = append(b, txSpan{s: now, e: now + dur})
 	if r.counters != nil {
 		r.counters.ChargeTx(f.From, f.Bytes)
 	}
+	r.eng.ScheduleEvent(d, Event{Kind: evPropagate, Node: f.From, Seq: f.seq, Arg: slot})
+	if g.shardOf != nil && g.border[f.From] {
+		r.markBusyDirty(f.From)
+		for _, dst := range g.remote[f.From] {
+			box := &g.mail[int(r.shard)*g.k+int(dst)]
+			*box = append(*box, mailEntry{t: now + d, fr: *f})
+		}
+	}
+}
+
+// propagate lands a transmission at its receivers, one PropagationDelay
+// after it started: for each neighbor of the sender in this shard, draw
+// the channel, then begin the reception (collisions happen there).
+// Arg >= 0 addresses the local frame arena, Arg < 0 the import arena
+// (-(slot+1)) filled by the barrier mail drain. Local broadcast and ack
+// slots are released here — their single transmit is done.
+func (r *Radio) propagate(ev Event) {
+	var f *Frame
+	slot := ev.Arg
+	if slot >= 0 {
+		f = &r.frames[slot]
+		if f.seq != ev.Seq {
+			return // stale: the slot moved on
+		}
+	} else {
+		f = &r.imports[-slot-1]
+	}
+	now := r.eng.Now()
+	dur := r.airtime(f.Bytes)
+	g := r.grp
 	for _, nb := range r.nw.Neighbors(f.From) {
+		if g.shardOf != nil && g.shardOf[nb] != r.shard {
+			continue
+		}
 		if !r.nw.Alive(nb) {
 			continue
 		}
 		if r.channel != nil && r.channel(f.From, nb) {
 			r.Stats.ChannelLosses++
 			if r.tr != nil {
-				r.tr.Record(trace.Event{T: now, Kind: trace.KindChanLoss, Phase: phaseOfFrame(&f),
+				r.tr.Record(trace.Event{T: now, Kind: trace.KindChanLoss, Phase: phaseOfFrame(f),
 					Node: int32(f.From), Peer: int32(nb), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
 			}
 			continue
 		}
-		r.arrive(nb, f, dur)
+		r.arrive(nb, *f, dur)
+	}
+	if slot >= 0 {
+		if f.isAck || f.To == broadcastAddr {
+			r.releaseFrame(slot)
+		}
+	} else {
+		r.releaseImport(-slot - 1)
 	}
 }
 
@@ -603,7 +1041,7 @@ func (r *Radio) transmit(f Frame) {
 // receive.
 func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
 	now := r.eng.Now()
-	st := &r.states[id]
+	st := &r.grp.states[id]
 	if st.txUntil > now {
 		return // half-duplex: transmitting nodes miss the frame
 	}
@@ -637,18 +1075,36 @@ func (r *Radio) arrive(id network.NodeID, f Frame, dur float64) {
 	r.eng.ScheduleEventAt(st.rxUntil, Event{Kind: evFinishRx, Node: id})
 }
 
+// markDelivered flags the sender's pending copy of a delivered data
+// frame — directly when the sender shares this shard, through the
+// barrier mailbox otherwise. See deliveredMark for why the mark always
+// arrives before the sender could drop the frame.
+func (r *Radio) markDelivered(f *Frame) {
+	g := r.grp
+	if g.shardOf == nil || g.shardOf[f.From] == r.shard {
+		if p := &r.frames[f.slot]; p.seq == f.seq {
+			p.delivered = true
+		}
+		return
+	}
+	d := int(g.shardOf[f.From])
+	s := int(r.shard)
+	g.marks[s*g.k+d] = append(g.marks[s*g.k+d], deliveredMark{seq: f.seq, slot: f.slot})
+}
+
 // seenAt returns id's dedup set, allocating it on first use.
 func (r *Radio) seenAt(id network.NodeID) map[int64]bool {
-	if r.seen[id] == nil {
-		r.seen[id] = make(map[int64]bool)
+	g := r.grp
+	if g.seen[id] == nil {
+		g.seen[id] = make(map[int64]bool)
 	}
-	return r.seen[id]
+	return g.seen[id]
 }
 
 // finishRx completes a reception at id, delivering intact frames addressed
 // to it and sending the ack.
 func (r *Radio) finishRx(id network.NodeID) {
-	st := &r.states[id]
+	st := &r.grp.states[id]
 	if !st.rxActive || r.eng.Now() < st.rxUntil {
 		return // superseded by an extended (corrupted) window
 	}
@@ -680,7 +1136,7 @@ func (r *Radio) finishRx(id network.NodeID) {
 			r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDeliver, Phase: phaseOfFrame(&f),
 				Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
 		}
-		if h := r.handlers[id]; h != nil {
+		if h := r.grp.handlers[id]; h != nil {
 			h(id, f)
 		}
 		return
@@ -696,22 +1152,25 @@ func (r *Radio) finishRx(id network.NodeID) {
 		return
 	}
 	// Ack the data frame (even duplicates, whose first ack was lost). The
-	// ack waits in its arena slot until its send event transmits it.
-	r.seq++
+	// ack waits in its arena slot until its send event transmits it. The
+	// ack's ackForSlot echoes the data frame's slot in the sender's
+	// arena, where the ack's own delivery resolves it.
 	ackSlot := r.allocFrame()
-	r.frames[ackSlot] = Frame{From: id, To: f.From, Bytes: r.cfg.AckBytes, seq: r.seq, isAck: true, ackFor: f.seq, ackForSlot: f.slot}
-	r.eng.ScheduleEvent(r.cfg.SlotTime, Event{Kind: evAckSend, Seq: int64(ackSlot)})
+	ack := Frame{From: id, To: f.From, Bytes: r.cfg.AckBytes, seq: r.nextSeq(id), slot: ackSlot, isAck: true, ackFor: f.seq, ackForSlot: f.slot}
+	r.frames[ackSlot] = ack
+	r.eng.ScheduleEvent(r.cfg.SlotTime, Event{Kind: evAckSend, Node: id, Seq: ack.seq, Arg: ackSlot})
 	seen := r.seenAt(id)
 	if seen[f.seq] {
 		return // duplicate data frame
 	}
 	seen[f.seq] = true
 	r.Stats.Delivered++
+	r.markDelivered(&f)
 	if r.tr != nil {
 		r.tr.Record(trace.Event{T: r.eng.Now(), Kind: trace.KindDeliver, Phase: phaseOfFrame(&f),
 			Node: int32(id), Peer: int32(f.From), Seq: f.seq, Bytes: int32(f.Bytes), FrameKind: uint8(f.Kind)})
 	}
-	if h := r.handlers[id]; h != nil {
+	if h := r.grp.handlers[id]; h != nil {
 		h(id, f)
 	}
 }
@@ -719,18 +1178,17 @@ func (r *Radio) finishRx(id network.NodeID) {
 // ackSend transmits a queued ack, retrying once briefly when the medium
 // is busy; a lost ack only costs a duplicate retransmission.
 func (r *Radio) ackSend(slot int32) {
-	if r.mediumBusy(r.frames[slot].From) {
-		r.eng.ScheduleEvent(r.cfg.SlotTime*2, Event{Kind: evAckRetry, Seq: int64(slot)})
+	f := &r.frames[slot]
+	if r.mediumBusy(f.From) {
+		r.eng.ScheduleEvent(r.cfg.SlotTime*2, Event{Kind: evAckRetry, Node: f.From, Seq: f.seq, Arg: slot})
 		return
 	}
-	r.transmit(r.frames[slot])
-	r.releaseFrame(slot)
+	r.transmit(slot)
 }
 
 // ackRetry is the single deferred ack retransmission.
 func (r *Radio) ackRetry(slot int32) {
-	r.transmit(r.frames[slot])
-	r.releaseFrame(slot)
+	r.transmit(slot)
 }
 
 func fmtFrame(kind string, f Frame) string {

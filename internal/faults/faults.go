@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"isomap/internal/core"
 	"isomap/internal/geom"
@@ -93,8 +94,13 @@ type linkState struct {
 type Plan struct {
 	cfg     Config
 	crashes []Crash
-	links   map[uint64]*linkState
-	sink    *rand.Rand
+	// mu guards the lazily grown links map: sharded rounds draw channels
+	// from several shards at once. Each directed link is only ever drawn
+	// from the receiver's shard, so the per-link state itself needs no
+	// lock — only the map.
+	mu    sync.RWMutex
+	links map[uint64]*linkState
+	sink  *rand.Rand
 }
 
 // New validates the config and materializes the plan (including the crash
@@ -206,13 +212,21 @@ func (p *Plan) Lose(from, to network.NodeID) bool {
 // start state is drawn from the stationary distribution.
 func (p *Plan) linkStateFor(from, to network.NodeID) *linkState {
 	key := uint64(uint32(from))<<32 | uint64(uint32(to))
+	p.mu.RLock()
+	st, ok := p.links[key]
+	p.mu.RUnlock()
+	if ok {
+		return st
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if st, ok := p.links[key]; ok {
 		return st
 	}
 	if p.links == nil {
 		p.links = make(map[uint64]*linkState)
 	}
-	st := &linkState{rng: rand.New(rand.NewSource(mix(uint64(p.cfg.Seed), key)))}
+	st = &linkState{rng: rand.New(rand.NewSource(mix(uint64(p.cfg.Seed), key)))}
 	if p.cfg.Channel == ChannelGilbertElliott {
 		st.bad = st.rng.Float64() < p.cfg.LossRate
 	}

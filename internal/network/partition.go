@@ -1,0 +1,121 @@
+package network
+
+// Partition assigns every node of a deployment to one of K shards for
+// parallel discrete-event execution. The partition is pure data — shard
+// membership plus the derived cross-shard structure the sharded engine
+// needs: which nodes sit on a seam (Border) and, per border node, which
+// remote shards its radio range reaches (Remote). Correctness of sharded
+// execution never depends on the assignment rule — any map from nodes to
+// shards works, which is what the randomized-partition property tests
+// exercise — only performance does: a spatial rule keeps most frames
+// intra-shard.
+type Partition struct {
+	// K is the shard count (>= 1). Shards may be empty.
+	K int
+	// Shard maps each node to its shard in [0, K).
+	Shard []int32
+	// Border marks nodes with at least one neighbor in another shard:
+	// exactly the nodes whose transmissions cross a seam and whose
+	// carrier/liveness state must be mirrored across it.
+	Border []bool
+	// Remote lists, per node, the distinct remote shards among its
+	// neighbors in increasing order; nil for interior nodes.
+	Remote [][]int32
+}
+
+// finishPartition derives Border/Remote from a filled Shard map.
+func finishPartition(nw *Network, p *Partition) *Partition {
+	n := nw.Len()
+	p.Border = make([]bool, n)
+	p.Remote = make([][]int32, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		s := p.Shard[i]
+		var remote []int32
+		for _, nb := range nw.Neighbors(id) {
+			d := p.Shard[nb]
+			if d == s {
+				continue
+			}
+			dup := false
+			for _, r := range remote {
+				if r == d {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				remote = append(remote, d)
+			}
+		}
+		if len(remote) > 0 {
+			p.Border[i] = true
+			// Insertion-sort the handful of remote shards.
+			for a := 1; a < len(remote); a++ {
+				for b := a; b > 0 && remote[b] < remote[b-1]; b-- {
+					remote[b], remote[b-1] = remote[b-1], remote[b]
+				}
+			}
+			p.Remote[i] = remote
+		}
+	}
+	return p
+}
+
+// NewGridPartition splits the deployment into k spatial cells on a
+// kx×ky grid over the network bounds, with kx the largest divisor of k
+// not exceeding sqrt(k). Spatial cells minimize seam length, so most
+// radio traffic stays intra-shard. k is clamped to at least 1.
+func NewGridPartition(nw *Network, k int) *Partition {
+	if k < 1 {
+		k = 1
+	}
+	kx := 1
+	for d := 2; d*d <= k; d++ {
+		if k%d == 0 {
+			kx = d
+		}
+	}
+	// kx is the largest divisor <= sqrt(k) (1 for primes).
+	ky := k / kx
+	x0, y0, x1, y1 := boundsOf(nw.Bounds())
+	w, h := x1-x0, y1-y0
+	n := nw.Len()
+	p := &Partition{K: k, Shard: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		pos := nw.Node(NodeID(i)).Pos
+		cx, cy := 0, 0
+		if w > 0 {
+			cx = int(float64(kx) * (pos.X - x0) / w)
+		}
+		if h > 0 {
+			cy = int(float64(ky) * (pos.Y - y0) / h)
+		}
+		cx = min(max(cx, 0), kx-1)
+		cy = min(max(cy, 0), ky-1)
+		p.Shard[i] = int32(cy*kx + cx)
+	}
+	return finishPartition(nw, p)
+}
+
+// NewSeededPartition assigns nodes to k shards pseudo-randomly from
+// seed — the adversarial layout for the sharded-equivalence property
+// tests: nearly every node is a border node, so the cross-shard
+// machinery carries nearly all traffic.
+func NewSeededPartition(nw *Network, k int, seed int64) *Partition {
+	if k < 1 {
+		k = 1
+	}
+	n := nw.Len()
+	p := &Partition{K: k, Shard: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		z := uint64(seed) ^ (uint64(i)+1)*0x9E3779B97F4A7C15
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		p.Shard[i] = int32(z % uint64(k))
+	}
+	return finishPartition(nw, p)
+}

@@ -1,0 +1,126 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"isomap/internal/field"
+)
+
+func partitionTestNetwork(t *testing.T, n int) *Network {
+	t.Helper()
+	f := field.NewSeabed(field.DefaultSeabedConfig())
+	radio := 1.5 * 50 / math.Sqrt(float64(n))
+	nw, err := DeployUniform(n, f, radio, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// checkPartition verifies the structural invariants any partition must
+// satisfy: every node assigned to a shard in range, and Border/Remote
+// exactly reflecting the neighbor relation — a node is a border node iff
+// it has a neighbor in another shard, and Remote lists exactly the
+// distinct remote shards of its neighbors, sorted.
+func checkPartition(t *testing.T, nw *Network, p *Partition) {
+	t.Helper()
+	if len(p.Shard) != nw.Len() || len(p.Border) != nw.Len() || len(p.Remote) != nw.Len() {
+		t.Fatalf("partition slices sized %d/%d/%d, want %d",
+			len(p.Shard), len(p.Border), len(p.Remote), nw.Len())
+	}
+	for i := 0; i < nw.Len(); i++ {
+		id := NodeID(i)
+		if s := p.Shard[i]; s < 0 || int(s) >= p.K {
+			t.Fatalf("node %d assigned shard %d outside [0, %d)", i, s, p.K)
+		}
+		want := map[int32]bool{}
+		for _, nb := range nw.Neighbors(id) {
+			if p.Shard[nb] != p.Shard[i] {
+				want[p.Shard[nb]] = true
+			}
+		}
+		if p.Border[i] != (len(want) > 0) {
+			t.Errorf("node %d: border=%v but %d remote-shard neighbors", i, p.Border[i], len(want))
+		}
+		if len(p.Remote[i]) != len(want) {
+			t.Errorf("node %d: remote %v, want the %d shards %v", i, p.Remote[i], len(want), want)
+			continue
+		}
+		for j, r := range p.Remote[i] {
+			if !want[r] {
+				t.Errorf("node %d: remote shard %d not among neighbors", i, r)
+			}
+			if j > 0 && p.Remote[i][j-1] >= r {
+				t.Errorf("node %d: remote %v not strictly increasing", i, p.Remote[i])
+			}
+		}
+	}
+}
+
+func TestGridPartitionInvariants(t *testing.T) {
+	nw := partitionTestNetwork(t, 500)
+	for _, k := range []int{1, 2, 4, 7, 12, 16} {
+		p := NewGridPartition(nw, k)
+		if p.K != k {
+			t.Fatalf("k=%d: got K=%d", k, p.K)
+		}
+		checkPartition(t, nw, p)
+	}
+	// Clamps to one shard, in which case nothing is a border node.
+	p := NewGridPartition(nw, 0)
+	if p.K != 1 {
+		t.Fatalf("k=0 should clamp to 1, got %d", p.K)
+	}
+	for i, b := range p.Border {
+		if b {
+			t.Fatalf("node %d border in a 1-shard partition", i)
+		}
+	}
+}
+
+// TestGridPartitionIsSpatial pins what makes the grid rule worth having:
+// far fewer border nodes than a random assignment of the same k.
+func TestGridPartitionIsSpatial(t *testing.T) {
+	nw := partitionTestNetwork(t, 500)
+	borders := func(p *Partition) int {
+		c := 0
+		for _, b := range p.Border {
+			if b {
+				c++
+			}
+		}
+		return c
+	}
+	grid := borders(NewGridPartition(nw, 4))
+	random := borders(NewSeededPartition(nw, 4, 1))
+	if grid == 0 || random == 0 {
+		t.Fatalf("degenerate partitions: grid=%d random=%d border nodes", grid, random)
+	}
+	if grid*2 >= random {
+		t.Errorf("grid partition has %d border nodes vs random %d — not meaningfully spatial", grid, random)
+	}
+}
+
+func TestSeededPartitionDeterminism(t *testing.T) {
+	nw := partitionTestNetwork(t, 300)
+	a := NewSeededPartition(nw, 5, 42)
+	b := NewSeededPartition(nw, 5, 42)
+	for i := range a.Shard {
+		if a.Shard[i] != b.Shard[i] {
+			t.Fatalf("same seed diverged at node %d: %d vs %d", i, a.Shard[i], b.Shard[i])
+		}
+	}
+	checkPartition(t, nw, a)
+	c := NewSeededPartition(nw, 5, 43)
+	same := true
+	for i := range a.Shard {
+		if a.Shard[i] != c.Shard[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignments")
+	}
+}

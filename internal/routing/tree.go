@@ -139,12 +139,23 @@ func (t *Tree) MaxLevel() int { return t.maxLevel }
 // cycle. ok is false when no alive upward neighbor survives — id's
 // subtree is severed from the sink.
 func (t *Tree) BestAliveParent(id network.NodeID) (network.NodeID, bool) {
+	return t.BestAliveParentFunc(id, t.nw.Alive)
+}
+
+// BestAliveParentFunc is BestAliveParent under a caller-supplied liveness
+// predicate — e.g. the packet engine's propagation-delayed visibility,
+// where a just-crashed neighbor still looks alive for one delay. It scans
+// the neighbor list in place without allocating.
+func (t *Tree) BestAliveParentFunc(id network.NodeID, alive func(network.NodeID) bool) (network.NodeID, bool) {
 	if !t.Reachable(id) || t.level[id] <= 0 {
 		return -1, false
 	}
 	best := network.NodeID(-1)
 	bestLevel := t.level[id]
-	for _, nb := range t.nw.AliveNeighbors(id) {
+	for _, nb := range t.nw.Neighbors(id) {
+		if !alive(nb) {
+			continue
+		}
 		l := t.level[nb]
 		if l < 0 || l >= t.level[id] {
 			continue

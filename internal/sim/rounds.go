@@ -40,6 +40,14 @@ type RoundSource struct {
 	// FaultCrashFrac is the faulted rounds' crashing node fraction; zero
 	// selects 0.05.
 	FaultCrashFrac float64
+	// Shards, when above 1, runs the faulted rounds' discrete-event radio
+	// on a sharded engine (grid partition, Shards cells) with Workers
+	// goroutines per window. The report stream is byte-identical at any
+	// shard count — sharding is purely an execution strategy.
+	Shards int
+	// Workers bounds the sharded engine's parallelism; 0 selects
+	// GOMAXPROCS. Ignored when Shards <= 1.
+	Workers int
 
 	round int
 }
@@ -99,7 +107,12 @@ func (rs *RoundSource) Next() (*RoundData, error) {
 		}
 		cfg := desim.DefaultRadioConfig()
 		cfg.FrameDeadline = 1.5
-		res, err := desim.RunFullRoundFaults(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan)
+		var res *desim.RoundResult
+		if rs.Shards > 1 {
+			res, err = desim.RunFullRoundShardedTraced(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan, rs.Shards, rs.Workers, nil)
+		} else {
+			res, err = desim.RunFullRoundFaults(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("sim: round %d faulted: %w", rs.round, err)
 		}

@@ -57,6 +57,45 @@ func TestRoundSourceDeterministic(t *testing.T) {
 	}
 }
 
+// TestRoundSourceShardedDeterministic: a source running its faulted
+// rounds on a sharded engine must emit the exact stream a sequential
+// source emits — same seed, same churn, every-Nth faulted rounds
+// included. Sharding is an execution strategy, not a model change.
+func TestRoundSourceShardedDeterministic(t *testing.T) {
+	r := NewRunner(1)
+	seq := newRoundSource(t, r, 3, 2)
+	for _, shards := range []int{4, 9} {
+		shardedSrc := newRoundSource(t, r, 3, 2)
+		shardedSrc.Shards = shards
+		shardedSrc.Workers = 4
+		seq.round = 0 // replay the same rounds
+		sawFault := false
+		for round := 0; round < 4; round++ {
+			ra, err := seq.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := shardedSrc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("shards=%d: round %d diverged from sequential (faulted=%v)",
+					shards, ra.Round, ra.Faulted)
+			}
+			if ra.Faulted {
+				sawFault = true
+				if ra.Crashed == 0 {
+					t.Errorf("faulted round %d crashed no nodes", ra.Round)
+				}
+			}
+		}
+		if !sawFault {
+			t.Fatalf("shards=%d: no faulted round exercised", shards)
+		}
+	}
+}
+
 // TestConcurrentClonesSameSeedDeterminism pins the Network.Clone sharing
 // contract under the race detector: many goroutines running interleaved
 // rounds (fault-free and crash-faulted) on clones of one cached

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"sort"
+)
+
+// SortCanonical sorts events into the canonical order: by timestamp,
+// ties broken by the serialized JSONL line. Execution order among
+// same-timestamp events is an engine-internal detail (sharded runs
+// interleave shards arbitrarily within a synchronization window); the
+// canonical order depends only on the event multiset, so two runs are
+// canonically equal exactly when they recorded the same events at the
+// same times.
+func SortCanonical(events []Event) {
+	lines := make([][]byte, len(events))
+	idx := make([]int, len(events))
+	for i := range events {
+		lines[i] = AppendJSONL(nil, events[i])
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if events[i].T != events[j].T {
+			return events[i].T < events[j].T
+		}
+		return bytes.Compare(lines[i], lines[j]) < 0
+	})
+	out := make([]Event, len(events))
+	for p, i := range idx {
+		out[p] = events[i]
+	}
+	copy(events, out)
+}
+
+// CanonicalDigest returns the hex MD5 of the canonically sorted JSONL
+// serialization of events — a multiset fingerprint: equal iff the two
+// traces recorded the same events at the same times, regardless of
+// execution interleaving. The input is not modified.
+func CanonicalDigest(events []Event) string {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	SortCanonical(cp)
+	h := md5.New()
+	var line []byte
+	for i := range cp {
+		line = AppendJSONL(line[:0], cp[i])
+		line = append(line, '\n')
+		h.Write(line)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+)
+
+// canonicalFixture is a small trace with timestamp ties: three events at
+// t=0.5 whose JSONL lines differ, plus earlier and later singletons.
+func canonicalFixture() []Event {
+	return []Event{
+		{T: 0.5, Kind: KindTx, Node: 7, Peer: 3, Seq: 41, Bytes: 24},
+		{T: 0.25, Kind: KindSend, Node: 1, Peer: 2, Seq: 40, Bytes: 24},
+		{T: 0.5, Kind: KindRx, Node: 3, Peer: 7, Seq: 41, Bytes: 24},
+		{T: 0.75, Kind: KindAck, Node: 7, Seq: 41},
+		{T: 0.5, Kind: KindBackoff, Node: 9, Arg: 1},
+	}
+}
+
+func TestSortCanonicalOrder(t *testing.T) {
+	evs := canonicalFixture()
+	SortCanonical(evs)
+	for i := 1; i < len(evs); i++ {
+		if evs[i-1].T > evs[i].T {
+			t.Fatalf("event %d at t=%v after t=%v", i, evs[i].T, evs[i-1].T)
+		}
+		if evs[i-1].T == evs[i].T {
+			a := string(AppendJSONL(nil, evs[i-1]))
+			b := string(AppendJSONL(nil, evs[i]))
+			if a >= b {
+				t.Fatalf("tie at t=%v not line-ordered:\n%s\n%s", evs[i].T, a, b)
+			}
+		}
+	}
+}
+
+// TestCanonicalDigestPermutationInvariant pins the property the sharded
+// engine's trace merge rests on: the digest is a multiset fingerprint,
+// identical for every interleaving of the same events and different as
+// soon as one event changes.
+func TestCanonicalDigestPermutationInvariant(t *testing.T) {
+	base := canonicalFixture()
+	want := CanonicalDigest(base)
+	// Every permutation of 5 events, generated deterministically.
+	perm := make([]Event, len(base))
+	idx := []int{0, 1, 2, 3, 4}
+	var recurse func(k int)
+	checked := 0
+	recurse = func(k int) {
+		if k == len(idx) {
+			for p, i := range idx {
+				perm[p] = base[i]
+			}
+			if got := CanonicalDigest(perm); got != want {
+				t.Fatalf("permutation %v digest %s, want %s", idx, got, want)
+			}
+			checked++
+			return
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			recurse(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	recurse(0)
+	if checked != 120 {
+		t.Fatalf("checked %d permutations, want 120", checked)
+	}
+	// CanonicalDigest must not reorder its input.
+	if base[0].Kind != KindTx || base[1].Kind != KindSend {
+		t.Fatal("CanonicalDigest mutated its input slice")
+	}
+	mutated := canonicalFixture()
+	mutated[2].Bytes++
+	if CanonicalDigest(mutated) == want {
+		t.Fatal("digest unchanged after mutating an event")
+	}
+	shorter := canonicalFixture()[:4]
+	if CanonicalDigest(shorter) == want {
+		t.Fatal("digest unchanged after dropping an event")
+	}
+}
+
+// TestSortCanonicalStableUnderPresort: canonical order is idempotent and
+// agrees with an independently computed (T, line) sort.
+func TestSortCanonicalStableUnderPresort(t *testing.T) {
+	evs := canonicalFixture()
+	SortCanonical(evs)
+	once := make([]Event, len(evs))
+	copy(once, evs)
+	SortCanonical(evs)
+	for i := range evs {
+		if evs[i] != once[i] {
+			t.Fatalf("second sort moved event %d", i)
+		}
+	}
+	ref := canonicalFixture()
+	lines := make([]string, len(ref))
+	for i, ev := range ref {
+		lines[i] = string(AppendJSONL(nil, ev))
+	}
+	type keyed struct {
+		t    float64
+		line string
+	}
+	keys := make([]keyed, len(ref))
+	for i := range ref {
+		keys[i] = keyed{ref[i].T, lines[i]}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].t != keys[b].t {
+			return keys[a].t < keys[b].t
+		}
+		return keys[a].line < keys[b].line
+	})
+	for i := range once {
+		if got := string(AppendJSONL(nil, once[i])); got != keys[i].line {
+			t.Fatalf("position %d: SortCanonical line %s, reference sort %s", i, got, keys[i].line)
+		}
+	}
+}
