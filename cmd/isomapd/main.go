@@ -9,14 +9,23 @@
 // Usage:
 //
 //	isomapd [-addr :8080] [-deployments 2] [-nodes 600] [-seed 1]
-//	        [-faultevery 0] [-oracle] [-interval 0] [-smoke]
+//	        [-faultevery 0] [-oracle] [-interval 0]
+//	        [-checkpoint-dir DIR] [-checkpoint-every N]
+//	        [-smoke] [-smoke-chaos]
 //
-// -interval N advances every deployment one round each N seconds;
-// 0 leaves advancement to POST /v1/deployments/{id}/rounds. -smoke boots
-// the server on a loopback port, replays a three-round churn sequence
-// (the third crash-faulted when -faultevery 3, as the CI smoke uses),
-// checks ETag rotation, 304 handling and the incremental-vs-oracle
-// contract, then exits; non-zero on any failure.
+// -interval N hands each deployment to a supervised ingest loop that
+// advances one round every N (with exponential backoff after failures
+// and a crash-loop breaker); 0 leaves advancement to
+// POST /v1/deployments/{id}/rounds. -checkpoint-dir enables periodic
+// per-deployment checkpoints; a restarted isomapd resumes from them
+// byte-identical to a never-restarted run. -smoke boots the server on a
+// loopback port, replays a three-round churn sequence (the third
+// crash-faulted when -faultevery 3, as the CI smoke uses), checks ETag
+// rotation, 304 handling and the incremental-vs-oracle contract, then
+// exits; non-zero on any failure. -smoke-chaos runs the self-healing
+// sequence instead: a supervised loopback server under a seeded chaos
+// plan (panics, synthetic divergences, slow rounds) must keep serving
+// while degraded, then return to healthy and ready once the chaos lifts.
 package main
 
 import (
@@ -41,8 +50,11 @@ func main() {
 		seed        = flag.Int64("seed", 1, "base deployment seed (deployment i uses seed+i)")
 		faultEvery  = flag.Int("faultevery", 0, "inject faults every Nth round (0 = never)")
 		oracle      = flag.Bool("oracle", false, "verify every incremental update against a full rebuild")
-		interval    = flag.Duration("interval", 0, "auto-advance rounds at this period (0 = only on POST)")
+		interval    = flag.Duration("interval", 0, "supervised auto-advance period (0 = only on POST)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-deployment checkpoints (empty = no checkpoints)")
+		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint every Nth published version")
 		smoke       = flag.Bool("smoke", false, "run the loopback smoke sequence and exit")
+		smokeChaos  = flag.Bool("smoke-chaos", false, "run the loopback chaos-recovery sequence and exit")
 	)
 	flag.Parse()
 
@@ -54,28 +66,61 @@ func main() {
 		fmt.Println("isomapd: smoke ok")
 		return
 	}
+	if *smokeChaos {
+		if err := runSmokeChaos(); err != nil {
+			fmt.Fprintf(os.Stderr, "isomapd: chaos smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("isomapd: chaos smoke ok")
+		return
+	}
 
 	srv, err := serve.NewServer(serve.Config{
-		Deployments: *deployments,
-		Nodes:       *nodes,
-		Seed:        *seed,
-		FaultEvery:  *faultEvery,
-		Oracle:      *oracle,
+		Deployments:     *deployments,
+		Nodes:           *nodes,
+		Seed:            *seed,
+		FaultEvery:      *faultEvery,
+		Oracle:          *oracle,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("isomapd: %v", err)
 	}
 	if *interval > 0 {
-		go func() {
-			for range time.Tick(*interval) {
-				if err := srv.AdvanceAll(); err != nil {
-					log.Printf("isomapd: round failed: %v", err)
-				}
-			}
-		}()
+		srv.Start(serve.SupervisorConfig{Interval: *interval})
+		defer srv.Stop()
 	}
 	log.Printf("isomapd: %d deployments of %d nodes on %s", *deployments, *nodes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Slow-client protection: a stalled header read, request body or
+		// response drain must not pin a connection goroutine forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// listenLoopback boots srv on an ephemeral loopback port with the same
+// hardened http.Server settings production uses, returning the base URL
+// and a shutdown func.
+func listenLoopback(srv *serve.Server) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		hs.Close()
+		ln.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
 }
 
 // runSmoke is the self-contained health sequence the CI serve-smoke step
@@ -93,15 +138,21 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	base, stop, err := listenLoopback(srv)
 	if err != nil {
 		return err
 	}
-	defer ln.Close()
-	hs := &http.Server{Handler: srv}
-	go func() { _ = hs.Serve(ln) }()
-	defer hs.Close()
-	base := "http://" + ln.Addr().String()
+	defer stop()
+
+	// Readiness gates on the first snapshot: not ready before round 1.
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("readyz before first round: status %d, want 503", resp.StatusCode)
+	}
 
 	var etags []string
 	for round := 1; round <= 3; round++ {
@@ -136,20 +187,42 @@ func runSmoke() error {
 		}
 	}
 
+	// Malformed pushed batches are the client's fault, not the server's:
+	// out-of-range coordinates must bounce with 400 and no version bump.
+	resp, err = http.Post(base+"/v1/deployments/d0/rounds", "application/json",
+		strings.NewReader(`{"reports":[{"level":6,"levelIndex":0,"pos":{"x":1e999,"y":1},"grad":{"x":1,"y":0},"source":3}],"sinkValue":5}`))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("corrupt pushed batch: status %d, want 400", resp.StatusCode)
+	}
+
 	// Caching contract: a conditional GET with the live ETag is a 304; a
-	// stale ETag gets a full 200 with the new tag.
+	// stale ETag gets a full 200 with the new tag. A weak-validator,
+	// multi-member If-None-Match must match too (RFC 9110 §13.1.2).
 	req, err := http.NewRequest("GET", base+"/v1/deployments/d0/levels/0/polyline", nil)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("If-None-Match", etags[2])
-	resp, err := http.DefaultClient.Do(req)
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotModified {
 		return fmt.Errorf("conditional polyline: status %d, want 304", resp.StatusCode)
+	}
+	req.Header.Set("If-None-Match", etags[0]+", W/"+etags[2])
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("weak list conditional polyline: status %d, want 304", resp.StatusCode)
 	}
 	req.Header.Set("If-None-Match", etags[0])
 	resp, err = http.DefaultClient.Do(req)
@@ -167,6 +240,7 @@ func runSmoke() error {
 	// The query surface answers, and the invariant raster renders.
 	for _, path := range []string{
 		"/healthz",
+		"/readyz",
 		"/v1/deployments",
 		"/v1/deployments/d0",
 		"/v1/deployments/d0/classify?x=25&y=25",
@@ -194,4 +268,131 @@ func runSmoke() error {
 		return fmt.Errorf("pgm tile header = %q", string(head[:n]))
 	}
 	return nil
+}
+
+// chaosCounters reads the isomapd expvar map over HTTP — the same
+// counters an operator's scrape sees.
+func chaosCounters(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Isomapd map[string]int64 `json:"isomapd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Isomapd, nil
+}
+
+// runSmokeChaos proves the self-healing loop end to end from the client
+// side: under a seeded chaos plan the supervised server must keep a
+// snapshot served through panics and divergences (degraded, never down),
+// and once the chaos lifts every deployment must return to healthy and
+// /readyz to 200. Exits non-zero if recovery stalls.
+func runSmokeChaos() error {
+	dir, err := os.MkdirTemp("", "isomapd-chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := serve.NewServer(serve.Config{
+		Deployments:   2,
+		Nodes:         250,
+		Seed:          41,
+		FaultEvery:    4,
+		Oracle:        true,
+		OracleRes:     32,
+		CheckpointDir: dir,
+		Chaos: serve.NewChaosPlan(serve.ChaosConfig{
+			Seed: 77, PanicRate: 0.12, DivergeRate: 0.15,
+			SlowRate: 0.1, SlowDelay: time.Millisecond,
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	base, stop, err := listenLoopback(srv)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	srv.Start(serve.SupervisorConfig{
+		Interval:    2 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  8 * time.Millisecond,
+	})
+	defer srv.Stop()
+
+	// Phase 1: soak until every failure kind has fired and been absorbed
+	// (divergence quarantines, panic recoveries, resyncs, checkpoints)
+	// while the query surface stays up.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			c, _ := chaosCounters(base)
+			return fmt.Errorf("chaos phase never exercised all failure kinds: %v", c)
+		}
+		resp, err := http.Get(base + "/v1/deployments/d0")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+			return fmt.Errorf("meta under chaos: status %d", resp.StatusCode)
+		}
+		c, err := chaosCounters(base)
+		if err != nil {
+			return err
+		}
+		if c["divergences"] > 0 && c["panics_recovered"] > 0 && c["resyncs"] > 0 && c["checkpoints"] > 0 && c["updates"] >= 20 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: lift the chaos; both deployments must return to healthy
+	// and readiness must flip back within the deadline.
+	srv.SetChaos(nil)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("deployments did not recover after chaos lifted")
+		}
+		resp, err := http.Get(base + "/v1/deployments")
+		if err != nil {
+			return err
+		}
+		var list struct {
+			Deployments []struct {
+				ID    string `json:"id"`
+				State string `json:"state"`
+			} `json:"deployments"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		healthy := len(list.Deployments) == 2
+		for _, d := range list.Deployments {
+			if d.State != "healthy" {
+				healthy = false
+			}
+		}
+		if healthy {
+			resp, err := http.Get(base + "/readyz")
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }

@@ -1,0 +1,30 @@
+package contour
+
+import (
+	"isomap/internal/core"
+	"isomap/internal/field"
+	"isomap/internal/geom"
+)
+
+// Resync builds a replacement Incremental engine from one round's reports
+// by running a full from-scratch reconstruction: the first Update of a
+// fresh engine takes the whole-rebuild path, so the returned map is
+// byte-identical to Reconstruct(arranged(reports), ...) by construction,
+// with none of the reused state a diverged or panicked predecessor may
+// have corrupted.
+//
+// It is the recovery entry point of the serving layer: after an oracle
+// divergence or an ingest panic the old engine cannot be trusted, but the
+// round's reports can — quarantined deployments rebuild through Resync
+// (from the incoming round, or from a checkpoint's retained arranged
+// order) and resume incremental operation from the returned engine.
+//
+// Feeding a previous engine's Arranged() output reproduces that engine's
+// current map exactly: arrangement buckets reports by level preserving
+// arrival order, and Arranged() is already concatenated in level order,
+// so the fresh engine adopts the identical slot assignment.
+func Resync(levels field.Levels, bounds geom.Polygon, opts Options, reports []core.Report, sinkValue float64) (*Incremental, *Map) {
+	inc := NewIncremental(levels, bounds, opts)
+	m := inc.Update(reports, sinkValue)
+	return inc, m
+}

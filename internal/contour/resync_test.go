@@ -1,0 +1,51 @@
+package contour
+
+import (
+	"math/rand"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+// TestResyncReproducesEngine is the recovery lemma the serving layer
+// leans on: at any point of a churn run, Resync over the live engine's
+// Arranged() order rebuilds a fresh engine whose map and raster are
+// byte-identical to the continuous engine's — so a quarantined
+// deployment (or a restart from a checkpoint) resumes exactly where the
+// uncorrupted engine stood.
+func TestResyncReproducesEngine(t *testing.T) {
+	levels := testLevels()
+	bounds := geom.Rect(0, 0, 30, 30)
+	const rows, cols = 40, 40
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inc := NewIncremental(levels, bounds, DefaultOptions())
+		reports := churnSeedReports(rng, 35+rng.Intn(40), levels, bounds)
+		for round := 0; round < 5; round++ {
+			sink := 1 + rng.Float64()*8
+			inc.Update(reports, sink)
+
+			re, m := Resync(levels, bounds, DefaultOptions(), inc.Arranged(), sink)
+			if err := Equivalent(inc.Map(), m, rows, cols); err != nil {
+				t.Fatalf("seed %d round %d: resynced map diverges: %v", seed, round, err)
+			}
+			if err := EquivalentRaster(inc.Raster(rows, cols), re.Raster(rows, cols)); err != nil {
+				t.Fatalf("seed %d round %d: resynced raster diverges: %v", seed, round, err)
+			}
+
+			// The resynced engine must also *continue* identically: one
+			// more churn round through both engines stays byte-identical.
+			next := churnReports(rng, reports, levels, bounds)
+			nextSink := 1 + rng.Float64()*8
+			inc.Update(next, nextSink)
+			re.Update(next, nextSink)
+			if err := Equivalent(inc.Map(), re.Map(), rows, cols); err != nil {
+				t.Fatalf("seed %d round %d: post-resync churn diverges: %v", seed, round, err)
+			}
+			if err := EquivalentRaster(inc.Raster(rows, cols), re.Raster(rows, cols)); err != nil {
+				t.Fatalf("seed %d round %d: post-resync raster diverges: %v", seed, round, err)
+			}
+			reports = churnReports(rng, next, levels, bounds)
+		}
+	}
+}

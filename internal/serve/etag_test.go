@@ -1,0 +1,70 @@
+package serve
+
+import "testing"
+
+// TestETagMatch pins the RFC 9110 If-None-Match comparison: full
+// entity-tag list parsing, weak-validator prefixes ignored on both
+// sides, and no substring near-collisions.
+func TestETagMatch(t *testing.T) {
+	cases := []struct {
+		name string
+		inm  string
+		etag string
+		want bool
+	}{
+		{"exact", `"d0-v3"`, `"d0-v3"`, true},
+		{"star", `*`, `"d0-v3"`, true},
+		{"star padded", `  *  `, `"d0-v3"`, true},
+		{"miss", `"d0-v2"`, `"d0-v3"`, false},
+		{"weak client", `W/"d0-v3"`, `"d0-v3"`, true},
+		{"weak server", `"d0-v3"`, `W/"d0-v3"`, true},
+		{"weak both", `W/"d0-v3"`, `W/"d0-v3"`, true},
+		{"list first", `"d0-v3", "d0-v4"`, `"d0-v3"`, true},
+		{"list last", `"d0-v1", "d0-v2", "d0-v3"`, `"d0-v3"`, true},
+		{"list miss", `"d0-v1", "d0-v2"`, `"d0-v3"`, false},
+		{"list no spaces", `"d0-v1","d0-v3"`, `"d0-v3"`, true},
+		{"list weak member", `"d0-v1", W/"d0-v3"`, `"d0-v3"`, true},
+		// Near-collisions a substring check would get wrong in one
+		// direction or the other.
+		{"prefix collision", `"d0-v1"`, `"d0-v12"`, false},
+		{"suffix collision", `"d0-v12"`, `"d0-v1"`, false},
+		{"version prefix list", `"d0-v12", "d0-v13"`, `"d0-v1"`, false},
+		{"embedded lookalike", `"xd0-v3x"`, `"d0-v3"`, false},
+		// Malformed members fail closed (no match, full response).
+		{"unquoted", `d0-v3`, `"d0-v3"`, false},
+		{"unterminated", `"d0-v3`, `"d0-v3"`, false},
+		{"empty", ``, `"d0-v3"`, false},
+		{"lone comma", `,`, `"d0-v3"`, false},
+		{"garbage then match", `zzz, "d0-v3"`, `"d0-v3"`, false},
+		{"match then garbage", `"d0-v3", zzz`, `"d0-v3"`, true},
+		{"empty tag", `""`, `""`, true},
+	}
+	for _, tc := range cases {
+		if got := etagMatch(tc.inm, tc.etag); got != tc.want {
+			t.Errorf("%s: etagMatch(%q, %q) = %v, want %v", tc.name, tc.inm, tc.etag, got, tc.want)
+		}
+	}
+}
+
+func TestScanETag(t *testing.T) {
+	cases := []struct {
+		in        string
+		tag, rest string
+		ok        bool
+	}{
+		{`"a"`, `"a"`, ``, true},
+		{`W/"a", "b"`, `W/"a"`, `, "b"`, true},
+		{`"a-b.c"rest`, `"a-b.c"`, `rest`, true},
+		{`""`, `""`, ``, true},
+		{`W/`, ``, ``, false},
+		{`"unterminated`, ``, ``, false},
+		{`noquote"`, ``, ``, false},
+		{`"bad space"`, ``, ``, false},
+	}
+	for _, tc := range cases {
+		tag, rest, ok := scanETag(tc.in)
+		if tag != tc.tag || rest != tc.rest || ok != tc.ok {
+			t.Errorf("scanETag(%q) = (%q, %q, %v), want (%q, %q, %v)", tc.in, tag, rest, ok, tc.tag, tc.rest, tc.ok)
+		}
+	}
+}

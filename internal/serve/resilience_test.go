@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"isomap/internal/core"
+	"isomap/internal/geom"
+)
+
+// counter reads one isomapd expvar counter (process-global and monotone:
+// tests assert deltas, not absolutes).
+func counter(name string) int64 {
+	v := serveVars().Get(name)
+	if v == nil {
+		return 0
+	}
+	return v.(*expvar.Int).Value()
+}
+
+func postRoundStatus(t *testing.T, ts *httptest.Server, id, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	resp, err := http.Post(ts.URL+"/v1/deployments/"+id+"/rounds", "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func getMeta(t *testing.T, ts *httptest.Server, id string) (map[string]any, *http.Response) {
+	t.Helper()
+	var meta map[string]any
+	resp := getJSON(t, ts, "/v1/deployments/"+id, &meta)
+	return meta, resp
+}
+
+// TestPushedBatchValidation: poisonous payloads are client errors — 400,
+// engine untouched — and oversized bodies 413, never 500. JSON itself
+// cannot spell NaN/Inf (the decoder rejects out-of-range literals like
+// 1e999 with 400), so the validateRound layer behind it is unit-tested
+// directly: it guards the paths that bypass JSON decoding, most
+// importantly checkpoint restore.
+func TestPushedBatchValidation(t *testing.T) {
+	s, ts := bootServer(t, Config{Deployments: 1, Seed: 31, Oracle: true, OracleRes: 32, MaxBodyBytes: 4096})
+	postRound(t, ts, "d0")
+	versionBefore := s.deps["d0"].version
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"overflow x", `{"reports":[{"level":6,"levelIndex":0,"pos":{"x":1e999,"y":10},"grad":{"x":1,"y":0},"source":1}],"sinkValue":5}`},
+		{"overflow grad", `{"reports":[{"level":6,"levelIndex":0,"pos":{"x":10,"y":10},"grad":{"x":-1e999,"y":0},"source":1}],"sinkValue":5}`},
+		{"overflow sink", `{"reports":[],"sinkValue":1e999}`},
+		{"nan literal", `{"reports":[{"pos":{"x":NaN,"y":1}}],"sinkValue":5}`},
+		{"not json", `{not json`},
+	}
+	for _, tc := range cases {
+		resp, out := postRoundStatus(t, ts, "d0", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%v)", tc.name, resp.StatusCode, out)
+		}
+	}
+	if v := s.deps["d0"].version; v != versionBefore {
+		t.Fatalf("rejected batches advanced the version: %d -> %d", versionBefore, v)
+	}
+	if h := s.deps["d0"].health.Load(); h.Degraded || h.StaleRounds != 0 {
+		t.Fatalf("rejected batches degraded the deployment: %+v", h)
+	}
+
+	// A payload over MaxBodyBytes is 413, not 500.
+	big, _ := json.Marshal(ingestBody{Reports: make([]core.Report, 200), SinkValue: 5})
+	resp, _ := postRoundStatus(t, ts, "d0", string(big))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestValidateRound covers the defense-in-depth layer directly: NaN/Inf
+// anywhere in a batch (or sink value) is rejected, finite batches pass,
+// and CorruptReports output never passes.
+func TestValidateRound(t *testing.T) {
+	good := core.Report{Level: 6, LevelIndex: 0, Pos: geom.Point{X: 10, Y: 10}, Grad: geom.Vec{X: 1}}
+	if err := validateRound([]core.Report{good}, 5); err != nil {
+		t.Fatalf("finite round rejected: %v", err)
+	}
+	mut := func(f func(*core.Report)) []core.Report {
+		r := good
+		f(&r)
+		return []core.Report{r}
+	}
+	for name, reports := range map[string][]core.Report{
+		"nan pos x":  mut(func(r *core.Report) { r.Pos.X = math.NaN() }),
+		"inf pos y":  mut(func(r *core.Report) { r.Pos.Y = math.Inf(1) }),
+		"nan grad y": mut(func(r *core.Report) { r.Grad.Y = math.NaN() }),
+		"inf level":  mut(func(r *core.Report) { r.Level = math.Inf(-1) }),
+	} {
+		if err := validateRound(reports, 5); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := validateRound([]core.Report{good}, math.NaN()); err == nil {
+		t.Error("NaN sink value accepted")
+	}
+	plan := NewChaosPlan(ChaosConfig{Seed: 3, CorruptRate: 1})
+	if err := validateRound(plan.CorruptReports([]core.Report{good, good, good}, "d0", 1), 5); err == nil {
+		t.Error("corrupted batch accepted")
+	}
+}
+
+// TestRasterLoadShedding: past RasterInflight concurrent renders the
+// server sheds with 429 + Retry-After instead of queueing.
+func TestRasterLoadShedding(t *testing.T) {
+	s, ts := bootServer(t, Config{Deployments: 1, Seed: 33, RasterInflight: 2})
+	postRound(t, ts, "d0")
+
+	// Fill the semaphore as two in-flight renders would.
+	s.rasterSem <- struct{}{}
+	s.rasterSem <- struct{}{}
+	resp := getJSON(t, ts, "/v1/deployments/d0/raster?rows=8&cols=8", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated raster: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After")
+	}
+	<-s.rasterSem
+	<-s.rasterSem
+	if resp := getJSON(t, ts, "/v1/deployments/d0/raster?rows=8&cols=8", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("drained raster: status %d, want 200", resp.StatusCode)
+	}
+	// Other endpoints are never shed.
+	if resp := getJSON(t, ts, "/v1/deployments/d0/classify?x=5&y=5", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: status %d", resp.StatusCode)
+	}
+}
+
+// chaosSchedule returns the 1-based ingest attempts in [1, n] on which
+// the plan fires the given predicate for deployment dep.
+func chaosSchedule(n int, pred func(attempt int) bool) []int {
+	var out []int
+	for a := 1; a <= n; a++ {
+		if pred(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestQuarantineResync walks the deployment state machine through a
+// synthetic oracle divergence: the failed round publishes nothing and
+// quarantines the engine (fixing the old mutate-before-check bug),
+// queries keep serving the last good snapshot with staleness metadata,
+// and the next round resyncs via full rebuild — all under oracle mode,
+// so the resynced engine is re-verified before publishing.
+func TestQuarantineResync(t *testing.T) {
+	plan := NewChaosPlan(ChaosConfig{Seed: 97, DivergeRate: 0.34})
+	fires := chaosSchedule(12, func(a int) bool { return plan.Diverge("d0", a) })
+	if len(fires) == 0 || fires[0] == 1 {
+		t.Fatalf("chaos seed produced unusable divergence schedule %v; pick another seed", fires)
+	}
+	s, ts := bootServer(t, Config{Deployments: 1, Seed: 35, Oracle: true, OracleRes: 32, Chaos: plan})
+	d := s.deps["d0"]
+
+	divBefore, resyncBefore := counter("divergences"), counter("resyncs")
+	// Walk to the first successful round after the first divergence (the
+	// schedule may fire several attempts in a row).
+	last := fires[0] + 1
+	for plan.Diverge("d0", last) {
+		last++
+	}
+	var lastGoodETag string
+	sawDiverge, sawResync := false, false
+	for attempt := 1; attempt <= last; attempt++ {
+		resp, out := postRoundStatus(t, ts, "d0", "")
+		if plan.Diverge("d0", attempt) {
+			sawDiverge = true
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("attempt %d (diverging): status %d, want 503", attempt, resp.StatusCode)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("503 carried no Retry-After")
+			}
+			// Quarantined: engine discarded, snapshot untouched.
+			d.mu.Lock()
+			inc := d.inc
+			d.mu.Unlock()
+			if inc != nil {
+				t.Fatal("diverged ingest left the engine alive")
+			}
+			meta, mresp := getMeta(t, ts, "d0")
+			if meta["state"] != "degraded" {
+				t.Fatalf("state after divergence = %v", meta["state"])
+			}
+			if meta["etag"] != lastGoodETag {
+				t.Fatalf("degraded meta serves etag %v, want last good %v", meta["etag"], lastGoodETag)
+			}
+			if mresp.Header.Get("Warning") == "" || mresp.Header.Get("X-Stale-Rounds") == "" {
+				t.Fatalf("degraded response missing staleness headers: %v", mresp.Header)
+			}
+			// The raster path must not touch the quarantined engine: it
+			// renders from the snapshot, version-consistent with the ETag.
+			var ras struct {
+				Version int `json:"version"`
+			}
+			rresp := getJSON(t, ts, "/v1/deployments/d0/raster?rows=8&cols=8", &ras)
+			if rresp.StatusCode != http.StatusOK {
+				t.Fatalf("degraded raster: status %d", rresp.StatusCode)
+			}
+			if want := fmt.Sprintf("%q", fmt.Sprintf("d0-v%d", ras.Version)); rresp.Header.Get("ETag") != want {
+				t.Fatalf("degraded raster version %d inconsistent with ETag %s", ras.Version, rresp.Header.Get("ETag"))
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: status %d (%v)", attempt, resp.StatusCode, out)
+		}
+		lastGoodETag = out["etag"].(string)
+		if sawDiverge {
+			sawResync = true
+			meta, _ := getMeta(t, ts, "d0")
+			if meta["state"] != "healthy" {
+				t.Fatalf("state after resync = %v", meta["state"])
+			}
+			if meta["staleRounds"].(float64) != 0 {
+				t.Fatalf("staleRounds after resync = %v", meta["staleRounds"])
+			}
+		}
+	}
+	if !sawDiverge || !sawResync {
+		t.Fatalf("walk exercised diverge=%v resync=%v", sawDiverge, sawResync)
+	}
+	if counter("divergences") <= divBefore {
+		t.Fatal("divergences counter did not grow")
+	}
+	if counter("resyncs") <= resyncBefore {
+		t.Fatal("resyncs counter did not grow")
+	}
+
+	// ETag versions keep ascending across the quarantine: no reuse of a
+	// version number for different bytes.
+	if !strings.Contains(lastGoodETag, "-v") {
+		t.Fatalf("bad final etag %q", lastGoodETag)
+	}
+}
+
+// TestPanicRecovery: a scheduled ingest panic is recovered, counted,
+// quarantines the engine and degrades the deployment — then the next
+// round resyncs it.
+func TestPanicRecovery(t *testing.T) {
+	plan := NewChaosPlan(ChaosConfig{Seed: 11, PanicRate: 0.3})
+	fires := chaosSchedule(12, func(a int) bool { return plan.Panic("d0", a) })
+	if len(fires) == 0 || fires[0] == 1 {
+		t.Fatalf("chaos seed produced unusable panic schedule %v; pick another seed", fires)
+	}
+	s, ts := bootServer(t, Config{Deployments: 1, Seed: 37, Chaos: plan})
+	panicsBefore := counter("panics_recovered")
+	for attempt := 1; attempt <= fires[0]; attempt++ {
+		resp, _ := postRoundStatus(t, ts, "d0", "")
+		if plan.Panic("d0", attempt) {
+			if resp.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("panicking attempt %d: status %d, want 503", attempt, resp.StatusCode)
+			}
+		} else if resp.StatusCode != http.StatusOK {
+			t.Fatalf("attempt %d: status %d", attempt, resp.StatusCode)
+		}
+	}
+	if counter("panics_recovered") <= panicsBefore {
+		t.Fatal("panics_recovered did not grow")
+	}
+	if h := s.deps["d0"].health.Load(); !h.Degraded {
+		t.Fatalf("post-panic health = %+v, want degraded", h)
+	}
+	// Recovery round.
+	s.SetChaos(nil)
+	resp, _ := postRoundStatus(t, ts, "d0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovery round: status %d", resp.StatusCode)
+	}
+	if h := s.deps["d0"].health.Load(); h.Degraded || h.StaleRounds != 0 {
+		t.Fatalf("post-recovery health = %+v", h)
+	}
+}
+
+// TestSupervisorBreakerReadyz: under a panic-everything chaos plan the
+// supervisor backs off, trips the crash-loop breaker, and /readyz goes
+// not-ready naming the deployment; lifting the chaos heals it and
+// /readyz flips back — within a bounded number of rounds.
+func TestSupervisorBreakerReadyz(t *testing.T) {
+	s, ts := bootServer(t, Config{Deployments: 1, Seed: 39})
+	postRound(t, ts, "d0") // readiness needs a first snapshot
+
+	if resp := getJSON(t, ts, "/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-chaos readyz: status %d", resp.StatusCode)
+	}
+	s.SetChaos(NewChaosPlan(ChaosConfig{Seed: 1, PanicRate: 1}))
+	s.Start(SupervisorConfig{Interval: time.Millisecond, BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond, BreakerAfter: 3})
+	defer s.Stop()
+
+	waitFor(t, 10*time.Second, "breaker trip", func() bool {
+		resp := getJSON(t, ts, "/readyz", nil)
+		return resp.StatusCode == http.StatusServiceUnavailable && s.deps["d0"].health.Load().CrashLooping
+	})
+	meta, _ := getMeta(t, ts, "d0")
+	if meta["crashLooping"] != true || meta["state"] != "degraded" {
+		t.Fatalf("crash-looping meta = %v", meta)
+	}
+
+	s.SetChaos(nil)
+	waitFor(t, 10*time.Second, "recovery", func() bool {
+		resp := getJSON(t, ts, "/readyz", nil)
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		h := s.deps["d0"].health.Load()
+		return !h.CrashLooping && !h.Degraded
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestBackoffDelay pins the supervisor's backoff curve: doubling from
+// base, capped at max, jitter within ±20%.
+func TestBackoffDelay(t *testing.T) {
+	cfg := SupervisorConfig{Interval: time.Second}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	for fails := 1; fails <= 10; fails++ {
+		want := cfg.BackoffBase << (fails - 1)
+		if want > cfg.BackoffMax {
+			want = cfg.BackoffMax
+		}
+		for i := 0; i < 50; i++ {
+			got := backoffDelay(cfg, fails, rng)
+			lo := time.Duration(float64(want) * 0.79)
+			hi := time.Duration(float64(want) * 1.21)
+			if got < lo || got > hi {
+				t.Fatalf("fails=%d: delay %v outside [%v, %v]", fails, got, lo, hi)
+			}
+		}
+	}
+}

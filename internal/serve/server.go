@@ -5,25 +5,42 @@
 // point/range classification and raster tiles over HTTP from versioned
 // snapshots.
 //
-// Consistency model: every Update produces an immutable snapshot carrying
-// a strong ETag "<id>-v<version>". Query responses set the ETag and
-// honor If-None-Match with 304s, so pollers pay nothing while a
+// Consistency model: every successful ingest produces an immutable
+// snapshot carrying a strong ETag "<id>-v<version>". Query responses set
+// the ETag and honor If-None-Match (RFC 9110 weak comparison over the
+// full entity-tag list) with 304s, so pollers pay nothing while a
 // deployment is quiet. Snapshots swap atomically; in-flight queries keep
 // serving the map they started with. In oracle mode the server verifies
 // each incremental update byte-for-byte against a from-scratch rebuild
-// before publishing it, failing the ingest request on divergence — the
-// serving twin of the engine's property tests.
+// before publishing it — the serving twin of the engine's property tests.
+//
+// Failure model: every failure mode of the ingest path is a recoverable,
+// observable state, never silent corruption. A panic or oracle divergence
+// quarantines the deployment's incremental engine (the published snapshot
+// is untouched — nothing unverified is ever served) and the deployment
+// enters degraded mode: queries keep answering from the last good
+// snapshot with staleness metadata (Warning header, X-Stale-Rounds,
+// state in the meta document) until the next round resyncs a fresh engine
+// via a full rebuild (contour.Resync). A Supervisor (supervisor.go)
+// drives rounds in the background with bounded exponential backoff and a
+// crash-loop breaker surfaced through /readyz; checkpoints
+// (checkpoint.go) make the whole state survive a process restart
+// byte-identically. chaos.go injects seeded faults into exactly these
+// paths to prove recovery.
 package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"isomap/internal/contour"
 	"isomap/internal/core"
@@ -62,6 +79,30 @@ type Config struct {
 	// OracleRes is the raster resolution of oracle comparisons; zero
 	// selects 64.
 	OracleRes int
+
+	// CheckpointDir, when set, persists a per-deployment checkpoint
+	// (round counter, published version, arranged reports) there, and
+	// NewServer restores deployments from any checkpoint it finds — a
+	// restarted server resumes serving byte-identical snapshots instead
+	// of losing every deployment back to round 0.
+	CheckpointDir string
+	// CheckpointEvery checkpoints every Nth published version; zero
+	// selects 1 (every publish).
+	CheckpointEvery int
+
+	// MaxBodyBytes caps POST /rounds request bodies; zero selects 8 MiB.
+	MaxBodyBytes int64
+	// RasterInflight bounds concurrent raster renders; excess requests
+	// are load-shed with 429 + Retry-After. Zero selects 4.
+	RasterInflight int
+
+	// Chaos, when set, injects seeded faults (panics, synthetic
+	// divergences, slow rounds) into the ingest path — the serving-layer
+	// counterpart of a faults.Plan. Swappable at runtime via SetChaos.
+	Chaos *ChaosPlan
+
+	// Logf receives supervisor and checkpoint diagnostics; nil discards.
+	Logf func(format string, args ...any)
 }
 
 // snapshot is one published reconstruction; immutable once stored.
@@ -75,32 +116,77 @@ type snapshot struct {
 	faulted   bool
 }
 
+// depHealth is a deployment's observable failure state; stored behind an
+// atomic pointer (written only under the deployment lock) so the query
+// path reads it lock-free.
+type depHealth struct {
+	// Degraded marks a quarantined engine: the deployment serves its
+	// last good snapshot until a round resyncs.
+	Degraded bool
+	// StaleRounds counts failed round attempts since the last publish —
+	// how many rounds behind the served snapshot is.
+	StaleRounds int
+	// ConsecFails counts consecutive ingest failures (the supervisor's
+	// backoff and breaker input).
+	ConsecFails int
+	// CrashLooping is set by the supervisor's breaker once ConsecFails
+	// crosses its threshold; /readyz reports the deployment not ready.
+	CrashLooping bool
+	// LastErr is the most recent failure, empty when healthy.
+	LastErr string
+}
+
+func (h depHealth) state() string {
+	if h.Degraded {
+		return "degraded"
+	}
+	return "healthy"
+}
+
 // deployment is one monitored network: a round source feeding an
-// incremental engine. mu serializes ingest and raster access (the engine
-// is single-writer); published snapshots are read lock-free.
+// incremental engine. mu serializes ingest and engine access (the engine
+// is single-writer); published snapshots and health are read lock-free.
 type deployment struct {
 	id     string
 	levels field.Levels
 	bounds geom.Polygon
+	opts   contour.Options
 	src    *sim.RoundSource
-	inc    *contour.Incremental
 
-	mu   sync.Mutex
-	snap atomic.Pointer[snapshot]
+	mu sync.Mutex
+	// inc is the incremental engine; nil while quarantined (after a
+	// panic or divergence), until the next successful round resyncs it.
+	inc *contour.Incremental
+	// version counts published snapshots. It is deliberately decoupled
+	// from inc.Version(): quarantine/resync discards engines, and a
+	// checkpoint restore rebuilds one, without ever rewinding the ETag
+	// sequence.
+	version int
+	// attempts counts ingest attempts (including failed ones) — the
+	// deterministic key of the chaos schedule.
+	attempts int
+
+	snap   atomic.Pointer[snapshot]
+	health atomic.Pointer[depHealth]
 }
 
 // Server owns the deployments and implements http.Handler.
 type Server struct {
-	cfg  Config
-	deps map[string]*deployment
-	ids  []string
-	mux  *http.ServeMux
+	cfg       Config
+	deps      map[string]*deployment
+	ids       []string
+	mux       *http.ServeMux
+	rasterSem chan struct{}
+	chaos     atomic.Pointer[ChaosPlan]
+	sup       *supervisor
 }
 
 // NewServer builds the deployments and their HTTP surface. Building
 // materializes each deployment's network (a few hundred ms for large
 // node counts) but runs no round: deployments start at version 0 with no
-// snapshot, and return 503 for map queries until the first round lands.
+// snapshot, and return 503 for map queries until the first round lands —
+// unless Config.CheckpointDir holds a checkpoint for them, in which case
+// they resume serving the checkpointed snapshot immediately.
 func NewServer(cfg Config) (*Server, error) {
 	if cfg.Deployments <= 0 {
 		cfg.Deployments = 1
@@ -111,7 +197,21 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.OracleRes <= 0 {
 		cfg.OracleRes = 64
 	}
-	s := &Server{cfg: cfg, deps: make(map[string]*deployment)}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RasterInflight <= 0 {
+		cfg.RasterInflight = 4
+	}
+	s := &Server{
+		cfg:       cfg,
+		deps:      make(map[string]*deployment),
+		rasterSem: make(chan struct{}, cfg.RasterInflight),
+	}
+	s.chaos.Store(cfg.Chaos)
 	runner := sim.NewRunner(1)
 	for i := 0; i < cfg.Deployments; i++ {
 		sc := sim.Scenario{Nodes: cfg.Nodes, Seed: cfg.Seed + int64(i)}
@@ -125,8 +225,15 @@ func NewServer(cfg Config) (*Server, error) {
 			id:     id,
 			levels: env.Scenario.Levels,
 			bounds: bounds,
+			opts:   contour.DefaultOptions(),
 			src:    &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery},
 			inc:    contour.NewIncremental(env.Scenario.Levels, bounds, contour.DefaultOptions()),
+		}
+		d.health.Store(&depHealth{})
+		if cfg.CheckpointDir != "" {
+			if err := s.restore(d); err != nil {
+				return nil, fmt.Errorf("serve: restore %s: %w", id, err)
+			}
 		}
 		s.deps[id] = d
 		s.ids = append(s.ids, id)
@@ -135,11 +242,22 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// SetChaos swaps the chaos plan (nil disables injection); safe while
+// serving.
+func (s *Server) SetChaos(p *ChaosPlan) { s.chaos.Store(p) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "deployments": len(s.ids)})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /v1/deployments", s.handleList)
 	mux.HandleFunc("GET /v1/deployments/{id}", s.withDep(s.handleMeta))
@@ -154,8 +272,35 @@ func (s *Server) routes() {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// handleReady is the readiness probe, split from /healthz liveness: the
+// server is ready when every deployment has published a snapshot and
+// none is crash-looping. Degraded-but-serving deployments are ready —
+// stale answers with staleness metadata beat no answers.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	type blocker struct {
+		ID     string `json:"id"`
+		Reason string `json:"reason"`
+	}
+	var blockers []blocker
+	for _, id := range s.ids {
+		d := s.deps[id]
+		if d.snap.Load() == nil {
+			blockers = append(blockers, blocker{ID: id, Reason: "no snapshot yet"})
+			continue
+		}
+		if h := d.health.Load(); h.CrashLooping {
+			blockers = append(blockers, blocker{ID: id, Reason: "crash-looping: " + h.LastErr})
+		}
+	}
+	if len(blockers) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "blockers": blockers})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "deployments": len(s.ids)})
+}
+
 // AdvanceAll runs one churn round on every deployment (startup warming
-// and the smoke harness).
+// and the smoke harness; continuous driving belongs to the Supervisor).
 func (s *Server) AdvanceAll() error {
 	for _, id := range s.ids {
 		if _, err := s.advance(s.deps[id]); err != nil {
@@ -182,11 +327,12 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Version int    `json:"version"`
 		Round   int    `json:"round"`
 		ETag    string `json:"etag,omitempty"`
+		State   string `json:"state"`
 	}
 	out := make([]item, 0, len(s.ids))
 	for _, id := range s.ids {
 		d := s.deps[id]
-		it := item{ID: id}
+		it := item{ID: id, State: d.health.Load().state()}
 		if sn := d.snap.Load(); sn != nil {
 			it.Version, it.Round, it.ETag = sn.version, sn.round, sn.etag
 		}
@@ -200,22 +346,37 @@ func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request, d *deploymen
 	if !ok {
 		return
 	}
-	st := func() contour.IncrementalStats {
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		return d.inc.Stats()
-	}()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id":        d.id,
-		"version":   sn.version,
-		"round":     sn.round,
-		"etag":      sn.etag,
-		"reports":   sn.reports,
-		"sinkValue": sn.sinkValue,
-		"faulted":   sn.faulted,
-		"levels":    d.levels.Values(),
-		"stats":     st,
-	})
+	var st *contour.IncrementalStats
+	d.mu.Lock()
+	if d.inc != nil {
+		v := d.inc.Stats()
+		st = &v
+	}
+	d.mu.Unlock()
+	h := d.health.Load()
+	doc := map[string]any{
+		"id":          d.id,
+		"version":     sn.version,
+		"round":       sn.round,
+		"etag":        sn.etag,
+		"reports":     sn.reports,
+		"sinkValue":   sn.sinkValue,
+		"faulted":     sn.faulted,
+		"levels":      d.levels.Values(),
+		"state":       h.state(),
+		"staleRounds": h.StaleRounds,
+		"consecFails": h.ConsecFails,
+	}
+	if h.CrashLooping {
+		doc["crashLooping"] = true
+	}
+	if h.LastErr != "" {
+		doc["lastError"] = h.LastErr
+	}
+	if st != nil {
+		doc["stats"] = *st
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // ingestBody is the optional POST /rounds payload: pushed reports instead
@@ -225,12 +386,50 @@ type ingestBody struct {
 	SinkValue float64       `json:"sinkValue"`
 }
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validateRound rejects pushed batches that would poison the engine:
+// NaN/Inf coordinates, gradients, levels or sink values (the serving twin
+// of FuzzGridFieldParse's loader hardening). Out-of-range level indices
+// are not an error — the engine drops them, matching Reconstruct.
+func validateRound(reports []core.Report, sinkValue float64) error {
+	if !isFinite(sinkValue) {
+		return fmt.Errorf("sinkValue %v is not finite", sinkValue)
+	}
+	for i, r := range reports {
+		switch {
+		case !isFinite(r.Pos.X) || !isFinite(r.Pos.Y):
+			return fmt.Errorf("report %d: non-finite position (%v, %v)", i, r.Pos.X, r.Pos.Y)
+		case !isFinite(r.Grad.X) || !isFinite(r.Grad.Y):
+			return fmt.Errorf("report %d: non-finite gradient (%v, %v)", i, r.Grad.X, r.Grad.Y)
+		case !isFinite(r.Level):
+			return fmt.Errorf("report %d: non-finite level %v", i, r.Level)
+		}
+	}
+	return nil
+}
+
+// handleRound distinguishes client errors (malformed/poisonous payloads:
+// 400, oversized: 413) from server-side ingest failures (503 — the
+// deployment quarantined and will resync; the last good snapshot keeps
+// serving).
 func (s *Server) handleRound(w http.ResponseWriter, r *http.Request, d *deployment) {
 	var body ingestBody
 	pushed := false
 	if r.Body != nil && r.ContentLength != 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "round body exceeds %d bytes", mbe.Limit)
+				return
+			}
 			writeErr(w, http.StatusBadRequest, "bad round body: %v", err)
+			return
+		}
+		if err := validateRound(body.Reports, body.SinkValue); err != nil {
+			serveVars().Add("rejected_rounds", 1)
+			writeErr(w, http.StatusBadRequest, "invalid round: %v", err)
 			return
 		}
 		pushed = true
@@ -245,7 +444,8 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request, d *deployme
 		sn, err = s.advance(d)
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "round failed: %v", err)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, "round failed: %v", err)
 		return
 	}
 	serveVars().Add("rounds", 1)
@@ -258,67 +458,218 @@ func (s *Server) handleRound(w http.ResponseWriter, r *http.Request, d *deployme
 
 // advance runs one simulated churn round through the deployment.
 func (s *Server) advance(d *deployment) (*snapshot, error) {
-	d.mu.Lock()
-	rd, err := d.src.Next()
-	d.mu.Unlock()
+	rd, err := s.nextRound(d)
 	if err != nil {
+		d.mu.Lock()
+		d.noteFailure(err)
+		d.mu.Unlock()
+		serveVars().Add("ingest_failures", 1)
 		return nil, err
 	}
 	return s.ingest(d, rd.Reports, rd.SinkValue, rd.Round, rd.Faulted)
 }
 
+// nextRound draws the next simulated round, converting a round-source
+// panic into an error: the engine is untouched, so the failure costs one
+// stale round, not a quarantine.
+func (s *Server) nextRound(d *deployment) (rd *sim.RoundData, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			serveVars().Add("panics_recovered", 1)
+			err = fmt.Errorf("serve: %s round source panic: %v", d.id, r)
+		}
+	}()
+	return d.src.Next()
+}
+
 // ingest feeds one round of reports into the incremental engine and
-// publishes the resulting snapshot (after the oracle check, if enabled).
+// publishes the resulting snapshot — strictly in that order: the oracle
+// check (and any panic) happens before the publish, and a failed check
+// quarantines the engine rather than leaving it silently ahead of the
+// snapshot. A quarantined deployment resyncs here on its next round via
+// a full rebuild.
 func (s *Server) ingest(d *deployment, reports []core.Report, sinkValue float64, round int, faulted bool) (*snapshot, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	m := d.inc.Update(reports, sinkValue)
-	if s.cfg.Oracle {
-		full := contour.Reconstruct(d.inc.Arranged(), d.levels, d.bounds, sinkValue, contour.DefaultOptions())
-		if err := contour.Equivalent(m, full, s.cfg.OracleRes, s.cfg.OracleRes); err != nil {
-			return nil, fmt.Errorf("oracle divergence at version %d: %w", d.inc.Version(), err)
-		}
-		if err := contour.EquivalentRaster(d.inc.Raster(s.cfg.OracleRes, s.cfg.OracleRes),
-			full.RasterWorkers(s.cfg.OracleRes, s.cfg.OracleRes, 1)); err != nil {
-			return nil, fmt.Errorf("oracle raster divergence at version %d: %w", d.inc.Version(), err)
-		}
+	d.attempts++
+	m, resynced, err := s.rebuild(d, reports, sinkValue, d.attempts)
+	if err != nil {
+		d.noteFailure(err)
+		serveVars().Add("ingest_failures", 1)
+		return nil, err
 	}
+	d.version++
 	if round == 0 {
-		round = d.inc.Version()
+		round = d.version
 	}
 	sn := &snapshot{
-		version:   d.inc.Version(),
+		version:   d.version,
 		round:     round,
-		etag:      fmt.Sprintf("%q", fmt.Sprintf("%s-v%d", d.id, d.inc.Version())),
+		etag:      fmt.Sprintf("%q", fmt.Sprintf("%s-v%d", d.id, d.version)),
 		m:         m,
 		sinkValue: sinkValue,
 		reports:   len(reports),
 		faulted:   faulted,
 	}
 	d.snap.Store(sn)
+	d.noteSuccess()
 	serveVars().Add("updates", 1)
+	if resynced {
+		serveVars().Add("resyncs", 1)
+	}
+	if s.cfg.CheckpointDir != "" && d.version%s.cfg.CheckpointEvery == 0 {
+		// Checkpoint failures must not fail the round: serving degrades
+		// to restart-from-zero durability, observably.
+		if err := s.writeCheckpoint(d, sn); err != nil {
+			serveVars().Add("checkpoint_errors", 1)
+			s.logf("serve: %s checkpoint: %v", d.id, err)
+		} else {
+			serveVars().Add("checkpoints", 1)
+		}
+	}
 	return sn, nil
 }
 
+// rebuild runs the engine update under panic recovery and the oracle
+// check, quarantining the engine on any failure (its state can be ahead
+// of the published snapshot, so it cannot be trusted). On a quarantined
+// deployment it performs the resync instead: a fresh engine built by
+// full rebuild (contour.Resync).
+func (s *Server) rebuild(d *deployment, reports []core.Report, sinkValue float64, attempt int) (m *contour.Map, resynced bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			serveVars().Add("panics_recovered", 1)
+			d.inc = nil
+			m, resynced = nil, false
+			err = fmt.Errorf("serve: %s ingest panic (engine quarantined): %v", d.id, r)
+		}
+	}()
+	chaos := s.chaos.Load()
+	if delay := chaos.SlowDelay(d.id, attempt); delay > 0 {
+		time.Sleep(delay)
+	}
+	if d.inc == nil {
+		d.inc, m = contour.Resync(d.levels, d.bounds, d.opts, reports, sinkValue)
+		resynced = true
+	} else {
+		m = d.inc.Update(reports, sinkValue)
+	}
+	if chaos.Panic(d.id, attempt) {
+		panic("chaos: scheduled ingest panic")
+	}
+	var derr error
+	if chaos.Diverge(d.id, attempt) {
+		derr = errors.New("chaos: synthetic oracle divergence")
+	} else if s.cfg.Oracle {
+		full := contour.Reconstruct(d.inc.Arranged(), d.levels, d.bounds, sinkValue, d.opts)
+		if e := contour.Equivalent(m, full, s.cfg.OracleRes, s.cfg.OracleRes); e != nil {
+			derr = e
+		} else if e := contour.EquivalentRaster(d.inc.Raster(s.cfg.OracleRes, s.cfg.OracleRes),
+			full.RasterWorkers(s.cfg.OracleRes, s.cfg.OracleRes, 1)); e != nil {
+			derr = e
+		}
+	}
+	if derr != nil {
+		d.inc = nil
+		serveVars().Add("divergences", 1)
+		return nil, false, fmt.Errorf("serve: %s oracle divergence (engine quarantined): %w", d.id, derr)
+	}
+	return m, resynced, nil
+}
+
+// noteFailure and noteSuccess update the lock-free health document; both
+// must be called with d.mu held.
+func (d *deployment) noteFailure(err error) {
+	h := *d.health.Load()
+	h.Degraded = d.inc == nil
+	h.StaleRounds++
+	h.ConsecFails++
+	h.LastErr = err.Error()
+	d.health.Store(&h)
+}
+
+func (d *deployment) noteSuccess() {
+	d.health.Store(&depHealth{})
+}
+
 // current loads the deployment's snapshot, answering 503 before the first
-// round and 304 when the client's If-None-Match already names it. The
-// bool reports whether the caller should proceed to build a body.
+// round and 304 when the client's If-None-Match names it. Degraded or
+// stale deployments keep serving their last good snapshot, flagged by a
+// Warning header and X-Stale-Rounds. The bool reports whether the caller
+// should proceed to build a body.
 func current(w http.ResponseWriter, r *http.Request, d *deployment) (*snapshot, bool) {
 	sn := d.snap.Load()
 	if sn == nil {
 		writeErr(w, http.StatusServiceUnavailable, "deployment %s has no rounds yet", d.id)
 		return nil, false
 	}
+	if h := d.health.Load(); h.StaleRounds > 0 {
+		w.Header().Set("Warning", fmt.Sprintf("110 isomapd %q",
+			fmt.Sprintf("stale: %s %d round(s) behind (%s)", d.id, h.StaleRounds, h.state())))
+		w.Header().Set("X-Stale-Rounds", strconv.Itoa(h.StaleRounds))
+	}
 	w.Header().Set("ETag", sn.etag)
-	if inm := r.Header.Get("If-None-Match"); inm != "" {
-		if inm == "*" || strings.Contains(inm, sn.etag) {
-			serveVars().Add("not_modified", 1)
-			w.WriteHeader(http.StatusNotModified)
-			return nil, false
-		}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, sn.etag) {
+		serveVars().Add("not_modified", 1)
+		w.WriteHeader(http.StatusNotModified)
+		return nil, false
 	}
 	serveVars().Add("queries", 1)
 	return sn, true
+}
+
+// etagMatch reports whether the If-None-Match header value inm names
+// etag, per RFC 9110 §13.1.2: "*" matches any current representation;
+// otherwise inm is a comma-separated entity-tag list compared with the
+// weak comparison (W/ prefixes ignored on both sides), as If-None-Match
+// mandates. Malformed members end the scan without matching — the
+// request then gets the full response, the safe failure mode.
+func etagMatch(inm, etag string) bool {
+	inm = strings.Trim(inm, " \t")
+	if inm == "*" {
+		return true
+	}
+	want := strings.TrimPrefix(etag, "W/")
+	for {
+		inm = strings.TrimLeft(inm, " \t,")
+		if inm == "" {
+			return false
+		}
+		tag, rest, ok := scanETag(inm)
+		if !ok {
+			return false
+		}
+		if strings.TrimPrefix(tag, "W/") == want {
+			return true
+		}
+		inm = rest
+	}
+}
+
+// scanETag parses one entity-tag at the head of s, returning the tag
+// (W/ prefix retained) and the remainder. Grammar per RFC 9110 §8.8.3:
+// an optional W/ then a DQUOTE-delimited run of etagc bytes.
+func scanETag(s string) (etag, rest string, ok bool) {
+	start := 0
+	if strings.HasPrefix(s, "W/") {
+		start = 2
+	}
+	if len(s) < start+2 || s[start] != '"' {
+		return "", "", false
+	}
+	for i := start + 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			return s[:i+1], s[i+1:], true
+		case c == 0x21 || (c >= 0x23 && c <= 0x7E) || c >= 0x80:
+		default:
+			return "", "", false
+		}
+	}
+	return "", "", false
 }
 
 func (s *Server) handlePolyline(w http.ResponseWriter, r *http.Request, d *deployment) {
@@ -407,21 +758,40 @@ func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request, d *deploym
 		writeErr(w, http.StatusBadRequest, "format must be json or pgm")
 		return
 	}
+	// Renders are the expensive queries; past RasterInflight concurrent
+	// ones, shed load instead of queueing unboundedly.
+	select {
+	case s.rasterSem <- struct{}{}:
+		defer func() { <-s.rasterSem }()
+	default:
+		serveVars().Add("rasters_shed", 1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "raster renders saturated; retry")
+		return
+	}
 	sn, ok := current(w, r, d)
 	if !ok {
 		return
 	}
-	// The engine's raster cache makes repeat resolutions cheap; the lock
-	// serializes it against ingest.
+	// The engine's raster cache makes repeat resolutions cheap, but it is
+	// only consulted when the engine provably backs this snapshot —
+	// quarantined or superseded engines never leak into a response.
 	d.mu.Lock()
-	ra := d.inc.Raster(rows, cols)
-	stale := d.inc.Map() != sn.m
+	var ra *field.Raster
+	if d.inc != nil && d.inc.Map() == sn.m {
+		ra = d.inc.Raster(rows, cols)
+	}
 	d.mu.Unlock()
-	if stale {
-		// An ingest swapped the snapshot between our ETag check and the
-		// raster read; the client retries against the new version.
-		writeErr(w, http.StatusConflict, "snapshot superseded during render; retry")
-		return
+	if ra == nil {
+		if d.snap.Load() != sn {
+			// An ingest swapped the snapshot between our ETag check and
+			// the raster read; the client retries against the new version.
+			writeErr(w, http.StatusConflict, "snapshot superseded during render; retry")
+			return
+		}
+		// Degraded: the engine is quarantined but the snapshot is still
+		// current — render directly from the immutable last good map.
+		ra = sn.m.RasterWorkers(rows, cols, 0)
 	}
 	if format == "pgm" {
 		w.Header().Set("Content-Type", "image/x-portable-graymap")

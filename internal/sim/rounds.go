@@ -52,6 +52,27 @@ type RoundSource struct {
 	round int
 }
 
+// Round returns the number of completed rounds: the next Next() call runs
+// round Round()+1.
+func (rs *RoundSource) Round() int { return rs.round }
+
+// SeekRound positions the source so the next Next() runs round n+1,
+// without executing the skipped rounds. Rounds are memoryless given the
+// Env — sensing overwrites every node value, crash marks are restored
+// after faulted rounds, the dynamic field is a pure function of time, and
+// fault plans are freshly seeded per round number — so a seeked source
+// emits the exact byte-identical round stream a continuously advanced one
+// would from round n+1 on. This is the whole of RoundSource "RNG
+// position" recovery: per-round seeding collapses the stream state to the
+// round counter, which is what a serving checkpoint persists.
+func (rs *RoundSource) SeekRound(n int) error {
+	if n < 0 {
+		return fmt.Errorf("sim: SeekRound(%d): negative round", n)
+	}
+	rs.round = n
+	return nil
+}
+
 // RoundData is one round's sink-side outcome.
 type RoundData struct {
 	// Round is the 1-based round number.

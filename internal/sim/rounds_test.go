@@ -96,6 +96,46 @@ func TestRoundSourceShardedDeterministic(t *testing.T) {
 	}
 }
 
+// TestRoundSourceSeek pins the checkpoint-restore lemma: a freshly built
+// same-seed source seeked to round n emits the exact rounds a
+// continuously advanced source emits from n+1 on — faulted rounds (fresh
+// per-round plans, crash restore) included. Rounds are memoryless given
+// the Env, so the round counter is the source's entire resumable state.
+func TestRoundSourceSeek(t *testing.T) {
+	r := NewRunner(1)
+	cont := newRoundSource(t, r, 5, 2)
+	var stream []*RoundData
+	for round := 0; round < 6; round++ {
+		rd, err := cont.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, rd)
+	}
+	for _, seek := range []int{0, 2, 3, 5} {
+		re := newRoundSource(t, r, 5, 2)
+		if err := re.SeekRound(seek); err != nil {
+			t.Fatal(err)
+		}
+		if re.Round() != seek {
+			t.Fatalf("Round() after SeekRound(%d) = %d", seek, re.Round())
+		}
+		for i := seek; i < len(stream); i++ {
+			rd, err := re.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rd, stream[i]) {
+				t.Fatalf("seek %d: round %d diverged from continuous stream (faulted=%v)",
+					seek, stream[i].Round, stream[i].Faulted)
+			}
+		}
+	}
+	if err := (&RoundSource{}).SeekRound(-1); err == nil {
+		t.Fatal("SeekRound(-1) accepted")
+	}
+}
+
 // TestConcurrentClonesSameSeedDeterminism pins the Network.Clone sharing
 // contract under the race detector: many goroutines running interleaved
 // rounds (fault-free and crash-faulted) on clones of one cached
