@@ -97,6 +97,50 @@ func TestServeLoadMeasurement(t *testing.T) {
 	}
 }
 
+// TestServeCacheMeasurement: the fast-lane phase measures a real cold and
+// warm pass, every cold request is a counted miss, every warm one a hit,
+// and nothing coalesces under a single sequential client.
+func TestServeCacheMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live HTTP server")
+	}
+	const repeats = 2
+	c, err := measureServeCache(true, repeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DistinctPaths == 0 || c.ColdQueriesPerSec <= 0 || c.WarmQueriesPerSec <= 0 {
+		t.Fatalf("degenerate cache measurement: %+v", c)
+	}
+	if c.CacheMisses != int64(c.DistinctPaths) {
+		t.Fatalf("misses %d, want one per distinct path (%d)", c.CacheMisses, c.DistinctPaths)
+	}
+	if c.CacheHits != int64(c.DistinctPaths*repeats) {
+		t.Fatalf("hits %d, want %d", c.CacheHits, c.DistinctPaths*repeats)
+	}
+	if c.WarmSpeedup <= 1 {
+		t.Fatalf("warm pass not faster than cold: %+v", c)
+	}
+	if c.HitRatePct <= 0 || c.HitRatePct >= 100 {
+		t.Fatalf("hit rate %v%% out of range", c.HitRatePct)
+	}
+}
+
+// TestIngestScalingMeasurement: one scaling cell at each ends of the
+// width range; parallel output equality is separately pinned by the
+// contour oracle tests, here we only need sane timings.
+func TestIngestScalingMeasurement(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		e, err := measureIngestScaling(64, 2, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Workers != w || e.K != 64 || e.Rounds != 2 || e.NsPerRound <= 0 {
+			t.Fatalf("degenerate scaling cell: %+v", e)
+		}
+	}
+}
+
 // TestDesimSmokeSchema runs the desim smoke report end to end and pins
 // the schema contract: every field of every row is present in the JSON
 // (nulls are deliberate skips, absences are bugs), the scaling table has

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,12 +46,47 @@ type serveLoadEntry struct {
 	NotModifiedPct  float64 `json:"not_modified_pct"`
 }
 
+// serveCacheEntry is the query-path fast-lane measurement: the same
+// query set served cold (every request renders) versus warm (every
+// request is a version-keyed cache hit), with the cache counters scraped
+// from /debug/vars across the run.
+type serveCacheEntry struct {
+	DistinctPaths         int     `json:"distinct_paths"`
+	WarmRepeats           int     `json:"warm_repeats"`
+	ColdQueriesPerSec     float64 `json:"cold_queries_per_sec"`
+	WarmQueriesPerSec     float64 `json:"warm_queries_per_sec"`
+	WarmSpeedup           float64 `json:"warm_speedup"`
+	ColdP50Micros         float64 `json:"cold_p50_us"`
+	WarmP50Micros         float64 `json:"warm_p50_us"`
+	CacheHits             int64   `json:"cache_hits"`
+	CacheMisses           int64   `json:"cache_misses"`
+	CacheEvictions        int64   `json:"cache_evictions"`
+	SingleflightCoalesced int64   `json:"singleflight_coalesced"`
+	HitRatePct            float64 `json:"hit_rate_pct"`
+}
+
+// serveIngestScalingEntry is one cell of the parallel-ingest scaling
+// table: churn rounds through the incremental engine at a fixed worker
+// width (output byte-identical at every width; workers=1 anchors the
+// speedup column).
+type serveIngestScalingEntry struct {
+	Workers    int     `json:"workers"`
+	K          int     `json:"k"`
+	Rounds     int     `json:"rounds"`
+	NsPerRound float64 `json:"ns_per_round"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
 // serveReport is the BENCH_SERVE.json document.
 type serveReport struct {
-	Generator  string             `json:"generator"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	Engine     []serveEngineEntry `json:"engine"`
-	Load       serveLoadEntry     `json:"load"`
+	Generator     string                    `json:"generator"`
+	GoMaxProcs    int                       `json:"gomaxprocs"`
+	Cores         int                       `json:"cores"`
+	HardwareNote  string                    `json:"hardware_note"`
+	Engine        []serveEngineEntry        `json:"engine"`
+	Load          serveLoadEntry            `json:"load"`
+	Cache         serveCacheEntry           `json:"cache"`
+	IngestScaling []serveIngestScalingEntry `json:"ingest_scaling"`
 }
 
 func runServe(out string, smoke bool) error {
@@ -60,16 +96,24 @@ func runServe(out string, smoke bool) error {
 	rep := serveReport{
 		Generator:  "cmd/benchreport -kind serve",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Cores:      runtime.NumCPU(),
+	}
+	if rep.Cores < 8 {
+		rep.HardwareNote = fmt.Sprintf("measured on %d core(s): GOMAXPROCS above the core count timeslices instead of parallelizing, so the ingest scaling table bounds overhead rather than demonstrating speedup", rep.Cores)
 	}
 	ks := []int{128, 512}
 	rounds := 20
 	loadFor := 3 * time.Second
 	clients := 4
+	scalingK, scalingRounds := 512, 12
+	warmRepeats := 8
 	if smoke {
 		ks = []int{128}
 		rounds = 8
 		loadFor = 600 * time.Millisecond
 		clients = 2
+		scalingK, scalingRounds = 128, 4
+		warmRepeats = 3
 	}
 	for _, k := range ks {
 		e, err := measureServeEngine(k, rounds)
@@ -83,6 +127,23 @@ func runServe(out string, smoke bool) error {
 		return err
 	}
 	rep.Load = load
+	cache, err := measureServeCache(smoke, warmRepeats)
+	if err != nil {
+		return err
+	}
+	rep.Cache = cache
+	for _, w := range []int{1, 2, 4, 8} {
+		e, err := measureIngestScaling(scalingK, scalingRounds, w)
+		if err != nil {
+			return err
+		}
+		if len(rep.IngestScaling) > 0 {
+			e.Speedup = math.Round(rep.IngestScaling[0].NsPerRound/e.NsPerRound*100) / 100
+		} else {
+			e.Speedup = 1
+		}
+		rep.IngestScaling = append(rep.IngestScaling, e)
+	}
 	return writeJSON(out, rep)
 }
 
@@ -144,6 +205,163 @@ func measureServeEngine(k, rounds int) (serveEngineEntry, error) {
 		Speedup:        math.Round(fullNs/incNs*100) / 100,
 		CellsReusedPct: reusedPct,
 		RasterRes:      res,
+	}, nil
+}
+
+// serveCachePaths is the query mix for the cache measurement: raster
+// tiles at distinct resolutions (the expensive renders the cache is
+// for) plus polylines, classifies and range grids.
+func serveCachePaths(smoke bool) []string {
+	var paths []string
+	resolutions := []int{40, 48, 56, 64, 72, 80, 96, 100}
+	if smoke {
+		resolutions = []int{32, 40, 48}
+	}
+	for _, r := range resolutions {
+		paths = append(paths, fmt.Sprintf("/v1/deployments/d0/raster?rows=%d&cols=%d", r, r))
+	}
+	paths = append(paths,
+		"/v1/deployments/d0/raster?rows=48&cols=48&format=pgm",
+		"/v1/deployments/d0/levels/0/polyline",
+		"/v1/deployments/d0/levels/1/polyline",
+		"/v1/deployments/d0/classify?x=25&y=25",
+		"/v1/deployments/d0/range?x0=10&y0=10&x1=40&y1=40&rows=8&cols=8",
+	)
+	return paths
+}
+
+// scrapeVars reads the isomapd expvar counters over HTTP — the same view
+// an operator's scrape sees.
+func scrapeVars(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Isomapd map[string]int64 `json:"isomapd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Isomapd, nil
+}
+
+// measureServeCache boots a live server and times the same query set
+// cold (first request per path after a publish: every one renders) and
+// warm (repeated: every one is a cache hit), deriving the fast-lane
+// speedup and the hit/miss/eviction counts from /debug/vars deltas.
+func measureServeCache(smoke bool, warmRepeats int) (serveCacheEntry, error) {
+	nodes := 400
+	if smoke {
+		nodes = 250
+	}
+	srv, err := serve.NewServer(serve.Config{Deployments: 1, Nodes: nodes, Seed: 23})
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+	if err := srv.AdvanceAll(); err != nil {
+		return serveCacheEntry{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+	defer ln.Close()
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	paths := serveCachePaths(smoke)
+	before, err := scrapeVars(base)
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+	run := func(repeats int) ([]float64, time.Duration, error) {
+		lats := make([]float64, 0, repeats*len(paths))
+		start := time.Now()
+		for rep := 0; rep < repeats; rep++ {
+			for _, p := range paths {
+				t0 := time.Now()
+				resp, err := http.Get(base + p)
+				if err != nil {
+					return nil, 0, err
+				}
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return nil, 0, fmt.Errorf("GET %s: status %d", p, resp.StatusCode)
+				}
+				lats = append(lats, float64(time.Since(t0).Microseconds()))
+			}
+		}
+		return lats, time.Since(start), nil
+	}
+	coldLats, coldDur, err := run(1)
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+	warmLats, warmDur, err := run(warmRepeats)
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+	after, err := scrapeVars(base)
+	if err != nil {
+		return serveCacheEntry{}, err
+	}
+
+	coldQPS := float64(len(coldLats)) / coldDur.Seconds()
+	warmQPS := float64(len(warmLats)) / warmDur.Seconds()
+	hits := after["cache_hits"] - before["cache_hits"]
+	misses := after["cache_misses"] - before["cache_misses"]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = math.Round(float64(hits)/float64(hits+misses)*1000) / 10
+	}
+	return serveCacheEntry{
+		DistinctPaths:         len(paths),
+		WarmRepeats:           warmRepeats,
+		ColdQueriesPerSec:     math.Round(coldQPS),
+		WarmQueriesPerSec:     math.Round(warmQPS),
+		WarmSpeedup:           math.Round(warmQPS/coldQPS*100) / 100,
+		ColdP50Micros:         math.Round(stats.Percentile(coldLats, 50)*10) / 10,
+		WarmP50Micros:         math.Round(stats.Percentile(warmLats, 50)*10) / 10,
+		CacheHits:             hits,
+		CacheMisses:           misses,
+		CacheEvictions:        after["cache_evictions"] - before["cache_evictions"],
+		SingleflightCoalesced: after["singleflight_coalesced"] - before["singleflight_coalesced"],
+		HitRatePct:            hitRate,
+	}, nil
+}
+
+// measureIngestScaling times churn rounds (update + raster refresh)
+// through the incremental engine at one worker width.
+func measureIngestScaling(k, rounds, workers int) (serveIngestScalingEntry, error) {
+	const res = 100
+	const churn = 0.03
+	bounds := geom.Rect(0, 0, 50, 50)
+	reports, levels := benchReports(k)
+	rng := rand.New(rand.NewSource(int64(k) * 37))
+
+	opts := contour.DefaultOptions()
+	opts.Workers = workers
+	inc := contour.NewIncremental(levels, bounds, opts)
+	inc.Update(reports, 9)
+	inc.Raster(res, res)
+
+	var ns float64
+	for round := 0; round < rounds; round++ {
+		reports = churnBenchReports(rng, reports, churn)
+		start := time.Now()
+		inc.Update(reports, 9)
+		inc.Raster(res, res)
+		ns += float64(time.Since(start).Nanoseconds())
+	}
+	return serveIngestScalingEntry{
+		Workers:    workers,
+		K:          k,
+		Rounds:     rounds,
+		NsPerRound: math.Round(ns / float64(rounds)),
 	}, nil
 }
 

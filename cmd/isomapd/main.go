@@ -10,31 +10,41 @@
 //
 //	isomapd [-addr :8080] [-deployments 2] [-nodes 600] [-seed 1]
 //	        [-faultevery 0] [-oracle] [-interval 0]
+//	        [-shards 0] [-workers 0] [-cache-entries 0]
 //	        [-checkpoint-dir DIR] [-checkpoint-every N]
-//	        [-smoke] [-smoke-chaos]
+//	        [-pprof ADDR] [-smoke] [-smoke-chaos]
 //
 // -interval N hands each deployment to a supervised ingest loop that
 // advances one round every N (with exponential backoff after failures
 // and a crash-loop breaker); 0 leaves advancement to
 // POST /v1/deployments/{id}/rounds. -checkpoint-dir enables periodic
 // per-deployment checkpoints; a restarted isomapd resumes from them
-// byte-identical to a never-restarted run. -smoke boots the server on a
-// loopback port, replays a three-round churn sequence (the third
-// crash-faulted when -faultevery 3, as the CI smoke uses), checks ETag
-// rotation, 304 handling and the incremental-vs-oracle contract, then
-// exits; non-zero on any failure. -smoke-chaos runs the self-healing
-// sequence instead: a supervised loopback server under a seeded chaos
-// plan (panics, synthetic divergences, slow rounds) must keep serving
-// while degraded, then return to healthy and ready once the chaos lifts.
+// byte-identical to a never-restarted run. -shards partitions each
+// deployment's round simulation into independently clocked shards and
+// -workers bounds both the shard executor and the incremental engine's
+// worker pools (0 picks GOMAXPROCS); output is byte-identical at any
+// width. -cache-entries bounds the per-deployment response artifact
+// cache. -pprof ADDR serves net/http/pprof on a separate listener (off
+// by default; never exposed on the main address). -smoke boots the
+// server on a loopback port, replays a three-round churn sequence (the
+// third crash-faulted when -faultevery 3, as the CI smoke uses), checks
+// ETag rotation, 304 handling and the incremental-vs-oracle contract,
+// then exits; non-zero on any failure. -smoke-chaos runs the
+// self-healing sequence instead: a supervised loopback server under a
+// seeded chaos plan (panics, synthetic divergences, slow rounds) must
+// keep serving while degraded, then return to healthy and ready once
+// the chaos lifts.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -53,13 +63,27 @@ func main() {
 		interval    = flag.Duration("interval", 0, "supervised auto-advance period (0 = only on POST)")
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-deployment checkpoints (empty = no checkpoints)")
 		ckptEvery   = flag.Int("checkpoint-every", 1, "checkpoint every Nth published version")
+		shards      = flag.Int("shards", 0, "round-simulation shards per deployment (0 = unsharded)")
+		workers     = flag.Int("workers", 0, "ingest worker width: shard executor + incremental engine pools (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache-entries", 0, "response artifact cache entries per deployment (0 = default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 		smoke       = flag.Bool("smoke", false, "run the loopback smoke sequence and exit")
 		smokeChaos  = flag.Bool("smoke-chaos", false, "run the loopback chaos-recovery sequence and exit")
 	)
 	flag.Parse()
 
+	pprofBase := ""
+	if *pprofAddr != "" {
+		base, _, err := startPprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("isomapd: pprof listener: %v", err)
+		}
+		pprofBase = base
+		log.Printf("isomapd: pprof on %s/debug/pprof/", base)
+	}
+
 	if *smoke {
-		if err := runSmoke(); err != nil {
+		if err := runSmoke(pprofBase); err != nil {
 			fmt.Fprintf(os.Stderr, "isomapd: smoke failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -81,6 +105,9 @@ func main() {
 		Seed:            *seed,
 		FaultEvery:      *faultEvery,
 		Oracle:          *oracle,
+		Shards:          *shards,
+		Workers:         *workers,
+		CacheEntries:    *cacheSize,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		Logf:            log.Printf,
@@ -106,6 +133,24 @@ func main() {
 	log.Fatal(hs.ListenAndServe())
 }
 
+// startPprof serves the process profiling surface (net/http/pprof on the
+// default mux) on its own listener, keeping it off the query address: the
+// main server handles requests with its own mux, so /debug/pprof/ is
+// only reachable through this explicitly opted-in port.
+func startPprof(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = hs.Serve(ln) }()
+	stop := func() {
+		hs.Close()
+		ln.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
 // listenLoopback boots srv on an ephemeral loopback port with the same
 // hardened http.Server settings production uses, returning the base URL
 // and a shutdown func.
@@ -126,14 +171,18 @@ func listenLoopback(srv *serve.Server) (string, func(), error) {
 // runSmoke is the self-contained health sequence the CI serve-smoke step
 // runs: a real TCP listener, three churn rounds with the third faulted,
 // oracle verification on every update, and the caching contract probed
-// from the client side.
-func runSmoke() error {
+// from the client side. The ingest path runs sharded and parallel
+// (oracle-checked against the full rebuild), and when -pprof was given
+// its endpoint is probed too.
+func runSmoke(pprofBase string) error {
 	srv, err := serve.NewServer(serve.Config{
 		Deployments: 1,
 		Nodes:       400,
 		Seed:        11,
 		FaultEvery:  3,
 		Oracle:      true,
+		Shards:      4,
+		Workers:     2,
 	})
 	if err != nil {
 		return err
@@ -266,6 +315,55 @@ func runSmoke() error {
 	resp.Body.Close()
 	if !strings.HasPrefix(string(head[:n]), "P2\n16 16\n") {
 		return fmt.Errorf("pgm tile header = %q", string(head[:n]))
+	}
+
+	// Response cache contract from the client side: a repeated query is
+	// byte-identical to its cold render and counted as a hit.
+	fetchBytes := func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	before, err := chaosCounters(base)
+	if err != nil {
+		return err
+	}
+	cold, err := fetchBytes("/v1/deployments/d0/raster?rows=32&cols=32")
+	if err != nil {
+		return err
+	}
+	warm, err := fetchBytes("/v1/deployments/d0/raster?rows=32&cols=32")
+	if err != nil {
+		return err
+	}
+	if string(cold) != string(warm) {
+		return fmt.Errorf("warm cached raster bytes diverge from cold render")
+	}
+	after, err := chaosCounters(base)
+	if err != nil {
+		return err
+	}
+	if after["cache_hits"] <= before["cache_hits"] {
+		return fmt.Errorf("warm raster was not a counted cache hit: %d -> %d", before["cache_hits"], after["cache_hits"])
+	}
+
+	// When -pprof was given, the profiling surface must answer on its own
+	// listener (and only there).
+	if pprofBase != "" {
+		resp, err := http.Get(pprofBase + "/debug/pprof/")
+		if err != nil {
+			return fmt.Errorf("pprof probe: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("pprof probe: status %d", resp.StatusCode)
+		}
 	}
 	return nil
 }

@@ -41,6 +41,15 @@ type Options struct {
 	// raster stages. Nil keeps the reconstruction byte-identical to an
 	// untraced run.
 	Trace *trace.Recorder
+	// Workers bounds the Incremental engine's worker pools: independent
+	// isolevels of an Update, the per-slot cell-reuse horizon checks, and
+	// the dirty-row raster refresh all fan out over at most Workers
+	// goroutines. Values below 1 select GOMAXPROCS. Output is
+	// byte-identical at any width (the parallel property tests pin it);
+	// a non-nil Trace forces sequential execution so stage events keep
+	// their deterministic order. Reconstruct ignores Workers — its raster
+	// parallelism is RasterWorkers' explicit argument.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration (regulation on).

@@ -18,6 +18,8 @@ package contour
 import (
 	"fmt"
 	"reflect"
+	"runtime"
+	"sync"
 	"time"
 
 	"isomap/internal/core"
@@ -115,24 +117,71 @@ func (inc *Incremental) Arranged() []core.Report {
 	return out
 }
 
+// workers resolves the engine's effective pool width: Options.Workers,
+// with values below 1 selecting GOMAXPROCS, and a non-nil Trace forcing 1
+// (trace.Recorder is single-writer and stage-event order must stay
+// deterministic).
+func (inc *Incremental) workers() int {
+	if inc.opts.Trace != nil {
+		return 1
+	}
+	w := inc.opts.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // Update ingests one round of reports and returns the new current map.
+// Isolevels are independent — each reads only its own slice of the
+// previous map and writes its own slot — so they build on a worker pool
+// (Options.Workers wide); per-level stats and dirty rectangles are merged
+// in level order afterwards, keeping the map, the stats and the dirty
+// bounds byte-identical to a sequential build.
 func (inc *Incremental) Update(reports []core.Report, sinkValue float64) *Map {
 	arranged := inc.arrange(reports)
 	m := &Map{Levels: inc.levels, Bounds: inc.bounds, tr: inc.opts.Trace}
 	prev := inc.cur
-	var dirty []dirtyRect
-	wholeDirty := prev == nil
-	for i, lv := range inc.values {
+	m.levels = make([]*levelRecon, len(inc.values))
+	dirties := make([]levelDirty, len(inc.values))
+	statsDeltas := make([]IncrementalStats, len(inc.values))
+	buildOne := func(i int) {
 		var old *levelRecon
 		if prev != nil {
 			old = prev.levels[i]
 		}
-		lr, ld := inc.buildLevel(old, lv, i, arranged[i], sinkValue)
-		m.levels = append(m.levels, lr)
-		if ld.whole {
+		m.levels[i], dirties[i] = inc.buildLevel(old, inc.values[i], i, arranged[i], sinkValue, &statsDeltas[i])
+	}
+	if w := min(inc.workers(), len(inc.values)); w <= 1 {
+		for i := range inc.values {
+			buildOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					buildOne(i)
+				}
+			}()
+		}
+		for i := range inc.values {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var dirty []dirtyRect
+	wholeDirty := prev == nil
+	for i := range inc.values {
+		if dirties[i].whole {
 			wholeDirty = true
 		}
-		dirty = append(dirty, ld.rects...)
+		dirty = append(dirty, dirties[i].rects...)
+		inc.stats.add(statsDeltas[i])
 	}
 	inc.version++
 	inc.cur = m
@@ -140,6 +189,18 @@ func (inc *Incremental) Update(reports []core.Report, sinkValue float64) *Map {
 	inc.lastFull = wholeDirty
 	inc.stats.Updates++
 	return m
+}
+
+// add accumulates a per-level (or per-row) stats delta.
+func (st *IncrementalStats) add(d IncrementalStats) {
+	st.Updates += d.Updates
+	st.LevelsReused += d.LevelsReused
+	st.LevelsRebuilt += d.LevelsRebuilt
+	st.CellsReused += d.CellsReused
+	st.CellsRecomputed += d.CellsRecomputed
+	st.RasterCellsCopied += d.RasterCellsCopied
+	st.RasterCellsReclassified += d.RasterCellsReclassified
+	st.RasterFullRebuilds += d.RasterFullRebuilds
 }
 
 // arrange buckets reports by level (dropping out-of-range level indices,
@@ -208,8 +269,10 @@ type levelDirty struct {
 }
 
 // buildLevel produces the new levelRecon for one isolevel, reusing as
-// much of old as the site diff can prove unchanged.
-func (inc *Incremental) buildLevel(old *levelRecon, lv float64, idx int, reports []core.Report, sinkValue float64) (*levelRecon, levelDirty) {
+// much of old as the site diff can prove unchanged. Work counters go to
+// st, the caller's per-level accumulator (never inc.stats directly:
+// buildLevel runs concurrently across levels).
+func (inc *Incremental) buildLevel(old *levelRecon, lv float64, idx int, reports []core.Report, sinkValue float64, st *IncrementalStats) (*levelRecon, levelDirty) {
 	lr := &levelRecon{level: lv, index: idx, fallbackInner: sinkValue >= lv}
 	for _, r := range reports {
 		lr.sites = append(lr.sites, r.Pos)
@@ -218,14 +281,14 @@ func (inc *Incremental) buildLevel(old *levelRecon, lv float64, idx int, reports
 	// Empty transitions (and the first round) rebuild the level outright.
 	if old == nil || len(old.sites) == 0 || len(lr.sites) == 0 {
 		lr.build(inc.bounds, inc.opts)
-		inc.stats.LevelsRebuilt++
+		st.LevelsRebuilt++
 		if old != nil && len(old.sites) == 0 && len(lr.sites) == 0 && old.fallbackInner == lr.fallbackInner {
 			return lr, levelDirty{}
 		}
 		return lr, levelDirty{whole: true}
 	}
 
-	diff := old.diagram.DiffSites(lr.sites)
+	diff := old.diagram.DiffSitesWorkers(lr.sites, inc.workers())
 	if diff.Identical && vecsEqual(old.grads, lr.grads) {
 		// Nothing changed: reuse the whole level. The copy re-derives
 		// fallbackInner (only consulted on empty levels, but kept exact
@@ -233,7 +296,7 @@ func (inc *Incremental) buildLevel(old *levelRecon, lv float64, idx int, reports
 		reuse := *old
 		reuse.level, reuse.index = lv, idx
 		reuse.fallbackInner = lr.fallbackInner
-		inc.stats.LevelsReused++
+		st.LevelsReused++
 		return &reuse, levelDirty{}
 	}
 
@@ -248,8 +311,8 @@ func (inc *Incremental) buildLevel(old *levelRecon, lv float64, idx int, reports
 		lr.diagram = geom.VoronoiIncremental(old.diagram, lr.sites, lr.nn, diff)
 	}
 	recordStage(inc.opts.Trace, trace.StageVoronoi, idx, start)
-	inc.stats.CellsReused += len(lr.sites) - diff.DirtyCount
-	inc.stats.CellsRecomputed += diff.DirtyCount
+	st.CellsReused += len(lr.sites) - diff.DirtyCount
+	st.CellsRecomputed += diff.DirtyCount
 
 	start = time.Now()
 	n := len(lr.sites)
@@ -387,7 +450,7 @@ func (inc *Incremental) Raster(rows, cols int) *field.Raster {
 	if ok && c.version == inc.version-1 && !inc.lastFull && rows > 0 && cols > 0 {
 		ra = inc.rasterFromPrev(c.ra, rows, cols)
 	} else {
-		ra = inc.cur.RasterWorkers(rows, cols, 0)
+		ra = inc.cur.RasterWorkers(rows, cols, inc.opts.Workers)
 		inc.stats.RasterFullRebuilds++
 	}
 	inc.rasters[key] = cachedRaster{version: inc.version, ra: ra}
@@ -398,6 +461,10 @@ func (inc *Incremental) Raster(rows, cols int) *field.Raster {
 // dirty rectangle are copied; inside, cells are reclassified with the
 // same warm-cursor scan the full sweep uses (answers are
 // cursor-independent, so partial scans agree with full ones exactly).
+// Rows write disjoint slices and carry their own cursor state, so they
+// refresh on a worker pool (Options.Workers) with per-worker stats
+// deltas summed afterwards — byte-identical output and identical stats
+// at any width.
 func (inc *Incremental) rasterFromPrev(prev *field.Raster, rows, cols int) *field.Raster {
 	m := inc.cur
 	ra := field.NewRaster(rows, cols)
@@ -419,43 +486,67 @@ func (inc *Incremental) rasterFromPrev(prev *field.Raster, rows, cols int) *fiel
 		spans = append(spans, s)
 	}
 
-	hints := make([]int, len(m.levels))
-	var ivs [][2]int
-	for r := 0; r < rows; r++ {
-		copy(ra.Cells[r], prev.Cells[r])
-		ivs = ivs[:0]
-		for _, s := range spans {
-			if r >= s.r0 && r <= s.r1 {
-				ivs = append(ivs, [2]int{s.c0, s.c1})
-			}
-		}
-		if len(ivs) == 0 {
-			inc.stats.RasterCellsCopied += cols
-			continue
-		}
-		merged := mergeIntervals(ivs)
-		y := y0 + h*(float64(r)+0.5)/float64(rows)
-		for i := range hints {
-			hints[i] = -1
-		}
-		redone := 0
-		for _, iv := range merged {
-			for cc := iv[0]; cc <= iv[1]; cc++ {
-				x := x0 + w*(float64(cc)+0.5)/float64(cols)
-				p := geom.Point{X: x, Y: y}
-				idx := 0
-				for li, lr := range m.levels {
-					if !lr.levelInnerHint(p, &hints[li]) {
-						break
-					}
-					idx++
+	// refreshRows handles the row range [lo,hi) with its own cursor and
+	// interval scratch, accumulating work counters into st.
+	refreshRows := func(lo, hi int, st *IncrementalStats) {
+		hints := make([]int, len(m.levels))
+		var ivs [][2]int
+		for r := lo; r < hi; r++ {
+			copy(ra.Cells[r], prev.Cells[r])
+			ivs = ivs[:0]
+			for _, s := range spans {
+				if r >= s.r0 && r <= s.r1 {
+					ivs = append(ivs, [2]int{s.c0, s.c1})
 				}
-				ra.Cells[r][cc] = idx
-				redone++
 			}
+			if len(ivs) == 0 {
+				st.RasterCellsCopied += cols
+				continue
+			}
+			merged := mergeIntervals(ivs)
+			y := y0 + h*(float64(r)+0.5)/float64(rows)
+			for i := range hints {
+				hints[i] = -1
+			}
+			redone := 0
+			for _, iv := range merged {
+				for cc := iv[0]; cc <= iv[1]; cc++ {
+					x := x0 + w*(float64(cc)+0.5)/float64(cols)
+					p := geom.Point{X: x, Y: y}
+					idx := 0
+					for li, lr := range m.levels {
+						if !lr.levelInnerHint(p, &hints[li]) {
+							break
+						}
+						idx++
+					}
+					ra.Cells[r][cc] = idx
+					redone++
+				}
+			}
+			st.RasterCellsReclassified += redone
+			st.RasterCellsCopied += cols - redone
 		}
-		inc.stats.RasterCellsReclassified += redone
-		inc.stats.RasterCellsCopied += cols - redone
+	}
+
+	if nw := min(inc.workers(), rows); nw <= 1 {
+		refreshRows(0, rows, &inc.stats)
+	} else {
+		deltas := make([]IncrementalStats, nw)
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			lo := g * rows / nw
+			hi := (g + 1) * rows / nw
+			wg.Add(1)
+			go func(g, lo, hi int) {
+				defer wg.Done()
+				refreshRows(lo, hi, &deltas[g])
+			}(g, lo, hi)
+		}
+		wg.Wait()
+		for g := range deltas {
+			inc.stats.add(deltas[g])
+		}
 	}
 	return ra
 }

@@ -1,0 +1,83 @@
+package contour
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"isomap/internal/geom"
+)
+
+// TestIncrementalWorkersByteIdentical is the parallel-ingest oracle: the
+// same churn stream driven through engines at worker widths {1, 2, 8}
+// must produce byte-identical maps, rasters (full and dirty-rect
+// refreshed), arranged orders and work stats at every round. Width 1 is
+// the sequential reference; the others exercise the level pool, the
+// parallel horizon checks and the parallel raster refresh.
+func TestIncrementalWorkersByteIdentical(t *testing.T) {
+	levels := testLevels()
+	bounds := geom.Rect(0, 0, 30, 30)
+	const rows, cols = 52, 47
+	widths := []int{1, 2, 8}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		engines := make([]*Incremental, len(widths))
+		for i, w := range widths {
+			opts := DefaultOptions()
+			opts.Workers = w
+			engines[i] = NewIncremental(levels, bounds, opts)
+		}
+		// k large enough that the horizon-check span threshold engages.
+		reports := churnSeedReports(rng, 300+rng.Intn(100), levels, bounds)
+		for round := 0; round < 6; round++ {
+			sink := 1 + rng.Float64()*8
+			ref := engines[0]
+			ref.Update(reports, sink)
+			refRa := ref.Raster(rows, cols)
+			for i := 1; i < len(engines); i++ {
+				m := engines[i].Update(reports, sink)
+				if err := Equivalent(ref.Map(), m, 0, 0); err != nil {
+					t.Fatalf("seed %d round %d workers=%d: map diverges: %v", seed, round, widths[i], err)
+				}
+				if !reflect.DeepEqual(ref.Arranged(), engines[i].Arranged()) {
+					t.Fatalf("seed %d round %d workers=%d: arranged order diverges", seed, round, widths[i])
+				}
+				if err := EquivalentRaster(refRa, engines[i].Raster(rows, cols)); err != nil {
+					t.Fatalf("seed %d round %d workers=%d: raster diverges: %v", seed, round, widths[i], err)
+				}
+				if ref.Stats() != engines[i].Stats() {
+					t.Fatalf("seed %d round %d workers=%d: stats diverge:\n  seq %+v\n  par %+v",
+						seed, round, widths[i], ref.Stats(), engines[i].Stats())
+				}
+			}
+			checkOracle(t, engines[len(engines)-1], sink, rows, cols)
+			reports = churnReports(rng, reports, levels, bounds)
+		}
+	}
+}
+
+// TestIncrementalWorkersDegenerate drives the parallel engine through the
+// degenerate shapes (empty rounds, shrink-to-empty, resolution switches)
+// at width 8 against the sequential oracle.
+func TestIncrementalWorkersDegenerate(t *testing.T) {
+	levels := testLevels()
+	bounds := geom.Rect(0, 0, 20, 20)
+	rng := rand.New(rand.NewSource(23))
+	opts := DefaultOptions()
+	opts.Workers = 8
+	inc := NewIncremental(levels, bounds, opts)
+	reports := churnSeedReports(rng, 50, levels, bounds)
+	for _, n := range []int{50, 9, 0, 0, 34, 1} {
+		if n > len(reports) {
+			reports = churnSeedReports(rng, n, levels, bounds)
+		}
+		sink := rng.Float64() * 9
+		inc.Update(reports[:n], sink)
+		checkOracle(t, inc, sink, 36, 36)
+		for _, res := range [][2]int{{24, 24}, {0, 10}, {-3, 5}} {
+			if err := EquivalentRaster(inc.Raster(res[0], res[1]), inc.Map().RasterWorkers(res[0], res[1], 1)); err != nil {
+				t.Fatalf("n=%d res %v: %v", n, res, err)
+			}
+		}
+	}
+}

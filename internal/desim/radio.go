@@ -835,9 +835,14 @@ func (r *Radio) mediumBusy(id network.NodeID) bool {
 	}
 	d := r.cfg.PropagationDelay
 	for _, nb := range r.nw.Neighbors(id) {
-		spans := g.busy[nb]
+		// Remote neighbors MUST NOT touch g.busy even speculatively: the
+		// owning shard appends to it concurrently. Only the
+		// barrier-published view is safe off-shard.
+		var spans []txSpan
 		if g.shardOf != nil && g.shardOf[nb] != r.shard {
 			spans = g.busyView[nb]
+		} else {
+			spans = g.busy[nb]
 		}
 		for i := len(spans) - 1; i >= 0; i-- {
 			if spans[i].s+d <= now && now < spans[i].e+d {

@@ -1,6 +1,9 @@
 package geom
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // This file implements incremental Voronoi reconstruction (PR 6): given a
 // diagram built by Voronoi/VoronoiWithIndex and a new site slice that
@@ -66,6 +69,16 @@ const dupeSlack = 4 * Eps
 // infinite horizons, so every cell diffs dirty — correct but never an
 // improvement).
 func (d *VoronoiDiagram) DiffSites(sites []Point) VoronoiDiff {
+	return d.DiffSitesWorkers(sites, 1)
+}
+
+// DiffSitesWorkers is DiffSites with the per-slot horizon checks — the
+// dominant cost on large mostly-stable rounds — fanned out over a bounded
+// worker pool. Every slot's verdict is an independent pure function of the
+// prebuilt delta index, DirtyCount is a sum and NearDupe an OR, so the
+// returned diff is identical to the sequential one at any width. workers
+// below 2 (and slot counts too small to amortize a goroutine) run inline.
+func (d *VoronoiDiagram) DiffSitesWorkers(sites []Point, workers int) VoronoiDiff {
 	old := d.Cells
 	diff := VoronoiDiff{
 		Stable: make([]bool, len(sites)),
@@ -95,24 +108,55 @@ func (d *VoronoiDiagram) DiffSites(sites []Point) VoronoiDiff {
 		return diff
 	}
 	deltaNN := NewNNIndex(diff.Deltas, d.Bounds)
-	for i, s := range sites {
-		if !diff.Stable[i] {
-			diff.Dirty[i] = true
-			diff.DirtyCount++
-			continue
+	// checkSpan classifies slots [lo,hi), returning the span's dirty count
+	// and near-dupe verdict. Writes land in disjoint Dirty slots.
+	checkSpan := func(lo, hi int) (dirty int, nearDupe bool) {
+		for i := lo; i < hi; i++ {
+			if !diff.Stable[i] {
+				diff.Dirty[i] = true
+				dirty++
+				continue
+			}
+			s := sites[i]
+			nd := deltaNN.Nearest(s)
+			dd := math.Sqrt(s.Dist2To(diff.Deltas[nd]))
+			if dd <= dupeSlack {
+				nearDupe = true
+			}
+			// The horizon covers the clip sequence; the adjacencyTol pad
+			// covers edgeNeighbor's equidistance band around the region
+			// boundary, which extends up to tol past twice the security
+			// radius.
+			if dd <= math.Sqrt(old[i].horizonD2)+adjacencyTol {
+				diff.Dirty[i] = true
+				dirty++
+			}
 		}
-		nd := deltaNN.Nearest(s)
-		dd := math.Sqrt(s.Dist2To(diff.Deltas[nd]))
-		if dd <= dupeSlack {
-			diff.NearDupe = true
+		return dirty, nearDupe
+	}
+	const minSpan = 64
+	if workers > len(sites)/minSpan {
+		workers = len(sites) / minSpan
+	}
+	if workers <= 1 {
+		diff.DirtyCount, diff.NearDupe = checkSpan(0, len(sites))
+	} else {
+		counts := make([]int, workers)
+		dupes := make([]bool, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * len(sites) / workers
+			hi := (w + 1) * len(sites) / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				counts[w], dupes[w] = checkSpan(lo, hi)
+			}(w, lo, hi)
 		}
-		// The horizon covers the clip sequence; the adjacencyTol pad
-		// covers edgeNeighbor's equidistance band around the region
-		// boundary, which extends up to tol past twice the security
-		// radius.
-		if dd <= math.Sqrt(old[i].horizonD2)+adjacencyTol {
-			diff.Dirty[i] = true
-			diff.DirtyCount++
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			diff.DirtyCount += counts[w]
+			diff.NearDupe = diff.NearDupe || dupes[w]
 		}
 	}
 	if !diff.NearDupe {

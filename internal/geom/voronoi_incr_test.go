@@ -156,3 +156,36 @@ func TestDiffSitesNaiveAlwaysDirty(t *testing.T) {
 		t.Fatalf("naive-diagram diff dirty = %d, want all %d", diff.DirtyCount, len(moved))
 	}
 }
+
+// TestDiffSitesWorkersEquivalence: the fanned-out horizon checks return
+// the exact diff the sequential scan does — Dirty slots, DirtyCount,
+// NearDupe and StaleOld alike — at any worker width.
+func TestDiffSitesWorkersEquivalence(t *testing.T) {
+	bounds := Rect(0, 0, 40, 40)
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		k := 200 + rng.Intn(300)
+		sites := make([]Point, k)
+		for i := range sites {
+			sites[i] = Point{X: rng.Float64() * 40, Y: rng.Float64() * 40}
+		}
+		prev := Voronoi(sites, bounds)
+		next := append([]Point(nil), sites...)
+		for i := range next {
+			if rng.Float64() < 0.06 {
+				next[i].X += rng.NormFloat64() * 0.5
+				next[i].Y += rng.NormFloat64() * 0.5
+			}
+		}
+		if trial%3 == 1 {
+			next = next[:k-rng.Intn(20)]
+		}
+		want := prev.DiffSites(next)
+		for _, w := range []int{2, 4, 8} {
+			got := prev.DiffSitesWorkers(next, w)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("trial %d workers=%d: diff diverges from sequential", trial, w)
+			}
+		}
+	}
+}

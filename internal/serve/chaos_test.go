@@ -96,6 +96,12 @@ func TestChaosSoak(t *testing.T) {
 
 	// Concurrent query load across both deployments for the whole soak.
 	etagRe := regexp.MustCompile(`^"(d\d+)-v(\d+)"$`)
+	// One ETag, one body: every response under a given ETag must be
+	// byte-identical for the soak's lifetime, whether it was served from
+	// the artifact cache, re-rendered after an eviction, or rendered from
+	// the snapshot map while the engine sat quarantined. This is the
+	// cache-key half of the desync invariant.
+	var etagBodies sync.Map // etag string -> body string
 	var stop atomic.Bool
 	var sawStale atomic.Bool
 	var wg sync.WaitGroup
@@ -137,6 +143,10 @@ func TestChaosSoak(t *testing.T) {
 					}
 					if v, _ := strconv.Atoi(mm[2]); v != out.Version {
 						reportErr("DESYNC: raster version %d under ETag %s", out.Version, resp.Header.Get("ETag"))
+						return
+					}
+					if prev, loaded := etagBodies.LoadOrStore(resp.Header.Get("ETag"), string(body)); loaded && prev.(string) != string(body) {
+						reportErr("DESYNC: ETag %s served two different bodies", resp.Header.Get("ETag"))
 						return
 					}
 					if resp.Header.Get("Warning") != "" {

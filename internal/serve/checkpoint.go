@@ -139,6 +139,13 @@ func (s *Server) restore(d *deployment) error {
 		reports:   doc.Reports,
 		faulted:   doc.Faulted,
 	})
+	// The artifact cache is in-process memory, so a restart can never
+	// resurrect pre-restart bytes — but restore is still a publish, so it
+	// invalidates like every other one. If a restored server re-reaches a
+	// version number the dead process also served (checkpoint at v3,
+	// different rounds ingested after restart), its caches refill from its
+	// own renders; nothing ties them to the old process's bytes.
+	d.cache.invalidate(doc.Version)
 	serveVars().Add("restores", 1)
 	s.logf("serve: %s restored from checkpoint at version %d (round %d)", d.id, doc.Version, doc.Round)
 	return nil

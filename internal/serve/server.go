@@ -30,12 +30,14 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -90,11 +92,27 @@ type Config struct {
 	// selects 1 (every publish).
 	CheckpointEvery int
 
+	// Shards, when above 1, runs each deployment's faulted simulated
+	// rounds on the sharded discrete-event engine (desim.ShardedEngine
+	// over a grid partition, via sim.RoundSource.Shards) — the report
+	// stream is byte-identical at any shard count; sharding is purely an
+	// execution strategy for large served deployments.
+	Shards int
+	// Workers bounds the ingest path's worker pools: the sharded round
+	// engine (sim.RoundSource.Workers) and the parallel incremental
+	// reconstruction (contour.Options.Workers — level builds, horizon
+	// checks, dirty-row raster refresh). Zero selects GOMAXPROCS.
+	Workers int
+
 	// MaxBodyBytes caps POST /rounds request bodies; zero selects 8 MiB.
 	MaxBodyBytes int64
 	// RasterInflight bounds concurrent raster renders; excess requests
 	// are load-shed with 429 + Retry-After. Zero selects 4.
 	RasterInflight int
+	// CacheEntries bounds each deployment's response artifact cache (the
+	// version-keyed LRU over encoded polyline/classify/range/raster
+	// bodies; see cache.go). Zero selects 64.
+	CacheEntries int
 
 	// Chaos, when set, injects seeded faults (panics, synthetic
 	// divergences, slow rounds) into the ingest path — the serving-layer
@@ -168,6 +186,10 @@ type deployment struct {
 
 	snap   atomic.Pointer[snapshot]
 	health atomic.Pointer[depHealth]
+
+	// cache holds this deployment's encoded response bodies, keyed by
+	// snapshot version (cache.go). Always non-nil.
+	cache *artifactCache
 }
 
 // Server owns the deployments and implements http.Handler.
@@ -212,6 +234,15 @@ func NewServer(cfg Config) (*Server, error) {
 		rasterSem: make(chan struct{}, cfg.RasterInflight),
 	}
 	s.chaos.Store(cfg.Chaos)
+	// Surface the resolved ingest parallelism as a gauge next to the
+	// counters; 0 means "GOMAXPROCS at run time".
+	iw := cfg.Workers
+	if iw < 1 {
+		iw = runtime.GOMAXPROCS(0)
+	}
+	g := new(expvar.Int)
+	g.Set(int64(iw))
+	serveVars().Set("parallel_ingest_workers", g)
 	runner := sim.NewRunner(1)
 	for i := 0; i < cfg.Deployments; i++ {
 		sc := sim.Scenario{Nodes: cfg.Nodes, Seed: cfg.Seed + int64(i)}
@@ -221,13 +252,17 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 		id := fmt.Sprintf("d%d", i)
 		bounds := field.BoundsRect(env.Field)
+		opts := contour.DefaultOptions()
+		opts.Workers = cfg.Workers
 		d := &deployment{
 			id:     id,
 			levels: env.Scenario.Levels,
 			bounds: bounds,
-			opts:   contour.DefaultOptions(),
-			src:    &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery},
-			inc:    contour.NewIncremental(env.Scenario.Levels, bounds, contour.DefaultOptions()),
+			opts:   opts,
+			src: &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery,
+				Shards: cfg.Shards, Workers: cfg.Workers},
+			inc:   contour.NewIncremental(env.Scenario.Levels, bounds, opts),
+			cache: newArtifactCache(cfg.CacheEntries),
 		}
 		d.health.Store(&depHealth{})
 		if cfg.CheckpointDir != "" {
@@ -514,6 +549,11 @@ func (s *Server) ingest(d *deployment, reports []core.Report, sinkValue float64,
 		faulted:   faulted,
 	}
 	d.snap.Store(sn)
+	// Publish-time invalidation: drop cached bodies of every superseded
+	// version. Quarantine publishes nothing, so a degraded deployment
+	// keeps serving the last good version's cached bytes; the resync that
+	// ends it lands here and purges them.
+	d.cache.invalidate(sn.version)
 	d.noteSuccess()
 	serveVars().Add("updates", 1)
 	if resynced {
@@ -672,6 +712,30 @@ func scanETag(s string) (etag, rest string, ok bool) {
 	return "", "", false
 }
 
+// serveCached writes one cached (or just-rendered) body. The render
+// closure must read only sn — the immutable snapshot whose version keys
+// the cache — so stored bytes can never desync from the ETag current()
+// already set from the same snapshot.
+func serveCached(w http.ResponseWriter, d *deployment, sn *snapshot, key string, render func() ([]byte, string, error)) {
+	body, ct, err := d.cache.getOrFill(sn.version, key, render)
+	if err != nil {
+		if errors.Is(err, errRasterSaturated) {
+			serveVars().Add("rasters_shed", 1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "raster renders saturated; retry")
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "render failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	_, _ = w.Write(body)
+}
+
+// fmtFloat canonicalizes a query float for cache keys: distinct raw
+// spellings of one value ("5", "5.0", "5e0") share an entry.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
 func (s *Server) handlePolyline(w http.ResponseWriter, r *http.Request, d *deployment) {
 	idx, err := strconv.Atoi(r.PathValue("idx"))
 	if err != nil || idx < 0 || idx >= d.levels.Count() {
@@ -682,13 +746,16 @@ func (s *Server) handlePolyline(w http.ResponseWriter, r *http.Request, d *deplo
 	if !ok {
 		return
 	}
-	segs := sn.m.BoundarySegments(idx)
-	out := make([][4]float64, 0, len(segs))
-	for _, sg := range segs {
-		out = append(out, [4]float64{sg.A.X, sg.A.Y, sg.B.X, sg.B.Y})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version": sn.version, "level": d.levels.Values()[idx], "segments": out,
+	serveCached(w, d, sn, "poly|"+strconv.Itoa(idx), func() ([]byte, string, error) {
+		segs := sn.m.BoundarySegments(idx)
+		out := make([][4]float64, 0, len(segs))
+		for _, sg := range segs {
+			out = append(out, [4]float64{sg.A.X, sg.A.Y, sg.B.X, sg.B.Y})
+		}
+		b, err := encodeJSON(map[string]any{
+			"version": sn.version, "level": d.levels.Values()[idx], "segments": out,
+		})
+		return b, "application/json", err
 	})
 }
 
@@ -703,9 +770,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request, d *deplo
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"version": sn.version, "x": x, "y": y,
-		"class": sn.m.ClassifyPoint(geom.Point{X: x, Y: y}),
+	serveCached(w, d, sn, "cls|"+fmtFloat(x)+"|"+fmtFloat(y), func() ([]byte, string, error) {
+		b, err := encodeJSON(map[string]any{
+			"version": sn.version, "x": x, "y": y,
+			"class": sn.m.ClassifyPoint(geom.Point{X: x, Y: y}),
+		})
+		return b, "application/json", err
 	})
 }
 
@@ -729,19 +799,28 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, d *deployme
 	if !ok {
 		return
 	}
-	// Classes of the range's rows x cols cell centers, row-major — the
-	// same center convention as the full raster.
-	cells := make([][]int, rows)
-	for i := 0; i < rows; i++ {
-		cells[i] = make([]int, cols)
-		y := y0 + (y1-y0)*(float64(i)+0.5)/float64(rows)
-		for j := 0; j < cols; j++ {
-			x := x0 + (x1-x0)*(float64(j)+0.5)/float64(cols)
-			cells[i][j] = sn.m.ClassifyPoint(geom.Point{X: x, Y: y})
+	key := fmt.Sprintf("rng|%s|%s|%s|%s|%d|%d",
+		fmtFloat(x0), fmtFloat(y0), fmtFloat(x1), fmtFloat(y1), rows, cols)
+	serveCached(w, d, sn, key, func() ([]byte, string, error) {
+		// Classes of the range's rows x cols cell centers, row-major —
+		// the same center convention as the full raster.
+		cells := make([][]int, rows)
+		for i := 0; i < rows; i++ {
+			cells[i] = make([]int, cols)
+			y := y0 + (y1-y0)*(float64(i)+0.5)/float64(rows)
+			for j := 0; j < cols; j++ {
+				x := x0 + (x1-x0)*(float64(j)+0.5)/float64(cols)
+				cells[i][j] = sn.m.ClassifyPoint(geom.Point{X: x, Y: y})
+			}
 		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": sn.version, "cells": cells})
+		b, err := encodeJSON(map[string]any{"version": sn.version, "cells": cells})
+		return b, "application/json", err
+	})
 }
+
+// errRasterSaturated marks a raster fill shed by the inflight bound; the
+// handler maps it to 429.
+var errRasterSaturated = errors.New("raster renders saturated")
 
 func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request, d *deployment) {
 	q := r.URL.Query()
@@ -758,71 +837,69 @@ func (s *Server) handleRaster(w http.ResponseWriter, r *http.Request, d *deploym
 		writeErr(w, http.StatusBadRequest, "format must be json or pgm")
 		return
 	}
-	// Renders are the expensive queries; past RasterInflight concurrent
-	// ones, shed load instead of queueing unboundedly.
-	select {
-	case s.rasterSem <- struct{}{}:
-		defer func() { <-s.rasterSem }()
-	default:
-		serveVars().Add("rasters_shed", 1)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "raster renders saturated; retry")
-		return
-	}
 	sn, ok := current(w, r, d)
 	if !ok {
 		return
 	}
-	// The engine's raster cache makes repeat resolutions cheap, but it is
-	// only consulted when the engine provably backs this snapshot —
-	// quarantined or superseded engines never leak into a response.
-	d.mu.Lock()
-	var ra *field.Raster
-	if d.inc != nil && d.inc.Map() == sn.m {
-		ra = d.inc.Raster(rows, cols)
-	}
-	d.mu.Unlock()
-	if ra == nil {
-		if d.snap.Load() != sn {
-			// An ingest swapped the snapshot between our ETag check and
-			// the raster read; the client retries against the new version.
-			writeErr(w, http.StatusConflict, "snapshot superseded during render; retry")
-			return
+	key := fmt.Sprintf("ras|%d|%d|%s", rows, cols, format)
+	serveCached(w, d, sn, key, func() ([]byte, string, error) {
+		// Renders are the expensive misses; cache hits cost nothing, and
+		// concurrent misses on one key already coalesce, so the inflight
+		// bound only sheds *distinct* cold renders past RasterInflight.
+		select {
+		case s.rasterSem <- struct{}{}:
+			defer func() { <-s.rasterSem }()
+		default:
+			return nil, "", errRasterSaturated
 		}
-		// Degraded: the engine is quarantined but the snapshot is still
-		// current — render directly from the immutable last good map.
-		ra = sn.m.RasterWorkers(rows, cols, 0)
-	}
-	if format == "pgm" {
-		w.Header().Set("Content-Type", "image/x-portable-graymap")
-		writePGM(w, ra, d.levels.Count())
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"version": sn.version, "rows": rows, "cols": cols, "cells": ra.Cells})
+		// The engine's dirty-rect raster path makes repeat resolutions
+		// cheap, but it is only consulted when the engine provably backs
+		// this snapshot — quarantined or superseded engines never leak
+		// into a response. Otherwise (degraded, or the snapshot was
+		// superseded mid-request) render from the immutable snapshot map
+		// itself: always consistent with the version that keys the bytes.
+		d.mu.Lock()
+		var ra *field.Raster
+		if d.inc != nil && d.inc.Map() == sn.m {
+			ra = d.inc.Raster(rows, cols)
+		}
+		d.mu.Unlock()
+		if ra == nil {
+			ra = sn.m.RasterWorkers(rows, cols, s.cfg.Workers)
+		}
+		if format == "pgm" {
+			return renderPGM(ra, d.levels.Count()), "image/x-portable-graymap", nil
+		}
+		b, err := encodeJSON(map[string]any{"version": sn.version, "rows": rows, "cols": cols, "cells": ra.Cells})
+		return b, "application/json", err
+	})
 }
 
-// writePGM renders the class raster as a plain-text PGM tile, darkest at
-// the innermost class.
-func writePGM(w http.ResponseWriter, ra *field.Raster, classes int) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "P2\n%d %d\n255\n", ra.Cols, ra.Rows)
+// renderPGM renders the class raster as a plain-text PGM tile, darkest at
+// the innermost class, into pooled scratch; the returned bytes are a
+// private copy safe to cache.
+func renderPGM(ra *field.Raster, classes int) []byte {
+	buf := encodeBuffers.Get().(*bytes.Buffer)
+	defer encodeBuffers.Put(buf)
+	buf.Reset()
+	fmt.Fprintf(buf, "P2\n%d %d\n255\n", ra.Cols, ra.Rows)
 	if classes < 1 {
 		classes = 1
 	}
 	for _, row := range ra.Cells {
 		for j, c := range row {
 			if j > 0 {
-				b.WriteByte(' ')
+				buf.WriteByte(' ')
 			}
 			g := 255 - (255*c)/classes
 			if g < 0 {
 				g = 0
 			}
-			fmt.Fprintf(&b, "%d", g)
+			buf.WriteString(strconv.Itoa(g))
 		}
-		b.WriteByte('\n')
+		buf.WriteByte('\n')
 	}
-	_, _ = w.Write([]byte(b.String()))
+	return append([]byte(nil), buf.Bytes()...)
 }
 
 func intOr(s string, def int) int {
