@@ -30,11 +30,21 @@
 // every recorded round; a violation fails the report. -smoke shrinks it
 // to a single small fault-free round for CI.
 //
+// -kind temporal (emitting BENCH_TEMPORAL.json) runs the temporal
+// monitoring sweep (sim.ExtTemporalSweepResults): seeded time-evolving
+// fields tracked over multi-round packet-level monitoring, full-report
+// rounds against the delta-report protocol, reporting per-round traffic,
+// tracking error against the moving ground truth, and sink-side belief
+// staleness across field speeds. The report fails if the slow-drift
+// delta cell does not beat its full-report pair on traffic at
+// comparable tracking error. -smoke shrinks it to one delta cell for
+// CI.
+//
 // Unknown -kind values exit non-zero listing the valid kinds.
 //
 // Usage:
 //
-//	benchreport [-kind recon|faults|desim|trace] [-out FILE] [-maxk 2048]
+//	benchreport [-kind recon|faults|desim|trace|serve|temporal] [-out FILE] [-maxk 2048]
 //	            [-runs 3] [-smoke] [-parallel N]
 package main
 
@@ -119,6 +129,8 @@ var kinds = []kindSpec{
 		func(o options) error { return runTrace(o.out, o.smoke) }},
 	{"serve", "contour server under churn: incremental vs full rebuild, sustained query latency (BENCH_SERVE.json)",
 		func(o options) error { return runServe(o.out, o.smoke) }},
+	{"temporal", "evolving-field monitoring: full-report vs delta traffic, tracking error, staleness (BENCH_TEMPORAL.json)",
+		func(o options) error { return runTemporal(o.out, o.runs, o.smoke, o.parallel) }},
 }
 
 // kindNames returns the registered kind names in registration order.

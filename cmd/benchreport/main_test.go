@@ -26,7 +26,7 @@ func TestDispatchUnknownKindLists(t *testing.T) {
 }
 
 func TestKindRegistryComplete(t *testing.T) {
-	want := []string{"recon", "faults", "desim", "trace", "serve"}
+	want := []string{"recon", "faults", "desim", "trace", "serve", "temporal"}
 	got := kindNames()
 	if len(got) != len(want) {
 		t.Fatalf("kindNames() = %v, want %v", got, want)

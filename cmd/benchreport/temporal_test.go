@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"isomap/internal/sim"
+)
+
+func temporalPair(fullFrames, deltaFrames, fullErr, deltaErr float64) []sim.TemporalPointResult {
+	return []sim.TemporalPointResult{
+		{TemporalPoint: sim.TemporalPoint{Field: "drift", Speed: 0.2},
+			DataFramesPerRound: fullFrames, TrackingError: fullErr},
+		{TemporalPoint: sim.TemporalPoint{Field: "drift", Speed: 0.2, Delta: true, Expiry: 8},
+			DataFramesPerRound: deltaFrames, TrackingError: deltaErr},
+	}
+}
+
+// TestCheckTemporalClaim pins the report's acceptance gate: the
+// slow-drift delta cell must beat its full-report pair on traffic
+// without giving up more than 0.05 tracking error; a missing pair is an
+// error too.
+func TestCheckTemporalClaim(t *testing.T) {
+	if err := checkTemporalClaim(temporalPair(300, 280, 0.31, 0.30)); err != nil {
+		t.Errorf("holding claim rejected: %v", err)
+	}
+	if err := checkTemporalClaim(temporalPair(280, 300, 0.31, 0.30)); err == nil {
+		t.Error("traffic regression accepted")
+	} else if !strings.Contains(err.Error(), "no traffic win") {
+		t.Errorf("traffic regression error: %v", err)
+	}
+	if err := checkTemporalClaim(temporalPair(300, 280, 0.30, 0.40)); err == nil {
+		t.Error("tracking-error regression accepted")
+	}
+	if err := checkTemporalClaim(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if err := checkTemporalClaim(temporalPair(300, 280, 0.31, 0.30)[:1]); err == nil {
+		t.Error("missing delta cell accepted")
+	}
+}
+
+// TestTemporalSmokeSchema runs the CI temporal cell end to end and
+// checks the emitted JSON parses back with populated delta metrics.
+func TestTemporalSmokeSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-round packet sweep")
+	}
+	out := filepath.Join(t.TempDir(), "temporal.json")
+	if err := runTemporal(out, 1, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep temporalReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != sim.TemporalRounds || len(rep.Results) != 1 {
+		t.Fatalf("smoke report shape: rounds=%d results=%d", rep.Rounds, len(rep.Results))
+	}
+	res := rep.Results[0]
+	if !res.Delta || res.DataFramesPerRound <= 0 || res.MapReports <= 0 {
+		t.Errorf("smoke cell: %+v", res)
+	}
+	if res.MeanStaleness < 0 || res.SuppressRatio < 0 {
+		t.Errorf("delta cell reported n/a delta metrics: %+v", res)
+	}
+}

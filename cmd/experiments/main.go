@@ -17,7 +17,8 @@
 // Figures: table1, fig7, fig9, fig10, fig11a, fig11b, fig12a, fig12b,
 // fig13a, fig13b, fig14a, fig14b, fig15a, fig15b, fig16, all.
 // Extensions: ext-noise, ext-scope, ext-loss, ext-monitor, ext-latency,
-// ext-localize, ext-mac, ext-lifetime, ext-detect, ext-codec, ext-faults.
+// ext-localize, ext-mac, ext-lifetime, ext-detect, ext-codec, ext-faults,
+// ext-temporal.
 package main
 
 import (
@@ -125,6 +126,7 @@ func run() error {
 		"ext-detect":   func() (*sim.Table, error) { return r.ExtDetectPolicySweep(*runs) },
 		"ext-codec":    func() (*sim.Table, error) { return r.ExtCodecSweep(*runs) },
 		"ext-faults":   func() (*sim.Table, error) { return r.ExtFaultSweep(*runs) },
+		"ext-temporal": func() (*sim.Table, error) { return r.ExtTemporalSweep(*runs) },
 	}
 
 	if *figure == "all" {

@@ -10,9 +10,10 @@
 //
 //	isomapd [-addr :8080] [-deployments 2] [-nodes 600] [-seed 1]
 //	        [-faultevery 0] [-oracle] [-interval 0]
+//	        [-field KIND] [-field-speed 1] [-delta] [-delta-expiry 0]
 //	        [-shards 0] [-workers 0] [-cache-entries 0]
 //	        [-checkpoint-dir DIR] [-checkpoint-every N]
-//	        [-pprof ADDR] [-smoke] [-smoke-chaos]
+//	        [-pprof ADDR] [-smoke] [-smoke-chaos] [-smoke-temporal]
 //
 // -interval N hands each deployment to a supervised ingest loop that
 // advances one round every N (with exponential backoff after failures
@@ -34,6 +35,16 @@
 // seeded chaos plan (panics, synthetic divergences, slow rounds) must
 // keep serving while degraded, then return to healthy and ready once
 // the chaos lifts.
+//
+// -field selects the evolving field the deployments monitor (one of
+// field.TemporalKinds: silting, drift, front, step) and -field-speed its
+// evolution rate. -delta switches every round onto the packet engine's
+// delta-report protocol — nodes transmit only level-crossing deltas and
+// the server ingests the sink's aged merged belief — with -delta-expiry
+// bounding belief staleness in rounds (0 keeps entries forever).
+// -smoke-temporal replays a three-round delta sequence over a drifting
+// field on a loopback server (oracle-verified), checks the traffic
+// telemetry and the query surface, then exits; non-zero on any failure.
 package main
 
 import (
@@ -59,6 +70,10 @@ func main() {
 		nodes       = flag.Int("nodes", 600, "nodes per deployment")
 		seed        = flag.Int64("seed", 1, "base deployment seed (deployment i uses seed+i)")
 		faultEvery  = flag.Int("faultevery", 0, "inject faults every Nth round (0 = never)")
+		fieldKind   = flag.String("field", "", "evolving field kind: silting, drift, front or step (empty = default silting)")
+		fieldSpeed  = flag.Float64("field-speed", 0, "evolving field speed factor (0 = 1)")
+		delta       = flag.Bool("delta", false, "run rounds on the delta-report protocol (level-crossing deltas + aged sink belief)")
+		deltaExpiry = flag.Int("delta-expiry", 0, "delta sink belief expiry in rounds (0 = never expire)")
 		oracle      = flag.Bool("oracle", false, "verify every incremental update against a full rebuild")
 		interval    = flag.Duration("interval", 0, "supervised auto-advance period (0 = only on POST)")
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for per-deployment checkpoints (empty = no checkpoints)")
@@ -69,6 +84,7 @@ func main() {
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 		smoke       = flag.Bool("smoke", false, "run the loopback smoke sequence and exit")
 		smokeChaos  = flag.Bool("smoke-chaos", false, "run the loopback chaos-recovery sequence and exit")
+		smokeTemp   = flag.Bool("smoke-temporal", false, "run the loopback temporal delta-replay sequence and exit")
 	)
 	flag.Parse()
 
@@ -98,12 +114,24 @@ func main() {
 		fmt.Println("isomapd: chaos smoke ok")
 		return
 	}
+	if *smokeTemp {
+		if err := runSmokeTemporal(); err != nil {
+			fmt.Fprintf(os.Stderr, "isomapd: temporal smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("isomapd: temporal smoke ok")
+		return
+	}
 
 	srv, err := serve.NewServer(serve.Config{
 		Deployments:     *deployments,
 		Nodes:           *nodes,
 		Seed:            *seed,
 		FaultEvery:      *faultEvery,
+		TemporalField:   *fieldKind,
+		FieldSpeed:      *fieldSpeed,
+		Delta:           *delta,
+		DeltaExpiry:     *deltaExpiry,
 		Oracle:          *oracle,
 		Shards:          *shards,
 		Workers:         *workers,
@@ -363,6 +391,76 @@ func runSmoke(pprofBase string) error {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("pprof probe: status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// runSmokeTemporal is the CI temporal smoke: a loopback server in delta
+// mode over a drifting field replays three oracle-verified rounds. Round
+// one seeds the sink belief; later rounds ingest only crossing deltas,
+// so the served belief must stay populated (and versions must rotate)
+// even when a round delivers few fresh reports.
+func runSmokeTemporal() error {
+	srv, err := serve.NewServer(serve.Config{
+		Deployments:   1,
+		Nodes:         400,
+		Seed:          11,
+		TemporalField: "drift",
+		FieldSpeed:    0.5,
+		Delta:         true,
+		DeltaExpiry:   4,
+		Oracle:        true,
+	})
+	if err != nil {
+		return err
+	}
+	base, stop, err := listenLoopback(srv)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	var etags []string
+	for round := 1; round <= 3; round++ {
+		resp, err := http.Post(base+"/v1/deployments/d0/rounds", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		var out struct {
+			ETag    string `json:"etag"`
+			Reports int    `json:"reports"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("delta round %d: status %d (oracle divergence fails here)", round, resp.StatusCode)
+		}
+		if out.Reports == 0 {
+			return fmt.Errorf("delta round %d served an empty belief", round)
+		}
+		etags = append(etags, out.ETag)
+	}
+	for i := 1; i < len(etags); i++ {
+		if etags[i] == etags[i-1] {
+			return fmt.Errorf("etag did not rotate between delta rounds: %q", etags[i])
+		}
+	}
+	for _, path := range []string{
+		"/v1/deployments/d0",
+		"/v1/deployments/d0/classify?x=25&y=25",
+		"/v1/deployments/d0/raster?rows=32&cols=32",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
 	}
 	return nil

@@ -27,6 +27,10 @@ const (
 	ProbeBytes = 2
 	// ProbeReplyBytes is a neighbor's <value, position> reply.
 	ProbeReplyBytes = 6
+	// RetireBytes is a delta-mode retirement record <v, p>: isolevel plus
+	// position identify the cached report being withdrawn — three
+	// parameters, no gradient.
+	RetireBytes = 6
 )
 
 // Abstract arithmetic-operation charges, the unit of the computational

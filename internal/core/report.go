@@ -23,6 +23,12 @@ type Report struct {
 	Grad geom.Vec `json:"grad"`
 	// Source identifies the reporting isoline node.
 	Source network.NodeID `json:"source"`
+	// Retire marks a withdrawal record of the delta-report monitoring
+	// mode: the source left this isolevel and the sink must drop its
+	// cached report. Pos and Grad carry the retired report's values so
+	// the record identifies the cache entry; on the wire a retirement
+	// occupies RetireBytes instead of ReportBytes.
+	Retire bool `json:"retire,omitempty"`
 }
 
 // String implements fmt.Stringer.

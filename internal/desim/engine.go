@@ -48,14 +48,15 @@ const (
 	evPropagate        // Node: sender, Seq: frame seq, Arg: slot (>=0 local, -(slot+1) import)
 
 	// Upper-layer events, handled by the convergecast / full round.
-	evFlush      // Node: node whose outbox flushes toward its parent
-	evRequeue    // Node: original sender, Arg: parked-batch slot
-	evInject     // Node: source injecting its reports
-	evRebroadcast// Node: node re-flooding the query
-	evProbeStart // Node: isoline candidate starting its probe
-	evMeasure    // Node: candidate whose reply window closed
-	evReplySend  // Node: probed neighbor, Seq: asking node
-	evCrash      // Arg: index into the fault plan's crash schedule
+	evFlush       // Node: node whose outbox flushes toward its parent
+	evRequeue     // Node: original sender, Arg: parked-batch slot
+	evInject      // Node: source injecting its reports
+	evRebroadcast // Node: node re-flooding the query
+	evProbeStart  // Node: isoline candidate starting its probe
+	evMeasure     // Node: candidate whose reply window closed
+	evReplySend   // Node: probed neighbor, Seq: asking node
+	evCrash       // Arg: index into the fault plan's crash schedule
+	evDeltaRetire // Node: delta-mode node withdrawing its tracked reports
 )
 
 // Event is a typed, fixed-size event record: a kind tag, a target node

@@ -2,6 +2,7 @@ package desim
 
 import (
 	"fmt"
+	"sort"
 
 	"isomap/internal/core"
 	"isomap/internal/faults"
@@ -36,6 +37,13 @@ type RoundResult struct {
 	// during collection.
 	ReplyDrops  int
 	ReportDrops int
+	// Crossings, Suppressed and Retired are the delta-report mode's
+	// source-side tally: reports transmitted because a level transit or
+	// gradient rotation was detected, repeats withheld, and withdrawal
+	// records sent for abandoned isolevels. All zero outside delta mode.
+	Crossings  int
+	Suppressed int
+	Retired    int
 	// Crashed counts nodes killed mid-round by the fault plan.
 	Crashed int
 	// Repairs counts successful re-parenting events: a node whose parent
@@ -146,6 +154,10 @@ type roundState struct {
 	crashes []faults.Crash
 	root    network.NodeID
 
+	// delta, when non-nil, switches the round into delta-report mode;
+	// it carries the cross-round per-node transmitted-report memory.
+	delta *DeltaState
+
 	queryHeard  []bool
 	samples     [][]core.Sample
 	kept        [][]core.Report
@@ -185,6 +197,8 @@ type roundShard struct {
 	matchScratch  []int
 	sampleScratch []core.Sample
 	reportScratch []core.Report
+	deltaScratch  []core.Report
+	levelScratch  []int
 }
 
 // jitterFor spreads per-node delays quasi-uniformly over a window of
@@ -207,6 +221,13 @@ func (sh *roundShard) accept(at network.NodeID, incoming []core.Report) []core.R
 			continue
 		}
 		rs.seenReports[at][r] = true
+		if r.Retire {
+			// Withdrawal records bypass the spatial redundancy filter — a
+			// retirement must always reach the sink — and stay out of kept,
+			// which only grounds that filter's data-report comparisons.
+			fresh = append(fresh, r)
+			continue
+		}
 		if rs.fc.Enabled {
 			dup := false
 			for _, k := range rs.kept[at] {
@@ -281,7 +302,15 @@ func (sh *roundShard) flush(from network.NodeID) {
 		sh.res.Repairs++
 	}
 	batch := append(sh.radio.pool.get(), pending...)
-	_ = sh.radio.SendReports(from, parent, core.ReportBytes*len(pending), batch)
+	size := 0
+	for _, r := range pending {
+		if r.Retire {
+			size += core.RetireBytes
+		} else {
+			size += core.ReportBytes
+		}
+	}
+	_ = sh.radio.SendReports(from, parent, size, batch)
 }
 
 func (sh *roundShard) handleDrop(fr Frame) {
@@ -325,6 +354,9 @@ func (sh *roundShard) measure(id network.NodeID) {
 	}
 	sh.matchScratch = matched
 	if len(matched) == 0 {
+		// In delta mode a node that stopped straddling every level
+		// withdraws what it last transmitted (crossing-out).
+		sh.deltaRetireAll(id)
 		return
 	}
 	all := append(sh.sampleScratch[:0], core.Sample{Pos: node.Pos, Value: node.Value})
@@ -332,6 +364,7 @@ func (sh *roundShard) measure(id network.NodeID) {
 	sh.sampleScratch = all
 	grad, err := core.GradientByRegression(all)
 	if err != nil || grad.Norm() <= geom.Eps {
+		sh.deltaRetireAll(id)
 		return
 	}
 	sh.res.IsolineNodes++
@@ -354,11 +387,127 @@ func (sh *roundShard) measure(id network.NodeID) {
 	if t := sh.eng.Now(); t > sh.res.MeasureSeconds {
 		sh.res.MeasureSeconds = t
 	}
+	if rs.delta != nil {
+		reports = sh.deltaFilter(id, reports)
+		if len(reports) == 0 {
+			return
+		}
+	}
 	fresh := sh.accept(id, reports)
 	if id == rs.root {
 		sh.res.Delivered = append(sh.res.Delivered, fresh...)
 		if sh.rec != nil {
 			sh.rec.Record(trace.Event{T: sh.eng.Now(), Kind: trace.KindSinkReport,
+				Node: int32(rs.root), Peer: -1, Arg: int32(len(fresh))})
+		}
+		return
+	}
+	sh.forward(id, fresh)
+}
+
+// deltaFilter is the delta mode's source-side decision over a node's
+// freshly produced reports: transmit level transits and sufficiently
+// rotated gradients, suppress unchanged repeats, and append withdrawal
+// records for tracked isolevels the node no longer straddles. The
+// tracked set compares against the last *transmission*, so slow drift
+// re-reports once its cumulative rotation crosses the threshold.
+func (sh *roundShard) deltaFilter(id network.NodeID, reports []core.Report) []core.Report {
+	rs := sh.rs
+	ds := rs.delta
+	last := ds.lastSent[id]
+	now := sh.eng.Now()
+	out := sh.deltaScratch[:0]
+	for _, r := range reports {
+		if prev, ok := last[r.LevelIndex]; ok && core.AngularSeparation(prev, r) < ds.gradAngle {
+			sh.res.Suppressed++
+			if sh.rec != nil {
+				sh.rec.Record(trace.Event{T: now, Kind: trace.KindSuppress,
+					Phase: trace.PhaseMeasure, Node: int32(id), Peer: -1, Arg: int32(r.LevelIndex)})
+			}
+			continue
+		}
+		if last == nil {
+			last = make(map[int]core.Report)
+			ds.lastSent[id] = last
+		}
+		last[r.LevelIndex] = r
+		out = append(out, r)
+		sh.res.Crossings++
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: now, Kind: trace.KindCrossing,
+				Phase: trace.PhaseMeasure, Node: int32(id), Peer: -1, Arg: int32(r.LevelIndex)})
+		}
+	}
+	// Crossing-out: tracked levels absent from this round's production.
+	if len(last) > 0 {
+		lis := sh.levelScratch[:0]
+		for li := range last {
+			still := false
+			for _, r := range reports {
+				if r.LevelIndex == li {
+					still = true
+					break
+				}
+			}
+			if !still {
+				lis = append(lis, li)
+			}
+		}
+		sort.Ints(lis)
+		sh.levelScratch = lis
+		for _, li := range lis {
+			out = append(out, sh.deltaRetireOne(id, last, li, now))
+		}
+	}
+	sh.deltaScratch = out
+	return out
+}
+
+// deltaRetireOne withdraws one tracked isolevel: it deletes the entry,
+// tallies the retirement and returns the withdrawal record.
+func (sh *roundShard) deltaRetireOne(id network.NodeID, last map[int]core.Report, li int, now float64) core.Report {
+	prev := last[li]
+	delete(last, li)
+	sh.res.Retired++
+	if sh.rec != nil {
+		// A retirement is a crossing too — the isoline moved past the node
+		// outward; Seq 1 distinguishes it from a crossing-in.
+		sh.rec.Record(trace.Event{T: now, Kind: trace.KindCrossing,
+			Phase: trace.PhaseMeasure, Node: int32(id), Peer: -1, Seq: 1, Arg: int32(li)})
+	}
+	return retireRecord(prev)
+}
+
+// deltaRetireAll withdraws everything a node tracks. It runs when a
+// delta-mode node finds itself off every isoline: after a failed
+// measurement, or via evDeltaRetire when the node was not even a border
+// candidate this round.
+func (sh *roundShard) deltaRetireAll(id network.NodeID) {
+	rs := sh.rs
+	if rs.delta == nil || !rs.nw.Alive(id) {
+		return
+	}
+	last := rs.delta.lastSent[id]
+	if len(last) == 0 {
+		return
+	}
+	now := sh.eng.Now()
+	lis := sh.levelScratch[:0]
+	for li := range last {
+		lis = append(lis, li)
+	}
+	sort.Ints(lis)
+	sh.levelScratch = lis
+	out := sh.deltaScratch[:0]
+	for _, li := range lis {
+		out = append(out, sh.deltaRetireOne(id, last, li, now))
+	}
+	sh.deltaScratch = out
+	fresh := sh.accept(id, out)
+	if id == rs.root {
+		sh.res.Delivered = append(sh.res.Delivered, fresh...)
+		if sh.rec != nil {
+			sh.rec.Record(trace.Event{T: now, Kind: trace.KindSinkReport,
 				Node: int32(rs.root), Peer: -1, Arg: int32(len(fresh))})
 		}
 		return
@@ -389,6 +538,13 @@ func (sh *roundShard) onFrame(at network.NodeID, fr Frame) {
 		sh.eng.ScheduleEvent(rs.jitterFor(at, 64), Event{Kind: evRebroadcast, Node: at})
 		// Border-region candidates probe their neighborhood.
 		if len(rs.q.CandidateLevels(rs.nw.Node(at).Value)) == 0 {
+			if rs.delta != nil && rs.delta.trackedAt(at) > 0 {
+				// The isoline moved entirely out of this node's border
+				// region: withdraw its tracked reports on the same schedule
+				// a measurement would have produced them.
+				sh.eng.ScheduleEvent(probeDelay+replyWindow+rs.jitterFor(at+3000, 128),
+					Event{Kind: evDeltaRetire, Node: at})
+			}
 			return
 		}
 		sh.eng.ScheduleEvent(probeDelay+rs.jitterFor(at+1000, 128), Event{Kind: evProbeStart, Node: at})
@@ -444,6 +600,8 @@ func (sh *roundShard) onEvent(ev Event) {
 			sh.crashed = append(sh.crashed, c.Node)
 			sh.res.Crashed++
 		}
+	case evDeltaRetire:
+		sh.deltaRetireAll(ev.Node)
 	}
 }
 
@@ -469,6 +627,42 @@ func RunFullRoundFaultsEngine(eng EngineAPI, tree *routing.Tree, f field.Field, 
 // partial tallies merge after the run. Per-node protocol state lives in
 // shared slices touched only by the owning shard.
 func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, rec *trace.Recorder) (*RoundResult, error) {
+	return runFullRound(eng, tree, f, q, fc, cfg, plan, nil, rec)
+}
+
+// RunFullRoundDelta is the delta-report round on a fresh sequential
+// engine: ds carries the cross-round transmitted-report memory and is
+// updated in place. See DeltaState for the protocol contract.
+func RunFullRoundDelta(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, ds *DeltaState, rec *trace.Recorder) (*RoundResult, error) {
+	return RunFullRoundDeltaEngine(NewEngine(), tree, f, q, fc, cfg, plan, ds, rec)
+}
+
+// RunFullRoundDeltaSharded is the delta-report round on a sharded engine
+// over a grid partition; byte-identical to RunFullRoundDelta at any
+// shard and worker count, including the state left in ds.
+func RunFullRoundDeltaSharded(tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, ds *DeltaState, shards, workers int, rec *trace.Recorder) (*RoundResult, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("desim: nil routing tree")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("desim: shard count %d < 1", shards)
+	}
+	part := network.NewGridPartition(tree.Network(), shards)
+	return RunFullRoundDeltaEngine(NewShardedEngine(part, workers), tree, f, q, fc, cfg, plan, ds, rec)
+}
+
+// RunFullRoundDeltaEngine is the delta-report round on a caller-supplied
+// scheduler.
+func RunFullRoundDeltaEngine(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, ds *DeltaState, rec *trace.Recorder) (*RoundResult, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("desim: delta round needs a DeltaState")
+	}
+	return runFullRound(eng, tree, f, q, fc, cfg, plan, ds, rec)
+}
+
+// runFullRound is the shared driver behind every RunFullRound* entry
+// point; a nil ds is a full-report round, a non-nil one a delta round.
+func runFullRound(eng EngineAPI, tree *routing.Tree, f field.Field, q core.Query, fc core.FilterConfig, cfg RadioConfig, plan *faults.Plan, ds *DeltaState, rec *trace.Recorder) (*RoundResult, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("desim: nil routing tree")
 	}
@@ -493,6 +687,9 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 	}
 
 	n := nw.Len()
+	if ds != nil && ds.Nodes() != n {
+		return nil, fmt.Errorf("desim: delta state built for %d nodes, deployment has %d", ds.Nodes(), n)
+	}
 	rs := &roundState{
 		nw:          nw,
 		tree:        tree,
@@ -500,6 +697,7 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 		fc:          fc,
 		cfg:         cfg,
 		plan:        plan,
+		delta:       ds,
 		crashes:     plan.Crashes(),
 		root:        tree.Root(),
 		queryHeard:  make([]bool, n),
@@ -567,6 +765,8 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 	// The sink itself may be an isoline node: give it the same probe path.
 	if len(q.CandidateLevels(nw.Node(rs.root).Value)) > 0 {
 		rootSh.eng.ScheduleEvent(probeDelay, Event{Kind: evProbeStart, Node: rs.root})
+	} else if ds != nil && ds.trackedAt(rs.root) > 0 {
+		rootSh.eng.ScheduleEvent(probeDelay+replyWindow, Event{Kind: evDeltaRetire, Node: rs.root})
 	}
 
 	total := eng.Run()
@@ -576,6 +776,9 @@ func RunFullRoundFaultsEngineTraced(eng EngineAPI, tree *routing.Tree, f field.F
 		res.QueryReached += sh.res.QueryReached
 		res.IsolineNodes += sh.res.IsolineNodes
 		res.Generated += sh.res.Generated
+		res.Crossings += sh.res.Crossings
+		res.Suppressed += sh.res.Suppressed
+		res.Retired += sh.res.Retired
 		res.ReplyDrops += sh.res.ReplyDrops
 		res.ReportDrops += sh.res.ReportDrops
 		res.Crashed += sh.res.Crashed

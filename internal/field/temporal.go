@@ -1,0 +1,490 @@
+package field
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the temporal-field library behind the delta-report
+// monitoring experiments: seeded, deterministic time-varying surfaces
+// beyond SiltingSeabed. Every random quantity is drawn from a
+// splitmix64-hashed stream keyed by (seed, salt) — the same derivation
+// faults.Plan uses — and every snapshot is a pure function of (config,
+// t). Nothing carries RNG state between calls, so any (seed, t) pair is
+// reproducible across runs, shard widths, SeekRound replays and
+// checkpoint restores.
+
+// mix64 is splitmix64's finalizer over a seed/salt pair: one hop of the
+// seeded stream family shared with the fault layer.
+func mix64(seed, salt uint64) uint64 {
+	z := seed ^ salt ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unit01 returns the stream's uniform draw in [0, 1).
+func unit01(seed, salt uint64) float64 {
+	return float64(mix64(seed, salt)>>11) / (1 << 53)
+}
+
+// finite rejects NaN and infinities in config parameters.
+func finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("field: %s must be finite, got %g", name, v)
+	}
+	return nil
+}
+
+// reflectInto folds p into [lo, hi] as a triangle wave, so drifting feature
+// centers bounce off the field border instead of leaving it. Pure in p.
+func reflectInto(p, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	span := hi - lo
+	ph := math.Mod(p-lo, 2*span)
+	if ph < 0 {
+		ph += 2 * span
+	}
+	if ph > span {
+		ph = 2*span - ph
+	}
+	return lo + ph
+}
+
+// DriftingBumpsConfig parameterizes a field of Gaussian features that
+// drift across the extent and breathe in amplitude.
+type DriftingBumpsConfig struct {
+	// Base is the static surface the features ride on.
+	Base Field
+	// Bumps is the feature count.
+	Bumps int
+	// Speed is the drift rate of each feature center (field units per
+	// time unit); the direction is drawn per feature.
+	Speed float64
+	// Grow is the relative amplitude modulation in [0, 1): each feature's
+	// amplitude oscillates between (1-Grow) and (1+Grow) times its drawn
+	// value on a per-feature period.
+	Grow float64
+	// AmpMin and AmpMax bound drawn amplitudes (meters); signs alternate
+	// by stream draw, modelling shoals and scoured channels.
+	AmpMin float64
+	AmpMax float64
+	// SigmaMin and SigmaMax bound drawn feature radii (field units).
+	SigmaMin float64
+	SigmaMax float64
+	// Seed keys the feature streams.
+	Seed int64
+}
+
+// DefaultDriftingBumps returns a drifting-features scenario over base
+// with 5 features sized for the experiment fields, drifting at speed.
+func DefaultDriftingBumps(base Field, speed float64, seed int64) (*DriftingBumps, error) {
+	return NewDriftingBumps(DriftingBumpsConfig{
+		Base:     base,
+		Bumps:    5,
+		Speed:    speed,
+		Grow:     0.3,
+		AmpMin:   1.5,
+		AmpMax:   3.5,
+		SigmaMin: 4,
+		SigmaMax: 9,
+		Seed:     seed,
+	})
+}
+
+// tbump is one drawn drifting feature.
+type tbump struct {
+	x0, y0 float64 // initial center
+	vx, vy float64 // drift velocity
+	amp    float64
+	sigma2 float64
+	phase  float64 // amplitude-modulation phase
+	period float64 // amplitude-modulation period
+}
+
+// DriftingBumps is the materialized drifting-features field.
+type DriftingBumps struct {
+	cfg   DriftingBumpsConfig
+	bumps []tbump
+}
+
+var _ DynamicField = (*DriftingBumps)(nil)
+
+// NewDriftingBumps validates cfg and draws the feature streams.
+func NewDriftingBumps(cfg DriftingBumpsConfig) (*DriftingBumps, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("field: drifting bumps need a base field")
+	}
+	if cfg.Bumps < 1 || cfg.Bumps > 10000 {
+		return nil, fmt.Errorf("field: bump count %d outside [1, 10000]", cfg.Bumps)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Speed", cfg.Speed}, {"Grow", cfg.Grow},
+		{"AmpMin", cfg.AmpMin}, {"AmpMax", cfg.AmpMax},
+		{"SigmaMin", cfg.SigmaMin}, {"SigmaMax", cfg.SigmaMax},
+	} {
+		if err := finite(p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Speed < 0 {
+		return nil, fmt.Errorf("field: negative drift speed %g", cfg.Speed)
+	}
+	if cfg.Grow < 0 || cfg.Grow >= 1 {
+		return nil, fmt.Errorf("field: Grow %g outside [0, 1)", cfg.Grow)
+	}
+	if cfg.AmpMin < 0 || cfg.AmpMax < cfg.AmpMin {
+		return nil, fmt.Errorf("field: amplitude range [%g, %g] invalid", cfg.AmpMin, cfg.AmpMax)
+	}
+	if cfg.SigmaMin <= 0 || cfg.SigmaMax < cfg.SigmaMin {
+		return nil, fmt.Errorf("field: sigma range [%g, %g] invalid", cfg.SigmaMin, cfg.SigmaMax)
+	}
+	x0, y0, x1, y1 := cfg.Base.Bounds()
+	if !(x1 > x0) || !(y1 > y0) {
+		return nil, fmt.Errorf("field: base extent [%g,%g]x[%g,%g] is empty", x0, x1, y0, y1)
+	}
+	d := &DriftingBumps{cfg: cfg}
+	seed := uint64(cfg.Seed)
+	for i := 0; i < cfg.Bumps; i++ {
+		salt := uint64(i) * 8
+		amp := cfg.AmpMin + unit01(seed, salt+3)*(cfg.AmpMax-cfg.AmpMin)
+		if mix64(seed, salt+4)&1 == 0 {
+			amp = -amp
+		}
+		sigma := cfg.SigmaMin + unit01(seed, salt+5)*(cfg.SigmaMax-cfg.SigmaMin)
+		angle := 2 * math.Pi * unit01(seed, salt+2)
+		d.bumps = append(d.bumps, tbump{
+			// Centers start away from the border so initial contours close
+			// inside the field; drift then bounces off the border.
+			x0:     x0 + (x1-x0)*(0.15+0.7*unit01(seed, salt)),
+			y0:     y0 + (y1-y0)*(0.15+0.7*unit01(seed, salt+1)),
+			vx:     cfg.Speed * math.Cos(angle),
+			vy:     cfg.Speed * math.Sin(angle),
+			amp:    amp,
+			sigma2: sigma * sigma,
+			phase:  2 * math.Pi * unit01(seed, salt+6),
+			period: 4 + 8*unit01(seed, salt+7),
+		})
+	}
+	return d, nil
+}
+
+// At implements DynamicField: the snapshot precomputes each feature's
+// position and breathed amplitude at t.
+func (d *DriftingBumps) At(t float64) Field {
+	x0, y0, x1, y1 := d.cfg.Base.Bounds()
+	sn := &driftSnapshot{base: d.cfg.Base}
+	for _, b := range d.bumps {
+		amp := b.amp
+		if d.cfg.Grow > 0 {
+			amp *= 1 + d.cfg.Grow*math.Sin(2*math.Pi*t/b.period+b.phase)
+		}
+		sn.bumps = append(sn.bumps, bump{
+			cx:     reflectInto(b.x0+b.vx*t, x0, x1),
+			cy:     reflectInto(b.y0+b.vy*t, y0, y1),
+			amp:    amp,
+			sigma2: b.sigma2,
+		})
+	}
+	return sn
+}
+
+type driftSnapshot struct {
+	base  Field
+	bumps []bump
+}
+
+func (sn *driftSnapshot) Value(x, y float64) float64 {
+	v := sn.base.Value(x, y)
+	for _, b := range sn.bumps {
+		dx, dy := x-b.cx, y-b.cy
+		v += b.amp * math.Exp(-(dx*dx+dy*dy)/(2*b.sigma2))
+	}
+	return v
+}
+
+func (sn *driftSnapshot) Bounds() (x0, y0, x1, y1 float64) {
+	return sn.base.Bounds()
+}
+
+// AdvectedFrontConfig parameterizes a sigmoid front sweeping across the
+// field along a drawn direction — a salinity or turbidity front advected
+// through the monitored region.
+type AdvectedFrontConfig struct {
+	// Base is the static surface under the front.
+	Base Field
+	// Amp is the value step across the front (meters).
+	Amp float64
+	// Width is the transition half-width (field units).
+	Width float64
+	// Speed is the front's advance rate (field units per time unit).
+	Speed float64
+	// Seed keys the direction and starting-offset draws.
+	Seed int64
+}
+
+// AdvectedFront is the materialized sweeping-front field.
+type AdvectedFront struct {
+	cfg        AdvectedFrontConfig
+	nx, ny     float64 // unit sweep direction
+	pmin, pmax float64 // projection span of the extent
+	start      float64 // drawn starting offset within the sweep cycle
+}
+
+var _ DynamicField = (*AdvectedFront)(nil)
+
+// NewAdvectedFront validates cfg and draws the sweep geometry.
+func NewAdvectedFront(cfg AdvectedFrontConfig) (*AdvectedFront, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("field: advected front needs a base field")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Amp", cfg.Amp}, {"Width", cfg.Width}, {"Speed", cfg.Speed},
+	} {
+		if err := finite(p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Width <= 0 {
+		return nil, fmt.Errorf("field: front width %g must be positive", cfg.Width)
+	}
+	if cfg.Speed < 0 {
+		return nil, fmt.Errorf("field: negative front speed %g", cfg.Speed)
+	}
+	x0, y0, x1, y1 := cfg.Base.Bounds()
+	if !(x1 > x0) || !(y1 > y0) {
+		return nil, fmt.Errorf("field: base extent [%g,%g]x[%g,%g] is empty", x0, x1, y0, y1)
+	}
+	seed := uint64(cfg.Seed)
+	angle := 2 * math.Pi * unit01(seed, 1)
+	nx, ny := math.Cos(angle), math.Sin(angle)
+	// Projection span of the extent's corners along the sweep direction.
+	pmin, pmax := math.Inf(1), math.Inf(-1)
+	for _, c := range [][2]float64{{x0, y0}, {x1, y0}, {x0, y1}, {x1, y1}} {
+		p := c[0]*nx + c[1]*ny
+		pmin = math.Min(pmin, p)
+		pmax = math.Max(pmax, p)
+	}
+	return &AdvectedFront{
+		cfg: cfg, nx: nx, ny: ny, pmin: pmin, pmax: pmax,
+		start: unit01(seed, 2),
+	}, nil
+}
+
+// At implements DynamicField. The front's position cycles over the
+// projection span (plus margins so it fully enters and exits); a cycle
+// restart is a sudden reset, which is fine — and deterministic — for a
+// monitoring scenario.
+func (a *AdvectedFront) At(t float64) Field {
+	cycle := (a.pmax - a.pmin) + 4*a.cfg.Width
+	pos := a.pmin - 2*a.cfg.Width
+	if a.cfg.Speed > 0 && cycle > 0 {
+		pos += math.Mod(a.start*cycle+a.cfg.Speed*t, cycle)
+	}
+	return &frontSnapshot{a: a, pos: pos}
+}
+
+type frontSnapshot struct {
+	a   *AdvectedFront
+	pos float64
+}
+
+func (sn *frontSnapshot) Value(x, y float64) float64 {
+	a := sn.a
+	proj := x*a.nx + y*a.ny
+	return a.cfg.Base.Value(x, y) + a.cfg.Amp*0.5*(1+math.Tanh((sn.pos-proj)/a.cfg.Width))
+}
+
+func (sn *frontSnapshot) Bounds() (x0, y0, x1, y1 float64) {
+	return sn.a.cfg.Base.Bounds()
+}
+
+// StepEventsConfig parameterizes sudden localized events: dredging,
+// collapses, spills. Each event appears instantly at its drawn time and
+// persists.
+type StepEventsConfig struct {
+	// Base is the static surface the events disturb.
+	Base Field
+	// Events is the number of scheduled events.
+	Events int
+	// Horizon spans the schedule: event times are drawn uniformly over
+	// [0, Horizon].
+	Horizon float64
+	// AmpMin and AmpMax bound event amplitudes (meters); signs alternate
+	// by stream draw.
+	AmpMin float64
+	AmpMax float64
+	// RadMin and RadMax bound event radii (field units).
+	RadMin float64
+	RadMax float64
+	// Seed keys the schedule streams.
+	Seed int64
+}
+
+// stepEvent is one drawn scheduled event.
+type stepEvent struct {
+	t      float64
+	cx, cy float64
+	amp    float64
+	rad2   float64
+}
+
+// StepEvents is the materialized sudden-event field.
+type StepEvents struct {
+	cfg    StepEventsConfig
+	events []stepEvent
+}
+
+var _ DynamicField = (*StepEvents)(nil)
+
+// NewStepEvents validates cfg and draws the event schedule.
+func NewStepEvents(cfg StepEventsConfig) (*StepEvents, error) {
+	if cfg.Base == nil {
+		return nil, fmt.Errorf("field: step events need a base field")
+	}
+	if cfg.Events < 1 || cfg.Events > 10000 {
+		return nil, fmt.Errorf("field: event count %d outside [1, 10000]", cfg.Events)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"Horizon", cfg.Horizon},
+		{"AmpMin", cfg.AmpMin}, {"AmpMax", cfg.AmpMax},
+		{"RadMin", cfg.RadMin}, {"RadMax", cfg.RadMax},
+	} {
+		if err := finite(p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("field: horizon %g must be positive", cfg.Horizon)
+	}
+	if cfg.AmpMin < 0 || cfg.AmpMax < cfg.AmpMin {
+		return nil, fmt.Errorf("field: amplitude range [%g, %g] invalid", cfg.AmpMin, cfg.AmpMax)
+	}
+	if cfg.RadMin <= 0 || cfg.RadMax < cfg.RadMin {
+		return nil, fmt.Errorf("field: radius range [%g, %g] invalid", cfg.RadMin, cfg.RadMax)
+	}
+	x0, y0, x1, y1 := cfg.Base.Bounds()
+	if !(x1 > x0) || !(y1 > y0) {
+		return nil, fmt.Errorf("field: base extent [%g,%g]x[%g,%g] is empty", x0, x1, y0, y1)
+	}
+	s := &StepEvents{cfg: cfg}
+	seed := uint64(cfg.Seed)
+	for i := 0; i < cfg.Events; i++ {
+		salt := uint64(i)*8 + 100
+		amp := cfg.AmpMin + unit01(seed, salt+3)*(cfg.AmpMax-cfg.AmpMin)
+		if mix64(seed, salt+4)&1 == 0 {
+			amp = -amp
+		}
+		rad := cfg.RadMin + unit01(seed, salt+5)*(cfg.RadMax-cfg.RadMin)
+		s.events = append(s.events, stepEvent{
+			t:    unit01(seed, salt) * cfg.Horizon,
+			cx:   x0 + (x1-x0)*(0.15+0.7*unit01(seed, salt+1)),
+			cy:   y0 + (y1-y0)*(0.15+0.7*unit01(seed, salt+2)),
+			amp:  amp,
+			rad2: rad * rad,
+		})
+	}
+	return s, nil
+}
+
+// At implements DynamicField: the snapshot carries the events whose time
+// has passed.
+func (s *StepEvents) At(t float64) Field {
+	sn := &stepSnapshot{base: s.cfg.Base}
+	for _, e := range s.events {
+		if e.t <= t {
+			sn.active = append(sn.active, e)
+		}
+	}
+	return sn
+}
+
+type stepSnapshot struct {
+	base   Field
+	active []stepEvent
+}
+
+func (sn *stepSnapshot) Value(x, y float64) float64 {
+	v := sn.base.Value(x, y)
+	for _, e := range sn.active {
+		dx, dy := x-e.cx, y-e.cy
+		v += e.amp * math.Exp(-(dx*dx+dy*dy)/(2*e.rad2))
+	}
+	return v
+}
+
+func (sn *stepSnapshot) Bounds() (x0, y0, x1, y1 float64) {
+	return sn.base.Bounds()
+}
+
+// TemporalKinds lists the named scenarios NewTemporal accepts.
+func TemporalKinds() []string { return []string{"silting", "drift", "front", "step"} }
+
+// timeScaled dilates a scenario's clock: At(t) samples the wrapped
+// scenario at k*t. NewTemporal uses it so its speed knob scales *every*
+// time dependence of a scenario uniformly — drift, amplitude breathing,
+// event schedules — instead of only the parameters that happen to carry
+// "speed" in their name. At k=1 it is the identity.
+type timeScaled struct {
+	d DynamicField
+	k float64
+}
+
+func (s timeScaled) At(t float64) Field { return s.d.At(s.k * t) }
+
+// NewTemporal builds a named temporal scenario over base. speed is a
+// uniform time dilation of the scenario's default evolution rate (<= 0
+// selects 1): "silting" is DefaultSilting, "drift" is
+// DefaultDriftingBumps, "front" an AdvectedFront, "step" a StepEvents
+// schedule, each running speed times faster than its defaults. It is
+// the registry behind isomapd -field and the temporal sweep.
+func NewTemporal(kind string, base Field, speed float64, seed int64) (DynamicField, error) {
+	if base == nil {
+		return nil, fmt.Errorf("field: temporal scenario %q needs a base field", kind)
+	}
+	if err := finite("speed", speed); err != nil {
+		return nil, err
+	}
+	if speed <= 0 {
+		speed = 1
+	}
+	var (
+		d   DynamicField
+		err error
+	)
+	switch kind {
+	case "", "silting":
+		d = DefaultSilting(base)
+	case "drift":
+		d, err = DefaultDriftingBumps(base, 0.4, seed)
+	case "front":
+		d, err = NewAdvectedFront(AdvectedFrontConfig{
+			Base: base, Amp: 3, Width: 4, Speed: 1.5, Seed: seed,
+		})
+	case "step":
+		d, err = NewStepEvents(StepEventsConfig{
+			Base: base, Events: 6, Horizon: 10,
+			AmpMin: 1.5, AmpMax: 3.5, RadMin: 3, RadMax: 7, Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("field: unknown temporal scenario %q (have %v)", kind, TemporalKinds())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if speed == 1 {
+		return d, nil
+	}
+	return timeScaled{d: d, k: speed}, nil
+}

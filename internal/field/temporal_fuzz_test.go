@@ -1,0 +1,120 @@
+package field
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzProbe samples a snapshot at adversarial coordinates and times; an
+// accepted config must answer every probe with a finite value and never
+// panic — the temporal twin of FuzzGridFieldParse's loader hardening.
+func fuzzProbe(t *testing.T, d DynamicField, tm float64) {
+	t.Helper()
+	for _, at := range []float64{tm, 0, -tm, 1e9, math.SmallestNonzeroFloat64} {
+		sn := d.At(at)
+		x0, y0, x1, y1 := sn.Bounds()
+		for _, p := range [][2]float64{
+			{(x0 + x1) / 2, (y0 + y1) / 2},
+			{x0 - 1e9, y1 + 1e9},
+			{x1, y0},
+		} {
+			v := sn.Value(p[0], p[1])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted config produced non-finite value %v at (%g, %g), t=%g", v, p[0], p[1], at)
+			}
+		}
+	}
+}
+
+// FuzzDriftingBumpsConfig drives NewDriftingBumps with arbitrary
+// parameters: invalid configs must be rejected with an error, accepted
+// ones must sample finite everywhere and reproduce deterministically.
+func FuzzDriftingBumpsConfig(f *testing.F) {
+	f.Add(5, 0.4, 0.3, 1.5, 3.5, 4.0, 9.0, int64(1), 2.5)
+	f.Add(1, 0.0, 0.0, 0.0, 0.0, 0.1, 0.1, int64(-7), 0.0)
+	f.Add(10, 100.0, 0.99, 1e300, 1e301, 1e-6, 1e6, int64(0), 1e9)
+	f.Add(5, math.NaN(), 0.3, 1.0, 2.0, 1.0, 2.0, int64(3), 1.0)
+	f.Add(5, 0.4, -0.1, 2.0, 1.0, 0.0, 2.0, int64(3), math.Inf(1))
+	f.Fuzz(func(t *testing.T, bumps int, speed, grow, ampMin, ampMax, sigMin, sigMax float64, seed int64, tm float64) {
+		cfg := DriftingBumpsConfig{
+			Base: NewSeabed(DefaultSeabedConfig()), Bumps: bumps,
+			Speed: speed, Grow: grow, AmpMin: ampMin, AmpMax: ampMax,
+			SigmaMin: sigMin, SigmaMax: sigMax, Seed: seed,
+		}
+		d, err := NewDriftingBumps(cfg)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return
+		}
+		// Amplitudes past ~1e154 square to infinity inside exp's argument
+		// arithmetic headroom; the library only guards construction-time
+		// finiteness, so cap the probed magnitudes like the library's own
+		// scenarios do.
+		if ampMax > 1e100 || sigMax > 1e100 || speed > 1e100 {
+			return
+		}
+		fuzzProbe(t, d, tm)
+		d2, err := NewDriftingBumps(cfg)
+		if err != nil {
+			t.Fatalf("same config rejected on second construction: %v", err)
+		}
+		x0, y0, x1, y1 := cfg.Base.Bounds()
+		x, y := (x0+x1)/2, (y0+y1)/2
+		if a, b := d.At(tm).Value(x, y), d2.At(tm).Value(x, y); a != b {
+			t.Fatalf("nondeterministic: %v != %v", a, b)
+		}
+	})
+}
+
+// FuzzAdvectedFrontConfig is the front scenario's rejection/probe fuzz.
+func FuzzAdvectedFrontConfig(f *testing.F) {
+	f.Add(3.0, 4.0, 1.5, int64(1), 2.5)
+	f.Add(0.0, 1e-9, 0.0, int64(-1), 1e6)
+	f.Add(math.Inf(1), 4.0, 1.0, int64(2), 0.0)
+	f.Add(3.0, math.NaN(), 1.0, int64(2), 1.0)
+	f.Add(-5.0, 4.0, 1e305, int64(9), 1e305)
+	f.Fuzz(func(t *testing.T, amp, width, speed float64, seed int64, tm float64) {
+		d, err := NewAdvectedFront(AdvectedFrontConfig{
+			Base: NewSeabed(DefaultSeabedConfig()),
+			Amp:  amp, Width: width, Speed: speed, Seed: seed,
+		})
+		if err != nil {
+			return
+		}
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return
+		}
+		if math.Abs(amp) > 1e100 || speed > 1e100 || math.Abs(tm) > 1e100 {
+			return
+		}
+		fuzzProbe(t, d, tm)
+	})
+}
+
+// FuzzStepEventsConfig is the event-schedule scenario's rejection/probe
+// fuzz.
+func FuzzStepEventsConfig(f *testing.F) {
+	f.Add(6, 10.0, 1.5, 3.5, 3.0, 7.0, int64(1), 2.5)
+	f.Add(1, 1e-9, 0.0, 0.0, 1e-9, 1e-9, int64(-1), 1e6)
+	f.Add(0, 10.0, 1.0, 2.0, 1.0, 2.0, int64(2), 0.0)
+	f.Add(6, math.NaN(), 1.0, 2.0, 1.0, 2.0, int64(2), 1.0)
+	f.Add(6, 10.0, 2.0, 1.0, 0.0, 7.0, int64(3), -5.0)
+	f.Fuzz(func(t *testing.T, events int, horizon, ampMin, ampMax, radMin, radMax float64, seed int64, tm float64) {
+		d, err := NewStepEvents(StepEventsConfig{
+			Base: NewSeabed(DefaultSeabedConfig()), Events: events, Horizon: horizon,
+			AmpMin: ampMin, AmpMax: ampMax, RadMin: radMin, RadMax: radMax, Seed: seed,
+		})
+		if err != nil {
+			return
+		}
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return
+		}
+		if ampMax > 1e100 || radMax > 1e100 {
+			return
+		}
+		fuzzProbe(t, d, tm)
+	})
+}

@@ -1,0 +1,212 @@
+package field
+
+import (
+	"math"
+	"testing"
+)
+
+func temporalBase(t *testing.T) Field {
+	t.Helper()
+	return NewSeabed(DefaultSeabedConfig())
+}
+
+// sampleGrid probes a snapshot on a fixed lattice and returns the raw
+// values — the byte-level identity material for determinism checks.
+func sampleGrid(f Field, n int) []float64 {
+	x0, y0, x1, y1 := f.Bounds()
+	out := make([]float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		y := y0 + (y1-y0)*float64(i)/float64(n-1)
+		for j := 0; j < n; j++ {
+			x := x0 + (x1-x0)*float64(j)/float64(n-1)
+			out = append(out, f.Value(x, y))
+		}
+	}
+	return out
+}
+
+// TestTemporalDeterminism is the library's core contract: for every
+// registered scenario, the same (seed, t) yields byte-identical samples
+// from independently constructed instances — nothing carries RNG state
+// between At calls, so replays, shard widths and checkpoint restores all
+// see the same field.
+func TestTemporalDeterminism(t *testing.T) {
+	base := temporalBase(t)
+	for _, kind := range TemporalKinds() {
+		t.Run(kind, func(t *testing.T) {
+			a, err := NewTemporal(kind, base, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewTemporal(kind, base, 1, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tm := range []float64{0, 0.5, 3.75, 100} {
+				// Sample b at out-of-order times first: At must be a pure
+				// function of t, not of call history.
+				want := sampleGrid(b.At(tm), 16)
+				_ = b.At(tm / 2)
+				got := sampleGrid(a.At(tm), 16)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("t=%g sample %d: %v != %v", tm, i, got[i], want[i])
+					}
+					if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+						t.Fatalf("t=%g sample %d is not finite: %v", tm, i, got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTemporalSeedsDiffer guards against a collapsed stream derivation:
+// different seeds must draw different scenarios (for the seeded kinds).
+func TestTemporalSeedsDiffer(t *testing.T) {
+	base := temporalBase(t)
+	for _, kind := range []string{"drift", "front", "step"} {
+		a, err := NewTemporal(kind, base, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewTemporal(kind, base, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// step schedules may coincide early; compare late, when events and
+		// drifts have fully played out.
+		sa, sb := sampleGrid(a.At(9), 16), sampleGrid(b.At(9), 16)
+		same := true
+		for i := range sa {
+			if sa[i] != sb[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 1 and 2 produced identical fields", kind)
+		}
+	}
+}
+
+// TestTemporalEvolves: each scenario must actually change over time —
+// a frozen field would silently void every tracking experiment.
+func TestTemporalEvolves(t *testing.T) {
+	base := temporalBase(t)
+	for _, kind := range TemporalKinds() {
+		d, err := NewTemporal(kind, base, 1, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0, s1 := sampleGrid(d.At(0.5), 16), sampleGrid(d.At(5), 16)
+		moved := false
+		for i := range s0 {
+			if s0[i] != s1[i] {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			t.Errorf("%s: field identical at t=0.5 and t=5", kind)
+		}
+	}
+}
+
+// TestStepEventsAccumulate pins the step scenario's semantics: events
+// appear at their drawn times and persist, so the active set grows
+// monotonically with t and is complete past the horizon.
+func TestStepEventsAccumulate(t *testing.T) {
+	base := temporalBase(t)
+	s, err := NewStepEvents(StepEventsConfig{
+		Base: base, Events: 6, Horizon: 10,
+		AmpMin: 1.5, AmpMax: 3.5, RadMin: 3, RadMax: 7, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, tm := range []float64{0, 2.5, 5, 7.5, 10, 20} {
+		sn := s.At(tm).(*stepSnapshot)
+		if len(sn.active) < prev {
+			t.Fatalf("active events shrank: %d -> %d at t=%g", prev, len(sn.active), tm)
+		}
+		prev = len(sn.active)
+	}
+	if prev != 6 {
+		t.Fatalf("past the horizon %d of 6 events active", prev)
+	}
+}
+
+// TestReflectInto checks the drift fold: results stay inside the band,
+// endpoints are fixed points, and the fold is continuous at the border
+// (a bounce, not a wrap).
+func TestReflectInto(t *testing.T) {
+	for _, tc := range []struct{ p, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-3, 0, 10, 3},
+		{13, 0, 10, 7},
+		{23, 0, 10, 3},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+		{5, 5, 5, 5}, // degenerate band
+	} {
+		if got := reflectInto(tc.p, tc.lo, tc.hi); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("reflectInto(%g, %g, %g) = %g, want %g", tc.p, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}
+
+// TestTemporalConfigValidation enumerates the rejection surface: nil
+// bases, non-finite and out-of-range parameters must all fail loudly at
+// construction, never at sampling time.
+func TestTemporalConfigValidation(t *testing.T) {
+	base := temporalBase(t)
+	nan := math.NaN()
+	if _, err := NewTemporal("vortex", base, 1, 1); err == nil {
+		t.Error("accepted unknown scenario kind")
+	}
+	if _, err := NewTemporal("drift", nil, 1, 1); err == nil {
+		t.Error("accepted nil base")
+	}
+	if _, err := NewTemporal("drift", base, nan, 1); err == nil {
+		t.Error("accepted NaN speed")
+	}
+	for i, cfg := range []DriftingBumpsConfig{
+		{Bumps: 5, Speed: 1, AmpMin: 1, AmpMax: 2, SigmaMin: 1, SigmaMax: 2},                       // nil base
+		{Base: base, Bumps: 0, Speed: 1, AmpMin: 1, AmpMax: 2, SigmaMin: 1, SigmaMax: 2},           // no bumps
+		{Base: base, Bumps: 5, Speed: nan, AmpMin: 1, AmpMax: 2, SigmaMin: 1, SigmaMax: 2},         // NaN speed
+		{Base: base, Bumps: 5, Speed: -1, AmpMin: 1, AmpMax: 2, SigmaMin: 1, SigmaMax: 2},          // negative speed
+		{Base: base, Bumps: 5, Speed: 1, Grow: 1, AmpMin: 1, AmpMax: 2, SigmaMin: 1, SigmaMax: 2},  // Grow at 1
+		{Base: base, Bumps: 5, Speed: 1, AmpMin: 2, AmpMax: 1, SigmaMin: 1, SigmaMax: 2},           // inverted amps
+		{Base: base, Bumps: 5, Speed: 1, AmpMin: 1, AmpMax: 2, SigmaMin: 0, SigmaMax: 2},           // zero sigma
+		{Base: base, Bumps: 5, Speed: 1, AmpMin: 1, AmpMax: math.Inf(1), SigmaMin: 1, SigmaMax: 2}, // infinite amp
+	} {
+		if _, err := NewDriftingBumps(cfg); err == nil {
+			t.Errorf("drift case %d: invalid config accepted", i)
+		}
+	}
+	for i, cfg := range []AdvectedFrontConfig{
+		{Amp: 3, Width: 4, Speed: 1},                       // nil base
+		{Base: base, Amp: 3, Width: 0, Speed: 1},           // zero width
+		{Base: base, Amp: 3, Width: 4, Speed: -1},          // negative speed
+		{Base: base, Amp: nan, Width: 4, Speed: 1},         // NaN amp
+		{Base: base, Amp: 3, Width: math.Inf(1), Speed: 1}, // infinite width
+	} {
+		if _, err := NewAdvectedFront(cfg); err == nil {
+			t.Errorf("front case %d: invalid config accepted", i)
+		}
+	}
+	for i, cfg := range []StepEventsConfig{
+		{Events: 6, Horizon: 10, AmpMin: 1, AmpMax: 2, RadMin: 1, RadMax: 2},              // nil base
+		{Base: base, Events: 0, Horizon: 10, AmpMin: 1, AmpMax: 2, RadMin: 1, RadMax: 2},  // no events
+		{Base: base, Events: 6, Horizon: 0, AmpMin: 1, AmpMax: 2, RadMin: 1, RadMax: 2},   // zero horizon
+		{Base: base, Events: 6, Horizon: nan, AmpMin: 1, AmpMax: 2, RadMin: 1, RadMax: 2}, // NaN horizon
+		{Base: base, Events: 6, Horizon: 10, AmpMin: 2, AmpMax: 1, RadMin: 1, RadMax: 2},  // inverted amps
+		{Base: base, Events: 6, Horizon: 10, AmpMin: 1, AmpMax: 2, RadMin: 0, RadMax: 2},  // zero radius
+	} {
+		if _, err := NewStepEvents(cfg); err == nil {
+			t.Errorf("step case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"isomap/internal/core"
+	"isomap/internal/geom"
+	"isomap/internal/network"
+	"isomap/internal/trace"
+)
+
+func agedReport(source network.NodeID, level int, v float64) core.Report {
+	return core.Report{
+		Level: v, LevelIndex: level, Source: source,
+		Pos:  geom.Point{X: float64(source), Y: float64(level)},
+		Grad: geom.Vec{X: 1},
+	}
+}
+
+func retireReport(source network.NodeID, level int) core.Report {
+	r := agedReport(source, level, 0)
+	r.Retire = true
+	return r
+}
+
+func TestNewAgedMapValidation(t *testing.T) {
+	if _, err := NewAgedMap(AgedConfig{ExpiryRounds: -1}); err == nil {
+		t.Error("accepted negative expiry")
+	}
+	m, err := NewAgedMap(AgedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.MeanAge(5) != 0 {
+		t.Errorf("fresh map: len=%d meanAge=%g", m.Len(), m.MeanAge(5))
+	}
+}
+
+// TestAgedMapUpsertRetire pins the belief semantics: data reports upsert
+// their (source, level) entry, retirements withdraw it, and Reports()
+// returns the deterministic (source, level) order.
+func TestAgedMapUpsertRetire(t *testing.T) {
+	m, err := NewAgedMap(AgedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Apply(1, []core.Report{
+		agedReport(9, 0, 6), agedReport(3, 1, 8), agedReport(3, 0, 6),
+	}, nil)
+	if st.Fresh != 3 || st.Size != 3 {
+		t.Fatalf("round 1 stats: %+v", st)
+	}
+	// Refresh one entry with a moved position, retire another, retire a
+	// never-tracked entry (lost report; must be a no-op, not a count).
+	moved := agedReport(3, 0, 6)
+	moved.Pos.X = 99
+	st = m.Apply(2, []core.Report{moved, retireReport(9, 0), retireReport(100, 2)}, nil)
+	if st.Fresh != 1 || st.Retired != 1 || st.Size != 2 {
+		t.Fatalf("round 2 stats: %+v", st)
+	}
+	got := m.Reports()
+	want := []core.Report{moved, agedReport(3, 1, 8)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("belief = %+v, want %+v", got, want)
+	}
+	if age := m.MeanAge(2); age != 0.5 {
+		t.Errorf("mean age = %g, want 0.5 (one fresh, one from round 1)", age)
+	}
+	if ages := m.Ages(2); ages[3] != 1 {
+		t.Errorf("source 3 oldest age = %d, want 1", ages[3])
+	}
+	m.Reset()
+	if m.Len() != 0 {
+		t.Errorf("reset left %d entries", m.Len())
+	}
+}
+
+// TestAgedMapExpiry: entries not refreshed within ExpiryRounds are
+// dropped, in deterministic order, emitting one KindAgeExpire event each;
+// with aging disabled nothing ever expires.
+func TestAgedMapExpiry(t *testing.T) {
+	m, err := NewAgedMap(AgedConfig{ExpiryRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Apply(1, []core.Report{agedReport(5, 0, 6), agedReport(2, 1, 8)}, nil)
+	// Round 2 refreshes only source 2; round 3 is empty. After round 3 the
+	// source-5 entry (age 2) still survives; after round 4 it expires.
+	m.Apply(2, []core.Report{agedReport(2, 1, 8)}, nil)
+	if st := m.Apply(3, nil, nil); st.Expired != 0 || st.Size != 2 {
+		t.Fatalf("round 3 stats: %+v", st)
+	}
+	rec := trace.NewRecorder(16)
+	st := m.Apply(4, nil, rec)
+	if st.Expired != 1 || st.Size != 1 {
+		t.Fatalf("round 4 stats: %+v", st)
+	}
+	evs := rec.Events()
+	if len(evs) != 1 || evs[0].Kind != trace.KindAgeExpire || evs[0].Node != 5 || evs[0].Arg != 0 {
+		t.Fatalf("expiry events = %+v", evs)
+	}
+	// Aging disabled: the same sequence keeps both entries forever.
+	forever, err := NewAgedMap(AgedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forever.Apply(1, []core.Report{agedReport(5, 0, 6), agedReport(2, 1, 8)}, nil)
+	if st := forever.Apply(1000, nil, nil); st.Expired != 0 || st.Size != 2 {
+		t.Fatalf("unaged map expired entries: %+v", st)
+	}
+}
+
+// TestAgedMapExpiryOrder: expiry iteration must be sorted (source, then
+// level) regardless of map iteration order, so traces and stats are
+// replay-stable.
+func TestAgedMapExpiryOrder(t *testing.T) {
+	m, err := NewAgedMap(AgedConfig{ExpiryRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []core.Report
+	for s := 20; s >= 1; s-- {
+		batch = append(batch, agedReport(network.NodeID(s), s%3, 6))
+	}
+	m.Apply(1, batch, nil)
+	rec := trace.NewRecorder(64)
+	st := m.Apply(3, nil, rec)
+	if st.Expired != 20 {
+		t.Fatalf("expired %d of 20", st.Expired)
+	}
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Node < evs[i-1].Node {
+			t.Fatalf("expiry order not sorted: node %d after %d", evs[i].Node, evs[i-1].Node)
+		}
+	}
+}

@@ -27,6 +27,10 @@ type checkpointDoc struct {
 	Nodes      int    `json:"nodes"`
 	Seed       int64  `json:"seed"`
 	FaultEvery int    `json:"faultEvery"`
+	// Temporal captures the evolving-field and delta-protocol identity
+	// (Config.temporalID); empty for the legacy configuration, so old
+	// checkpoints keep restoring.
+	Temporal string `json:"temporal,omitempty"`
 
 	// Version is the published snapshot counter; Round the round
 	// source's completed-round counter; SnapRound the published
@@ -57,6 +61,7 @@ func (s *Server) writeCheckpoint(d *deployment, sn *snapshot) error {
 		Nodes:      s.cfg.Nodes,
 		Seed:       d.src.Env.Scenario.Seed,
 		FaultEvery: s.cfg.FaultEvery,
+		Temporal:   s.cfg.temporalID(),
 		Version:    d.version,
 		Round:      d.src.Round(),
 		SnapRound:  sn.round,
@@ -110,9 +115,9 @@ func (s *Server) restore(d *deployment) error {
 		s.logf("serve: %s checkpoint corrupt, starting cold: %v", d.id, err)
 		return nil
 	}
-	if doc.ID != d.id || doc.Nodes != s.cfg.Nodes || doc.Seed != d.src.Env.Scenario.Seed || doc.FaultEvery != s.cfg.FaultEvery {
-		return fmt.Errorf("checkpoint identity mismatch: checkpoint (id=%s nodes=%d seed=%d faultEvery=%d) vs config (id=%s nodes=%d seed=%d faultEvery=%d)",
-			doc.ID, doc.Nodes, doc.Seed, doc.FaultEvery, d.id, s.cfg.Nodes, d.src.Env.Scenario.Seed, s.cfg.FaultEvery)
+	if doc.ID != d.id || doc.Nodes != s.cfg.Nodes || doc.Seed != d.src.Env.Scenario.Seed || doc.FaultEvery != s.cfg.FaultEvery || doc.Temporal != s.cfg.temporalID() {
+		return fmt.Errorf("checkpoint identity mismatch: checkpoint (id=%s nodes=%d seed=%d faultEvery=%d temporal=%q) vs config (id=%s nodes=%d seed=%d faultEvery=%d temporal=%q)",
+			doc.ID, doc.Nodes, doc.Seed, doc.FaultEvery, doc.Temporal, d.id, s.cfg.Nodes, d.src.Env.Scenario.Seed, s.cfg.FaultEvery, s.cfg.temporalID())
 	}
 	if doc.Version < 1 || doc.Round < 0 {
 		serveVars().Add("restore_errors", 1)

@@ -75,6 +75,18 @@ type Config struct {
 	// FaultEvery, when positive, injects faults every FaultEvery-th round
 	// of each deployment (see sim.RoundSource).
 	FaultEvery int
+	// TemporalField selects the evolving field the deployments monitor
+	// (a field.TemporalKinds name, seeded per deployment); empty keeps the
+	// default silting field. FieldSpeed scales its evolution rate (zero
+	// selects 1).
+	TemporalField string
+	FieldSpeed    float64
+	// Delta runs every round on the packet engine's delta-report protocol
+	// (sim.RoundSource.Delta): ingests carry the sink's aged merged
+	// belief instead of per-round full reports. DeltaExpiry bounds belief
+	// staleness in rounds (0 disables aging).
+	Delta       bool
+	DeltaExpiry int
 	// Oracle verifies every incremental update against a full rebuild
 	// before publishing (expensive; for tests, smoke and CI).
 	Oracle bool
@@ -121,6 +133,30 @@ type Config struct {
 
 	// Logf receives supervisor and checkpoint diagnostics; nil discards.
 	Logf func(format string, args ...any)
+}
+
+// temporalID canonicalizes the config knobs that change the round
+// stream's content beyond (seed, nodes, faultEvery) — the evolving field
+// and the reporting protocol — into one checkpoint identity string.
+// Empty for the legacy configuration, so pre-temporal checkpoints keep
+// restoring.
+func (c Config) temporalID() string {
+	if c.TemporalField == "" && !c.Delta {
+		return ""
+	}
+	f := c.TemporalField
+	if f == "" {
+		f = "silting"
+	}
+	speed := c.FieldSpeed
+	if speed <= 0 {
+		speed = 1
+	}
+	mode := "full"
+	if c.Delta {
+		mode = fmt.Sprintf("delta/exp=%d", c.DeltaExpiry)
+	}
+	return fmt.Sprintf("%s@%s/%s", f, strconv.FormatFloat(speed, 'g', -1, 64), mode)
 }
 
 // snapshot is one published reconstruction; immutable once stored.
@@ -254,15 +290,24 @@ func NewServer(cfg Config) (*Server, error) {
 		bounds := field.BoundsRect(env.Field)
 		opts := contour.DefaultOptions()
 		opts.Workers = cfg.Workers
+		src := &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery,
+			Shards: cfg.Shards, Workers: cfg.Workers,
+			Delta: cfg.Delta, DeltaExpiry: cfg.DeltaExpiry}
+		if cfg.TemporalField != "" {
+			dyn, err := field.NewTemporal(cfg.TemporalField, env.Field, cfg.FieldSpeed, sc.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("serve: deployment %d: %w", i, err)
+			}
+			src.Dyn = dyn
+		}
 		d := &deployment{
 			id:     id,
 			levels: env.Scenario.Levels,
 			bounds: bounds,
 			opts:   opts,
-			src: &sim.RoundSource{Env: env, FaultEvery: cfg.FaultEvery,
-				Shards: cfg.Shards, Workers: cfg.Workers},
-			inc:   contour.NewIncremental(env.Scenario.Levels, bounds, opts),
-			cache: newArtifactCache(cfg.CacheEntries),
+			src:    src,
+			inc:    contour.NewIncremental(env.Scenario.Levels, bounds, opts),
+			cache:  newArtifactCache(cfg.CacheEntries),
 		}
 		d.health.Store(&depHealth{})
 		if cfg.CheckpointDir != "" {

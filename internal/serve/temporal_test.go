@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTemporalDeltaServing: a delta-mode deployment over a drifting
+// field serves a non-empty aged belief every round, rotates its ETag as
+// the field moves, and two same-config servers stay byte-identical —
+// the HTTP layer adds no nondeterminism on top of the delta engine.
+func TestTemporalDeltaServing(t *testing.T) {
+	cfg := Config{Deployments: 1, Nodes: 300, Seed: 33, Oracle: true, OracleRes: 32,
+		TemporalField: "drift", FieldSpeed: 0.5, Delta: true, DeltaExpiry: 4}
+	_, tsA := bootServer(t, cfg)
+	_, tsB := bootServer(t, cfg)
+	prevTag := ""
+	for i := 0; i < 3; i++ {
+		ra := postRound(t, tsA, "d0")
+		rb := postRound(t, tsB, "d0")
+		if ra["etag"] != rb["etag"] || ra["reports"] != rb["reports"] {
+			t.Fatalf("round %d diverged between same-config delta servers: %v vs %v", i+1, ra, rb)
+		}
+		if n, ok := ra["reports"].(float64); !ok || n <= 0 {
+			t.Fatalf("round %d served an empty belief: %v", i+1, ra)
+		}
+		if tag := ra["etag"].(string); tag == prevTag {
+			t.Fatalf("round %d did not rotate the ETag on a moving field", i+1)
+		} else {
+			prevTag = tag
+		}
+		compareServing(t, tsA, tsB, ra["etag"].(string))
+	}
+}
+
+// TestTemporalCheckpointRestore extends the kill-and-restart contract to
+// delta mode: restoring a checkpointed delta deployment replays the
+// protocol state (source-side memory, aged belief, expiry clocks) and
+// continues the continuous stream byte-identically.
+func TestTemporalCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Deployments: 1, Nodes: 300, Seed: 27, FaultEvery: 3, Oracle: true, OracleRes: 32,
+		TemporalField: "drift", FieldSpeed: 0.5, Delta: true, DeltaExpiry: 4,
+		CheckpointDir: dir, CheckpointEvery: 2}
+
+	_, tsA := bootServer(t, cfg)
+	for i := 0; i < 4; i++ {
+		postRound(t, tsA, "d0")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "d0.json")); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	restoresBefore := counter("restores")
+	b, tsB := bootServer(t, cfg)
+	if counter("restores") != restoresBefore+1 {
+		t.Fatal("restart did not restore from the checkpoint")
+	}
+	if r := b.deps["d0"].src.Round(); r != 4 {
+		t.Fatalf("restored round source at %d, want 4", r)
+	}
+	compareServing(t, tsA, tsB, "at delta restore")
+	for i := 0; i < 2; i++ {
+		ra := postRound(t, tsA, "d0")
+		rb := postRound(t, tsB, "d0")
+		if ra["etag"] != rb["etag"] || ra["reports"] != rb["reports"] {
+			t.Fatalf("round %d diverged after delta restore: %v vs %v", i+5, ra, rb)
+		}
+		compareServing(t, tsA, tsB, ra["etag"].(string))
+	}
+}
+
+// TestTemporalIdentityMismatch: a checkpoint written under one temporal
+// configuration must refuse to boot under another — field kind, speed,
+// protocol mode and expiry all participate in the identity, and a legacy
+// static/full checkpoint stays restorable (empty identity both sides).
+func TestTemporalIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Deployments: 1, Nodes: 250, Seed: 61, CheckpointDir: dir,
+		TemporalField: "drift", FieldSpeed: 0.5, Delta: true, DeltaExpiry: 4}
+	_, ts := bootServer(t, cfg)
+	postRound(t, ts, "d0")
+
+	for name, mutate := range map[string]func(*Config){
+		"field kind": func(c *Config) { c.TemporalField = "front" },
+		"speed":      func(c *Config) { c.FieldSpeed = 1.0 },
+		"mode":       func(c *Config) { c.Delta = false },
+		"expiry":     func(c *Config) { c.DeltaExpiry = 9 },
+		"static":     func(c *Config) { c.TemporalField = ""; c.Delta = false },
+	} {
+		bad := cfg
+		mutate(&bad)
+		if _, err := NewServer(bad); err == nil {
+			t.Errorf("mismatched %s restored without error", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"isomap/internal/desim"
 	"isomap/internal/faults"
 	"isomap/internal/field"
+	"isomap/internal/monitor"
 	"isomap/internal/network"
 )
 
@@ -17,11 +18,12 @@ import (
 // contour server (cmd/isomapd) and the churn generator of the serve
 // benchmark.
 //
-// Rounds are deterministic given (Env seed, Dt, fault knobs): normal
-// rounds run the analytic core protocol, and every FaultEvery-th round
-// runs the full discrete-event radio with a fresh fault plan seeded by
-// the round number, so replays reproduce byte-identical report streams.
-// A RoundSource is not safe for concurrent use.
+// Rounds are deterministic given (Env seed, Dt, mode and fault knobs):
+// normal rounds run the analytic core protocol (or the packet engine
+// when PacketRounds or Delta is set), and every FaultEvery-th round runs
+// under a fresh fault plan seeded by the round number, so replays
+// reproduce byte-identical report streams. A RoundSource is not safe for
+// concurrent use.
 type RoundSource struct {
 	// Env is the deployment the rounds run on; its network is mutated
 	// (sensing) by every round, so an Env must not back two sources.
@@ -40,36 +42,78 @@ type RoundSource struct {
 	// FaultCrashFrac is the faulted rounds' crashing node fraction; zero
 	// selects 0.05.
 	FaultCrashFrac float64
-	// Shards, when above 1, runs the faulted rounds' discrete-event radio
-	// on a sharded engine (grid partition, Shards cells) with Workers
-	// goroutines per window. The report stream is byte-identical at any
-	// shard count — sharding is purely an execution strategy.
+	// Shards, when above 1, runs the packet-engine rounds on a sharded
+	// engine (grid partition, Shards cells) with Workers goroutines per
+	// window. The report stream is byte-identical at any shard count —
+	// sharding is purely an execution strategy.
 	Shards int
 	// Workers bounds the sharded engine's parallelism; 0 selects
 	// GOMAXPROCS. Ignored when Shards <= 1.
 	Workers int
+	// PacketRounds runs every round — not just faulted ones — on the
+	// discrete-event packet engine in full-report mode. This is the
+	// oracle configuration delta mode is compared against: same engine,
+	// same radio, everything retransmitted every round.
+	PacketRounds bool
+	// Delta switches every round onto the packet engine's delta-report
+	// protocol: nodes transmit only level-crossing deltas (see
+	// desim.DeltaState), the sink maintains an aged belief
+	// (monitor.AgedMap), and Reports carries the merged belief instead of
+	// one round's deliveries. Fault plans and sharding compose as in full
+	// mode.
+	Delta bool
+	// DeltaGradAngle is the delta mode's gradient-rotation re-report
+	// threshold (radians); zero selects desim.DefaultGradAngle.
+	DeltaGradAngle float64
+	// DeltaExpiry bounds the sink belief's staleness: entries not
+	// refreshed within DeltaExpiry rounds are aged out. Zero disables
+	// aging.
+	DeltaExpiry int
 
 	round int
+	delta *desim.DeltaState
+	aged  *monitor.AgedMap
 }
 
 // Round returns the number of completed rounds: the next Next() call runs
 // round Round()+1.
 func (rs *RoundSource) Round() int { return rs.round }
 
-// SeekRound positions the source so the next Next() runs round n+1,
-// without executing the skipped rounds. Rounds are memoryless given the
-// Env — sensing overwrites every node value, crash marks are restored
-// after faulted rounds, the dynamic field is a pure function of time, and
-// fault plans are freshly seeded per round number — so a seeked source
-// emits the exact byte-identical round stream a continuously advanced one
-// would from round n+1 on. This is the whole of RoundSource "RNG
-// position" recovery: per-round seeding collapses the stream state to the
-// round counter, which is what a serving checkpoint persists.
+// SeekRound positions the source so the next Next() runs round n+1.
+//
+// Outside delta mode the skipped rounds are not executed: rounds are
+// memoryless given the Env — sensing overwrites every node value, crash
+// marks are restored after faulted rounds, the dynamic field is a pure
+// function of time, and fault plans are freshly seeded per round number —
+// so a seeked source emits the exact byte-identical round stream a
+// continuously advanced one would from round n+1 on.
+//
+// Delta mode carries cross-round protocol state (each node's
+// transmitted-report memory, the sink's aged belief), so SeekRound
+// replays rounds 1..n from a reset state instead. The replay is
+// deterministic for the same reasons the rounds are, so a restored
+// serving checkpoint still resumes byte-identically — it just costs n
+// rounds of simulation.
 func (rs *RoundSource) SeekRound(n int) error {
 	if n < 0 {
 		return fmt.Errorf("sim: SeekRound(%d): negative round", n)
 	}
-	rs.round = n
+	if !rs.Delta {
+		rs.round = n
+		return nil
+	}
+	if rs.delta != nil {
+		rs.delta.Reset()
+	}
+	if rs.aged != nil {
+		rs.aged.Reset()
+	}
+	rs.round = 0
+	for rs.round < n {
+		if _, err := rs.Next(); err != nil {
+			return fmt.Errorf("sim: SeekRound(%d): replaying round %d: %w", n, rs.round+1, err)
+		}
+	}
 	return nil
 }
 
@@ -79,7 +123,8 @@ type RoundData struct {
 	Round int
 	// T is the field time the round sensed.
 	T float64
-	// Reports are the reports delivered to the sink.
+	// Reports are the reports the sink reconstructs from: one round's
+	// deliveries, or in delta mode the merged aged belief.
 	Reports []core.Report
 	// SinkValue is the value sensed at the sink node.
 	SinkValue float64
@@ -88,6 +133,30 @@ type RoundData struct {
 	// Crashed is the number of nodes that crashed mid-round (faulted
 	// rounds only; crashes are round-scoped and restored afterwards).
 	Crashed int
+	// DataFrames and TxBytes expose the radio traffic of packet-engine
+	// rounds (zero for analytic rounds): first transmissions of data
+	// frames, and total transmitted bytes including retries and acks.
+	DataFrames int64
+	TxBytes    int64
+	// Delta carries the delta-mode round telemetry (nil outside delta
+	// mode).
+	Delta *DeltaRoundStats
+}
+
+// DeltaRoundStats is one delta round's protocol telemetry.
+type DeltaRoundStats struct {
+	// Crossings, Suppressed and Retired are the source-side tally:
+	// level-transit reports transmitted, unchanged repeats withheld, and
+	// withdrawal records sent.
+	Crossings  int
+	Suppressed int
+	Retired    int
+	// Expired counts sink belief entries aged out this round.
+	Expired int
+	// MapReports is the sink belief size after the round; MeanAgeRounds
+	// its mean staleness in rounds.
+	MapReports    int
+	MeanAgeRounds float64
 }
 
 // Next runs one round and returns its sink-side data.
@@ -103,45 +172,12 @@ func (rs *RoundSource) Next() (*RoundData, error) {
 	f := rs.Dyn.At(t)
 	rd := &RoundData{Round: rs.round, T: t}
 
-	if rs.FaultEvery > 0 && rs.round%rs.FaultEvery == 0 {
-		loss := rs.FaultLoss
-		if loss == 0 {
-			loss = 0.05
-		}
-		crash := rs.FaultCrashFrac
-		if crash == 0 {
-			crash = 0.05
-		}
-		// A fresh plan per round: plans are stateful (channel chains,
-		// crash schedules), and per-round seeding keeps replays exact.
-		plan, err := faults.New(faults.Config{
-			Seed:          rs.Env.Scenario.Seed + int64(rs.round),
-			Channel:       faults.ChannelBernoulli,
-			LossRate:      loss,
-			CrashFraction: crash,
-			CrashStart:    0.05,
-			CrashEnd:      0.6,
-			Protect:       []network.NodeID{rs.Env.Tree.Root()},
-		}, rs.Env.Network.Len())
-		if err != nil {
-			return nil, fmt.Errorf("sim: round %d fault plan: %w", rs.round, err)
-		}
-		cfg := desim.DefaultRadioConfig()
-		cfg.FrameDeadline = 1.5
-		var res *desim.RoundResult
-		if rs.Shards > 1 {
-			res, err = desim.RunFullRoundShardedTraced(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan, rs.Shards, rs.Workers, nil)
-		} else {
-			res, err = desim.RunFullRoundFaults(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sim: round %d faulted: %w", rs.round, err)
-		}
-		rd.Reports = res.Delivered
-		rd.SinkValue = rs.Env.Network.Node(rs.Env.Tree.Root()).Value
-		rd.Faulted = true
-		rd.Crashed = res.Crashed
-		return rd, nil
+	faulted := rs.FaultEvery > 0 && rs.round%rs.FaultEvery == 0
+	if rs.Delta {
+		return rs.nextDelta(f, rd, faulted)
+	}
+	if faulted || rs.PacketRounds {
+		return rs.nextPacket(f, rd, faulted)
 	}
 
 	res, err := core.Run(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter)
@@ -150,5 +186,107 @@ func (rs *RoundSource) Next() (*RoundData, error) {
 	}
 	rd.Reports = res.Reports
 	rd.SinkValue = res.SinkValue
+	return rd, nil
+}
+
+// roundPlan materializes the round's fault plan and radio config: a
+// fresh plan per faulted round (plans are stateful — channel chains,
+// crash schedules — and per-round seeding keeps replays exact), the
+// default radio otherwise.
+func (rs *RoundSource) roundPlan(faulted bool) (*faults.Plan, desim.RadioConfig, error) {
+	cfg := desim.DefaultRadioConfig()
+	if !faulted {
+		return nil, cfg, nil
+	}
+	loss := rs.FaultLoss
+	if loss == 0 {
+		loss = 0.05
+	}
+	crash := rs.FaultCrashFrac
+	if crash == 0 {
+		crash = 0.05
+	}
+	plan, err := faults.New(faults.Config{
+		Seed:          rs.Env.Scenario.Seed + int64(rs.round),
+		Channel:       faults.ChannelBernoulli,
+		LossRate:      loss,
+		CrashFraction: crash,
+		CrashStart:    0.05,
+		CrashEnd:      0.6,
+		Protect:       []network.NodeID{rs.Env.Tree.Root()},
+	}, rs.Env.Network.Len())
+	if err != nil {
+		return nil, cfg, fmt.Errorf("sim: round %d fault plan: %w", rs.round, err)
+	}
+	cfg.FrameDeadline = 1.5
+	return plan, cfg, nil
+}
+
+// nextPacket runs one full-report round on the packet engine.
+func (rs *RoundSource) nextPacket(f field.Field, rd *RoundData, faulted bool) (*RoundData, error) {
+	plan, cfg, err := rs.roundPlan(faulted)
+	if err != nil {
+		return nil, err
+	}
+	var res *desim.RoundResult
+	if rs.Shards > 1 {
+		res, err = desim.RunFullRoundShardedTraced(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan, rs.Shards, rs.Workers, nil)
+	} else {
+		res, err = desim.RunFullRoundFaults(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: round %d faulted=%v: %w", rs.round, faulted, err)
+	}
+	rd.Reports = res.Delivered
+	rd.SinkValue = rs.Env.Network.Node(rs.Env.Tree.Root()).Value
+	rd.Faulted = faulted
+	rd.Crashed = res.Crashed
+	rd.DataFrames = int64(res.Radio.DataSent)
+	rd.TxBytes = res.Counters.TotalTxBytes()
+	return rd, nil
+}
+
+// nextDelta runs one delta-report round on the packet engine and folds
+// the deliveries into the sink's aged belief.
+func (rs *RoundSource) nextDelta(f field.Field, rd *RoundData, faulted bool) (*RoundData, error) {
+	if rs.delta == nil {
+		ds, err := desim.NewDeltaState(rs.Env.Network.Len(), desim.DeltaConfig{GradAngle: rs.DeltaGradAngle})
+		if err != nil {
+			return nil, fmt.Errorf("sim: delta state: %w", err)
+		}
+		am, err := monitor.NewAgedMap(monitor.AgedConfig{ExpiryRounds: rs.DeltaExpiry})
+		if err != nil {
+			return nil, fmt.Errorf("sim: aged map: %w", err)
+		}
+		rs.delta, rs.aged = ds, am
+	}
+	plan, cfg, err := rs.roundPlan(faulted)
+	if err != nil {
+		return nil, err
+	}
+	var res *desim.RoundResult
+	if rs.Shards > 1 {
+		res, err = desim.RunFullRoundDeltaSharded(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan, rs.delta, rs.Shards, rs.Workers, nil)
+	} else {
+		res, err = desim.RunFullRoundDelta(rs.Env.Tree, f, rs.Env.Query, *rs.Env.Scenario.Filter, cfg, plan, rs.delta, nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: round %d delta: %w", rs.round, err)
+	}
+	st := rs.aged.Apply(rs.round, res.Delivered, nil)
+	rd.Reports = rs.aged.Reports()
+	rd.SinkValue = rs.Env.Network.Node(rs.Env.Tree.Root()).Value
+	rd.Faulted = faulted
+	rd.Crashed = res.Crashed
+	rd.DataFrames = int64(res.Radio.DataSent)
+	rd.TxBytes = res.Counters.TotalTxBytes()
+	rd.Delta = &DeltaRoundStats{
+		Crossings:     res.Crossings,
+		Suppressed:    res.Suppressed,
+		Retired:       res.Retired,
+		Expired:       st.Expired,
+		MapReports:    st.Size,
+		MeanAgeRounds: rs.aged.MeanAge(rs.round),
+	}
 	return rd, nil
 }

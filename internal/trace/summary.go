@@ -54,16 +54,21 @@ type Summary struct {
 	Events        int64 `json:"events"`
 	DroppedEvents int64 `json:"droppedEvents"`
 	// Round totals.
-	Sends         int64   `json:"sends"`
-	Delivered     int64   `json:"delivered"`
-	Acked         int64   `json:"acked"`
-	Drops         int64   `json:"drops"`
-	Crashes       int64   `json:"crashes"`
-	Reparents     int64   `json:"reparents"`
-	Severed       int64   `json:"severed"`
-	QueryHeard    int64   `json:"queryHeard"`
-	Generated     int64   `json:"generated"`
-	SinkReports   int64   `json:"sinkReports"`
+	Sends       int64 `json:"sends"`
+	Delivered   int64 `json:"delivered"`
+	Acked       int64 `json:"acked"`
+	Drops       int64 `json:"drops"`
+	Crashes     int64 `json:"crashes"`
+	Reparents   int64 `json:"reparents"`
+	Severed     int64 `json:"severed"`
+	QueryHeard  int64 `json:"queryHeard"`
+	Generated   int64 `json:"generated"`
+	SinkReports int64 `json:"sinkReports"`
+	// Delta-mode totals: level transits reported, repeats withheld at the
+	// source, and stale sink entries aged out (zero outside delta rounds).
+	Crossings     int64   `json:"crossings,omitempty"`
+	Suppressed    int64   `json:"suppressed,omitempty"`
+	AgeExpired    int64   `json:"ageExpired,omitempty"`
 	RoundSeconds  float64 `json:"roundSeconds"`
 	SinkDelivered int64   `json:"sinkDelivered"`
 	// Phases lists the per-phase breakdowns in fixed order (query,
@@ -147,6 +152,12 @@ func Summarize(events []Event, dropped int64) Summary {
 			s.Generated += int64(ev.Arg)
 		case KindSinkReport:
 			s.SinkReports += int64(ev.Arg)
+		case KindCrossing:
+			s.Crossings++
+		case KindSuppress:
+			s.Suppressed++
+		case KindAgeExpire:
+			s.AgeExpired++
 		case KindRoundEnd:
 			s.RoundSeconds = ev.T
 			s.SinkDelivered = ev.Seq

@@ -72,3 +72,23 @@ func TestSummarizePhaseBreakdown(t *testing.T) {
 		t.Errorf("stage 1 = %+v", s.SinkStages[1])
 	}
 }
+
+// TestSummarizeDeltaTallies covers the delta-protocol event vocabulary:
+// crossings, source-side suppressions and sink-side age expiries roll up
+// into their Summary totals and nothing else.
+func TestSummarizeDeltaTallies(t *testing.T) {
+	evs := []Event{
+		{T: 0.4, Kind: KindCrossing, Node: 3, Peer: -1, Arg: 0, Phase: PhaseMeasure},
+		{T: 0.4, Kind: KindCrossing, Node: 3, Peer: -1, Seq: 1, Arg: 1, Phase: PhaseMeasure}, // a retirement
+		{T: 0.5, Kind: KindSuppress, Node: 4, Peer: -1, Arg: 0, Phase: PhaseMeasure},
+		{Kind: KindAgeExpire, Node: 5, Peer: -1, Arg: 0},
+	}
+	s := Summarize(evs, 0)
+	if s.Crossings != 2 || s.Suppressed != 1 || s.AgeExpired != 1 {
+		t.Errorf("crossings=%d suppressed=%d ageExpired=%d, want 2/1/1",
+			s.Crossings, s.Suppressed, s.AgeExpired)
+	}
+	if s.Sends != 0 || s.Delivered != 0 || s.Drops != 0 {
+		t.Errorf("delta events leaked into radio totals: %+v", s)
+	}
+}

@@ -64,6 +64,11 @@ const (
 	// over; DurNs carries the wall-clock stage duration instead.
 	KindSinkStage // Arg: Stage id; Seq: isolevel index or -1
 
+	// Delta-report monitoring (desim delta mode + monitor.AgedMap).
+	KindCrossing  // Node detected a level transit and reports (Arg: level index)
+	KindSuppress  // Node stayed on its isoline; report withheld (Arg: level index)
+	KindAgeExpire // sink aged out a stale report (Node: source; Arg: level index); post-round, T is 0
+
 	kindCount // number of kinds, for aggregation arrays
 )
 
@@ -89,6 +94,9 @@ var kindNames = [...]string{
 	KindRequeue:    "requeue",
 	KindRoundEnd:   "roundend",
 	KindSinkStage:  "sinkstage",
+	KindCrossing:   "crossing",
+	KindSuppress:   "suppress",
+	KindAgeExpire:  "age-expire",
 }
 
 // String returns the canonical lowercase name of the kind.
